@@ -1,0 +1,79 @@
+// Ablations over DARD's design knobs (DESIGN.md Section 4):
+//   1. δ — the minimum estimated BoNF gain required to move a flow.
+//      δ=0 moves eagerly; large δ moves almost never.
+//   2. Randomized vs synchronized scheduling rounds — the paper credits
+//      the U[0,5] s jitter for the absence of path oscillation.
+//   3. Monitor query interval — stale state causes moves against old
+//      congestion pictures.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const topo::Topology t = topo::build_fat_tree({.p = 8});
+  const double rate = flags.rate > 0 ? flags.rate : 1.2;
+  const double duration = flags.duration > 0 ? flags.duration
+                          : flags.full       ? 60.0
+                                             : 10.0;
+
+  auto base = [&] {
+    auto cfg = ns2_config(traffic::PatternKind::Stride, rate, duration,
+                          flags.seed);
+    cfg.scheduler = harness::SchedulerKind::Dard;
+    return cfg;
+  };
+
+  {
+    AsciiTable table({"delta (Mbps)", "avg transfer (s)", "moves",
+                      "switches p90", "switches max"});
+    for (const double delta_mbps : {0.0, 1.0, 10.0, 50.0, 200.0}) {
+      auto cfg = base();
+      cfg.dard.delta = delta_mbps * kMbps;
+      const auto r = run_logged(t, cfg, "ablate-delta");
+      table.add_row({AsciiTable::fmt(delta_mbps, 0),
+                     AsciiTable::fmt(r.avg_transfer_time),
+                     std::to_string(r.reroutes),
+                     AsciiTable::fmt(r.path_switch_percentile(0.9), 0),
+                     AsciiTable::fmt(r.max_path_switches(), 0)});
+    }
+    std::printf("Ablation 1 — δ threshold (p=8 fat-tree, stride):\n%s\n",
+                table.to_string().c_str());
+  }
+
+  {
+    AsciiTable table({"rounds", "avg transfer (s)", "moves", "switches p90",
+                      "switches max"});
+    for (const bool randomized : {true, false}) {
+      auto cfg = base();
+      cfg.dard.schedule_jitter = randomized ? 5.0 : 0.0;
+      const auto r = run_logged(t, cfg, "ablate-jitter");
+      table.add_row({randomized ? "randomized (5s + U[0,5]s)"
+                                : "synchronized (5s)",
+                     AsciiTable::fmt(r.avg_transfer_time),
+                     std::to_string(r.reroutes),
+                     AsciiTable::fmt(r.path_switch_percentile(0.9), 0),
+                     AsciiTable::fmt(r.max_path_switches(), 0)});
+    }
+    std::printf("Ablation 2 — randomized vs synchronized rounds:\n%s\n",
+                table.to_string().c_str());
+  }
+
+  {
+    AsciiTable table({"query interval (s)", "avg transfer (s)", "moves",
+                      "control KB/s"});
+    for (const double interval : {0.5, 1.0, 2.0, 5.0}) {
+      auto cfg = base();
+      cfg.dard.query_interval = interval;
+      const auto r = run_logged(t, cfg, "ablate-query");
+      table.add_row({AsciiTable::fmt(interval, 1),
+                     AsciiTable::fmt(r.avg_transfer_time),
+                     std::to_string(r.reroutes),
+                     AsciiTable::fmt(r.control_mean_rate / 1000.0, 1)});
+    }
+    std::printf("Ablation 3 — monitor query interval:\n%s\n",
+                table.to_string().c_str());
+  }
+  return 0;
+}

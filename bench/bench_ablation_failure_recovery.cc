@@ -1,0 +1,65 @@
+// Failure-recovery ablation (extension beyond the paper's evaluation):
+// fail one aggregation->core cable mid-experiment and compare how each
+// scheduler's elephants fare. Static hashing strands every flow across the
+// failed link until it is repaired; DARD's monitors see the collapsed BoNF
+// and shift the strays within a round or two.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const topo::Topology t = topo::build_fat_tree({.p = 4});
+
+  AsciiTable table({"scheduler", "avg transfer (s)", "p99 (s)",
+                    "flows > 30s", "reroutes"});
+  for (const auto kind :
+       {harness::SchedulerKind::Ecmp, harness::SchedulerKind::Pvlb,
+        harness::SchedulerKind::Dard}) {
+    // Re-create the experiment manually: workload for 20 s, failure from
+    // t=5 until t=15.
+    flowsim::SimConfig sim_cfg;
+    sim_cfg.elephant_threshold = 1.0;
+    flowsim::FlowSimulator sim(t, sim_cfg);
+    auto cfg = ns2_config(traffic::PatternKind::Stride,
+                          flags.rate > 0 ? flags.rate : 0.5, 20.0, flags.seed);
+    cfg.dard.query_interval = 0.5;
+    cfg.dard.schedule_base = 1.0;
+    cfg.dard.schedule_jitter = 1.0;
+    cfg.scheduler = kind;
+    const auto agent = harness::make_agent(cfg);
+    sim.set_agent(agent.get());
+    for (const auto& spec : traffic::generate_workload(t, cfg.workload))
+      sim.submit(spec);
+
+    // Fail agg0_0's first core uplink for 10 s.
+    const NodeId agg = t.aggs().front();
+    const NodeId core = t.up_neighbors(agg).front();
+    sim.run_until(5.0);
+    sim.set_cable_failed(agg, core, true);
+    sim.run_until(15.0);
+    sim.set_cable_failed(agg, core, false);
+    sim.run_until_flows_done();
+
+    Cdf times;
+    std::size_t slow = 0;
+    for (const auto& rec : sim.records()) {
+      times.add(rec.transfer_time());
+      if (rec.transfer_time() > 30.0) ++slow;
+    }
+    std::size_t reroutes = 0;
+    if (const auto* dard = dynamic_cast<core::DardAgent*>(agent.get()))
+      reroutes = dard->total_moves();
+    table.add_row({agent->name(), AsciiTable::fmt(times.mean()),
+                   AsciiTable::fmt(times.percentile(0.99)),
+                   std::to_string(slow), std::to_string(reroutes)});
+  }
+  std::printf("Failure recovery — p=4 fat-tree, stride; one agg-core cable "
+              "down from t=5s to t=15s:\n%s",
+              table.to_string().c_str());
+  std::printf("ECMP/pVLB flows pinned across the failure stall until repair "
+              "(or a lucky re-pick);\nDARD shifts them to live paths within "
+              "a scheduling round.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 10: CDF of DARD path switch counts on the D_I = D_A = 16 Clos
+// network under the three traffic patterns.
+//
+// Expected shape (paper): even the maximum switch count is much smaller
+// than the 2*D_A = 32 available paths — little oscillation on Clos too.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const int d = 16;
+  const topo::Topology t =
+      topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+  const double rate = flags.rate > 0 ? flags.rate : 1.2;
+  const double duration = flags.duration > 0 ? flags.duration : 10.0;
+
+  std::vector<harness::ExperimentResult> results;
+  for (const auto pattern : kAllPatterns) {
+    auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+    cfg.scheduler = harness::SchedulerKind::Dard;
+    results.push_back(run_logged(t, cfg, "fig10"));
+  }
+  print_cdf("Figure 10 — path switch count CDF, DARD, Clos D=16:",
+            {{"random", &results[0].path_switch_counts},
+             {"staggered", &results[1].path_switch_counts},
+             {"stride", &results[2].path_switch_counts}});
+  std::printf("available inter-pod paths: %d\n", topo::clos_inter_pod_paths(d));
+  return 0;
+}

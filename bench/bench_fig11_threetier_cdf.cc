@@ -1,0 +1,39 @@
+// Figure 11: CDF of file transfer times on the oversubscribed 8-core
+// 3-tier topology (access 2.5:1, aggregation 1.5:1), three patterns, four
+// schedulers.
+//
+// Expected shape (paper): same as fat-tree/Clos — staggered: DARD beats
+// both centralized and random scheduling; stride: DARD beats random and
+// trails the centralized scheduler only slightly.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const topo::Topology t = topo::build_three_tier({});
+  // The access layer is oversubscribed 2.5:1 — drive it gently or every
+  // scheduler drowns at the edge.
+  const double rate = flags.rate > 0 ? flags.rate : 0.3;
+  const double duration = flags.duration > 0 ? flags.duration
+                          : flags.full       ? 60.0
+                                             : 20.0;
+
+  for (const auto pattern : kAllPatterns) {
+    std::vector<harness::ExperimentResult> results;
+    for (const auto scheduler : kAllSchedulers) {
+      auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+      cfg.scheduler = scheduler;
+      results.push_back(run_logged(t, cfg, "fig11"));
+    }
+    print_cdf(std::string("Figure 11 — transfer time CDF (s), 8-core 3-tier "
+                          "topology, ") +
+                  traffic::to_string(pattern) + ":",
+              {{"ECMP", &results[0].transfer_times},
+               {"pVLB", &results[1].transfer_times},
+               {"DARD", &results[2].transfer_times},
+               {"SimAnneal", &results[3].transfer_times}});
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 12: CDF of DARD path switch counts on the 8-core 3-tier topology.
+//
+// Expected shape (paper): 90% of flows shift paths no more than twice —
+// DARD stays stable even when oversubscription > 1.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const topo::Topology t = topo::build_three_tier({});
+  const double rate = flags.rate > 0 ? flags.rate : 0.3;
+  const double duration = flags.duration > 0 ? flags.duration : 10.0;
+
+  std::vector<harness::ExperimentResult> results;
+  for (const auto pattern : kAllPatterns) {
+    auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+    cfg.scheduler = harness::SchedulerKind::Dard;
+    results.push_back(run_logged(t, cfg, "fig12"));
+  }
+  print_cdf("Figure 12 — path switch count CDF, DARD, 3-tier topology:",
+            {{"random", &results[0].path_switch_counts},
+             {"staggered", &results[1].path_switch_counts},
+             {"stride", &results[2].path_switch_counts}});
+  for (std::size_t i = 0; i < results.size(); ++i)
+    std::printf("%-9s: 90%%-ile %.0f switches\n",
+                traffic::to_string(kAllPatterns[i]),
+                results[i].path_switch_percentile(0.9));
+  return 0;
+}

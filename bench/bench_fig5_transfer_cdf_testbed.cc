@@ -1,0 +1,37 @@
+// Figure 5: CDF of file transfer times on the p=4 testbed under the stride
+// pattern, ECMP vs periodic-VLB vs DARD.
+//
+// Expected shape (paper): DARD improves fairness — its fastest and slowest
+// flows both move toward the average; pVLB tracks ECMP closely.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const topo::Topology t = testbed_fat_tree();
+  const double rate = flags.rate > 0 ? flags.rate : 0.08;
+  const double duration = flags.duration > 0 ? flags.duration
+                          : flags.full       ? 300.0
+                                             : 60.0;
+
+  auto cfg = testbed_config(traffic::PatternKind::Stride, rate, duration,
+                            flags.seed);
+  cfg.scheduler = harness::SchedulerKind::Ecmp;
+  const auto ecmp = run_logged(t, cfg, "fig5");
+  cfg.scheduler = harness::SchedulerKind::Pvlb;
+  const auto pvlb = run_logged(t, cfg, "fig5");
+  cfg.scheduler = harness::SchedulerKind::Dard;
+  const auto dard = run_logged(t, cfg, "fig5");
+
+  print_cdf("Figure 5 — transfer time CDF (s), p=4 testbed, stride:",
+            {{"ECMP", &ecmp.transfer_times},
+             {"pVLB", &pvlb.transfer_times},
+             {"DARD", &dard.transfer_times}});
+  std::printf("avg: ECMP %.2fs, pVLB %.2fs, DARD %.2fs (improvement %.1f%%)\n",
+              ecmp.avg_transfer_time, pvlb.avg_transfer_time,
+              dard.avg_transfer_time,
+              100 * harness::improvement_over(ecmp, dard));
+  return 0;
+}

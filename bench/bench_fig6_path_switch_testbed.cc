@@ -1,0 +1,40 @@
+// Figure 6: CDF of per-flow path switch counts under DARD on the p=4
+// testbed, for the three traffic patterns.
+//
+// Expected shape (paper): staggered flows almost never switch (~90% zero
+// switches); stride flows switch a handful of times; the maximum stays
+// below the number of available paths; random sits between.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const topo::Topology t = testbed_fat_tree();
+  const double rate = flags.rate > 0 ? flags.rate : 0.08;
+  const double duration = flags.duration > 0 ? flags.duration
+                          : flags.full       ? 300.0
+                                             : 60.0;
+
+  std::vector<harness::ExperimentResult> results;
+  for (const auto pattern : kAllPatterns) {
+    auto cfg = testbed_config(pattern, rate, duration, flags.seed);
+    cfg.scheduler = harness::SchedulerKind::Dard;
+    results.push_back(run_logged(t, cfg, "fig6"));
+  }
+
+  print_cdf("Figure 6 — path switch count CDF, DARD, p=4 testbed:",
+            {{"random", &results[0].path_switch_counts},
+             {"staggered", &results[1].path_switch_counts},
+             {"stride", &results[2].path_switch_counts}});
+  const char* names[] = {"random", "staggered", "stride"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-9s: mean %.2f, 90%%-ile %.0f, max %.0f (4 paths "
+                "available)\n",
+                names[i], results[i].path_switch_counts.mean(),
+                results[i].path_switch_percentile(0.9),
+                results[i].max_path_switches());
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 7: CDF of file transfer times on a large fat-tree under the three
+// traffic patterns, four schedulers (paper: p=32; default here p=16 for
+// wall-clock reasons, --full for p=32).
+//
+// Expected shape (paper): (1) stride — SimAnneal and DARD clearly beat
+// ECMP/pVLB, SimAnneal ahead of DARD by <10%; (2) staggered — SimAnneal
+// gains little (it schedules per destination host, not per flow) while
+// DARD still helps; (3) random — in between, DARD and SimAnneal close.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const int p = flags.full ? 32 : 16;
+  const topo::Topology t = topo::build_fat_tree({.p = p});
+  const double rate = flags.rate > 0 ? flags.rate : 1.2;
+  const double duration = flags.duration > 0 ? flags.duration : 10.0;
+
+  for (const auto pattern : kAllPatterns) {
+    std::vector<harness::ExperimentResult> results;
+    for (const auto scheduler : kAllSchedulers) {
+      auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+      cfg.scheduler = scheduler;
+      results.push_back(run_logged(t, cfg, "fig7"));
+    }
+    print_cdf(std::string("Figure 7 — transfer time CDF (s), p=") +
+                  std::to_string(p) + " fat-tree, " +
+                  traffic::to_string(pattern) + ":",
+              {{"ECMP", &results[0].transfer_times},
+               {"pVLB", &results[1].transfer_times},
+               {"DARD", &results[2].transfer_times},
+               {"SimAnneal", &results[3].transfer_times}});
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 8: CDF of DARD path switch counts on a large fat-tree under the
+// three traffic patterns (paper: p=32; default p=16, --full for p=32).
+//
+// Expected shape (paper): most flows never switch under staggered; stride
+// switches the most; every count stays far below the number of available
+// paths (256 for inter-pod pairs at p=32).
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const int p = flags.full ? 32 : 16;
+  const topo::Topology t = topo::build_fat_tree({.p = p});
+  const double rate = flags.rate > 0 ? flags.rate : 1.2;
+  const double duration = flags.duration > 0 ? flags.duration : 10.0;
+
+  std::vector<harness::ExperimentResult> results;
+  for (const auto pattern : kAllPatterns) {
+    auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+    cfg.scheduler = harness::SchedulerKind::Dard;
+    results.push_back(run_logged(t, cfg, "fig8"));
+  }
+  print_cdf(std::string("Figure 8 — path switch count CDF, DARD, p=") +
+                std::to_string(p) + " fat-tree:",
+            {{"random", &results[0].path_switch_counts},
+             {"staggered", &results[1].path_switch_counts},
+             {"stride", &results[2].path_switch_counts}});
+  std::printf("available inter-pod paths: %d\n",
+              topo::fat_tree_inter_pod_paths(p));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 9: CDF of file transfer times on the D_I = D_A = 16 Clos network
+// under the three traffic patterns, four schedulers.
+//
+// Expected shape (paper): stride — DARD improves transfer time
+// considerably and SimAnneal's edge over DARD stays below 10%;
+// staggered — DARD still exploits the path diversity; pVLB ~ ECMP.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const int d = 16;
+  const topo::Topology t =
+      topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+  const double rate = flags.rate > 0 ? flags.rate : 1.2;
+  const double duration = flags.duration > 0 ? flags.duration
+                          : flags.full       ? 60.0
+                                             : 20.0;
+
+  for (const auto pattern : kAllPatterns) {
+    std::vector<harness::ExperimentResult> results;
+    for (const auto scheduler : kAllSchedulers) {
+      auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+      cfg.scheduler = scheduler;
+      results.push_back(run_logged(t, cfg, "fig9"));
+    }
+    print_cdf(std::string("Figure 9 — transfer time CDF (s), Clos D=16, ") +
+                  traffic::to_string(pattern) + ":",
+              {{"ECMP", &results[0].transfer_times},
+               {"pVLB", &results[1].transfer_times},
+               {"DARD", &results[2].transfer_times},
+               {"SimAnneal", &results[3].transfer_times}});
+  }
+  return 0;
+}

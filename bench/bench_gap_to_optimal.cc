@@ -1,0 +1,45 @@
+// Gap to the optimal assignment (the abstract's claim: "our evaluation
+// results suggest its gap to the optimal solution is likely to be small in
+// practice").
+//
+// For random elephant populations on a p=4 fat-tree, play the selfish
+// scheduling game to a Nash equilibrium and compare the resulting global
+// minimum BoNF against the provably optimal assignment (exhaustive search
+// when the joint strategy space is small, multi-restart local search
+// otherwise).
+#include "bench_lib.h"
+
+#include "analysis/congestion_game.h"
+#include "analysis/optimum.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const topo::Topology t = topo::build_fat_tree({.p = 4});
+  const int trials = flags.full ? 50 : 15;
+
+  AsciiTable table({"flows", "trials", "mean Nash/OPT", "min Nash/OPT",
+                    "exact OPT runs"});
+  Rng rng(flags.seed);
+  for (const std::size_t flows : {4u, 8u, 12u, 20u}) {
+    OnlineStats ratio;
+    int exact = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      analysis::CongestionGame game = analysis::random_game(t, flows, rng);
+      const auto opt = analysis::find_optimum(game, rng);
+      if (opt.exhaustive) ++exact;
+      (void)analysis::play_until_converged(game, 1 * kMbps, rng);
+      ratio.add(analysis::nash_gap_ratio(game.min_bonf(), opt));
+    }
+    table.add_row({std::to_string(flows), std::to_string(trials),
+                   AsciiTable::fmt(ratio.mean(), 3),
+                   AsciiTable::fmt(ratio.min(), 3), std::to_string(exact)});
+  }
+  std::printf("Gap to optimal — selfish Nash equilibria vs optimal "
+              "assignment, p=4 fat-tree:\n%s",
+              table.to_string().c_str());
+  std::printf("(ratio 1.000 = Nash matches the optimum's minimum BoNF)\n");
+  return 0;
+}

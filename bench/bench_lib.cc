@@ -1,0 +1,110 @@
+#include "bench_lib.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace dard::bench {
+
+Flags parse_flags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--full") == 0) {
+      flags.full = true;
+    } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+      flags.rate = std::atof(arg + 7);
+    } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+      flags.duration = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --full --rate= --duration= "
+                   "--seed=)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+namespace {
+harness::ExperimentConfig base_config(traffic::PatternKind pattern,
+                                      double rate, double duration,
+                                      std::uint64_t seed) {
+  harness::ExperimentConfig cfg;
+  cfg.workload.pattern.kind = pattern;
+  cfg.workload.pattern.tor_p = 0.5;  // the paper's staggered(.5, .3)
+  cfg.workload.pattern.pod_p = 0.3;
+  cfg.workload.mean_interarrival = 1.0 / rate;
+  cfg.workload.flow_size = 128 * kMiB;
+  cfg.workload.duration = duration;
+  cfg.workload.seed = seed;
+  // Paper control intervals: detector 1 s, monitor query 1 s, scheduling
+  // round 5 s + U[0,5] s, δ = 10 Mbps; Hedera control loop 5 s, pVLB
+  // re-pick 10 s.
+  cfg.elephant_threshold = 1.0;
+  cfg.dard.query_interval = 1.0;
+  cfg.dard.schedule_base = 5.0;
+  cfg.dard.schedule_jitter = 5.0;
+  cfg.dard.delta = 10 * kMbps;
+  cfg.dard.seed = seed ^ 0xD42D;
+  cfg.hedera.interval = 5.0;
+  cfg.hedera.seed = seed ^ 0x4EDE;
+  cfg.pvlb_repick_interval = 10.0;
+  return cfg;
+}
+}  // namespace
+
+harness::ExperimentConfig testbed_config(traffic::PatternKind pattern,
+                                         double rate, double duration,
+                                         std::uint64_t seed) {
+  auto cfg = base_config(pattern, rate, duration, seed);
+  cfg.realloc_interval = 0;  // tiny runs: exact mode
+  return cfg;
+}
+
+harness::ExperimentConfig ns2_config(traffic::PatternKind pattern, double rate,
+                                     double duration, std::uint64_t seed) {
+  return base_config(pattern, rate, duration, seed);
+}
+
+topo::Topology testbed_fat_tree() {
+  return topo::build_fat_tree({.p = 4,
+                               .hosts_per_tor = -1,
+                               .link_capacity = 100 * kMbps,
+                               .link_delay = 0.0001});
+}
+
+void print_cdf(const std::string& title,
+               const std::vector<std::pair<std::string, const Cdf*>>& series,
+               std::size_t points) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> header{"fraction"};
+  for (const auto& [name, cdf] : series) header.push_back(name);
+  AsciiTable table(header);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    std::vector<std::string> row{AsciiTable::fmt(q, 2)};
+    for (const auto& [name, cdf] : series)
+      row.push_back(cdf->empty() ? "-" : AsciiTable::fmt(cdf->percentile(q)));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+harness::ExperimentResult run_logged(const topo::Topology& t,
+                                     const harness::ExperimentConfig& cfg,
+                                     const char* label) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = harness::run_experiment(t, cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::fprintf(stderr, "  [%s] %s: %zu flows, avg %.2fs (%.1fs wall)\n", label,
+               result.scheduler.c_str(), result.flows,
+               result.avg_transfer_time, wall);
+  return result;
+}
+
+}  // namespace dard::bench

@@ -1,0 +1,63 @@
+// Shared plumbing for the per-table/per-figure experiment binaries.
+//
+// Two experiment modes mirror the paper's two platforms:
+//  * testbed mode — p=4 fat-tree, 100 Mbps data plane, the paper's exact
+//    DARD intervals (query 1 s, rounds 5 s + U[0,5] s, δ = 10 Mbps);
+//    128 MB transfers last >= 10.7 s, spanning several scheduling rounds.
+//  * ns2 mode — 1 Gbps links on larger topologies; same control intervals
+//    as the paper's simulator.
+// Every binary accepts:
+//    --full          paper-scale parameters (slower)
+//    --rate=X        flows per second per host
+//    --duration=X    workload generation window (seconds)
+//    --seed=N
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "topology/builders.h"
+
+namespace dard::bench {
+
+struct Flags {
+  bool full = false;
+  double rate = -1;      // flows/s per host; -1 = bench default
+  double duration = -1;  // seconds; -1 = bench default
+  std::uint64_t seed = 1;
+};
+
+Flags parse_flags(int argc, char** argv);
+
+// Baseline experiment configs. `rate` is flows per second per source host.
+harness::ExperimentConfig testbed_config(traffic::PatternKind pattern,
+                                         double rate, double duration,
+                                         std::uint64_t seed);
+harness::ExperimentConfig ns2_config(traffic::PatternKind pattern, double rate,
+                                     double duration, std::uint64_t seed);
+
+// The paper's testbed fat-tree: p=4 at 100 Mbps.
+topo::Topology testbed_fat_tree();
+
+inline constexpr traffic::PatternKind kAllPatterns[] = {
+    traffic::PatternKind::Random, traffic::PatternKind::Staggered,
+    traffic::PatternKind::Stride};
+
+inline constexpr harness::SchedulerKind kAllSchedulers[] = {
+    harness::SchedulerKind::Ecmp, harness::SchedulerKind::Pvlb,
+    harness::SchedulerKind::Dard, harness::SchedulerKind::Hedera};
+
+// Prints aligned "value fraction" CDF columns for several series.
+void print_cdf(const std::string& title,
+               const std::vector<std::pair<std::string, const Cdf*>>& series,
+               std::size_t points = 10);
+
+// Runs one experiment and logs a one-line summary to stderr (progress).
+harness::ExperimentResult run_logged(const topo::Topology& t,
+                                     const harness::ExperimentConfig& cfg,
+                                     const char* label);
+
+}  // namespace dard::bench

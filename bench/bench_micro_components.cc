@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark) for the hot components:
+// longest-prefix forwarding lookups, max-min rate allocation, path
+// enumeration, path encoding and monitor refresh.
+#include <benchmark/benchmark.h>
+
+#include "addressing/hierarchical.h"
+#include "baselines/ecmp.h"
+#include "common/rng.h"
+#include "dard/monitor.h"
+#include "flowsim/max_min.h"
+#include "topology/builders.h"
+#include "topology/paths.h"
+
+namespace {
+
+using namespace dard;
+
+void BM_LpmForward(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = static_cast<int>(state.range(0))});
+  const addr::AddressingPlan plan(t);
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  const addr::Address src_addr = plan.host_addresses(src).front().address;
+  const addr::Address dst_addr = plan.host_addresses(dst).front().address;
+  const NodeId agg = t.aggs().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.forward(agg, src_addr, dst_addr));
+  }
+}
+BENCHMARK(BM_LpmForward)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Trace(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = static_cast<int>(state.range(0))});
+  const addr::AddressingPlan plan(t);
+  const addr::Address src =
+      plan.host_addresses(t.hosts().front()).front().address;
+  const addr::Address dst =
+      plan.host_addresses(t.hosts().back()).front().address;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.trace(src, dst));
+  }
+}
+BENCHMARK(BM_Trace)->Arg(4)->Arg(8);
+
+void BM_MaxMinAllocation(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 8});
+  topo::PathRepository repo(t);
+  Rng rng(1);
+  const auto& hosts = t.hosts();
+  std::vector<std::vector<LinkId>> paths;
+  while (paths.size() < static_cast<std::size_t>(state.range(0))) {
+    const NodeId s = hosts[rng.next_below(hosts.size())];
+    const NodeId d = hosts[rng.next_below(hosts.size())];
+    if (s == d) continue;
+    const auto& tp = repo.tor_paths(t.tor_of_host(s), t.tor_of_host(d));
+    paths.push_back(
+        topo::host_path(t, s, d, tp[rng.next_below(tp.size())]).links);
+  }
+  std::vector<const std::vector<LinkId>*> input;
+  for (const auto& p : paths) input.push_back(&p);
+  flowsim::MaxMinAllocator alloc(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.compute(input));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_MaxMinAllocation)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = static_cast<int>(state.range(0))});
+  const NodeId src = t.tors().front();
+  const NodeId dst = t.tors().back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::enumerate_tor_paths(t, src, dst));
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EncodePath(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 8});
+  const addr::AddressingPlan plan(t);
+  topo::PathRepository repo(t);
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  const auto& tp = repo.tor_paths(t.tor_of_host(src), t.tor_of_host(dst));
+  const topo::Path full = topo::host_path(t, src, dst, tp.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.encode(full));
+  }
+}
+BENCHMARK(BM_EncodePath);
+
+void BM_MonitorRefresh(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = static_cast<int>(state.range(0))});
+  flowsim::FlowSimulator sim(t);
+  baselines::EcmpAgent agent;
+  sim.set_agent(&agent);
+  const fabric::StateQueryService service(sim.link_state(), nullptr);
+  core::PathMonitor monitor(sim, t.tors().front(), t.tors().back());
+  for (auto _ : state) {
+    monitor.refresh(0.0, service);
+  }
+}
+BENCHMARK(BM_MonitorRefresh)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

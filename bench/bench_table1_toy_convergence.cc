@@ -1,0 +1,89 @@
+// Table 1 / Figure 1: the toy convergence walk-through.
+//
+// Three elephant flows on a p=4 fat-tree start on colliding paths through
+// one core; selfish rounds raise the minimum BoNF step by step until a Nash
+// equilibrium. Prints the per-round BoNF vectors like the paper's Table 1,
+// then validates Theorem 2's claims on a batch of random instances.
+#include "bench_lib.h"
+
+#include "analysis/congestion_game.h"
+
+using namespace dard;
+
+namespace {
+
+analysis::GameFlow make_flow(const topo::Topology& t,
+                             topo::PathRepository& repo, NodeId src,
+                             NodeId dst, std::uint32_t route) {
+  analysis::GameFlow f;
+  for (const auto& p : repo.tor_paths(t.tor_of_host(src), t.tor_of_host(dst)))
+    f.routes.push_back(topo::host_path(t, src, dst, p).links);
+  f.route = route;
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::parse_flags(argc, argv);
+
+  const topo::Topology t = topo::build_fat_tree({.p = 4});
+  topo::PathRepository repo(t);
+
+  std::vector<analysis::GameFlow> flows;
+  flows.push_back(make_flow(t, repo, t.hosts()[0], t.hosts()[4], 0));
+  flows.push_back(make_flow(t, repo, t.hosts()[2], t.hosts()[7], 0));
+  flows.push_back(make_flow(t, repo, t.hosts()[10], t.hosts()[6], 0));
+  analysis::CongestionGame game(t, std::move(flows));
+
+  const char* names[] = {"flow0 (E11->E21)", "flow1 (E13->E24)",
+                         "flow2 (E32->E23)"};
+  AsciiTable table({"round", "src-dst pair", "path", "BoNF vector (Gbps)",
+                    "min BoNF (Gbps)"});
+
+  const double delta = 1 * kMbps;
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t f = 0; f < game.flow_count(); ++f) {
+      std::string vec = "[";
+      for (std::uint32_t r = 0; r < game.flow(f).routes.size(); ++r) {
+        const double payoff = r == game.flow(f).route
+                                  ? game.flow_bonf(f)
+                                  : game.payoff_if_moved(f, r);
+        vec += (r ? ", " : "") + AsciiTable::fmt(payoff / kGbps);
+      }
+      vec += "]";
+      table.add_row({std::to_string(round), names[f],
+                     "path_" + std::to_string(game.flow(f).route), vec,
+                     AsciiTable::fmt(game.min_bonf() / kGbps)});
+    }
+    bool moved = false;
+    for (std::size_t f = 0; f < game.flow_count(); ++f) {
+      std::uint32_t target;
+      if (game.best_response(f, delta, &target)) {
+        game.move(f, target);
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  std::printf("Table 1 — selfish scheduling rounds (toy example):\n%s",
+              table.to_string().c_str());
+  std::printf("converged to Nash: %s, final min BoNF %.2f Gbps\n\n",
+              game.is_nash(delta) ? "yes" : "NO", game.min_bonf() / kGbps);
+
+  // Theorem 2 on random instances.
+  const int trials = flags.full ? 50 : 10;
+  Rng rng(flags.seed);
+  std::size_t converged = 0;
+  OnlineStats rounds;
+  for (int i = 0; i < trials; ++i) {
+    analysis::CongestionGame g = analysis::random_game(t, 24, rng);
+    const auto result = analysis::play_until_converged(g, 10 * kMbps, rng);
+    if (result.converged) ++converged;
+    rounds.add(static_cast<double>(result.rounds));
+  }
+  std::printf("random instances: %zu/%d converged to Nash, mean rounds %.1f "
+              "(max %.0f)\n",
+              converged, trials, rounds.mean(), rounds.max());
+  return converged == static_cast<std::size_t>(trials) ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// Table 5: DARD's 90th-percentile and maximum path switch counts on
+// fat-tree topologies (p = 8/16, plus 32 under --full) per traffic pattern.
+//
+// Expected shape (paper): 90th percentile <= 3 everywhere; the maximum is
+// far below the number of available paths, so flows finish long before
+// exploring the path set — i.e. no oscillation.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  std::vector<int> sizes{8, 16};
+  if (flags.full) sizes.push_back(32);
+
+  AsciiTable table({"p", "pattern", "90%-ile", "max", "paths available"});
+  for (const int p : sizes) {
+    const topo::Topology t = topo::build_fat_tree({.p = p});
+    const double rate = flags.rate > 0 ? flags.rate : 1.2;
+    const double duration = flags.duration > 0 ? flags.duration : 10.0;
+    for (const auto pattern : kAllPatterns) {
+      auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+      cfg.scheduler = harness::SchedulerKind::Dard;
+      const auto r = run_logged(t, cfg, "table5");
+      table.add_row({std::to_string(p), traffic::to_string(pattern),
+                     AsciiTable::fmt(r.path_switch_percentile(0.9), 0),
+                     AsciiTable::fmt(r.max_path_switches(), 0),
+                     std::to_string(topo::fat_tree_inter_pod_paths(p))});
+    }
+  }
+  std::printf("Table 5 — DARD path switch statistics on fat-trees:\n%s",
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 6: average file transfer time on VL2-style Clos topologies,
+// D_I = D_A = 4 / 8 / 16, four schedulers x three traffic patterns.
+//
+// Expected shape (paper): same pattern as the fat-tree Table 4 — stride:
+// SimAnneal ~ DARD > ECMP/pVLB; staggered: DARD can beat SimAnneal;
+// pVLB tracks ECMP with added variance.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+
+  AsciiTable table({"D_I=D_A", "pattern", "ECMP", "pVLB", "DARD",
+                    "SimAnneal"});
+  for (const int d : {4, 8, 16}) {
+    // hosts_per_tor trades scale for wall clock; VL2 racks 20 servers, the
+    // shape survives with 4.
+    const topo::Topology t =
+        topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+    const double rate = flags.rate > 0 ? flags.rate : 1.2;
+    const double duration = flags.duration > 0 ? flags.duration
+                            : flags.full       ? 60.0
+                                               : 20.0;
+    for (const auto pattern : kAllPatterns) {
+      std::vector<std::string> row{std::to_string(d),
+                                   traffic::to_string(pattern)};
+      for (const auto scheduler : kAllSchedulers) {
+        auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+        cfg.scheduler = scheduler;
+        row.push_back(
+            AsciiTable::fmt(run_logged(t, cfg, "table6").avg_transfer_time));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::printf("Table 6 — average file transfer time (s), Clos topologies, "
+              "1 Gbps links:\n%s",
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 7: DARD's 90th-percentile and maximum path switch counts on Clos
+// topologies (D_I = D_A = 4/8/16) per traffic pattern.
+//
+// Expected shape (paper): 90th percentile <= ~2; maxima well below the
+// 2*D_A available paths.
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+
+  AsciiTable table({"D_I=D_A", "pattern", "90%-ile", "max",
+                    "paths available"});
+  for (const int d : {4, 8, 16}) {
+    const topo::Topology t =
+        topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+    const double rate = flags.rate > 0 ? flags.rate : 1.2;
+    const double duration = flags.duration > 0 ? flags.duration : 10.0;
+    for (const auto pattern : kAllPatterns) {
+      auto cfg = ns2_config(pattern, rate, duration, flags.seed);
+      cfg.scheduler = harness::SchedulerKind::Dard;
+      const auto r = run_logged(t, cfg, "table7");
+      table.add_row({std::to_string(d), traffic::to_string(pattern),
+                     AsciiTable::fmt(r.path_switch_percentile(0.9), 0),
+                     AsciiTable::fmt(r.max_path_switches(), 0),
+                     std::to_string(topo::clos_inter_pod_paths(d))});
+    }
+  }
+  std::printf("Table 7 — DARD path switch statistics on Clos networks:\n%s",
+              table.to_string().c_str());
+  return 0;
+}

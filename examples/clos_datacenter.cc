@@ -1,0 +1,60 @@
+// A VL2-style Clos datacenter under the staggered traffic mix, comparing
+// all four schedulers (paper Section 4.3.2). Staggered traffic keeps most
+// flows inside pods — the regime where DARD's per-flow scheduling can beat
+// even the centralized scheduler, whose per-destination-host granularity
+// cannot separate intra-pod collisions.
+//
+//   ./clos_datacenter [d] [flows_per_second]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dard;
+
+  const int d = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double rate = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  const topo::Topology network =
+      topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 2});
+  std::printf(
+      "Clos D_I=D_A=%d: %zu hosts, %zu ToRs (dual-homed), %zu aggregation, "
+      "%zu intermediate switches; %d paths between inter-pod ToRs\n\n",
+      d, network.hosts().size(), network.tors().size(), network.aggs().size(),
+      network.cores().size(), topo::clos_inter_pod_paths(d));
+
+  harness::ExperimentConfig cfg;
+  cfg.workload.pattern.kind = traffic::PatternKind::Staggered;
+  cfg.workload.pattern.tor_p = 0.5;
+  cfg.workload.pattern.pod_p = 0.3;
+  cfg.workload.mean_interarrival = 1.0 / rate;
+  cfg.workload.flow_size = 128 * kMiB;
+  cfg.workload.duration = 20.0;
+  cfg.workload.seed = 11;
+  cfg.dard.schedule_base = 2.0;
+  cfg.dard.schedule_jitter = 2.0;
+  cfg.dard.query_interval = 0.5;
+  cfg.hedera.interval = 2.0;
+
+  AsciiTable table({"scheduler", "avg transfer (s)", "median (s)", "p90 (s)",
+                    "path switches p90", "control KB/s"});
+  for (const auto kind :
+       {harness::SchedulerKind::Ecmp, harness::SchedulerKind::Pvlb,
+        harness::SchedulerKind::Dard, harness::SchedulerKind::Hedera}) {
+    cfg.scheduler = kind;
+    const auto r = harness::run_experiment(network, cfg);
+    table.add_row({r.scheduler, AsciiTable::fmt(r.avg_transfer_time),
+                   AsciiTable::fmt(r.transfer_times.percentile(0.5)),
+                   AsciiTable::fmt(r.transfer_times.percentile(0.9)),
+                   AsciiTable::fmt(r.path_switch_percentile(0.9), 0),
+                   AsciiTable::fmt(r.control_mean_rate / 1000.0, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Staggered traffic keeps bottlenecks near the edge: random\n"
+              "flow-level scheduling and the centralized scheduler have\n"
+              "little room, while DARD still separates what it can.\n");
+  return 0;
+}

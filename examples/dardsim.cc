@@ -1,0 +1,152 @@
+// dardsim — command-line driver for the simulator: pick a topology, a
+// traffic pattern and a scheduler, get the paper's metrics (and optionally
+// a CSV of per-flow records) without writing any code.
+//
+//   dardsim [--topo=fattree|clos|threetier] [--size=N] [--pattern=random|
+//           staggered|stride] [--scheduler=ecmp|pvlb|dard|hedera]
+//           [--rate=F] [--duration=S] [--seed=N] [--csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "topology/builders.h"
+
+using namespace dard;
+
+namespace {
+
+struct Options {
+  std::string topo = "fattree";
+  int size = 8;  // p for fat-tree, D for Clos; ignored for threetier
+  std::string pattern = "stride";
+  std::string scheduler = "dard";
+  double rate = 1.0;
+  double duration = 10.0;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.size() > std::strlen(prefix) &&
+                     arg.compare(0, std::strlen(prefix), prefix) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value("--topo=")) {
+      opt->topo = v;
+    } else if (const char* v = value("--size=")) {
+      opt->size = std::atoi(v);
+    } else if (const char* v = value("--pattern=")) {
+      opt->pattern = v;
+    } else if (const char* v = value("--scheduler=")) {
+      opt->scheduler = v;
+    } else if (const char* v = value("--rate=")) {
+      opt->rate = std::atof(v);
+    } else if (const char* v = value("--duration=")) {
+      opt->duration = std::atof(v);
+    } else if (const char* v = value("--seed=")) {
+      opt->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--csv") {
+      opt->csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return 2;
+
+  topo::Topology network;
+  if (opt.topo == "fattree") {
+    network = topo::build_fat_tree({.p = opt.size});
+  } else if (opt.topo == "clos") {
+    network = topo::build_clos(
+        {.d_i = opt.size, .d_a = opt.size, .hosts_per_tor = 4});
+  } else if (opt.topo == "threetier") {
+    network = topo::build_three_tier({});
+  } else {
+    std::fprintf(stderr, "unknown topology: %s\n", opt.topo.c_str());
+    return 2;
+  }
+
+  harness::ExperimentConfig cfg;
+  if (opt.pattern == "random") {
+    cfg.workload.pattern.kind = traffic::PatternKind::Random;
+  } else if (opt.pattern == "staggered") {
+    cfg.workload.pattern.kind = traffic::PatternKind::Staggered;
+  } else if (opt.pattern == "stride") {
+    cfg.workload.pattern.kind = traffic::PatternKind::Stride;
+  } else {
+    std::fprintf(stderr, "unknown pattern: %s\n", opt.pattern.c_str());
+    return 2;
+  }
+  if (opt.scheduler == "ecmp") {
+    cfg.scheduler = harness::SchedulerKind::Ecmp;
+  } else if (opt.scheduler == "pvlb") {
+    cfg.scheduler = harness::SchedulerKind::Pvlb;
+  } else if (opt.scheduler == "dard") {
+    cfg.scheduler = harness::SchedulerKind::Dard;
+  } else if (opt.scheduler == "hedera") {
+    cfg.scheduler = harness::SchedulerKind::Hedera;
+  } else {
+    std::fprintf(stderr, "unknown scheduler: %s\n", opt.scheduler.c_str());
+    return 2;
+  }
+  cfg.workload.mean_interarrival = 1.0 / opt.rate;
+  cfg.workload.duration = opt.duration;
+  cfg.workload.seed = opt.seed;
+
+  const auto result = harness::run_experiment(network, cfg);
+
+  if (opt.csv) {
+    std::printf("metric,value\n");
+    std::printf("scheduler,%s\n", result.scheduler.c_str());
+    std::printf("flows,%zu\n", result.flows);
+    std::printf("avg_transfer_s,%.4f\n", result.avg_transfer_time);
+    std::printf("p50_transfer_s,%.4f\n",
+                result.transfer_times.percentile(0.5));
+    std::printf("p90_transfer_s,%.4f\n",
+                result.transfer_times.percentile(0.9));
+    std::printf("p99_transfer_s,%.4f\n",
+                result.transfer_times.percentile(0.99));
+    std::printf("path_switches_p90,%.0f\n",
+                result.path_switch_percentile(0.9));
+    std::printf("path_switches_max,%.0f\n", result.max_path_switches());
+    std::printf("peak_elephants,%zu\n", result.peak_elephants);
+    std::printf("control_bytes,%llu\n",
+                static_cast<unsigned long long>(result.control_bytes));
+    std::printf("reroutes,%zu\n", result.reroutes);
+  } else {
+    std::printf("%s on %s (%zu hosts), %s pattern, %.2f flows/s/host for "
+                "%.0fs\n",
+                result.scheduler.c_str(), opt.topo.c_str(),
+                network.hosts().size(), opt.pattern.c_str(), opt.rate,
+                opt.duration);
+    std::printf("  flows completed:    %zu\n", result.flows);
+    std::printf("  avg transfer time:  %.2f s  (p50 %.2f, p90 %.2f, p99 "
+                "%.2f)\n",
+                result.avg_transfer_time,
+                result.transfer_times.percentile(0.5),
+                result.transfer_times.percentile(0.9),
+                result.transfer_times.percentile(0.99));
+    std::printf("  path switches p90:  %.0f (max %.0f)\n",
+                result.path_switch_percentile(0.9),
+                result.max_path_switches());
+    std::printf("  peak elephants:     %zu\n", result.peak_elephants);
+    std::printf("  control traffic:    %.1f KB/s mean, %.1f KB/s peak\n",
+                result.control_mean_rate / 1000.0,
+                result.control_peak_rate / 1000.0);
+    std::printf("  reroutes:           %zu\n", result.reroutes);
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "addressing/address.h"
+
+#include <sstream>
+
+namespace dard::addr {
+
+std::string Address::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (int g = 0; g < kGroups; ++g) {
+    if (g) os << ',';
+    os << group(g);
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string Prefix::to_string() const {
+  std::ostringstream os;
+  os << base_.to_string() << '/' << groups_;
+  return os.str();
+}
+
+}  // namespace dard::addr

@@ -1,0 +1,107 @@
+// Hierarchical addresses and prefixes (paper Section 2.3).
+//
+// The paper packs a tree position into an IPv4 address: a constant /8 base
+// followed by 6-bit groups (root, root port, aggregation port, host port).
+// Six-bit groups cap the fat-tree at p=16, yet the paper simulates p=32, so
+// we widen each group to 16 bits in a 64-bit address — the allocation
+// scheme, longest-prefix matching and path encoding are unchanged, only the
+// group width differs (documented substitution; see DESIGN.md).
+//
+// An address is four groups (g0,g1,g2,g3); a prefix is an address plus a
+// length in whole groups. Address (r, a, b, c) read left to right spells
+// the downhill allocation path: tree root r allocated via its port a to an
+// aggregation switch, which allocated via its port b to a ToR, which
+// allocated via its port c to the host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace dard::addr {
+
+class Address {
+ public:
+  static constexpr int kGroups = 4;
+  static constexpr int kGroupBits = 16;
+
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint64_t raw) : raw_(raw) {}
+  constexpr Address(std::uint16_t g0, std::uint16_t g1, std::uint16_t g2,
+                    std::uint16_t g3)
+      : raw_((std::uint64_t{g0} << 48) | (std::uint64_t{g1} << 32) |
+             (std::uint64_t{g2} << 16) | g3) {}
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+  [[nodiscard]] constexpr std::uint16_t group(int i) const {
+    return static_cast<std::uint16_t>(raw_ >> ((kGroups - 1 - i) * kGroupBits));
+  }
+  // New address with group i replaced.
+  [[nodiscard]] constexpr Address with_group(int i, std::uint16_t v) const {
+    const int shift = (kGroups - 1 - i) * kGroupBits;
+    const std::uint64_t mask = std::uint64_t{0xffff} << shift;
+    return Address((raw_ & ~mask) | (std::uint64_t{v} << shift));
+  }
+
+  // Dotted notation "(r,a,b,c)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(Address x, Address y) {
+    return x.raw_ == y.raw_;
+  }
+  friend constexpr bool operator!=(Address x, Address y) {
+    return x.raw_ != y.raw_;
+  }
+  friend constexpr bool operator<(Address x, Address y) {
+    return x.raw_ < y.raw_;
+  }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Address base, int groups) : base_(base), groups_(groups) {
+    DCN_CHECK(groups >= 0 && groups <= Address::kGroups);
+    // Canonicalize: zero the groups beyond the prefix length.
+    for (int g = groups; g < Address::kGroups; ++g)
+      base_ = base_.with_group(g, 0);
+  }
+
+  [[nodiscard]] Address base() const { return base_; }
+  [[nodiscard]] int groups() const { return groups_; }
+
+  [[nodiscard]] bool contains(Address a) const {
+    for (int g = 0; g < groups_; ++g)
+      if (base_.group(g) != a.group(g)) return false;
+    return true;
+  }
+  [[nodiscard]] bool contains(const Prefix& other) const {
+    return other.groups_ >= groups_ && contains(other.base_);
+  }
+
+  // Child prefix one group longer, with the next group set to `port`.
+  [[nodiscard]] Prefix extend(std::uint16_t port) const {
+    DCN_CHECK(groups_ < Address::kGroups);
+    return Prefix(base_.with_group(groups_, port), groups_ + 1);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Prefix& x, const Prefix& y) {
+    return x.groups_ == y.groups_ && x.base_ == y.base_;
+  }
+  friend bool operator<(const Prefix& x, const Prefix& y) {
+    if (x.base_ != y.base_) return x.base_ < y.base_;
+    return x.groups_ < y.groups_;
+  }
+
+ private:
+  Address base_;
+  int groups_ = 0;
+};
+
+}  // namespace dard::addr

@@ -1,0 +1,231 @@
+#include "addressing/hierarchical.h"
+
+#include <algorithm>
+
+namespace dard::addr {
+
+using topo::NodeKind;
+using topo::Path;
+using topo::Topology;
+
+void LpmTable::insert(const Prefix& p, LinkId exit) {
+  auto [it, inserted] = by_len_[p.groups()].emplace(p.base().raw(), exit);
+  DCN_CHECK_MSG(inserted, "duplicate prefix in routing table");
+  (void)it;
+}
+
+LinkId LpmTable::lookup(Address a) const {
+  for (int g = Address::kGroups; g >= 1; --g) {
+    const std::uint64_t key = Prefix(a, g).base().raw();
+    const auto it = by_len_[g].find(key);
+    if (it != by_len_[g].end()) return it->second;
+  }
+  return LinkId();
+}
+
+std::size_t LpmTable::size() const {
+  std::size_t n = 0;
+  for (const auto& m : by_len_) n += m.size();
+  return n;
+}
+
+std::vector<std::pair<Prefix, LinkId>> LpmTable::entries() const {
+  std::vector<std::pair<Prefix, LinkId>> out;
+  for (int g = Address::kGroups; g >= 0; --g)
+    for (const auto& [raw, link] : by_len_[g])
+      out.emplace_back(Prefix(Address(raw), g), link);
+  return out;
+}
+
+AddressingPlan::AddressingPlan(const Topology& t)
+    : topo_(&t),
+      host_records_(t.node_count()),
+      downhill_(t.node_count()),
+      uphill_(t.node_count()),
+      ordinary_(t.node_count()) {
+  // One tree per core/intermediate switch; root group is index+1 so the
+  // all-zero address never denotes a real host.
+  for (const NodeId root : t.cores()) {
+    const auto root_group =
+        static_cast<std::uint16_t>(t.node(root).index + 1);
+    Prefix root_prefix(Address(root_group, 0, 0, 0), 1);
+    std::vector<NodeId> path_stack{root};
+    allocate(root, root_prefix, path_stack);
+  }
+  build_ordinary_tables();
+}
+
+void AddressingPlan::allocate(NodeId n, const Prefix& p,
+                              std::vector<NodeId>& path_stack) {
+  const Topology& t = *topo_;
+  if (t.node(n).kind == NodeKind::Host) {
+    DCN_CHECK_MSG(p.groups() == Address::kGroups,
+                  "tree depth must match the address group count");
+    host_records_[n.value()].push_back(HostAddressRecord{p.base(), path_stack});
+    host_by_address_.emplace(p.base().raw(), n);
+    return;
+  }
+  // Port numbers start at 1; ordinal position among this node's downlinks.
+  std::uint16_t port = 0;
+  const int layer = topo::layer_of(t.node(n).kind);
+  for (const LinkId l : t.out_links(n)) {
+    const NodeId child = t.link(l).dst;
+    if (topo::layer_of(t.node(child).kind) != layer - 1) continue;
+    ++port;
+    const Prefix child_prefix = p.extend(port);
+    downhill_[n.value()].insert(child_prefix, l);
+    const LinkId up = t.find_link(child, n);
+    DCN_CHECK(up.valid());
+    uphill_[child.value()].insert(child_prefix, up);
+    path_stack.push_back(child);
+    allocate(child, child_prefix, path_stack);
+    path_stack.pop_back();
+  }
+}
+
+void AddressingPlan::build_ordinary_tables() {
+  const Topology& t = *topo_;
+  ordinary_available_ = true;
+  for (const auto& node : t.nodes()) {
+    if (node.kind == NodeKind::Host) continue;
+    // Downhill entries are destination-keyed already.
+    for (const auto& [prefix, link] : downhill_[node.id.value()].entries())
+      ordinary_[node.id.value()].insert(prefix, link);
+    // An uphill hop is destination-derivable only when all prefixes of a
+    // given root that were allocated to this switch arrive via the same
+    // parent (true in fat-trees, false in Clos).
+    std::unordered_map<std::uint16_t, LinkId> root_exit;
+    for (const auto& [prefix, link] : uphill_[node.id.value()].entries()) {
+      const std::uint16_t root = prefix.base().group(0);
+      const auto it = root_exit.find(root);
+      if (it == root_exit.end()) {
+        root_exit.emplace(root, link);
+      } else if (it->second != link) {
+        ordinary_available_ = false;
+        return;
+      }
+    }
+    for (const auto& [root, link] : root_exit)
+      ordinary_[node.id.value()].insert(Prefix(Address(root, 0, 0, 0), 1),
+                                        link);
+  }
+}
+
+const std::vector<HostAddressRecord>& AddressingPlan::host_addresses(
+    NodeId host) const {
+  DCN_CHECK(topo_->node(host).kind == NodeKind::Host);
+  return host_records_[host.value()];
+}
+
+NodeId AddressingPlan::host_of(Address a) const {
+  const auto it = host_by_address_.find(a.raw());
+  return it == host_by_address_.end() ? NodeId() : it->second;
+}
+
+const LpmTable& AddressingPlan::downhill_table(NodeId sw) const {
+  return downhill_[sw.value()];
+}
+
+const LpmTable& AddressingPlan::uphill_table(NodeId sw) const {
+  return uphill_[sw.value()];
+}
+
+LinkId AddressingPlan::forward(NodeId sw, Address src, Address dst) const {
+  const LinkId down = downhill_[sw.value()].lookup(dst);
+  if (down.valid()) return down;
+  return uphill_[sw.value()].lookup(src);
+}
+
+LinkId AddressingPlan::forward_ordinary(NodeId sw, Address dst) const {
+  DCN_CHECK_MSG(ordinary_available_,
+                "ordinary tables unavailable for this topology");
+  return ordinary_[sw.value()].lookup(dst);
+}
+
+namespace {
+// True when `suffix` equals the tail of `seq`.
+bool has_suffix(const std::vector<NodeId>& seq,
+                const std::vector<NodeId>& suffix) {
+  if (suffix.size() > seq.size()) return false;
+  return std::equal(suffix.begin(), suffix.end(),
+                    seq.end() - static_cast<std::ptrdiff_t>(suffix.size()));
+}
+}  // namespace
+
+std::optional<std::pair<Address, Address>> AddressingPlan::encode(
+    const Path& host_path) const {
+  const Topology& t = *topo_;
+  const auto& nodes = host_path.nodes;
+  if (nodes.size() < 2) return std::nullopt;
+  DCN_CHECK(t.node(nodes.front()).kind == NodeKind::Host);
+  DCN_CHECK(t.node(nodes.back()).kind == NodeKind::Host);
+
+  // Peak = unique highest-layer node of a valley-free path.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < nodes.size(); ++i)
+    if (topo::layer_of(t.node(nodes[i]).kind) >
+        topo::layer_of(t.node(nodes[peak]).kind))
+      peak = i;
+
+  // The source address must have been allocated down through
+  // peak -> ... -> src host; the destination address down through
+  // peak -> ... -> dst host; both under the same root.
+  std::vector<NodeId> up_suffix(nodes.begin(),
+                                nodes.begin() + static_cast<std::ptrdiff_t>(peak) + 1);
+  std::reverse(up_suffix.begin(), up_suffix.end());
+  const std::vector<NodeId> down_suffix(
+      nodes.begin() + static_cast<std::ptrdiff_t>(peak), nodes.end());
+
+  std::optional<std::pair<Address, Address>> best;
+  for (const auto& src_rec : host_addresses(nodes.front())) {
+    if (!has_suffix(src_rec.alloc_path, up_suffix)) continue;
+    for (const auto& dst_rec : host_addresses(nodes.back())) {
+      if (dst_rec.alloc_path.front() != src_rec.alloc_path.front()) continue;
+      if (!has_suffix(dst_rec.alloc_path, down_suffix)) continue;
+      auto candidate = std::make_pair(src_rec.address, dst_rec.address);
+      if (!best || candidate < *best) best = candidate;
+    }
+  }
+  return best;
+}
+
+Path AddressingPlan::trace(Address src, Address dst) const {
+  const Topology& t = *topo_;
+  const NodeId src_host = host_of(src);
+  const NodeId dst_host = host_of(dst);
+  DCN_CHECK_MSG(src_host.valid() && dst_host.valid(),
+                "trace requires full host addresses");
+
+  Path p;
+  p.nodes.push_back(src_host);
+  // Host uplink is implicit (hosts keep no tables).
+  const auto& uplinks = t.out_links(src_host);
+  DCN_CHECK(uplinks.size() == 1);
+  LinkId hop = uplinks.front();
+
+  const std::size_t hop_limit = 2 * t.node_count();
+  while (true) {
+    DCN_CHECK_MSG(p.links.size() < hop_limit, "forwarding loop");
+    p.links.push_back(hop);
+    const NodeId at = t.link(hop).dst;
+    p.nodes.push_back(at);
+    if (at == dst_host) return p;
+    DCN_CHECK(t.node(at).kind != NodeKind::Host);
+    hop = forward(at, src, dst);
+    DCN_CHECK_MSG(hop.valid(), "packet dropped: no matching table entry");
+  }
+}
+
+std::size_t AddressingPlan::total_table_entries() const {
+  // Switch tables only: hosts receive uphill prefixes during allocation but
+  // never forward, so their entries are not installed anywhere.
+  std::size_t n = 0;
+  for (const auto& node : topo_->nodes()) {
+    if (node.kind == NodeKind::Host) continue;
+    n += downhill_[node.id.value()].size();
+    n += uphill_[node.id.value()].size();
+  }
+  return n;
+}
+
+}  // namespace dard::addr

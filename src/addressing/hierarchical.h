@@ -1,0 +1,104 @@
+// Hierarchical prefix allocation, per-switch routing tables and the
+// path <-> (source address, destination address) codec (paper Section 2.3).
+//
+// For every tree root (core switch; intermediate switch in a Clos), the
+// root's one-group prefix is recursively subdivided down the tree: a node
+// holding prefix P allocates P.port to the child reached through `port`.
+// Nodes reachable through several parents (Clos ToRs, 3-tier access
+// switches) receive one prefix per parent per root, so every full host
+// address spells out exactly one downhill path root -> host, and an
+// (src, dst) address pair under a common root encodes exactly one
+// valley-free host-to-host path.
+//
+// Each switch gets the paper's two tables:
+//   downhill: prefixes the switch allocated to children  -> child link
+//   uphill:   prefixes allocated *to* the switch         -> parent link
+// Forwarding: longest-prefix match the destination in downhill; on miss,
+// longest-prefix match the *source* in uphill. For fat-trees the paper's
+// "ordinary" single destination-keyed table (Table 3) is also built when
+// the topology admits it.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "addressing/address.h"
+#include "topology/paths.h"
+#include "topology/topology.h"
+
+namespace dard::addr {
+
+struct HostAddressRecord {
+  Address address;
+  std::vector<NodeId> alloc_path;  // root, ..., ToR, host
+};
+
+// Routing table with per-prefix-length exact-match maps; longest match wins.
+class LpmTable {
+ public:
+  void insert(const Prefix& p, LinkId exit);
+  [[nodiscard]] LinkId lookup(Address a) const;
+  [[nodiscard]] std::size_t size() const;
+  // All entries, longest prefixes first (for inspection / printing).
+  [[nodiscard]] std::vector<std::pair<Prefix, LinkId>> entries() const;
+
+ private:
+  // by_len_[g] maps canonical g-group prefix bases to exit links.
+  std::unordered_map<std::uint64_t, LinkId> by_len_[Address::kGroups + 1];
+};
+
+class AddressingPlan {
+ public:
+  // Runs the full allocation over `t`. The topology must outlive the plan.
+  explicit AddressingPlan(const topo::Topology& t);
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+  // Every address a host received, one per (root, downhill path).
+  [[nodiscard]] const std::vector<HostAddressRecord>& host_addresses(
+      NodeId host) const;
+
+  // Host owning a full (4-group) address; invalid id when unknown.
+  [[nodiscard]] NodeId host_of(Address a) const;
+
+  [[nodiscard]] const LpmTable& downhill_table(NodeId sw) const;
+  [[nodiscard]] const LpmTable& uphill_table(NodeId sw) const;
+
+  // Paper's forwarding rule at switch `sw`. Invalid id => drop.
+  [[nodiscard]] LinkId forward(NodeId sw, Address src, Address dst) const;
+
+  // Fat-tree-only destination-keyed forwarding (paper Table 3); call only
+  // when ordinary_mode_available().
+  [[nodiscard]] LinkId forward_ordinary(NodeId sw, Address dst) const;
+  [[nodiscard]] bool ordinary_mode_available() const {
+    return ordinary_available_;
+  }
+
+  // Address pair encoding a given valley-free host-to-host path; smallest
+  // pair when several roots encode the same path (intra-pod paths).
+  // nullopt when the path is not an allocation path (malformed input).
+  [[nodiscard]] std::optional<std::pair<Address, Address>> encode(
+      const topo::Path& host_path) const;
+
+  // Follow forwarding hop by hop from the source host; the returned path
+  // ends at the destination host. Aborts (DCN_CHECK) on forwarding loops or
+  // drops — those are simulator bugs, not runtime conditions.
+  [[nodiscard]] topo::Path trace(Address src, Address dst) const;
+
+  [[nodiscard]] std::size_t total_table_entries() const;
+
+ private:
+  void allocate(NodeId n, const Prefix& p, std::vector<NodeId>& path_stack);
+  void build_ordinary_tables();
+
+  const topo::Topology* topo_;
+  std::vector<std::vector<HostAddressRecord>> host_records_;  // by node id
+  std::vector<LpmTable> downhill_;                            // by node id
+  std::vector<LpmTable> uphill_;                              // by node id
+  std::vector<LpmTable> ordinary_;                            // by node id
+  std::unordered_map<std::uint64_t, NodeId> host_by_address_;
+  bool ordinary_available_ = false;
+};
+
+}  // namespace dard::addr

@@ -1,0 +1,36 @@
+#include "addressing/name_service.h"
+
+namespace dard::addr {
+
+NameService::NameService(const AddressingPlan& plan) {
+  const auto& hosts = plan.topology().hosts();
+  hosts_.reserve(hosts.size());
+  addresses_.reserve(hosts.size());
+  for (const NodeId h : hosts) {
+    const auto uid = static_cast<HostUid>(hosts_.size());
+    uid_by_host_.emplace(h, uid);
+    hosts_.push_back(h);
+    std::vector<Address> addrs;
+    addrs.reserve(plan.host_addresses(h).size());
+    for (const auto& rec : plan.host_addresses(h)) addrs.push_back(rec.address);
+    addresses_.push_back(std::move(addrs));
+  }
+}
+
+HostUid NameService::uid_of(NodeId host) const {
+  const auto it = uid_by_host_.find(host);
+  return it == uid_by_host_.end() ? kInvalidHostUid : it->second;
+}
+
+NodeId NameService::host_of(HostUid uid) const {
+  DCN_CHECK(uid < hosts_.size());
+  return hosts_[uid];
+}
+
+const std::vector<Address>& NameService::resolve(HostUid uid) const {
+  DCN_CHECK(uid < addresses_.size());
+  ++resolutions_;
+  return addresses_[uid];
+}
+
+}  // namespace dard::addr

@@ -1,0 +1,44 @@
+// DNS-like mapping from location-independent host IDs to addresses
+// (paper Section 2.3: "each network component is also assigned a location
+// independent IP address, ID, which uniquely identifies the component and
+// is used for making TCP connections").
+//
+// TCP connections (and our Flow records) are keyed by HostUid; the daemon
+// resolves a uid to the peer's hierarchical addresses and picks one per
+// path. Resolutions are cached, mirroring the paper's per-host cache of the
+// configuration file.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "addressing/hierarchical.h"
+
+namespace dard::addr {
+
+using HostUid = std::uint32_t;
+inline constexpr HostUid kInvalidHostUid = 0xffffffff;
+
+class NameService {
+ public:
+  explicit NameService(const AddressingPlan& plan);
+
+  [[nodiscard]] HostUid uid_of(NodeId host) const;
+  [[nodiscard]] NodeId host_of(HostUid uid) const;
+
+  // All hierarchical addresses of the named host. Counts as one (cached)
+  // resolution; resolution_count() exposes cache effectiveness to tests.
+  [[nodiscard]] const std::vector<Address>& resolve(HostUid uid) const;
+
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t resolution_count() const { return resolutions_; }
+
+ private:
+  std::vector<NodeId> hosts_;                       // uid -> host node
+  std::unordered_map<NodeId, HostUid> uid_by_host_;
+  std::vector<std::vector<Address>> addresses_;     // uid -> addresses
+  mutable std::size_t resolutions_ = 0;
+};
+
+}  // namespace dard::addr

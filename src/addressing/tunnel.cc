@@ -1,0 +1,24 @@
+#include "addressing/tunnel.h"
+
+namespace dard::addr {
+
+std::optional<EncapHeader> make_tunnel(const AddressingPlan& plan,
+                                       topo::PathRepository& paths,
+                                       NodeId src_host, NodeId dst_host,
+                                       PathIndex path_index) {
+  const topo::Topology& t = plan.topology();
+  const auto& set = paths.tor_paths(t.tor_of_host(src_host),
+                                    t.tor_of_host(dst_host));
+  if (path_index >= set.size()) return std::nullopt;
+  const auto pair = plan.encode(
+      topo::host_path(t, src_host, dst_host, set[path_index]));
+  if (!pair) return std::nullopt;
+  return EncapHeader{pair->first, pair->second};
+}
+
+topo::Path tunnel_route(const AddressingPlan& plan,
+                        const EncapHeader& header) {
+  return plan.trace(header.src, header.dst);
+}
+
+}  // namespace dard::addr

@@ -1,0 +1,182 @@
+#include "analysis/congestion_game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dard::analysis {
+
+int StateVector::compare(const StateVector& other) const {
+  const std::size_t n = std::max(bins.size(), other.bins.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t a = k < bins.size() ? bins[k] : 0;
+    const std::uint32_t b = k < other.bins.size() ? other.bins[k] : 0;
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+CongestionGame::CongestionGame(const topo::Topology& t,
+                               std::vector<GameFlow> flows)
+    : topo_(&t), flows_(std::move(flows)), flows_on_(t.link_count(), 0) {
+  for (const GameFlow& f : flows_) {
+    DCN_CHECK_MSG(!f.routes.empty(), "flow with no routes");
+    DCN_CHECK(f.route < f.routes.size());
+    for (const LinkId l : f.routes[f.route]) ++flows_on_[l.value()];
+  }
+}
+
+double CongestionGame::link_bonf(LinkId l) const {
+  const std::uint32_t n = flows_on_[l.value()];
+  const Bps cap = topo_->link(l).capacity;
+  return n == 0 ? cap : cap / static_cast<double>(n);
+}
+
+double CongestionGame::min_bonf() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& link : topo_->links())
+    if (flows_on_[link.id.value()] > 0)
+      best = std::min(best, link_bonf(link.id));
+  return best;
+}
+
+double CongestionGame::flow_bonf(std::size_t f) const {
+  const GameFlow& flow = flows_[f];
+  double best = std::numeric_limits<double>::infinity();
+  for (const LinkId l : flow.routes[flow.route])
+    best = std::min(best, link_bonf(l));
+  return best;
+}
+
+StateVector CongestionGame::state_vector(double delta) const {
+  DCN_CHECK(delta > 0);
+  StateVector sv;
+  for (const auto& link : topo_->links()) {
+    if (flows_on_[link.id.value()] == 0) continue;  // idle links are benign
+    const auto bin =
+        static_cast<std::size_t>(std::floor(link_bonf(link.id) / delta));
+    if (sv.bins.size() <= bin) sv.bins.resize(bin + 1, 0);
+    ++sv.bins[bin];
+  }
+  return sv;
+}
+
+double CongestionGame::payoff_if_moved(std::size_t f,
+                                       std::uint32_t route) const {
+  const GameFlow& flow = flows_[f];
+  DCN_CHECK(route < flow.routes.size());
+  // Counts as if f left its current route...
+  auto count_on = [&](LinkId l) {
+    std::uint32_t n = flows_on_[l.value()];
+    for (const LinkId cur : flow.routes[flow.route])
+      if (cur == l) {
+        --n;
+        break;
+      }
+    return n;
+  };
+  double best = std::numeric_limits<double>::infinity();
+  for (const LinkId l : flow.routes[route]) {
+    const std::uint32_t n = count_on(l) + 1;  // ...and joined `route`
+    best = std::min(best, topo_->link(l).capacity / static_cast<double>(n));
+  }
+  return best;
+}
+
+bool CongestionGame::best_response(std::size_t f, double delta,
+                                   std::uint32_t* out_route) const {
+  const double current = flow_bonf(f);
+  double best_gain = delta;
+  bool found = false;
+  for (std::uint32_t r = 0; r < flows_[f].routes.size(); ++r) {
+    if (r == flows_[f].route) continue;
+    const double gain = payoff_if_moved(f, r) - current;
+    if (gain > best_gain) {
+      best_gain = gain;
+      *out_route = r;
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool CongestionGame::is_nash(double delta) const {
+  std::uint32_t unused;
+  for (std::size_t f = 0; f < flows_.size(); ++f)
+    if (best_response(f, delta, &unused)) return false;
+  return true;
+}
+
+void CongestionGame::move(std::size_t f, std::uint32_t route) {
+  GameFlow& flow = flows_[f];
+  DCN_CHECK(route < flow.routes.size());
+  if (route == flow.route) return;
+  for (const LinkId l : flow.routes[flow.route]) {
+    DCN_CHECK(flows_on_[l.value()] > 0);
+    --flows_on_[l.value()];
+  }
+  flow.route = route;
+  for (const LinkId l : flow.routes[route]) ++flows_on_[l.value()];
+}
+
+PlayResult play_until_converged(CongestionGame& game, double delta, Rng& rng,
+                                std::size_t max_rounds) {
+  PlayResult result;
+  result.initial_min_bonf = game.min_bonf();
+  // Bin width for the potential check; any positive δ works, the paper
+  // suggests the acceptance threshold itself.
+  const double bin = std::max(delta, 1.0);
+  StateVector sv = game.state_vector(bin);
+
+  std::vector<std::size_t> order(game.flow_count());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (result.rounds = 0; result.rounds < max_rounds; ++result.rounds) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    bool moved = false;
+    for (const std::size_t f : order) {
+      std::uint32_t target;
+      if (!game.best_response(f, delta, &target)) continue;
+      game.move(f, target);
+      ++result.moves;
+      moved = true;
+      const StateVector next = game.state_vector(bin);
+      if (next.compare(sv) >= 0) result.potential_monotone = false;
+      sv = next;
+    }
+    if (!moved) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_min_bonf = game.min_bonf();
+  return result;
+}
+
+CongestionGame random_game(const topo::Topology& t, std::size_t flow_count,
+                           Rng& rng) {
+  const auto& hosts = t.hosts();
+  DCN_CHECK(hosts.size() >= 2);
+  topo::PathRepository repo(t);
+  std::vector<GameFlow> flows;
+  flows.reserve(flow_count);
+  while (flows.size() < flow_count) {
+    const NodeId src = hosts[rng.next_below(hosts.size())];
+    const NodeId dst = hosts[rng.next_below(hosts.size())];
+    if (src == dst) continue;
+    const NodeId src_tor = t.tor_of_host(src);
+    const NodeId dst_tor = t.tor_of_host(dst);
+    if (src_tor == dst_tor) continue;  // single trivial route: no choices
+    GameFlow f;
+    for (const topo::Path& p : repo.tor_paths(src_tor, dst_tor))
+      f.routes.push_back(topo::host_path(t, src, dst, p).links);
+    f.route = static_cast<std::uint32_t>(rng.next_below(f.routes.size()));
+    flows.push_back(std::move(f));
+  }
+  return CongestionGame(t, std::move(flows));
+}
+
+}  // namespace dard::analysis

@@ -1,0 +1,138 @@
+#include "analysis/optimum.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dard::analysis {
+
+namespace {
+
+// (min BoNF, state vector) objective: larger min first, then smaller SV.
+struct Objective {
+  double min_bonf;
+  StateVector sv;
+
+  bool better_than(const Objective& other) const {
+    if (min_bonf != other.min_bonf) return min_bonf > other.min_bonf;
+    return sv.compare(other.sv) < 0;
+  }
+};
+
+Objective evaluate(const CongestionGame& game, double bin) {
+  return Objective{game.min_bonf(), game.state_vector(bin)};
+}
+
+std::vector<std::uint32_t> current_routes(const CongestionGame& game) {
+  std::vector<std::uint32_t> routes(game.flow_count());
+  for (std::size_t f = 0; f < game.flow_count(); ++f)
+    routes[f] = game.flow(f).route;
+  return routes;
+}
+
+}  // namespace
+
+OptimumResult find_optimum(const CongestionGame& game, Rng& rng,
+                           std::uint64_t max_states) {
+  // Size the joint strategy space.
+  std::uint64_t states = 1;
+  bool small = true;
+  for (std::size_t f = 0; f < game.flow_count() && small; ++f) {
+    states *= game.flow(f).routes.size();
+    if (states > max_states) small = false;
+  }
+  if (!small || game.flow_count() == 0)
+    return local_search_optimum(game, rng);
+
+  CongestionGame work = game;
+  const double bin = 1 * kMbps;
+  OptimumResult best;
+  best.exhaustive = true;
+
+  // Odometer over all joint strategies.
+  std::vector<std::uint32_t> routes(game.flow_count(), 0);
+  for (std::size_t f = 0; f < routes.size(); ++f) work.move(f, 0);
+  Objective best_obj = evaluate(work, bin);
+  best.routes = routes;
+  best.min_bonf = best_obj.min_bonf;
+  ++best.states_examined;
+
+  while (true) {
+    // Increment the odometer.
+    std::size_t f = 0;
+    while (f < routes.size()) {
+      if (++routes[f] < work.flow(f).routes.size()) {
+        work.move(f, routes[f]);
+        break;
+      }
+      routes[f] = 0;
+      work.move(f, 0);
+      ++f;
+    }
+    if (f == routes.size()) break;
+    ++best.states_examined;
+    const Objective obj = evaluate(work, bin);
+    if (obj.better_than(best_obj)) {
+      best_obj = obj;
+      best.routes = routes;
+      best.min_bonf = obj.min_bonf;
+    }
+  }
+  return best;
+}
+
+OptimumResult local_search_optimum(const CongestionGame& game, Rng& rng,
+                                   int restarts, int max_steps) {
+  const double bin = 1 * kMbps;
+  OptimumResult best;
+
+  for (int restart = 0; restart < restarts; ++restart) {
+    CongestionGame work = game;
+    if (restart > 0) {
+      for (std::size_t f = 0; f < work.flow_count(); ++f)
+        work.move(f, static_cast<std::uint32_t>(
+                         rng.next_below(work.flow(f).routes.size())));
+    }
+    Objective obj = evaluate(work, bin);
+
+    for (int step = 0; step < max_steps; ++step) {
+      // Steepest single-flow improvement of the *global* objective.
+      bool improved = false;
+      std::size_t best_f = 0;
+      std::uint32_t best_r = 0;
+      Objective best_candidate = obj;
+      for (std::size_t f = 0; f < work.flow_count(); ++f) {
+        const std::uint32_t original = work.flow(f).route;
+        for (std::uint32_t r = 0; r < work.flow(f).routes.size(); ++r) {
+          if (r == original) continue;
+          work.move(f, r);
+          ++best.states_examined;
+          const Objective candidate = evaluate(work, bin);
+          if (candidate.better_than(best_candidate)) {
+            best_candidate = candidate;
+            best_f = f;
+            best_r = r;
+            improved = true;
+          }
+        }
+        work.move(f, original);
+      }
+      if (!improved) break;
+      work.move(best_f, best_r);
+      obj = best_candidate;
+    }
+
+    if (best.routes.empty() || obj.min_bonf > best.min_bonf) {
+      best.min_bonf = obj.min_bonf;
+      best.routes = current_routes(work);
+    }
+  }
+  return best;
+}
+
+double nash_gap_ratio(double nash_min_bonf, const OptimumResult& optimum) {
+  DCN_CHECK(optimum.min_bonf > 0);
+  return std::min(1.0, nash_min_bonf / optimum.min_bonf);
+}
+
+}  // namespace dard::analysis

@@ -1,0 +1,37 @@
+// Global-optimum search for the flow-to-path assignment problem.
+//
+// The abstract claims the Nash equilibria DARD converges to have a small
+// gap to the optimal assignment. These helpers compute (or tightly
+// approximate) the assignment maximizing the global minimum BoNF —
+// exhaustively when the strategy space is small, otherwise by
+// multi-restart steepest-ascent local search — so benches and tests can
+// measure that gap on concrete instances.
+#pragma once
+
+#include "analysis/congestion_game.h"
+
+namespace dard::analysis {
+
+struct OptimumResult {
+  double min_bonf = 0;
+  std::vector<std::uint32_t> routes;  // per flow
+  bool exhaustive = false;            // true when provably optimal
+  std::uint64_t states_examined = 0;
+};
+
+// Enumerates every joint strategy when the product of route-set sizes is
+// at most `max_states`; otherwise falls back to local_search_optimum.
+[[nodiscard]] OptimumResult find_optimum(const CongestionGame& game, Rng& rng,
+                                         std::uint64_t max_states = 1u << 20);
+
+// Multi-restart steepest-ascent over single-flow moves, maximizing
+// (min BoNF, then lexicographically smaller state vector).
+[[nodiscard]] OptimumResult local_search_optimum(const CongestionGame& game,
+                                                 Rng& rng, int restarts = 8,
+                                                 int max_steps = 2000);
+
+// Convenience for benches: min-BoNF ratio Nash/optimum in [0, 1].
+[[nodiscard]] double nash_gap_ratio(double nash_min_bonf,
+                                    const OptimumResult& optimum);
+
+}  // namespace dard::analysis

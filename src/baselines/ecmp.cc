@@ -1,0 +1,52 @@
+#include "baselines/ecmp.h"
+
+#include "common/hash.h"
+
+namespace dard::baselines {
+
+using flowsim::Flow;
+using flowsim::FlowSimulator;
+
+PathIndex EcmpAgent::place(FlowSimulator& sim, const Flow& flow) {
+  const auto& paths = sim.path_set(flow);
+  const std::uint64_t h =
+      five_tuple_hash(flow.spec.src_host.value(), flow.spec.dst_host.value(),
+                      flow.spec.src_port, flow.spec.dst_port);
+  return static_cast<PathIndex>(h % paths.size());
+}
+
+void PvlbAgent::start(FlowSimulator& sim) {
+  rng_ = std::make_unique<Rng>(seed_);
+  live_.clear();
+  sim.events().schedule(sim.now() + repick_interval_, [this, &sim] {
+    tick(sim);
+  });
+}
+
+PathIndex PvlbAgent::place(FlowSimulator& sim, const Flow& flow) {
+  const auto& paths = sim.path_set(flow);
+  live_.insert(flow.id);
+  return static_cast<PathIndex>(rng_->next_below(paths.size()));
+}
+
+void PvlbAgent::on_finished(FlowSimulator& /*sim*/, const Flow& flow) {
+  live_.erase(flow.id);
+}
+
+void PvlbAgent::tick(FlowSimulator& sim) {
+  // Each live flow re-picks a random path; unchanged picks are no-ops.
+  std::vector<std::pair<FlowId, PathIndex>> moves;
+  moves.reserve(live_.size());
+  for (const FlowId id : live_) {
+    const Flow& f = sim.flow(id);
+    const auto& paths = sim.path_set(f);
+    moves.emplace_back(id,
+                       static_cast<PathIndex>(rng_->next_below(paths.size())));
+  }
+  sim.move_flows(moves);
+  sim.events().schedule(sim.now() + repick_interval_, [this, &sim] {
+    tick(sim);
+  });
+}
+
+}  // namespace dard::baselines

@@ -1,0 +1,49 @@
+// Random flow-level scheduling baselines (paper Sections 1 and 4.2).
+//
+// * EcmpAgent — Equal-Cost Multi-Path: a flow's path is a hash of its five
+//   tuple, fixed for the flow's lifetime. Zero control traffic; elephant
+//   collisions persist.
+// * PvlbAgent — "periodical VLB": flow-level Valiant load balancing that
+//   re-randomizes each flow's intermediate switch every `repick_interval`
+//   (paper: 10 s) to break the permanent collisions plain VLB shares with
+//   ECMP.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "flowsim/simulator.h"
+
+namespace dard::baselines {
+
+class EcmpAgent : public flowsim::SchedulerAgent {
+ public:
+  [[nodiscard]] const char* name() const override { return "ECMP"; }
+  PathIndex place(flowsim::FlowSimulator& sim,
+                  const flowsim::Flow& flow) override;
+};
+
+class PvlbAgent : public flowsim::SchedulerAgent {
+ public:
+  explicit PvlbAgent(Seconds repick_interval = 10.0, std::uint64_t seed = 7)
+      : repick_interval_(repick_interval), seed_(seed) {}
+
+  [[nodiscard]] const char* name() const override { return "pVLB"; }
+
+  void start(flowsim::FlowSimulator& sim) override;
+  PathIndex place(flowsim::FlowSimulator& sim,
+                  const flowsim::Flow& flow) override;
+  void on_finished(flowsim::FlowSimulator& sim,
+                   const flowsim::Flow& flow) override;
+
+ private:
+  void tick(flowsim::FlowSimulator& sim);
+
+  Seconds repick_interval_;
+  std::uint64_t seed_;
+  std::unique_ptr<Rng> rng_;
+  std::set<FlowId> live_;  // flows subject to periodic re-picking
+};
+
+}  // namespace dard::baselines

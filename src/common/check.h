@@ -1,0 +1,30 @@
+// Invariant checking.
+//
+// DCN_CHECK is always on (simulation correctness beats a few ns), prints the
+// failing expression with context and aborts. Use for programmer errors and
+// violated invariants; recoverable conditions use return values.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dard::internal {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "DCN_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace dard::internal
+
+#define DCN_CHECK(expr)                                             \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::dard::internal::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DCN_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::dard::internal::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

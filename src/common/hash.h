@@ -1,0 +1,36 @@
+// Small non-cryptographic hashing used for ECMP-style path selection.
+#pragma once
+
+#include <cstdint>
+
+namespace dard {
+
+// FNV-1a over an arbitrary word sequence.
+class Fnv1a {
+ public:
+  void mix(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (word >> (i * 8)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+// The "five tuple" hash ECMP applies per flow: source/destination host and
+// transport ports (protocol is constant — all paper traffic is TCP).
+[[nodiscard]] inline std::uint64_t five_tuple_hash(std::uint32_t src_host,
+                                                   std::uint32_t dst_host,
+                                                   std::uint16_t src_port,
+                                                   std::uint16_t dst_port) {
+  Fnv1a h;
+  h.mix(src_host);
+  h.mix(dst_host);
+  h.mix((static_cast<std::uint64_t>(src_port) << 16) | dst_port);
+  return h.digest();
+}
+
+}  // namespace dard

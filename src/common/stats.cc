@@ -1,0 +1,133 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dard {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  return n_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double OnlineStats::max() const {
+  return n_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::percentile(double q) const {
+  DCN_CHECK_MSG(!samples_.empty(), "percentile of empty Cdf");
+  DCN_CHECK(q >= 0.0 && q <= 1.0);
+  sort_if_needed();
+  if (q <= 0.0) return samples_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1)];
+}
+
+double Cdf::min() const { return percentile(0.0); }
+double Cdf::max() const { return percentile(1.0); }
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::fraction_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  sort_if_needed();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(percentile(q), q);
+  }
+  return out;
+}
+
+std::string Cdf::to_string(std::size_t points) const {
+  std::ostringstream os;
+  for (const auto& [value, fraction] : curve(points)) {
+    os << value << '\t' << fraction << '\n';
+  }
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  DCN_CHECK(hi > lo);
+  DCN_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count_in(std::size_t bucket) const {
+  DCN_CHECK(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  DCN_CHECK(bucket < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bucket) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace dard

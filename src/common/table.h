@@ -1,0 +1,27 @@
+// ASCII table rendering for bench output.
+//
+// Every experiment binary prints its result as a fixed-width table matching
+// the paper's row/column layout, via this tiny formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dard {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string fmt(double v, int precision = 2);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dard

@@ -1,0 +1,61 @@
+// Strong identifier types shared by every module.
+//
+// The simulator indexes nodes, links, hosts, flows and paths by dense
+// integers. Raw std::size_t everywhere invites silent cross-kind mixups
+// (passing a LinkId where a NodeId is expected), so each kind gets its own
+// tag type. Ids are trivially copyable, hashable and ordered.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace dard {
+
+template <class Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : v_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.v_ >= b.v_; }
+
+ private:
+  value_type v_ = kInvalid;
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct FlowTag {};
+struct PathTag {};
+struct MonitorTag {};
+
+using NodeId = Id<NodeTag>;
+using LinkId = Id<LinkTag>;
+using FlowId = Id<FlowTag>;
+// Index of a path within the enumerated equal-cost path set of a
+// (source ToR, destination ToR) pair; meaningful only relative to that set.
+using PathIndex = std::uint32_t;
+
+}  // namespace dard
+
+namespace std {
+template <class Tag>
+struct hash<dard::Id<Tag>> {
+  size_t operator()(dard::Id<Tag> id) const noexcept {
+    return hash<typename dard::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

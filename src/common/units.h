@@ -1,0 +1,33 @@
+// Units used throughout the simulators.
+//
+// Time is seconds in double precision; rates are bits per second; sizes are
+// bytes. Helper constants keep magic numbers out of experiment code.
+#pragma once
+
+#include <cstdint>
+
+namespace dard {
+
+using Seconds = double;
+using Bps = double;  // bits per second
+using Bytes = std::uint64_t;
+
+inline constexpr Bps kKbps = 1e3;
+inline constexpr Bps kMbps = 1e6;
+inline constexpr Bps kGbps = 1e9;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// Time to move `bytes` at `rate` bps.
+[[nodiscard]] constexpr Seconds transfer_time(Bytes bytes, Bps rate) {
+  return static_cast<double>(bytes) * 8.0 / rate;
+}
+
+// Bytes moved in `dt` seconds at `rate` bps (rounded down).
+[[nodiscard]] constexpr Bytes bytes_in(Seconds dt, Bps rate) {
+  return static_cast<Bytes>(dt * rate / 8.0);
+}
+
+}  // namespace dard

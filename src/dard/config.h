@@ -1,0 +1,33 @@
+// DARD tuning knobs (paper Sections 2.5 and 3).
+//
+// Values the TR's text extraction dropped are restored here as named
+// constants (see DESIGN.md "Defaults"): elephant threshold 1 s, query
+// interval 1 s, scheduling interval 5 s + U[0,5] s, δ = 10 Mbps.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace dard::core {
+
+struct DardConfig {
+  // Monitor refresh period: each live monitor re-queries its switch set and
+  // re-assembles per-path BoNF this often.
+  Seconds query_interval = 1.0;
+
+  // A scheduling round fires every schedule_base + U[0, schedule_jitter]
+  // seconds per host. The jitter desynchronizes hosts; the paper credits it
+  // for the absence of path oscillation (ablated by setting it to 0).
+  Seconds schedule_base = 5.0;
+  Seconds schedule_jitter = 5.0;
+
+  // δ: minimum estimated BoNF improvement required to shift a flow.
+  // δ=0 merely forbids moves that lower the global minimum BoNF; larger
+  // values trade performance for stability.
+  Bps delta = 10 * kMbps;
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace dard::core

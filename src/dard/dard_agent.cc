@@ -1,0 +1,63 @@
+#include "dard/dard_agent.h"
+
+#include "common/hash.h"
+
+namespace dard::core {
+
+using flowsim::Flow;
+using flowsim::FlowSimulator;
+
+void DardAgent::start(FlowSimulator& sim) {
+  rng_ = std::make_unique<Rng>(cfg_.seed);
+  service_ = std::make_unique<fabric::StateQueryService>(sim.link_state(),
+                                                         &sim.accountant());
+  daemons_.clear();
+  daemons_.resize(sim.topology().node_count());
+}
+
+PathIndex DardAgent::place(FlowSimulator& sim, const Flow& flow) {
+  const auto& paths = sim.path_set(flow);
+  const std::uint64_t h =
+      five_tuple_hash(flow.spec.src_host.value(), flow.spec.dst_host.value(),
+                      flow.spec.src_port, flow.spec.dst_port);
+  return static_cast<PathIndex>(h % paths.size());
+}
+
+DardHostDaemon& DardAgent::daemon_for(FlowSimulator& sim, NodeId host) {
+  auto& slot = daemons_[host.value()];
+  if (!slot) {
+    slot = std::make_unique<DardHostDaemon>(sim, *service_, host, cfg_,
+                                            rng_->fork(host.value()));
+  }
+  return *slot;
+}
+
+void DardAgent::on_elephant(FlowSimulator& sim, const Flow& flow) {
+  daemon_for(sim, flow.spec.src_host).on_elephant(flow);
+}
+
+void DardAgent::on_finished(FlowSimulator& sim, const Flow& flow) {
+  if (!flow.is_elephant) return;
+  daemon_for(sim, flow.spec.src_host).on_finished(flow);
+}
+
+const DardHostDaemon* DardAgent::daemon(NodeId host) const {
+  if (host.value() >= daemons_.size()) return nullptr;
+  return daemons_[host.value()].get();
+}
+
+std::size_t DardAgent::total_moves() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->total_moves();
+  return n;
+}
+
+std::size_t DardAgent::live_monitor_count() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->monitor_count();
+  return n;
+}
+
+}  // namespace dard::core

@@ -1,0 +1,45 @@
+// DARD as a scheduling agent over the fluid simulator.
+//
+// Initial placement is the paper's default routing, ECMP (five-tuple hash);
+// once a flow is detected as an elephant its source host's daemon monitors
+// and selfishly re-schedules it. Host daemons are created lazily on the
+// first elephant a host sources.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dard/host_daemon.h"
+#include "flowsim/simulator.h"
+
+namespace dard::core {
+
+class DardAgent : public flowsim::SchedulerAgent {
+ public:
+  explicit DardAgent(DardConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const char* name() const override { return "DARD"; }
+
+  void start(flowsim::FlowSimulator& sim) override;
+  PathIndex place(flowsim::FlowSimulator& sim,
+                  const flowsim::Flow& flow) override;
+  void on_elephant(flowsim::FlowSimulator& sim,
+                   const flowsim::Flow& flow) override;
+  void on_finished(flowsim::FlowSimulator& sim,
+                   const flowsim::Flow& flow) override;
+
+  [[nodiscard]] const DardConfig& config() const { return cfg_; }
+  [[nodiscard]] const DardHostDaemon* daemon(NodeId host) const;
+  [[nodiscard]] std::size_t total_moves() const;
+  [[nodiscard]] std::size_t live_monitor_count() const;
+
+ private:
+  DardHostDaemon& daemon_for(flowsim::FlowSimulator& sim, NodeId host);
+
+  DardConfig cfg_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<fabric::StateQueryService> service_;
+  std::vector<std::unique_ptr<DardHostDaemon>> daemons_;  // by node id value
+};
+
+}  // namespace dard::core

@@ -1,0 +1,104 @@
+#include "dard/host_daemon.h"
+
+namespace dard::core {
+
+using flowsim::Flow;
+
+DardHostDaemon::DardHostDaemon(flowsim::FlowSimulator& sim,
+                               const fabric::StateQueryService& service,
+                               NodeId host, const DardConfig& cfg, Rng rng)
+    : sim_(&sim),
+      service_(&service),
+      host_(host),
+      src_tor_(sim.topology().tor_of_host(host)),
+      cfg_(&cfg),
+      rng_(rng) {}
+
+void DardHostDaemon::on_elephant(const Flow& flow) {
+  DCN_CHECK(flow.spec.src_host == host_);
+  // Intra-ToR elephants have a single trivial path; nothing to monitor.
+  if (flow.dst_tor == src_tor_) return;
+
+  auto it = monitors_.find(flow.dst_tor);
+  if (it == monitors_.end()) {
+    it = monitors_
+             .emplace(flow.dst_tor, PathMonitor(*sim_, src_tor_, flow.dst_tor))
+             .first;
+    // A fresh monitor assembles path state immediately so the next round
+    // has something to act on.
+    it->second.refresh(sim_->now(), *service_);
+  }
+  it->second.add_flow(flow.id, flow.path_index);
+  tracked_.emplace(flow.id, flow.dst_tor);
+  ensure_query_ticking();
+  ensure_round_scheduled();
+}
+
+void DardHostDaemon::on_finished(const Flow& flow) {
+  const auto tracked = tracked_.find(flow.id);
+  if (tracked == tracked_.end()) return;
+
+  const auto it = monitors_.find(tracked->second);
+  DCN_CHECK(it != monitors_.end());
+  it->second.remove_flow(flow.id, flow.path_index);
+  // Release the monitor once its last elephant drains (paper Section 2.4.1).
+  if (!it->second.has_flows()) monitors_.erase(it);
+  tracked_.erase(tracked);
+}
+
+void DardHostDaemon::ensure_query_ticking() {
+  if (query_ticking_) return;
+  query_ticking_ = true;
+  sim_->events().schedule(sim_->now() + cfg_->query_interval,
+                          [this] { query_tick(); });
+}
+
+void DardHostDaemon::ensure_round_scheduled() {
+  if (round_scheduled_) return;
+  round_scheduled_ = true;
+  const Seconds wait =
+      cfg_->schedule_base + (cfg_->schedule_jitter > 0
+                                 ? rng_.uniform(0.0, cfg_->schedule_jitter)
+                                 : 0.0);
+  sim_->events().schedule(sim_->now() + wait, [this] { run_round(); });
+}
+
+void DardHostDaemon::query_tick() {
+  query_ticking_ = false;
+  if (monitors_.empty()) return;
+  for (auto& [dst_tor, monitor] : monitors_)
+    monitor.refresh(sim_->now(), *service_);
+  ensure_query_ticking();
+}
+
+void DardHostDaemon::run_round() {
+  round_scheduled_ = false;
+  if (monitors_.empty()) return;
+  // Paper Algorithm 1: the scan runs over every monitor on the end host,
+  // but the host shifts at most ONE elephant per round — the move with the
+  // best estimated gain. (Letting each monitor move independently makes
+  // two monitors of the same host leapfrog between their shared ToR
+  // uplinks forever.)
+  PathMonitor* best_monitor = nullptr;
+  std::optional<ProposedMove> best;
+  for (auto& [dst_tor, monitor] : monitors_) {
+    const auto move = monitor.propose(cfg_->delta, rng_);
+    if (move && (!best || move->estimated_gain > best->estimated_gain)) {
+      best = move;
+      best_monitor = &monitor;
+    }
+  }
+  if (best) {
+    sim_->move_flow(best->flow, best->to);
+    best_monitor->record_move(best->flow, best->from, best->to);
+    ++total_moves_;
+  }
+  ensure_round_scheduled();
+}
+
+const PathMonitor* DardHostDaemon::monitor_for(NodeId dst_tor) const {
+  const auto it = monitors_.find(dst_tor);
+  return it == monitors_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dard::core

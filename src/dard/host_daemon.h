@@ -1,0 +1,59 @@
+// The per-end-host DARD daemon (paper Section 3.1).
+//
+// Mirrors the paper's three components:
+//  * elephant detection is delegated to the simulator (on_elephant fires
+//    when a flow crosses the age threshold);
+//  * Monitors: one per destination ToR with live elephants, created on
+//    demand and released when the last tracked elephant finishes;
+//  * Flow Scheduler: every schedule_base + U[0, jitter] seconds, each
+//    monitor may shift one elephant from its smallest-BoNF active path to
+//    the largest-BoNF path (Algorithm 1).
+// Query ticks and scheduling rounds only run while the daemon has monitors,
+// so idle hosts cost nothing.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "dard/config.h"
+#include "dard/monitor.h"
+
+namespace dard::core {
+
+class DardHostDaemon {
+ public:
+  DardHostDaemon(flowsim::FlowSimulator& sim,
+                 const fabric::StateQueryService& service, NodeId host,
+                 const DardConfig& cfg, Rng rng);
+
+  // Simulator callbacks (routed through DardAgent).
+  void on_elephant(const flowsim::Flow& flow);
+  void on_finished(const flowsim::Flow& flow);
+
+  [[nodiscard]] NodeId host() const { return host_; }
+  [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
+  [[nodiscard]] std::size_t total_moves() const { return total_moves_; }
+  [[nodiscard]] const PathMonitor* monitor_for(NodeId dst_tor) const;
+
+ private:
+  void ensure_query_ticking();
+  void ensure_round_scheduled();
+  void query_tick();
+  void run_round();
+
+  flowsim::FlowSimulator* sim_;
+  const fabric::StateQueryService* service_;
+  NodeId host_;
+  NodeId src_tor_;
+  const DardConfig* cfg_;
+  Rng rng_;
+
+  std::map<NodeId, PathMonitor> monitors_;   // keyed by destination ToR
+  std::map<FlowId, NodeId> tracked_;         // flow -> destination ToR
+  bool query_ticking_ = false;
+  bool round_scheduled_ = false;
+  std::size_t total_moves_ = 0;
+};
+
+}  // namespace dard::core

@@ -1,0 +1,124 @@
+#include "dard/monitor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dard::core {
+
+PathMonitor::PathMonitor(flowsim::FlowSimulator& sim, NodeId src_tor,
+                         NodeId dst_tor)
+    : sim_(&sim),
+      src_tor_(src_tor),
+      dst_tor_(dst_tor),
+      paths_(&sim.paths().tor_paths(src_tor, dst_tor)),
+      pv_(paths_->size()),
+      fv_(paths_->size()) {
+  // Switches whose egress ports cover every switch-switch link of every
+  // monitored path; plus the per-path link lists a refresh assembles from.
+  std::unordered_set<NodeId> seen;
+  const topo::Topology& t = sim.topology();
+  monitored_links_.reserve(paths_->size());
+  for (const topo::Path& p : *paths_) {
+    auto& links = monitored_links_.emplace_back();
+    for (const LinkId l : p.links) {
+      if (!t.is_switch_switch(l)) continue;
+      links.push_back(l);
+      const NodeId sw = t.link(l).src;
+      if (seen.insert(sw).second) query_set_.push_back(sw);
+    }
+  }
+  std::sort(query_set_.begin(), query_set_.end());
+}
+
+void PathMonitor::refresh(Seconds now,
+                          const fabric::StateQueryService& service) {
+  // One query/reply exchange per switch in the query set; the assembled
+  // payload is read per pre-resolved path link.
+  for (std::size_t i = 0; i < query_set_.size(); ++i)
+    service.account_query(now);
+
+  for (std::size_t i = 0; i < monitored_links_.size(); ++i) {
+    PathState state;
+    for (const LinkId l : monitored_links_[i]) {
+      const fabric::LinkState ls = service.link_state(l);
+      if (!state.assembled || ls.bonf() < state.bonf()) {
+        state.bottleneck = ls.link;
+        state.bandwidth = ls.bandwidth;
+        state.flow_numbers = ls.elephant_flows;
+        state.assembled = true;
+      }
+    }
+    // Intra-ToR "paths" have no switch-switch link; they are never
+    // scheduled (path_count == 1) so leave them unassembled.
+    if (state.assembled) pv_[i] = state;
+  }
+}
+
+void PathMonitor::add_flow(FlowId flow, PathIndex path) {
+  DCN_CHECK(path < fv_.size());
+  fv_[path].push_back(flow);
+  ++tracked_flows_;
+}
+
+void PathMonitor::remove_flow(FlowId flow, PathIndex path) {
+  DCN_CHECK(path < fv_.size());
+  auto& flows = fv_[path];
+  const auto it = std::find(flows.begin(), flows.end(), flow);
+  DCN_CHECK_MSG(it != flows.end(), "removing untracked flow");
+  flows.erase(it);
+  --tracked_flows_;
+}
+
+void PathMonitor::record_move(FlowId flow, PathIndex from, PathIndex to) {
+  remove_flow(flow, from);
+  add_flow(flow, to);
+}
+
+std::uint32_t PathMonitor::flows_on(PathIndex path) const {
+  DCN_CHECK(path < fv_.size());
+  return static_cast<std::uint32_t>(fv_[path].size());
+}
+
+std::optional<ProposedMove> PathMonitor::propose(Bps delta, Rng& rng) const {
+  if (paths_->size() < 2 || tracked_flows_ == 0) return std::nullopt;
+
+  // from: smallest BoNF among paths this host has elephants on;
+  // to:   largest BoNF over all paths. Ties broken uniformly (reservoir
+  // sampling) to avoid cross-host herding onto one path.
+  constexpr double kTieEps = 1.0;  // BoNFs within 1 bps are tied
+  std::optional<PathIndex> from, to;
+  std::uint64_t from_ties = 0, to_ties = 0;
+  for (PathIndex i = 0; i < pv_.size(); ++i) {
+    if (!pv_[i].assembled) continue;
+    if (!fv_[i].empty()) {
+      if (!from || pv_[i].bonf() < pv_[*from].bonf() - kTieEps) {
+        from = i;
+        from_ties = 1;
+      } else if (pv_[i].bonf() < pv_[*from].bonf() + kTieEps &&
+                 rng.next_below(++from_ties) == 0) {
+        from = i;
+      }
+    }
+    if (!to || pv_[i].bonf() > pv_[*to].bonf() + kTieEps) {
+      to = i;
+      to_ties = 1;
+    } else if (pv_[i].bonf() > pv_[*to].bonf() - kTieEps &&
+               rng.next_below(++to_ties) == 0) {
+      to = i;
+    }
+  }
+  if (!from || !to || *from == *to) return std::nullopt;
+
+  // Estimated BoNF of the target if one more elephant joins it (the paper's
+  // deliberate non-overlap approximation).
+  const PathState& target = pv_[*to];
+  const double estimation =
+      target.bandwidth / static_cast<double>(target.flow_numbers + 1);
+  const double gain = estimation - pv_[*from].bonf();
+  if (gain <= delta) return std::nullopt;
+
+  return ProposedMove{fv_[*from].front(), *from, *to, gain};
+}
+
+}  // namespace dard::core

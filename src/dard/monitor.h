@@ -1,0 +1,102 @@
+// On-demand path monitor (paper Section 2.4).
+//
+// A monitor lives on a source end host and tracks the BoNF of every
+// equal-cost path between its source and destination ToR switches. Instead
+// of probing along each path, it queries each relevant switch once for its
+// per-port state ("Path State Assembling") and assembles the replies into a
+// path state vector PV; the flow vector FV counts this host's own elephants
+// per path. The queried switch set is exactly the egress switches of the
+// switch-to-switch links appearing on any monitored path — for fat-trees
+// and Clos this reduces to the paper's four groups (source ToR, source-side
+// aggregation switches, cores, destination-side aggregation switches).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dard/config.h"
+#include "fabric/switch_state.h"
+#include "flowsim/simulator.h"
+
+namespace dard::core {
+
+// Paper's S_p: state of a path's most congested (smallest-BoNF) link.
+struct PathState {
+  LinkId bottleneck;
+  Bps bandwidth = 0;
+  std::uint32_t flow_numbers = 0;
+  bool assembled = false;
+
+  [[nodiscard]] double bonf() const {
+    return flow_numbers == 0 ? bandwidth
+                             : bandwidth / static_cast<double>(flow_numbers);
+  }
+};
+
+// A proposed selfish move: shift one elephant off `from` onto `to`.
+struct ProposedMove {
+  FlowId flow;
+  PathIndex from = 0;
+  PathIndex to = 0;
+  double estimated_gain = 0;  // estimated BoNF(to after move) - BoNF(from)
+};
+
+class PathMonitor {
+ public:
+  PathMonitor(flowsim::FlowSimulator& sim, NodeId src_tor, NodeId dst_tor);
+
+  [[nodiscard]] NodeId src_tor() const { return src_tor_; }
+  [[nodiscard]] NodeId dst_tor() const { return dst_tor_; }
+  [[nodiscard]] std::size_t path_count() const { return paths_->size(); }
+
+  // One round of path-state assembling: query every relevant switch through
+  // `service` (control messages are accounted there) and rebuild PV.
+  void refresh(Seconds now, const fabric::StateQueryService& service);
+
+  // FV maintenance, driven by the owning host daemon.
+  void add_flow(FlowId flow, PathIndex path);
+  void remove_flow(FlowId flow, PathIndex path);
+  void record_move(FlowId flow, PathIndex from, PathIndex to);
+
+  [[nodiscard]] bool has_flows() const { return tracked_flows_ > 0; }
+  [[nodiscard]] std::size_t tracked_flows() const { return tracked_flows_; }
+  [[nodiscard]] std::uint32_t flows_on(PathIndex path) const;
+  [[nodiscard]] const std::vector<PathState>& path_states() const {
+    return pv_;
+  }
+
+  // Paper Algorithm 1 ("selfish flow scheduling"), one round:
+  //   from = the active path (FV > 0) with the smallest BoNF,
+  //   to   = the path with the largest BoNF,
+  //   move one flow iff BoNF(to with one more flow) - BoNF(from) > delta.
+  // (The TR's pseudocode garbles which index the FV>0 guard applies to; the
+  // "inactive path" discussion in Section 2.5 fixes it: a host can only
+  // shift a flow *off* a path it contributes to.)
+  // Ties on either side are broken uniformly at random via `rng`:
+  // deterministic tie-breaking makes every host dump flows onto the same
+  // first-indexed idle path and chase each other indefinitely — the same
+  // herding the randomized round offsets exist to prevent.
+  [[nodiscard]] std::optional<ProposedMove> propose(Bps delta,
+                                                    Rng& rng) const;
+
+  [[nodiscard]] const std::vector<NodeId>& queried_switches() const {
+    return query_set_;
+  }
+
+ private:
+  flowsim::FlowSimulator* sim_;
+  NodeId src_tor_;
+  NodeId dst_tor_;
+  const std::vector<topo::Path>* paths_;
+  std::vector<NodeId> query_set_;
+  // Pre-resolved switch-switch links per path: the only state a refresh
+  // reads, avoiding per-refresh reply materialization on large topologies.
+  std::vector<std::vector<LinkId>> monitored_links_;
+  std::vector<PathState> pv_;
+  std::vector<std::vector<FlowId>> fv_;  // this host's elephants per path
+  std::size_t tracked_flows_ = 0;
+};
+
+}  // namespace dard::core

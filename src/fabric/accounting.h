@@ -1,0 +1,46 @@
+// Control-plane traffic accounting.
+//
+// Every control message (DARD state queries/replies, centralized-scheduler
+// reports/updates) is recorded here so benches can report control bandwidth
+// over time (paper Figure 15). Messages are aggregated into one-second
+// buckets at record time — large simulations emit hundreds of millions of
+// control messages, so per-message event logs are not an option.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dard::fabric {
+
+enum class ControlCategory : std::uint8_t {
+  DardQuery,
+  DardReply,
+  SchedulerReport,
+  SchedulerUpdate,
+};
+inline constexpr std::size_t kControlCategories = 4;
+
+class ControlPlaneAccountant {
+ public:
+  void record(Seconds now, Bytes bytes, ControlCategory category);
+
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] Bytes total_bytes(ControlCategory category) const;
+  [[nodiscard]] std::size_t message_count() const { return messages_; }
+
+  // Bytes/second in one-second buckets over [0, horizon).
+  [[nodiscard]] std::vector<double> rate_series(Seconds horizon) const;
+  [[nodiscard]] double peak_rate(Seconds horizon) const;
+  [[nodiscard]] double mean_rate(Seconds horizon) const;
+
+  void clear();
+
+ private:
+  std::vector<double> buckets_;  // bytes per [i, i+1) second
+  std::size_t messages_ = 0;
+  Bytes total_by_category_[kControlCategories] = {};
+};
+
+}  // namespace dard::fabric

@@ -1,0 +1,30 @@
+#include "fabric/controller.h"
+
+namespace dard::fabric {
+
+LinkId ForwardingFabric::forward(NodeId sw, addr::Address src,
+                                 addr::Address dst) const {
+  DCN_CHECK_MSG(installed_[sw.value()], "switch tables not installed");
+  const LinkId down = table0_[sw.value()].lookup(dst);
+  if (down.valid()) return down;
+  return table1_[sw.value()].lookup(src);
+}
+
+StaticTableController::InstallReport StaticTableController::install(
+    const addr::AddressingPlan& plan, ForwardingFabric* fabric) {
+  DCN_CHECK(fabric != nullptr);
+  InstallReport report;
+  for (const auto& node : plan.topology().nodes()) {
+    if (node.kind == topo::NodeKind::Host) continue;
+    auto& t0 = fabric->table0_[node.id.value()];
+    auto& t1 = fabric->table1_[node.id.value()];
+    t0 = plan.downhill_table(node.id);
+    t1 = plan.uphill_table(node.id);
+    fabric->installed_[node.id.value()] = true;
+    ++report.switches;
+    report.entries += t0.size() + t1.size();
+  }
+  return report;
+}
+
+}  // namespace dard::fabric

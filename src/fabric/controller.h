@@ -1,0 +1,58 @@
+// NOX-stand-in static table controller and the installed forwarding fabric
+// (paper Section 3.1).
+//
+// DARD uses its OpenFlow controller exactly once: at initialization it
+// installs every switch's downhill table as flow table 0 and uphill table
+// as flow table 1 (downhill takes priority), all entries permanent. After
+// installation the controller plays no further role — forwarding decisions
+// are made switch-locally from the installed tables, which is what
+// ForwardingFabric models for the packet-level simulator.
+#pragma once
+
+#include <vector>
+
+#include "addressing/hierarchical.h"
+
+namespace dard::fabric {
+
+class ForwardingFabric {
+ public:
+  explicit ForwardingFabric(const topo::Topology& t)
+      : topo_(&t),
+        table0_(t.node_count()),
+        table1_(t.node_count()),
+        installed_(t.node_count(), false) {}
+
+  [[nodiscard]] bool installed(NodeId sw) const {
+    return installed_[sw.value()];
+  }
+
+  // Table 0 (downhill, destination-matched) first, then table 1 (uphill,
+  // source-matched). Invalid id => drop.
+  [[nodiscard]] LinkId forward(NodeId sw, addr::Address src,
+                               addr::Address dst) const;
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+ private:
+  friend class StaticTableController;
+
+  const topo::Topology* topo_;
+  std::vector<addr::LpmTable> table0_;  // downhill
+  std::vector<addr::LpmTable> table1_;  // uphill
+  std::vector<bool> installed_;
+};
+
+class StaticTableController {
+ public:
+  struct InstallReport {
+    std::size_t switches = 0;
+    std::size_t entries = 0;
+  };
+
+  // Pushes the plan's tables into every switch. Run once at startup.
+  static InstallReport install(const addr::AddressingPlan& plan,
+                               ForwardingFabric* fabric);
+};
+
+}  // namespace dard::fabric

@@ -1,0 +1,27 @@
+#include "fabric/switch_state.h"
+
+#include "fabric/wire.h"
+
+namespace dard::fabric {
+
+std::vector<LinkState> StateQueryService::query_switch(NodeId sw,
+                                                       Seconds now) const {
+  const topo::Topology& t = board_->topology();
+  std::vector<LinkState> states;
+  const auto& out = t.out_links(sw);
+  states.reserve(out.size());
+  for (const LinkId l : out) {
+    states.push_back(LinkState{l, board_->capacity(l), board_->elephants(l)});
+  }
+  account_query(now);
+  return states;
+}
+
+void StateQueryService::account_query(Seconds now) const {
+  if (accountant_ != nullptr) {
+    accountant_->record(now, kDardQueryBytes, ControlCategory::DardQuery);
+    accountant_->record(now, kDardReplyBytes, ControlCategory::DardReply);
+  }
+}
+
+}  // namespace dard::fabric

@@ -1,0 +1,91 @@
+// Live per-link switch state and the OpenFlow-style aggregate statistics
+// query interface (paper Section 2.4.2, "Path State Assembling").
+//
+// A switch's state is, per egress port, the port's bandwidth and the number
+// of elephant flows currently traversing it. The simulators update the
+// LinkStateBoard as flows start / finish / move; DARD monitors read it only
+// through StateQueryService::query_switch, which models and accounts the
+// control messages involved.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "fabric/accounting.h"
+#include "topology/topology.h"
+
+namespace dard::fabric {
+
+class LinkStateBoard {
+ public:
+  explicit LinkStateBoard(const topo::Topology& t)
+      : topo_(&t), elephants_(t.link_count(), 0), failed_(t.link_count()) {}
+
+  void add_elephant(LinkId l) { ++elephants_[l.value()]; }
+  void remove_elephant(LinkId l) {
+    DCN_CHECK(elephants_[l.value()] > 0);
+    --elephants_[l.value()];
+  }
+
+  // Link failure: a failed link's effective capacity collapses to (almost)
+  // nothing. Flows pinned to it starve; adaptive schedulers observe a
+  // near-zero BoNF through the ordinary query path and route around it.
+  void set_failed(LinkId l, bool failed) { failed_[l.value()] = failed; }
+  [[nodiscard]] bool failed(LinkId l) const { return failed_[l.value()]; }
+
+  [[nodiscard]] std::uint32_t elephants(LinkId l) const {
+    return elephants_[l.value()];
+  }
+  [[nodiscard]] Bps capacity(LinkId l) const {
+    // 1 bps, not 0: keeps BoNF and fair-share arithmetic finite.
+    return failed_[l.value()] ? 1.0 : topo_->link(l).capacity;
+  }
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+ private:
+  const topo::Topology* topo_;
+  std::vector<std::uint32_t> elephants_;
+  std::vector<bool> failed_;
+};
+
+// One egress port's state, as carried in a query reply.
+struct LinkState {
+  LinkId link;
+  Bps bandwidth = 0;
+  std::uint32_t elephant_flows = 0;
+
+  // The paper's BoNF: Bandwidth over Number of elephant Flows; an idle
+  // link's BoNF is its full bandwidth ("if a link has no flow, its BoNF is
+  // [the bandwidth]" — i.e. the fair share a new flow would get).
+  [[nodiscard]] double bonf() const {
+    return elephant_flows == 0 ? bandwidth
+                               : bandwidth / static_cast<double>(elephant_flows);
+  }
+};
+
+class StateQueryService {
+ public:
+  StateQueryService(const LinkStateBoard& board,
+                    ControlPlaneAccountant* accountant)
+      : board_(&board), accountant_(accountant) {}
+
+  // State of every egress port of `sw`. Models one host->switch query and
+  // one switch->host reply (Fig. 15 accounting); `now` timestamps them.
+  [[nodiscard]] std::vector<LinkState> query_switch(NodeId sw, Seconds now) const;
+
+  // Hot-path split of query_switch for monitors that pre-resolved which
+  // ports they need: account the message exchange once per switch, then
+  // read individual port states without materializing whole replies. The
+  // payload is identical to what query_switch would have returned.
+  void account_query(Seconds now) const;
+  [[nodiscard]] LinkState link_state(LinkId l) const {
+    return LinkState{l, board_->capacity(l), board_->elephants(l)};
+  }
+
+ private:
+  const LinkStateBoard* board_;
+  ControlPlaneAccountant* accountant_;  // may be null (unaccounted queries)
+};
+
+}  // namespace dard::fabric

@@ -1,0 +1,20 @@
+// Control-plane wire-format sizes (paper Section 4.3.4).
+//
+// The paper's overhead comparison (Figure 15) uses fixed message sizes:
+// DARD host->switch queries and switch->host replies, and the centralized
+// scheduler's ToR->controller elephant reports and controller->switch flow
+// table updates. The ToR report size appears as "8 bytes" in the TR text
+// with an evidently dropped digit (it is described as *larger* than DARD's
+// 48-byte query); we restore it as 80 bytes.
+#pragma once
+
+#include "common/units.h"
+
+namespace dard::fabric {
+
+inline constexpr Bytes kDardQueryBytes = 48;    // host -> switch
+inline constexpr Bytes kDardReplyBytes = 32;    // switch -> host (per reply)
+inline constexpr Bytes kHederaReportBytes = 80; // ToR -> controller, per flow
+inline constexpr Bytes kHederaUpdateBytes = 72; // controller -> switch
+
+}  // namespace dard::fabric

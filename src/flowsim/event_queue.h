@@ -1,0 +1,64 @@
+// Discrete-event queue.
+//
+// Both simulators are driven off this queue. Events firing at identical
+// times run in insertion order (a monotone sequence number breaks ties), so
+// simulations are fully deterministic.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dard::flowsim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule(Seconds at, Callback cb) {
+    DCN_CHECK_MSG(at >= now_, "cannot schedule into the past");
+    heap_.push(Entry{at, seq_++, std::move(cb)});
+  }
+
+  [[nodiscard]] Seconds now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  // Runs the earliest event; returns false when none remain.
+  bool run_next() {
+    if (heap_.empty()) return false;
+    // std::priority_queue::top returns const&; the callback must be moved
+    // out before pop. Entry is mutable via const_cast-free copy of cb.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    e.cb();
+    return true;
+  }
+
+  // Runs events with time <= t, then advances the clock to t.
+  void run_until(Seconds t) {
+    while (!heap_.empty() && heap_.top().time <= t) run_next();
+    now_ = std::max(now_, t);
+  }
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  Seconds now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dard::flowsim

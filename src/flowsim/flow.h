@@ -1,0 +1,68 @@
+// Flow state for the fluid simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace dard::flowsim {
+
+struct FlowSpec {
+  NodeId src_host;
+  NodeId dst_host;
+  Bytes size = 0;
+  Seconds arrival = 0;
+  // Transport-level ports; together with host uids they form the "five
+  // tuple" that ECMP hashes.
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+enum class FlowState : std::uint8_t { Active, Finished };
+
+struct Flow {
+  FlowId id;
+  FlowSpec spec;
+  NodeId src_tor;
+  NodeId dst_tor;
+  FlowState state = FlowState::Active;
+
+  // Index into the (src_tor, dst_tor) equal-cost path set; the concrete
+  // link list is the host-level expansion of that path.
+  PathIndex path_index = 0;
+  std::vector<LinkId> links;
+
+  // Fluid progress. `remaining` is exact as of `last_update`; the current
+  // value is remaining - rate * (now - last_update).
+  Bytes remaining = 0;
+  Bps rate = 0;
+  Seconds last_update = 0;
+
+  Seconds finish_time = 0;     // set when state becomes Finished
+  std::uint32_t path_switches = 0;
+  bool is_elephant = false;
+
+  // Bumped on every rate or path change; pending completion events carry
+  // the version they were computed under and no-op when stale.
+  std::uint64_t version = 0;
+};
+
+// Immutable summary of a finished flow, kept for statistics.
+struct FlowRecord {
+  FlowId id;
+  NodeId src_host;
+  NodeId dst_host;
+  Bytes size = 0;
+  Seconds arrival = 0;
+  Seconds finish = 0;
+  std::uint32_t path_switches = 0;
+  bool was_elephant = false;
+  bool intra_tor = false;
+  bool intra_pod = false;
+
+  [[nodiscard]] Seconds transfer_time() const { return finish - arrival; }
+};
+
+}  // namespace dard::flowsim

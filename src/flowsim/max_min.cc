@@ -1,0 +1,86 @@
+#include "flowsim/max_min.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dard::flowsim {
+
+MaxMinAllocator::MaxMinAllocator(const topo::Topology& t,
+                                 const fabric::LinkStateBoard* board)
+    : topo_(&t),
+      board_(board),
+      remaining_(t.link_count(), 0.0),
+      unfrozen_(t.link_count(), 0),
+      flows_on_(t.link_count()),
+      saturated_(t.link_count(), false) {}
+
+const std::vector<Bps>& MaxMinAllocator::compute(
+    const std::vector<const std::vector<LinkId>*>& links_of) {
+  // Reset only what the previous run touched.
+  for (const LinkId l : used_links_) {
+    flows_on_[l.value()].clear();
+    unfrozen_[l.value()] = 0;
+    saturated_[l.value()] = false;
+  }
+  used_links_.clear();
+
+  const std::size_t flow_count = links_of.size();
+  rate_.assign(flow_count, 0.0);
+  frozen_.assign(flow_count, false);
+  if (flow_count == 0) return rate_;
+
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    DCN_CHECK_MSG(!links_of[f]->empty(), "flow with empty path");
+    for (const LinkId l : *links_of[f]) {
+      if (flows_on_[l.value()].empty()) {
+        used_links_.push_back(l);
+        remaining_[l.value()] = capacity_of(l);
+      }
+      flows_on_[l.value()].push_back(static_cast<std::uint32_t>(f));
+      ++unfrozen_[l.value()];
+    }
+  }
+
+  // Lazy-deletion min-heap over link fair shares. Freezing flows only
+  // *raises* the fair share of the remaining links (the frozen rate is at
+  // most the link's current share), so a popped entry whose recomputed
+  // share grew is simply re-pushed — monotonicity makes this sound.
+  using Entry = std::pair<double, LinkId::value_type>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  auto share_of = [&](LinkId::value_type lv) {
+    return remaining_[lv] / static_cast<double>(unfrozen_[lv]);
+  };
+  for (const LinkId l : used_links_)
+    heap.emplace(share_of(l.value()), l.value());
+
+  std::size_t frozen_count = 0;
+  while (frozen_count < flow_count) {
+    DCN_CHECK_MSG(!heap.empty(), "no bottleneck but unfrozen flows remain");
+    const auto [key, lv] = heap.top();
+    heap.pop();
+    if (saturated_[lv] || unfrozen_[lv] == 0) continue;
+    const double actual = share_of(lv);
+    if (actual > key * (1 + 1e-12) + 1e-9) {
+      heap.emplace(actual, lv);
+      continue;
+    }
+    const double share = std::max(actual, 0.0);
+
+    for (const std::uint32_t f : flows_on_[lv]) {
+      if (frozen_[f]) continue;
+      frozen_[f] = true;
+      ++frozen_count;
+      rate_[f] = share;
+      for (const LinkId l : *links_of[f]) {
+        remaining_[l.value()] -= share;
+        --unfrozen_[l.value()];
+      }
+    }
+    saturated_[lv] = true;
+  }
+  return rate_;
+}
+
+}  // namespace dard::flowsim

@@ -1,0 +1,52 @@
+// Progressive-filling max-min fair rate allocation.
+//
+// The paper's analysis (Appendix A) assumes TCP + fair queueing reaches
+// max-min fairness; the fluid simulator realizes that assumption exactly:
+// repeatedly saturate the link with the smallest fair share
+// (remaining capacity / unfrozen flows) and freeze its flows at that share.
+// The result is the unique max-min allocation.
+//
+// The allocator runs on every simulation event, so it is a class holding
+// reusable link-indexed scratch buffers rather than a free function.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "fabric/switch_state.h"
+#include "topology/topology.h"
+
+namespace dard::flowsim {
+
+class MaxMinAllocator {
+ public:
+  // When `board` is given, link capacities come from it (so failed links
+  // allocate (almost) nothing); otherwise from the static topology.
+  explicit MaxMinAllocator(const topo::Topology& t,
+                           const fabric::LinkStateBoard* board = nullptr);
+
+  // Max-min rates for flows whose paths are `links_of` (parallel output).
+  // Every path must be non-empty.
+  const std::vector<Bps>& compute(
+      const std::vector<const std::vector<LinkId>*>& links_of);
+
+ private:
+  [[nodiscard]] double capacity_of(LinkId l) const {
+    return board_ != nullptr ? board_->capacity(l) : topo_->link(l).capacity;
+  }
+
+  const topo::Topology* topo_;
+  const fabric::LinkStateBoard* board_;
+  // Link-indexed scratch, cleared lazily via used_links_.
+  std::vector<double> remaining_;
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<std::vector<std::uint32_t>> flows_on_;
+  std::vector<bool> saturated_;
+  std::vector<LinkId> used_links_;
+  // Flow-indexed scratch.
+  std::vector<bool> frozen_;
+  std::vector<Bps> rate_;
+};
+
+}  // namespace dard::flowsim

@@ -1,0 +1,240 @@
+#include "flowsim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dard::flowsim {
+
+namespace {
+// Rates within this relative tolerance are "unchanged" and keep their
+// scheduled completion event. Max-min ripples perturb distant flows by
+// minuscule amounts; rescheduling all of them floods the event queue, so a
+// 0.1% band is traded for orders of magnitude fewer events (remaining
+// bytes are always settled under the rate actually used, so no byte drifts
+// — only completion times, by at most the same 0.1%).
+constexpr double kRateTolerance = 1e-3;
+// A flow whose remaining bytes fall below this is complete.
+constexpr double kRemainingEps = 1e-3;
+
+bool rate_changed(Bps a, Bps b) {
+  return std::abs(a - b) > kRateTolerance * std::max({a, b, 1.0});
+}
+}  // namespace
+
+FlowSimulator::FlowSimulator(const topo::Topology& t, SimConfig cfg)
+    : topo_(&t), cfg_(cfg), paths_(t), board_(t), allocator_(t, &board_) {}
+
+FlowId FlowSimulator::submit(const FlowSpec& spec) {
+  DCN_CHECK_MSG(spec.src_host != spec.dst_host, "flow to self");
+  DCN_CHECK(topo_->node(spec.src_host).kind == topo::NodeKind::Host);
+  DCN_CHECK(topo_->node(spec.dst_host).kind == topo::NodeKind::Host);
+  DCN_CHECK(spec.size > 0);
+  DCN_CHECK(spec.arrival >= events_.now());
+
+  const FlowId id(static_cast<FlowId::value_type>(flows_.size()));
+  Flow f;
+  f.id = id;
+  f.spec = spec;
+  f.src_tor = topo_->tor_of_host(spec.src_host);
+  f.dst_tor = topo_->tor_of_host(spec.dst_host);
+  f.remaining = spec.size;
+  f.last_update = spec.arrival;
+  flows_.push_back(std::move(f));
+  remaining_.push_back(static_cast<double>(spec.size));
+  active_pos_.push_back(0);
+
+  events_.schedule(spec.arrival, [this, id] { arrive(id); });
+  return id;
+}
+
+void FlowSimulator::run_until_flows_done() {
+  while (records_.size() < flows_.size() && events_.run_next()) {
+  }
+  DCN_CHECK_MSG(records_.size() == flows_.size(),
+                "event queue drained before all flows finished");
+}
+
+double FlowSimulator::remaining_bytes(FlowId id) const {
+  return remaining_[id.value()];
+}
+
+void FlowSimulator::set_path_links(Flow& f, PathIndex index) {
+  const auto& set = paths_.tor_paths(f.src_tor, f.dst_tor);
+  DCN_CHECK_MSG(index < set.size(), "path index out of range");
+  f.path_index = index;
+  const topo::Path full =
+      topo::host_path(*topo_, f.spec.src_host, f.spec.dst_host, set[index]);
+  f.links = full.links;
+}
+
+void FlowSimulator::board_add(const Flow& f) {
+  for (const LinkId l : f.links) board_.add_elephant(l);
+}
+
+void FlowSimulator::board_remove(const Flow& f) {
+  for (const LinkId l : f.links) board_.remove_elephant(l);
+}
+
+void FlowSimulator::arrive(FlowId id) {
+  Flow& f = flows_[id.value()];
+  DCN_CHECK(agent_ != nullptr);
+
+  const PathIndex initial = agent_->place(*this, f);
+  set_path_links(f, initial);
+  f.last_update = events_.now();
+
+  active_pos_[id.value()] = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(id);
+
+  if (cfg_.elephant_threshold <= 0) {
+    promote_elephant(id);
+  } else {
+    events_.schedule(events_.now() + cfg_.elephant_threshold, [this, id] {
+      const Flow& flow = flows_[id.value()];
+      if (flow.state == FlowState::Active && !flow.is_elephant)
+        promote_elephant(id);
+    });
+  }
+  request_reallocate();
+}
+
+void FlowSimulator::promote_elephant(FlowId id) {
+  Flow& f = flows_[id.value()];
+  f.is_elephant = true;
+  board_add(f);
+  ++active_elephants_;
+  peak_active_elephants_ = std::max(peak_active_elephants_, active_elephants_);
+  agent_->on_elephant(*this, f);
+}
+
+void FlowSimulator::complete(FlowId id, std::uint64_t version) {
+  Flow& f = flows_[id.value()];
+  if (f.state != FlowState::Active || f.version != version) return;
+
+  const Seconds now = events_.now();
+  remaining_[id.value()] -= f.rate / 8.0 * (now - f.last_update);
+  f.last_update = now;
+  DCN_CHECK_MSG(remaining_[id.value()] < kRemainingEps,
+                "completion fired with bytes left");
+  remaining_[id.value()] = 0;
+  f.remaining = 0;
+  f.state = FlowState::Finished;
+  f.finish_time = now;
+  f.rate = 0;
+
+  // Swap-erase from the active list.
+  const std::uint32_t pos = active_pos_[id.value()];
+  active_[pos] = active_.back();
+  active_pos_[active_[pos].value()] = pos;
+  active_.pop_back();
+
+  if (f.is_elephant) {
+    board_remove(f);
+    --active_elephants_;
+  }
+
+  FlowRecord rec;
+  rec.id = f.id;
+  rec.src_host = f.spec.src_host;
+  rec.dst_host = f.spec.dst_host;
+  rec.size = f.spec.size;
+  rec.arrival = f.spec.arrival;
+  rec.finish = now;
+  rec.path_switches = f.path_switches;
+  rec.was_elephant = f.is_elephant;
+  rec.intra_tor = f.src_tor == f.dst_tor;
+  rec.intra_pod = topo_->node(f.spec.src_host).pod ==
+                  topo_->node(f.spec.dst_host).pod;
+  records_.push_back(rec);
+
+  agent_->on_finished(*this, f);
+  request_reallocate();
+}
+
+void FlowSimulator::apply_move(Flow& f, PathIndex new_path) {
+  DCN_CHECK_MSG(f.state == FlowState::Active, "moving a finished flow");
+  if (f.path_index == new_path) return;
+  if (f.is_elephant) board_remove(f);
+  set_path_links(f, new_path);
+  if (f.is_elephant) board_add(f);
+  ++f.path_switches;
+}
+
+void FlowSimulator::set_cable_failed(NodeId a, NodeId b, bool failed) {
+  const LinkId ab = topo_->find_link(a, b);
+  const LinkId ba = topo_->find_link(b, a);
+  DCN_CHECK_MSG(ab.valid() && ba.valid(), "no such cable");
+  board_.set_failed(ab, failed);
+  board_.set_failed(ba, failed);
+  request_reallocate();
+}
+
+void FlowSimulator::move_flow(FlowId id, PathIndex new_path) {
+  Flow& f = flows_[id.value()];
+  if (f.path_index == new_path) return;
+  apply_move(f, new_path);
+  request_reallocate();
+}
+
+void FlowSimulator::move_flows(
+    const std::vector<std::pair<FlowId, PathIndex>>& moves) {
+  bool any = false;
+  for (const auto& [id, path] : moves) {
+    Flow& f = flows_[id.value()];
+    if (f.path_index == path) continue;
+    apply_move(f, path);
+    any = true;
+  }
+  if (any) request_reallocate();
+}
+
+void FlowSimulator::request_reallocate() {
+  if (cfg_.realloc_interval <= 0) {
+    reallocate();
+    return;
+  }
+  if (realloc_pending_) return;
+  realloc_pending_ = true;
+  const Seconds at =
+      std::max(events_.now(), last_realloc_ + cfg_.realloc_interval);
+  events_.schedule(at, [this] {
+    realloc_pending_ = false;
+    reallocate();
+  });
+}
+
+void FlowSimulator::reallocate() {
+  const Seconds now = events_.now();
+  last_realloc_ = now;
+
+  alloc_scratch_.clear();
+  alloc_scratch_.reserve(active_.size());
+  for (const FlowId id : active_)
+    alloc_scratch_.push_back(&flows_[id.value()].links);
+
+  const std::vector<Bps>& rates = allocator_.compute(alloc_scratch_);
+
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const FlowId id = active_[i];
+    Flow& f = flows_[id.value()];
+    const Bps new_rate = rates[i];
+    if (!rate_changed(f.rate, new_rate)) continue;
+
+    // Settle progress under the old rate, then switch to the new one and
+    // reschedule completion under a fresh version.
+    remaining_[id.value()] -= f.rate / 8.0 * (now - f.last_update);
+    remaining_[id.value()] = std::max(remaining_[id.value()], 0.0);
+    f.remaining = static_cast<Bytes>(remaining_[id.value()]);
+    f.last_update = now;
+    f.rate = new_rate;
+    ++f.version;
+
+    if (new_rate > 0) {
+      const Seconds finish = now + remaining_[id.value()] * 8.0 / new_rate;
+      const std::uint64_t version = f.version;
+      events_.schedule(finish, [this, id, version] { complete(id, version); });
+    }
+  }
+}
+
+}  // namespace dard::flowsim

@@ -1,0 +1,157 @@
+// Event-driven fluid flow simulator.
+//
+// Flows arrive, receive a path from the active scheduling agent, share
+// bandwidth max-min fairly with every other active flow, and finish when
+// their bytes drain. Rates are recomputed on every arrival / completion /
+// path move; completion events are invalidated by per-flow version counters
+// when a rate change reschedules them. Elephant promotion follows the
+// paper: a flow that has lasted `elephant_threshold` seconds becomes an
+// elephant, is counted on its links' state boards, and becomes schedulable.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/accounting.h"
+#include "fabric/switch_state.h"
+#include "flowsim/event_queue.h"
+#include "flowsim/flow.h"
+#include "flowsim/max_min.h"
+#include "topology/paths.h"
+
+namespace dard::flowsim {
+
+class FlowSimulator;
+
+// A flow-scheduling policy: ECMP, pVLB, DARD hosts, or the centralized
+// scheduler. Agents pick initial paths at arrival and may re-route active
+// flows from periodic work they schedule on the event queue in start().
+class SchedulerAgent {
+ public:
+  virtual ~SchedulerAgent() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Called once before the simulation runs.
+  virtual void start(FlowSimulator& /*sim*/) {}
+
+  // Initial path (index into sim.path_set(flow)) for an arriving flow.
+  virtual PathIndex place(FlowSimulator& sim, const Flow& flow) = 0;
+
+  virtual void on_elephant(FlowSimulator& /*sim*/, const Flow& /*flow*/) {}
+  virtual void on_finished(FlowSimulator& /*sim*/, const Flow& /*flow*/) {}
+};
+
+struct SimConfig {
+  // Seconds a flow must live before it is considered an elephant (paper:
+  // TR text lost the digit; restored as 1 s — see DESIGN.md).
+  Seconds elephant_threshold = 1.0;
+
+  // Minimum spacing between global rate re-allocations. 0 recomputes
+  // synchronously on every arrival/completion/move (exact; right for unit
+  // tests and small runs). A few milliseconds batches the recomputation
+  // across bursts of events — the dominant cost on large topologies —
+  // at the price of rates being stale for at most that long.
+  Seconds realloc_interval = 0.0;
+};
+
+class FlowSimulator {
+ public:
+  FlowSimulator(const topo::Topology& t, SimConfig cfg = {});
+
+  // Installs the scheduling policy and lets it set up its periodic work.
+  void set_agent(SchedulerAgent* agent) {
+    agent_ = agent;
+    agent_->start(*this);
+  }
+
+  // Registers a flow to arrive at spec.arrival (>= current time).
+  FlowId submit(const FlowSpec& spec);
+
+  void run_until(Seconds t) { events_.run_until(t); }
+  // Runs until every submitted flow has finished. (The event queue itself
+  // never drains while an agent keeps periodic ticks scheduled, so this —
+  // not queue emptiness — is the termination condition.)
+  void run_until_flows_done();
+
+  // --- accessors for agents and experiments ---
+  [[nodiscard]] Seconds now() const { return events_.now(); }
+  EventQueue& events() { return events_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+  topo::PathRepository& paths() { return paths_; }
+  fabric::LinkStateBoard& link_state() { return board_; }
+  [[nodiscard]] const fabric::LinkStateBoard& link_state() const {
+    return board_;
+  }
+  fabric::ControlPlaneAccountant& accountant() { return accountant_; }
+
+  [[nodiscard]] const Flow& flow(FlowId id) const {
+    DCN_CHECK(id.value() < flows_.size());
+    return flows_[id.value()];
+  }
+  [[nodiscard]] const std::vector<FlowId>& active_flows() const {
+    return active_;
+  }
+  // The equal-cost ToR-path set this flow selects among.
+  const std::vector<topo::Path>& path_set(const Flow& f) {
+    return paths_.tor_paths(f.src_tor, f.dst_tor);
+  }
+
+  // Fails (or restores) both directions of the cable between a and b:
+  // effective capacity collapses, flows pinned across it starve, adaptive
+  // schedulers observe the near-zero BoNF and route around it.
+  void set_cable_failed(NodeId a, NodeId b, bool failed);
+
+  // Re-route one active flow; a real path change counts as a path switch
+  // and triggers reallocation.
+  void move_flow(FlowId id, PathIndex new_path);
+  // Batch variant: apply all moves, reallocate once (centralized scheduler).
+  void move_flows(const std::vector<std::pair<FlowId, PathIndex>>& moves);
+
+  [[nodiscard]] const std::vector<FlowRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t active_elephants() const {
+    return active_elephants_;
+  }
+  [[nodiscard]] std::size_t peak_active_elephants() const {
+    return peak_active_elephants_;
+  }
+  // Bytes-weighted progress check used by tests.
+  [[nodiscard]] double remaining_bytes(FlowId id) const;
+
+ private:
+  void arrive(FlowId id);
+  void complete(FlowId id, std::uint64_t version);
+  void promote_elephant(FlowId id);
+  void apply_move(Flow& f, PathIndex new_path);
+  // Runs reallocate() now (exact mode) or schedules one settle event no
+  // earlier than realloc_interval after the previous one.
+  void request_reallocate();
+  void reallocate();
+  void set_path_links(Flow& f, PathIndex index);
+  void board_add(const Flow& f);
+  void board_remove(const Flow& f);
+
+  const topo::Topology* topo_;
+  SimConfig cfg_;
+  topo::PathRepository paths_;
+  fabric::LinkStateBoard board_;
+  fabric::ControlPlaneAccountant accountant_;
+  EventQueue events_;
+  SchedulerAgent* agent_ = nullptr;
+
+  std::vector<Flow> flows_;            // by FlowId; grows monotonically
+  std::vector<double> remaining_;      // fractional bytes, by FlowId
+  std::vector<FlowId> active_;
+  std::vector<std::uint32_t> active_pos_;  // FlowId -> index in active_
+  std::vector<FlowRecord> records_;
+  MaxMinAllocator allocator_;
+  std::vector<const std::vector<LinkId>*> alloc_scratch_;
+
+  std::size_t active_elephants_ = 0;
+  std::size_t peak_active_elephants_ = 0;
+  bool realloc_pending_ = false;
+  Seconds last_realloc_ = -1;
+};
+
+}  // namespace dard::flowsim

@@ -1,0 +1,92 @@
+#include "harness/experiment.h"
+
+namespace dard::harness {
+
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::Ecmp:
+      return "ECMP";
+    case SchedulerKind::Pvlb:
+      return "pVLB";
+    case SchedulerKind::Dard:
+      return "DARD";
+    case SchedulerKind::Hedera:
+      return "SimAnneal";
+  }
+  return "?";
+}
+
+std::unique_ptr<flowsim::SchedulerAgent> make_agent(
+    const ExperimentConfig& cfg) {
+  switch (cfg.scheduler) {
+    case SchedulerKind::Ecmp:
+      return std::make_unique<baselines::EcmpAgent>();
+    case SchedulerKind::Pvlb:
+      return std::make_unique<baselines::PvlbAgent>(
+          cfg.pvlb_repick_interval, cfg.workload.seed ^ 0x5f5f5f5f);
+    case SchedulerKind::Dard:
+      return std::make_unique<core::DardAgent>(cfg.dard);
+    case SchedulerKind::Hedera:
+      return std::make_unique<baselines::HederaAgent>(cfg.hedera);
+  }
+  DCN_CHECK(false);
+  return nullptr;
+}
+
+ExperimentResult run_experiment(const topo::Topology& t,
+                                const ExperimentConfig& cfg) {
+  flowsim::SimConfig sim_cfg;
+  sim_cfg.elephant_threshold = cfg.elephant_threshold;
+  sim_cfg.realloc_interval = cfg.realloc_interval;
+  flowsim::FlowSimulator sim(t, sim_cfg);
+
+  const auto agent = make_agent(cfg);
+  sim.set_agent(agent.get());
+
+  for (const auto& spec : traffic::generate_workload(t, cfg.workload))
+    sim.submit(spec);
+  sim.run_until_flows_done();
+
+  ExperimentResult result;
+  result.scheduler = agent->name();
+  result.flows = sim.records().size();
+
+  OnlineStats transfer;
+  for (const auto& rec : sim.records()) {
+    transfer.add(rec.transfer_time());
+    result.transfer_times.add(rec.transfer_time());
+    if (rec.was_elephant)
+      result.path_switch_counts.add(static_cast<double>(rec.path_switches));
+  }
+  result.avg_transfer_time = transfer.mean();
+  result.peak_elephants = sim.peak_active_elephants();
+  result.control_bytes = sim.accountant().total_bytes();
+  result.control_peak_rate =
+      sim.accountant().peak_rate(cfg.workload.duration);
+  result.control_mean_rate =
+      sim.accountant().mean_rate(cfg.workload.duration);
+
+  if (const auto* dard = dynamic_cast<const core::DardAgent*>(agent.get()))
+    result.reroutes = dard->total_moves();
+  if (const auto* hedera =
+          dynamic_cast<const baselines::HederaAgent*>(agent.get()))
+    result.reroutes = hedera->total_reassignments();
+  return result;
+}
+
+double ExperimentResult::path_switch_percentile(double q) const {
+  return path_switch_counts.empty() ? 0.0 : path_switch_counts.percentile(q);
+}
+
+double ExperimentResult::max_path_switches() const {
+  return path_switch_counts.empty() ? 0.0 : path_switch_counts.max();
+}
+
+double improvement_over(const ExperimentResult& baseline,
+                        const ExperimentResult& other) {
+  DCN_CHECK(baseline.avg_transfer_time > 0);
+  return (baseline.avg_transfer_time - other.avg_transfer_time) /
+         baseline.avg_transfer_time;
+}
+
+}  // namespace dard::harness

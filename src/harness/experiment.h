@@ -1,0 +1,63 @@
+// Experiment runner shared by benches, examples and integration tests.
+//
+// Wires a topology, a scheduling agent and a generated workload into the
+// fluid simulator, runs every flow to completion, and reduces the paper's
+// metrics: transfer-time distribution, path-switch distribution, control
+// overhead, improvement over ECMP.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/ecmp.h"
+#include "baselines/hedera.h"
+#include "common/stats.h"
+#include "dard/dard_agent.h"
+#include "traffic/patterns.h"
+
+namespace dard::harness {
+
+enum class SchedulerKind : std::uint8_t { Ecmp, Pvlb, Dard, Hedera };
+
+[[nodiscard]] const char* to_string(SchedulerKind k);
+
+struct ExperimentConfig {
+  traffic::WorkloadParams workload;
+  SchedulerKind scheduler = SchedulerKind::Ecmp;
+  Seconds elephant_threshold = 1.0;
+  // Rate-reallocation settle interval (see SimConfig::realloc_interval);
+  // 20 ms batches recomputation without visibly perturbing multi-second
+  // transfers.
+  Seconds realloc_interval = 0.02;
+  core::DardConfig dard;
+  baselines::HederaConfig hedera;
+  Seconds pvlb_repick_interval = 10.0;
+};
+
+struct ExperimentResult {
+  std::string scheduler;
+  std::size_t flows = 0;
+  double avg_transfer_time = 0;
+  Cdf transfer_times;        // every flow
+  Cdf path_switch_counts;    // elephants only (only they can switch)
+  std::size_t peak_elephants = 0;
+  Bytes control_bytes = 0;
+  double control_peak_rate = 0;  // bytes/s over the generation window
+  double control_mean_rate = 0;
+  std::size_t reroutes = 0;  // accepted moves (DARD) / reassignments (Hedera)
+
+  [[nodiscard]] double path_switch_percentile(double q) const;
+  [[nodiscard]] double max_path_switches() const;
+};
+
+[[nodiscard]] std::unique_ptr<flowsim::SchedulerAgent> make_agent(
+    const ExperimentConfig& cfg);
+
+[[nodiscard]] ExperimentResult run_experiment(const topo::Topology& t,
+                                              const ExperimentConfig& cfg);
+
+// The paper's Figure 4 metric: (avg_T(ECMP) - avg_T(other)) / avg_T(ECMP).
+[[nodiscard]] double improvement_over(const ExperimentResult& baseline,
+                                      const ExperimentResult& other);
+
+}  // namespace dard::harness

@@ -1,0 +1,80 @@
+#include "pktsim/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dard::pktsim {
+
+PacketNetwork::PacketNetwork(const topo::Topology& t,
+                             flowsim::EventQueue& events, Bytes queue_bytes)
+    : topo_(&t),
+      events_(&events),
+      free_at_(t.link_count(), 0.0),
+      queued_(t.link_count(), 0),
+      queue_cap_(t.link_count(), 0),
+      bytes_sent_(t.link_count(), 0) {
+  for (const auto& link : t.links()) {
+    Bytes cap = queue_bytes;
+    if (cap == 0) {
+      // One BDP of an 8-hop round trip at this link's speed.
+      cap = static_cast<Bytes>(link.capacity / 8.0 * (16 * link.delay));
+      cap = std::max<Bytes>(cap, 8 * kDataPacketBytes);
+    }
+    queue_cap_[link.id.value()] = cap;
+  }
+}
+
+void PacketNetwork::send(Packet p) {
+  DCN_CHECK_MSG(!p.route.empty(), "packet with empty route");
+  DCN_CHECK(p.hop == 0);
+  transmit(std::move(p));
+}
+
+void PacketNetwork::transmit(Packet p) {
+  const LinkId l = p.route[p.hop];
+  const auto lv = l.value();
+  const topo::Link& link = topo_->link(l);
+
+  // Drop-tail admission: the packet joins the queue unless full. Bytes in
+  // `queued_` include the packet currently serializing.
+  if (queued_[lv] + p.size > queue_cap_[lv]) {
+    ++drops_;
+    return;
+  }
+  queued_[lv] += p.size;
+  bytes_sent_[lv] += p.size;
+  ++forwarded_;
+
+  const Seconds now = events_->now();
+  const Seconds start = std::max(now, free_at_[lv]);
+  const Seconds tx = static_cast<double>(p.size) * 8.0 / link.capacity;
+  const Seconds departs = start + tx;
+  free_at_[lv] = departs;
+  const Seconds arrives = departs + link.delay;
+
+  events_->schedule(departs, [this, lv, size = p.size] {
+    DCN_CHECK(queued_[lv] >= size);
+    queued_[lv] -= size;
+  });
+  events_->schedule(arrives, [this, p = std::move(p)]() mutable {
+    ++p.hop;
+    if (p.hop == p.route.size()) {
+      if (deliver_) deliver_(p);
+    } else {
+      transmit(std::move(p));
+    }
+  });
+}
+
+void PacketNetwork::reset_counters() {
+  std::fill(bytes_sent_.begin(), bytes_sent_.end(), Bytes{0});
+}
+
+double PacketNetwork::utilization(LinkId l, Seconds window) const {
+  DCN_CHECK(window > 0);
+  return static_cast<double>(bytes_sent_[l.value()]) * 8.0 /
+         (topo_->link(l).capacity * window);
+}
+
+}  // namespace dard::pktsim

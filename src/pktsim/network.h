@@ -1,0 +1,64 @@
+// Store-and-forward packet network with drop-tail queues.
+//
+// Each directed link serializes packets at its capacity, adds its
+// propagation delay, and drops arrivals that would overflow its (BDP-sized
+// by default) drop-tail queue. Per-link byte counters expose utilization to
+// TeXCP-style probing.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "flowsim/event_queue.h"
+#include "pktsim/packet.h"
+#include "topology/topology.h"
+
+namespace dard::pktsim {
+
+class PacketNetwork {
+ public:
+  using DeliveryHandler = std::function<void(const Packet&)>;
+
+  // queue_bytes == 0 sizes every queue at one bandwidth-delay product of
+  // an 8-hop path (the paper sets ns-2 queues to the BDP).
+  PacketNetwork(const topo::Topology& t, flowsim::EventQueue& events,
+                Bytes queue_bytes = 0);
+
+  // Delivered packets (those that survive every hop) are passed to the
+  // handler; it runs at the destination node of the last route link.
+  void set_delivery_handler(DeliveryHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  // Injects `p` at the source of its first route link.
+  void send(Packet p);
+
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+
+  // Bytes transmitted on `l` since the last reset_counters() call.
+  [[nodiscard]] Bytes bytes_sent(LinkId l) const {
+    return bytes_sent_[l.value()];
+  }
+  void reset_counters();
+
+  // Utilization of `l` over a window: bytes8 / (capacity * window).
+  [[nodiscard]] double utilization(LinkId l, Seconds window) const;
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+ private:
+  void transmit(Packet p);
+
+  const topo::Topology* topo_;
+  flowsim::EventQueue* events_;
+  DeliveryHandler deliver_;
+  std::vector<Seconds> free_at_;     // link serialization horizon
+  std::vector<Bytes> queued_;        // bytes currently queued per link
+  std::vector<Bytes> queue_cap_;
+  std::vector<Bytes> bytes_sent_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace dard::pktsim

@@ -1,0 +1,33 @@
+// Packet-level simulation primitives.
+//
+// The fluid simulator cannot express packet reordering or TCP
+// retransmission, which the paper's TeXCP comparison (Figures 13-14) is
+// about. pktsim is a compact packet-level engine — store-and-forward links
+// with drop-tail queues, TCP New Reno endpoints, per-flow or per-packet
+// routing — exercised on small (p=4) fat-trees, exactly the scale the
+// paper's testbed used for this experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace dard::pktsim {
+
+inline constexpr Bytes kMss = 1460;          // TCP payload per segment
+inline constexpr Bytes kDataPacketBytes = 1500;
+inline constexpr Bytes kAckPacketBytes = 40;
+
+struct Packet {
+  FlowId flow;
+  std::uint64_t seq = 0;    // segment number (data) / cumulative ack (ack)
+  bool is_ack = false;
+  Bytes size = kDataPacketBytes;
+  // Source route: remaining links to traverse; hop indexes into `route`.
+  std::vector<LinkId> route;
+  std::uint32_t hop = 0;
+};
+
+}  // namespace dard::pktsim

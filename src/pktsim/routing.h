@@ -1,0 +1,201 @@
+// Packet routing policies for the packet-level simulator.
+//
+// * FixedPathRouter — ECMP: one hashed path per flow, forever.
+// * AdaptiveFlowRouter — DARD on the packet substrate: each flow
+//   periodically runs Algorithm 1 against exact per-link flow counts
+//   (what the switches would report) and moves, whole-flow-at-a-time, from
+//   its smallest-BoNF path to the largest-BoNF path when the estimated
+//   gain beats δ.
+// * TexcpRouter — per-packet load-adaptive scattering: every ToR pair keeps
+//   per-path weights, probes path utilization every probe_interval
+//   (paper: 10 ms in the datacenter setting) and moves weight from
+//   over-utilized to under-utilized paths every control interval
+//   (5 probes, per Kandula et al.); data packets sample a path per packet,
+//   which is precisely what reorders TCP.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "addressing/tunnel.h"
+#include "common/rng.h"
+#include "pktsim/network.h"
+#include "topology/paths.h"
+
+namespace dard::pktsim {
+
+class PacketRouter {
+ public:
+  virtual ~PacketRouter() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  virtual void attach(PacketNetwork& net, flowsim::EventQueue& events) {
+    net_ = &net;
+    events_ = &events;
+  }
+  virtual void on_flow_started(FlowId flow, NodeId src_host,
+                               NodeId dst_host) = 0;
+  virtual void on_flow_finished(FlowId flow) = 0;
+
+  // Host-level route of the next data packet of `flow`.
+  [[nodiscard]] virtual const std::vector<LinkId>& route_for(FlowId flow,
+                                                             std::uint64_t seq) = 0;
+
+  // Path switches observed at flow granularity (0 for per-packet policies).
+  [[nodiscard]] virtual std::uint64_t path_switches(FlowId) const { return 0; }
+
+  // Extra bytes each packet carries (IP-in-IP outer header for tunneled
+  // routing; 0 for plain source routing).
+  [[nodiscard]] virtual Bytes encap_overhead() const { return 0; }
+
+ protected:
+  PacketNetwork* net_ = nullptr;
+  flowsim::EventQueue* events_ = nullptr;
+};
+
+// Shared bookkeeping: expanded host-level routes per (flow, path index).
+class PathSetRouter : public PacketRouter {
+ public:
+  explicit PathSetRouter(const topo::Topology& t) : topo_(&t), repo_(t) {}
+
+ protected:
+  struct FlowPaths {
+    NodeId src_host, dst_host;
+    std::vector<std::vector<LinkId>> routes;  // host-level, per path index
+    std::uint32_t current = 0;
+    std::uint64_t switches = 0;
+  };
+
+  // Default: routes from path enumeration; tunneled routers override to
+  // derive them from the installed forwarding tables instead.
+  virtual FlowPaths make_flow_paths(NodeId src_host, NodeId dst_host);
+
+  const topo::Topology* topo_;
+  topo::PathRepository repo_;
+  std::map<FlowId, FlowPaths> flows_;
+};
+
+class FixedPathRouter : public PathSetRouter {
+ public:
+  explicit FixedPathRouter(const topo::Topology& t) : PathSetRouter(t) {}
+  [[nodiscard]] const char* name() const override { return "ECMP"; }
+  void on_flow_started(FlowId flow, NodeId src, NodeId dst) override;
+  void on_flow_finished(FlowId flow) override { flows_.erase(flow); }
+  const std::vector<LinkId>& route_for(FlowId flow, std::uint64_t) override;
+};
+
+class AdaptiveFlowRouter : public PathSetRouter {
+ public:
+  AdaptiveFlowRouter(const topo::Topology& t, Seconds interval = 5.0,
+                     Seconds jitter = 5.0, Bps delta = 10 * kMbps,
+                     std::uint64_t seed = 21)
+      : PathSetRouter(t),
+        interval_(interval),
+        jitter_(jitter),
+        delta_(delta),
+        rng_(seed) {}
+
+  [[nodiscard]] const char* name() const override { return "DARD"; }
+  void on_flow_started(FlowId flow, NodeId src, NodeId dst) override;
+  void on_flow_finished(FlowId flow) override;
+  const std::vector<LinkId>& route_for(FlowId flow, std::uint64_t) override;
+  [[nodiscard]] std::uint64_t path_switches(FlowId flow) const override;
+  [[nodiscard]] std::uint64_t total_moves() const { return moves_; }
+
+ private:
+  void schedule_round();
+  void run_round();
+  [[nodiscard]] double path_bonf(const std::vector<LinkId>& route) const;
+
+  Seconds interval_, jitter_;
+  Bps delta_;
+  Rng rng_;
+  bool round_scheduled_ = false;
+  std::uint64_t moves_ = 0;
+  std::vector<std::uint32_t> link_flows_;  // flows per link (lazily sized)
+};
+
+// DARD with the full addressing stack: each candidate path is realized as
+// an IP-in-IP tunnel — an (outer source, outer destination) hierarchical
+// address pair — and packet routes come from tracing the *installed*
+// downhill/uphill tables rather than from path enumeration. Packets pay
+// the 20-byte outer-header tax. Behaviourally identical scheduling to
+// AdaptiveFlowRouter; used to validate that encapsulated forwarding
+// delivers exactly the scheduled paths (paper Sections 2.3 and 3.1).
+class TunneledAdaptiveRouter : public AdaptiveFlowRouter {
+ public:
+  TunneledAdaptiveRouter(const topo::Topology& t,
+                         const addr::AddressingPlan& plan,
+                         Seconds interval = 5.0, Seconds jitter = 5.0,
+                         Bps delta = 10 * kMbps, std::uint64_t seed = 21)
+      : AdaptiveFlowRouter(t, interval, jitter, delta, seed), plan_(&plan) {}
+
+  [[nodiscard]] const char* name() const override { return "DARD-tunneled"; }
+  [[nodiscard]] Bytes encap_overhead() const override;
+
+  // The tunnel header currently stamped on `flow`'s packets.
+  [[nodiscard]] addr::EncapHeader header_for(FlowId flow) const;
+
+ protected:
+  FlowPaths make_flow_paths(NodeId src_host, NodeId dst_host) override;
+
+ private:
+  const addr::AddressingPlan* plan_;
+};
+
+// TeXCP at two scheduling granularities:
+//  * flowlet_gap == 0 — per-packet scattering, as in the paper's TeXCP
+//    implementation ("we do not implement the flowlet mechanisms, thus
+//    each ToR schedules at the packet level");
+//  * flowlet_gap > 0 — the paper's future-work variant: a flow re-samples
+//    its path only after an idle gap longer than `flowlet_gap` (Sinha et
+//    al.'s flowlet switching), which preserves intra-burst ordering. The
+//    paper conjectures datacenter RTTs make this need very fine timers;
+//    the bench sweeps the gap to show the retransmission/agility trade.
+class TexcpRouter : public PathSetRouter {
+ public:
+  TexcpRouter(const topo::Topology& t, Seconds probe_interval = 0.010,
+              std::uint64_t seed = 31, Seconds flowlet_gap = 0)
+      : PathSetRouter(t),
+        probe_interval_(probe_interval),
+        flowlet_gap_(flowlet_gap),
+        rng_(seed) {}
+
+  [[nodiscard]] const char* name() const override {
+    return flowlet_gap_ > 0 ? "TeXCP-flowlet" : "TeXCP";
+  }
+  void attach(PacketNetwork& net, flowsim::EventQueue& events) override;
+  void on_flow_started(FlowId flow, NodeId src, NodeId dst) override;
+  void on_flow_finished(FlowId flow) override {
+    flows_.erase(flow);
+    flowlets_.erase(flow);
+  }
+  const std::vector<LinkId>& route_for(FlowId flow, std::uint64_t seq) override;
+
+  [[nodiscard]] std::uint64_t flowlet_count(FlowId flow) const;
+
+ private:
+  struct PairState {
+    std::vector<double> weights;          // per path index
+    std::vector<double> utilization;      // last probed per path
+  };
+  struct FlowletState {
+    Seconds last_packet = -1e18;
+    std::uint64_t flowlets = 0;
+  };
+
+  [[nodiscard]] std::uint32_t sample_path(const PairState& state);
+  void probe_tick();
+
+  Seconds probe_interval_;
+  Seconds flowlet_gap_;
+  Rng rng_;
+  std::map<std::pair<NodeId, NodeId>, PairState> pairs_;
+  std::map<FlowId, std::pair<NodeId, NodeId>> flow_pair_;
+  std::map<FlowId, FlowletState> flowlets_;
+  int probes_since_control_ = 0;
+  bool ticking_ = false;
+};
+
+}  // namespace dard::pktsim

@@ -1,0 +1,47 @@
+#include "pktsim/session.h"
+
+namespace dard::pktsim {
+
+PktSession::PktSession(const topo::Topology& t,
+                       std::unique_ptr<PacketRouter> router, TcpConfig tcp,
+                       Bytes queue_bytes)
+    : topo_(&t),
+      net_(t, events_, queue_bytes),
+      router_(std::move(router)),
+      tcp_(tcp) {
+  router_->attach(net_, events_);
+  net_.set_delivery_handler([this](const Packet& p) {
+    DCN_CHECK(p.flow.value() < flows_.size());
+    flows_[p.flow.value()]->on_packet(p);
+  });
+}
+
+FlowId PktSession::add_flow(const PktFlowSpec& spec) {
+  DCN_CHECK(spec.bytes > 0);
+  const FlowId id(static_cast<FlowId::value_type>(flows_.size()));
+  const std::uint64_t segments = (spec.bytes + kMss - 1) / kMss;
+  flows_.push_back(std::make_unique<TcpFlow>(id, spec.src_host, spec.dst_host,
+                                             segments, tcp_, *topo_, net_,
+                                             events_, *router_));
+  flows_.back()->start(spec.start);
+  return id;
+}
+
+bool PktSession::run(Seconds max_time) {
+  while (!all_done() && !events_.empty() && events_.now() <= max_time)
+    events_.run_next();
+  return all_done();
+}
+
+const TcpResult& PktSession::result(FlowId id) const {
+  DCN_CHECK(id.value() < flows_.size());
+  return flows_[id.value()]->result();
+}
+
+bool PktSession::all_done() const {
+  for (const auto& f : flows_)
+    if (!f->result().done()) return false;
+  return true;
+}
+
+}  // namespace dard::pktsim

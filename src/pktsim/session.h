@@ -1,0 +1,46 @@
+// Packet-level experiment session: topology + network + router + TCP flows.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pktsim/tcp.h"
+
+namespace dard::pktsim {
+
+struct PktFlowSpec {
+  NodeId src_host;
+  NodeId dst_host;
+  Bytes bytes = 0;
+  Seconds start = 0;
+};
+
+class PktSession {
+ public:
+  PktSession(const topo::Topology& t, std::unique_ptr<PacketRouter> router,
+             TcpConfig tcp = {}, Bytes queue_bytes = 0);
+
+  FlowId add_flow(const PktFlowSpec& spec);
+
+  // Runs until every flow completes; aborts past `max_time` (a stuck
+  // simulation is a bug, surfaced by the returned flag).
+  bool run(Seconds max_time);
+
+  [[nodiscard]] const TcpResult& result(FlowId id) const;
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] bool all_done() const;
+
+  [[nodiscard]] PacketRouter& router() { return *router_; }
+  [[nodiscard]] PacketNetwork& network() { return net_; }
+  [[nodiscard]] flowsim::EventQueue& events() { return events_; }
+
+ private:
+  const topo::Topology* topo_;
+  flowsim::EventQueue events_;
+  PacketNetwork net_;
+  std::unique_ptr<PacketRouter> router_;
+  TcpConfig tcp_;
+  std::vector<std::unique_ptr<TcpFlow>> flows_;
+};
+
+}  // namespace dard::pktsim

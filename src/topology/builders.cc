@@ -1,0 +1,122 @@
+#include "topology/builders.h"
+
+#include <vector>
+
+namespace dard::topo {
+
+int fat_tree_inter_pod_paths(int p) { return (p / 2) * (p / 2); }
+int clos_inter_pod_paths(int d_a) { return 2 * d_a; }
+
+Topology build_fat_tree(const FatTreeParams& params) {
+  const int p = params.p;
+  DCN_CHECK_MSG(p >= 4 && p % 2 == 0, "fat-tree requires even p >= 4");
+  const int hosts_per_tor = params.hosts_per_tor < 0 ? p / 2
+                                                     : params.hosts_per_tor;
+  const int half = p / 2;
+
+  Topology t;
+
+  // Cores first: core index c in [0, (p/2)^2); core c is reachable from
+  // aggregation switch (c / half) of every pod, on that switch's uplink
+  // (c % half).
+  std::vector<NodeId> cores;
+  cores.reserve(static_cast<std::size_t>(half) * half);
+  for (int c = 0; c < half * half; ++c)
+    cores.push_back(t.add_node(NodeKind::Core, -1, c));
+
+  for (int pod = 0; pod < p; ++pod) {
+    std::vector<NodeId> aggs, tors;
+    for (int a = 0; a < half; ++a) aggs.push_back(t.add_node(NodeKind::Agg, pod, a));
+    for (int r = 0; r < half; ++r) tors.push_back(t.add_node(NodeKind::Tor, pod, r));
+
+    for (int a = 0; a < half; ++a) {
+      // Full bipartite ToR <-> Agg inside the pod.
+      for (int r = 0; r < half; ++r)
+        t.add_cable(tors[r], aggs[a], params.link_capacity, params.link_delay);
+      // Agg a uplinks to cores [a*half, (a+1)*half).
+      for (int u = 0; u < half; ++u)
+        t.add_cable(aggs[a], cores[static_cast<std::size_t>(a) * half + u],
+                    params.link_capacity, params.link_delay);
+    }
+    for (int r = 0; r < half; ++r) {
+      for (int h = 0; h < hosts_per_tor; ++h) {
+        const NodeId host = t.add_node(NodeKind::Host, pod, r * hosts_per_tor + h);
+        t.add_cable(host, tors[r], params.link_capacity, params.link_delay);
+      }
+    }
+  }
+  return t;
+}
+
+Topology build_clos(const ClosParams& params) {
+  const int d_i = params.d_i;
+  const int d_a = params.d_a;
+  DCN_CHECK_MSG(d_i >= 2 && d_a >= 2 && d_a % 2 == 0,
+                "Clos requires d_i >= 2 and even d_a >= 2");
+  const int intermediates = d_a / 2;
+  const int tor_count = d_i * d_a / 4;
+  const int pods = d_i / 2;  // ToRs sharing an aggregation pair form a pod
+
+  Topology t;
+
+  std::vector<NodeId> inters;
+  for (int i = 0; i < intermediates; ++i)
+    inters.push_back(t.add_node(NodeKind::Core, -1, i));
+
+  // Aggregation switch a belongs to pod a/2 (pods are pairs of adjacent
+  // aggregation switches).
+  std::vector<NodeId> aggs;
+  for (int a = 0; a < d_i; ++a)
+    aggs.push_back(t.add_node(NodeKind::Agg, a / 2, a % 2));
+
+  for (int a = 0; a < d_i; ++a)
+    for (int i = 0; i < intermediates; ++i)
+      t.add_cable(aggs[a], inters[i], params.link_capacity, params.link_delay);
+
+  // ToR r dual-homes to the aggregation pair of pod (r % pods); its index
+  // within the pod is r / pods.
+  for (int r = 0; r < tor_count; ++r) {
+    const int pod = r % pods;
+    const NodeId tor = t.add_node(NodeKind::Tor, pod, r / pods);
+    t.add_cable(tor, aggs[static_cast<std::size_t>(2) * pod],
+                params.link_capacity, params.link_delay);
+    t.add_cable(tor, aggs[static_cast<std::size_t>(2) * pod + 1],
+                params.link_capacity, params.link_delay);
+    for (int h = 0; h < params.hosts_per_tor; ++h) {
+      const NodeId host =
+          t.add_node(NodeKind::Host, pod, (r / pods) * params.hosts_per_tor + h);
+      t.add_cable(host, tor, params.link_capacity, params.link_delay);
+    }
+  }
+  return t;
+}
+
+Topology build_three_tier(const ThreeTierParams& params) {
+  Topology t;
+
+  std::vector<NodeId> cores;
+  for (int c = 0; c < params.cores; ++c)
+    cores.push_back(t.add_node(NodeKind::Core, -1, c));
+
+  for (int pod = 0; pod < params.pods; ++pod) {
+    const NodeId agg0 = t.add_node(NodeKind::Agg, pod, 0);
+    const NodeId agg1 = t.add_node(NodeKind::Agg, pod, 1);
+    for (const NodeId agg : {agg0, agg1})
+      for (const NodeId core : cores)
+        t.add_cable(agg, core, params.agg_up, params.link_delay);
+
+    for (int acc = 0; acc < params.access_per_pod; ++acc) {
+      const NodeId access = t.add_node(NodeKind::Tor, pod, acc);
+      t.add_cable(access, agg0, params.access_up, params.link_delay);
+      t.add_cable(access, agg1, params.access_up, params.link_delay);
+      for (int h = 0; h < params.hosts_per_access; ++h) {
+        const NodeId host =
+            t.add_node(NodeKind::Host, pod, acc * params.hosts_per_access + h);
+        t.add_cable(host, access, params.host_link, params.link_delay);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace dard::topo

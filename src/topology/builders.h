@@ -1,0 +1,51 @@
+// Builders for the paper's three evaluation topologies.
+//
+// * fat-tree(p): Al-Fares et al.'s p-port commodity fat-tree — p pods of
+//   p/2 ToRs and p/2 aggregation switches, (p/2)^2 cores, p^3/4 hosts,
+//   oversubscription 1:1.
+// * Clos(D_I, D_A): VL2-style Clos — D_I aggregation switches with D_A
+//   ports each, D_A/2 intermediate ("core") switches with D_I ports each,
+//   D_I*D_A/4 ToRs, each ToR dual-homed to two aggregation switches;
+//   2*D_A equal-cost paths between ToRs in different pods.
+// * three-tier: the Cisco-reference 8-core 3-tier topology with access
+//   oversubscription 2.5:1 and aggregation oversubscription 1.5:1.
+#pragma once
+
+#include "topology/topology.h"
+
+namespace dard::topo {
+
+struct FatTreeParams {
+  int p = 4;  // switch port count; must be even and >= 4
+  int hosts_per_tor = -1;  // default p/2 (full fat-tree)
+  Bps link_capacity = 1 * kGbps;
+  Seconds link_delay = 0.0001;  // 0.1 ms, the paper's ns-2 setting
+};
+
+struct ClosParams {
+  int d_i = 4;  // ports per intermediate switch == number of agg switches
+  int d_a = 4;  // ports per aggregation switch; intermediates = d_a/2
+  int hosts_per_tor = 2;
+  Bps link_capacity = 1 * kGbps;
+  Seconds link_delay = 0.0001;
+};
+
+struct ThreeTierParams {
+  int cores = 8;
+  int pods = 4;                 // each pod: 2 aggregation switches
+  int access_per_pod = 6;       // access (ToR-role) switches per pod
+  int hosts_per_access = 10;    // 10 x 1G down, 2 x 2G up => 2.5:1 access
+  Bps host_link = 1 * kGbps;    // host <-> access
+  Bps access_up = 2 * kGbps;    // access <-> agg (per agg)
+  Bps agg_up = 1 * kGbps;       // agg <-> core (per core); 12G/8G => 1.5:1
+  Seconds link_delay = 0.0001;
+};
+
+[[nodiscard]] Topology build_fat_tree(const FatTreeParams& params);
+[[nodiscard]] Topology build_clos(const ClosParams& params);
+[[nodiscard]] Topology build_three_tier(const ThreeTierParams& params);
+
+// Number of equal-cost inter-pod ToR-to-ToR paths each topology provides.
+[[nodiscard]] int fat_tree_inter_pod_paths(int p);       // (p/2)^2
+[[nodiscard]] int clos_inter_pod_paths(int d_a);         // 2 * d_a
+}  // namespace dard::topo

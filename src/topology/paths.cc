@@ -1,0 +1,117 @@
+#include "topology/paths.h"
+
+#include <algorithm>
+
+namespace dard::topo {
+
+namespace {
+
+bool contains(const Path& p, NodeId n) {
+  return std::find(p.nodes.begin(), p.nodes.end(), n) != p.nodes.end();
+}
+
+// All strictly-descending *simple* paths from `from` to `target` (appended
+// to `out`, each prefixed with `prefix`). The simplicity constraint rules
+// out degenerate detours such as tor->agg->core->agg->tor inside one
+// fat-tree pod, which revisit the aggregation switch.
+void descend(const Topology& t, NodeId from, NodeId target, Path prefix,
+             std::vector<Path>* out) {
+  if (from == target) {
+    out->push_back(std::move(prefix));
+    return;
+  }
+  const int from_layer = layer_of(t.node(from).kind);
+  const int target_layer = layer_of(t.node(target).kind);
+  if (from_layer <= target_layer) return;
+  for (const LinkId l : t.out_links(from)) {
+    const NodeId next = t.link(l).dst;
+    if (layer_of(t.node(next).kind) != from_layer - 1) continue;
+    if (contains(prefix, next)) continue;
+    Path extended = prefix;
+    extended.nodes.push_back(next);
+    extended.links.push_back(l);
+    descend(t, next, target, std::move(extended), out);
+  }
+}
+
+// DFS upward from `from`; at every node (including `from` itself) attempt
+// to turn around and descend to `target`.
+void ascend(const Topology& t, NodeId from, NodeId target, Path prefix,
+            std::vector<Path>* out) {
+  descend(t, from, target, prefix, out);
+  const int from_layer = layer_of(t.node(from).kind);
+  for (const LinkId l : t.out_links(from)) {
+    const NodeId next = t.link(l).dst;
+    if (layer_of(t.node(next).kind) != from_layer + 1) continue;
+    if (contains(prefix, next)) continue;
+    Path extended = prefix;
+    extended.nodes.push_back(next);
+    extended.links.push_back(l);
+    ascend(t, next, target, std::move(extended), out);
+  }
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_tor_paths(const Topology& t, NodeId src_tor,
+                                      NodeId dst_tor) {
+  DCN_CHECK(t.node(src_tor).kind == NodeKind::Tor);
+  DCN_CHECK(t.node(dst_tor).kind == NodeKind::Tor);
+
+  Path start;
+  start.nodes.push_back(src_tor);
+  if (src_tor == dst_tor) return {start};
+
+  std::vector<Path> out;
+  ascend(t, src_tor, dst_tor, std::move(start), &out);
+
+  // Shortest (fewest hops) first, then lexicographic by node ids, so the
+  // ith path is stable and "path through core i" keeps the paper's order.
+  std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
+    if (a.links.size() != b.links.size())
+      return a.links.size() < b.links.size();
+    return std::lexicographical_compare(
+        a.nodes.begin(), a.nodes.end(), b.nodes.begin(), b.nodes.end());
+  });
+  return out;
+}
+
+Path host_path(const Topology& t, NodeId src_host, NodeId dst_host,
+               const Path& tor_path) {
+  DCN_CHECK(!tor_path.nodes.empty());
+  DCN_CHECK(t.tor_of_host(src_host) == tor_path.nodes.front());
+  DCN_CHECK(t.tor_of_host(dst_host) == tor_path.nodes.back());
+
+  Path full;
+  full.nodes.reserve(tor_path.nodes.size() + 2);
+  full.links.reserve(tor_path.links.size() + 2);
+
+  full.nodes.push_back(src_host);
+  const LinkId up = t.find_link(src_host, tor_path.nodes.front());
+  DCN_CHECK(up.valid());
+  full.links.push_back(up);
+
+  full.nodes.insert(full.nodes.end(), tor_path.nodes.begin(),
+                    tor_path.nodes.end());
+  full.links.insert(full.links.end(), tor_path.links.begin(),
+                    tor_path.links.end());
+
+  const LinkId down = t.find_link(tor_path.nodes.back(), dst_host);
+  DCN_CHECK(down.valid());
+  full.links.push_back(down);
+  full.nodes.push_back(dst_host);
+  return full;
+}
+
+const std::vector<Path>& PathRepository::tor_paths(NodeId src_tor,
+                                                   NodeId dst_tor) {
+  const auto key = std::make_pair(src_tor, dst_tor);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, enumerate_tor_paths(*topo_, src_tor, dst_tor))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace dard::topo

@@ -1,0 +1,49 @@
+// Equal-cost path enumeration for multi-rooted trees.
+//
+// DARD schedules among the valley-free (strictly up, then strictly down)
+// paths between a source and destination ToR. Enumeration is generic over
+// any Topology whose node kinds form layers, so the same code serves
+// fat-tree, Clos and the 3-tier topology. A PathRepository memoizes the
+// per-ToR-pair path sets, which every scheduler queries constantly.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace dard::topo {
+
+struct Path {
+  std::vector<NodeId> nodes;  // src ToR ... dst ToR, inclusive
+  std::vector<LinkId> links;  // directed links between consecutive nodes
+
+  [[nodiscard]] bool empty() const { return links.empty(); }
+};
+
+// All valley-free paths from src_tor to dst_tor, deterministic order
+// (lexicographic in node ids, so "path i" is stable across runs). For
+// src_tor == dst_tor returns one trivial path with no links.
+[[nodiscard]] std::vector<Path> enumerate_tor_paths(const Topology& t,
+                                                    NodeId src_tor,
+                                                    NodeId dst_tor);
+
+// Complete host-to-host path: src host uplink + tor_path + dst host downlink.
+[[nodiscard]] Path host_path(const Topology& t, NodeId src_host,
+                             NodeId dst_host, const Path& tor_path);
+
+class PathRepository {
+ public:
+  explicit PathRepository(const Topology& t) : topo_(&t) {}
+
+  // Memoized enumerate_tor_paths.
+  const std::vector<Path>& tor_paths(NodeId src_tor, NodeId dst_tor);
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+ private:
+  const Topology* topo_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache_;
+};
+
+}  // namespace dard::topo

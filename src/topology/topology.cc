@@ -1,0 +1,118 @@
+#include "topology/topology.h"
+
+#include <sstream>
+
+namespace dard::topo {
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::Host:
+      return "host";
+    case NodeKind::Tor:
+      return "tor";
+    case NodeKind::Agg:
+      return "agg";
+    case NodeKind::Core:
+      return "core";
+  }
+  return "?";
+}
+
+int layer_of(NodeKind k) {
+  switch (k) {
+    case NodeKind::Host:
+      return 0;
+    case NodeKind::Tor:
+      return 1;
+    case NodeKind::Agg:
+      return 2;
+    case NodeKind::Core:
+      return 3;
+  }
+  return -1;
+}
+
+namespace {
+std::uint64_t endpoint_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+}
+}  // namespace
+
+NodeId Topology::add_node(NodeKind kind, int pod, int index) {
+  const NodeId id(static_cast<NodeId::value_type>(nodes_.size()));
+  std::ostringstream name;
+  name << to_string(kind);
+  if (pod >= 0) name << pod << '_';
+  name << index;
+  nodes_.push_back(Node{id, kind, pod, index, name.str()});
+  out_.emplace_back();
+  switch (kind) {
+    case NodeKind::Host:
+      hosts_.push_back(id);
+      break;
+    case NodeKind::Tor:
+      tors_.push_back(id);
+      break;
+    case NodeKind::Agg:
+      aggs_.push_back(id);
+      break;
+    case NodeKind::Core:
+      cores_.push_back(id);
+      break;
+  }
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::add_cable(NodeId a, NodeId b, Bps capacity,
+                                              Seconds delay) {
+  DCN_CHECK(a.value() < nodes_.size() && b.value() < nodes_.size());
+  DCN_CHECK_MSG(!find_link(a, b).valid(), "duplicate cable");
+  auto add_directed = [&](NodeId s, NodeId d) {
+    const LinkId id(static_cast<LinkId::value_type>(links_.size()));
+    links_.push_back(Link{id, s, d, capacity, delay});
+    out_[s.value()].push_back(id);
+    by_endpoints_.emplace(endpoint_key(s, d), id);
+    return id;
+  };
+  return {add_directed(a, b), add_directed(b, a)};
+}
+
+LinkId Topology::find_link(NodeId a, NodeId b) const {
+  const auto it = by_endpoints_.find(endpoint_key(a, b));
+  return it == by_endpoints_.end() ? LinkId() : it->second;
+}
+
+NodeId Topology::tor_of_host(NodeId host) const {
+  DCN_CHECK(node(host).kind == NodeKind::Host);
+  const auto& out = out_links(host);
+  DCN_CHECK_MSG(out.size() == 1, "host must have exactly one uplink");
+  return link(out.front()).dst;
+}
+
+std::vector<NodeId> Topology::up_neighbors(NodeId n) const {
+  std::vector<NodeId> result;
+  const int layer = layer_of(node(n).kind);
+  for (const LinkId l : out_links(n)) {
+    const NodeId peer = link(l).dst;
+    if (layer_of(node(peer).kind) == layer + 1) result.push_back(peer);
+  }
+  return result;
+}
+
+std::vector<NodeId> Topology::down_neighbors(NodeId n) const {
+  std::vector<NodeId> result;
+  const int layer = layer_of(node(n).kind);
+  for (const LinkId l : out_links(n)) {
+    const NodeId peer = link(l).dst;
+    if (layer_of(node(peer).kind) == layer - 1) result.push_back(peer);
+  }
+  return result;
+}
+
+bool Topology::is_switch_switch(LinkId l) const {
+  const Link& lk = link(l);
+  return node(lk.src).kind != NodeKind::Host &&
+         node(lk.dst).kind != NodeKind::Host;
+}
+
+}  // namespace dard::topo

@@ -1,0 +1,152 @@
+#include "traffic/patterns.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dard::traffic {
+
+using topo::NodeKind;
+using topo::Topology;
+
+const char* to_string(PatternKind k) {
+  switch (k) {
+    case PatternKind::Random:
+      return "random";
+    case PatternKind::Staggered:
+      return "staggered";
+    case PatternKind::Stride:
+      return "stride";
+  }
+  return "?";
+}
+
+DestinationPicker::DestinationPicker(const Topology& t, PatternParams params)
+    : topo_(&t), params_(params), hosts_(t.hosts()) {
+  DCN_CHECK_MSG(hosts_.size() >= 2, "need at least two hosts");
+
+  host_index_.assign(t.node_count(), 0);
+  tor_ordinal_.assign(t.node_count(), 0);
+  for (std::size_t i = 0; i < hosts_.size(); ++i)
+    host_index_[hosts_[i].value()] = static_cast<std::uint32_t>(i);
+
+  // Group hosts by ToR and by pod. Pods are contiguous small integers in
+  // every builder.
+  int max_pod = -1;
+  for (const NodeId h : hosts_) max_pod = std::max(max_pod, t.node(h).pod);
+  hosts_by_pod_.assign(static_cast<std::size_t>(max_pod) + 1, {});
+
+  for (const NodeId tor : t.tors()) {
+    const auto ordinal = static_cast<std::uint32_t>(hosts_by_tor_.size());
+    tor_ordinal_[tor.value()] = ordinal;
+    hosts_by_tor_.emplace_back();
+  }
+  for (const NodeId h : hosts_) {
+    hosts_by_tor_[tor_ordinal_[t.tor_of_host(h).value()]].push_back(h);
+    hosts_by_pod_[static_cast<std::size_t>(t.node(h).pod)].push_back(h);
+  }
+
+  if (params_.kind == PatternKind::Stride) {
+    effective_stride_ = params_.stride;
+    if (effective_stride_ < 0) {
+      // Auto: one pod's worth of hosts, so source and destination always
+      // land in different pods.
+      effective_stride_ =
+          static_cast<int>(hosts_.size() / hosts_by_pod_.size());
+      if (effective_stride_ == 0) effective_stride_ = 1;
+    }
+    DCN_CHECK_MSG(
+        static_cast<std::size_t>(effective_stride_) % hosts_.size() != 0,
+        "stride must not map a host to itself");
+  }
+}
+
+NodeId DestinationPicker::pick(NodeId src, Rng& rng) const {
+  DCN_CHECK(topo_->node(src).kind == NodeKind::Host);
+  switch (params_.kind) {
+    case PatternKind::Random:
+      return pick_random(src, rng);
+    case PatternKind::Staggered:
+      return pick_staggered(src, rng);
+    case PatternKind::Stride:
+      return pick_stride(src);
+  }
+  DCN_CHECK(false);
+  return NodeId();
+}
+
+NodeId DestinationPicker::pick_random(NodeId src, Rng& rng) const {
+  while (true) {
+    const NodeId d = hosts_[rng.next_below(hosts_.size())];
+    if (d != src) return d;
+  }
+}
+
+NodeId DestinationPicker::pick_staggered(NodeId src, Rng& rng) const {
+  const double coin = rng.uniform();
+  const auto& same_tor =
+      hosts_by_tor_[tor_ordinal_[topo_->tor_of_host(src).value()]];
+  const auto& same_pod =
+      hosts_by_pod_[static_cast<std::size_t>(topo_->node(src).pod)];
+
+  if (coin < params_.tor_p && same_tor.size() > 1) {
+    while (true) {
+      const NodeId d = same_tor[rng.next_below(same_tor.size())];
+      if (d != src) return d;
+    }
+  }
+  if (coin < params_.tor_p + params_.pod_p && same_pod.size() > same_tor.size()) {
+    // Same pod, different ToR.
+    const NodeId src_tor = topo_->tor_of_host(src);
+    while (true) {
+      const NodeId d = same_pod[rng.next_below(same_pod.size())];
+      if (topo_->tor_of_host(d) != src_tor) return d;
+    }
+  }
+  // Different pod.
+  const int src_pod = topo_->node(src).pod;
+  while (true) {
+    const NodeId d = hosts_[rng.next_below(hosts_.size())];
+    if (topo_->node(d).pod != src_pod) return d;
+  }
+}
+
+NodeId DestinationPicker::pick_stride(NodeId src) const {
+  const std::size_t x = host_index_[src.value()];
+  return hosts_[(x + static_cast<std::size_t>(effective_stride_)) %
+                hosts_.size()];
+}
+
+std::vector<flowsim::FlowSpec> generate_workload(const Topology& t,
+                                                 const WorkloadParams& params) {
+  DCN_CHECK(params.mean_interarrival > 0);
+  DCN_CHECK(params.duration > 0);
+
+  DestinationPicker picker(t, params.pattern);
+  Rng root(params.seed);
+  std::vector<flowsim::FlowSpec> specs;
+
+  for (const NodeId src : t.hosts()) {
+    Rng rng = root.fork(src.value());
+    Seconds at = rng.exponential(params.mean_interarrival);
+    while (at < params.duration) {
+      flowsim::FlowSpec s;
+      s.src_host = src;
+      s.dst_host = picker.pick(src, rng);
+      s.size = params.flow_size;
+      s.arrival = at;
+      s.src_port = static_cast<std::uint16_t>(rng.bits());
+      s.dst_port = static_cast<std::uint16_t>(rng.bits());
+      specs.push_back(s);
+      at += rng.exponential(params.mean_interarrival);
+    }
+  }
+  std::sort(specs.begin(), specs.end(),
+            [](const flowsim::FlowSpec& a, const flowsim::FlowSpec& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.src_host < b.src_host;
+            });
+  return specs;
+}
+
+}  // namespace dard::traffic

@@ -1,0 +1,77 @@
+// Traffic patterns (paper Section 4.1).
+//
+// Three destination-selection disciplines over the hosts of a topology:
+//   random:    any other host, uniformly;
+//   staggered(ToRP, PodP): same-ToR host with probability ToRP, same-pod
+//              host with probability PodP, other-pod host otherwise
+//              (paper uses ToRP=.5, PodP=.3);
+//   stride(k): host with index (x + k) mod N — with k chosen a multiple of
+//              the pod size every flow crosses pods.
+// A workload overlays exponential (Poisson) flow inter-arrivals per source
+// on the chosen pattern; every elephant transfers a fixed-size file
+// (128 MB in the paper).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "flowsim/flow.h"
+#include "topology/topology.h"
+
+namespace dard::traffic {
+
+enum class PatternKind : std::uint8_t { Random, Staggered, Stride };
+
+[[nodiscard]] const char* to_string(PatternKind k);
+
+struct PatternParams {
+  PatternKind kind = PatternKind::Random;
+  double tor_p = 0.5;  // staggered only
+  double pod_p = 0.3;  // staggered only
+  int stride = -1;     // stride only; -1 = auto (hosts per pod)
+};
+
+// Picks flow destinations for each source host under a pattern.
+class DestinationPicker {
+ public:
+  DestinationPicker(const topo::Topology& t, PatternParams params);
+
+  // Destination for a flow sourced at `src`; never equals `src`.
+  [[nodiscard]] NodeId pick(NodeId src, Rng& rng) const;
+
+  [[nodiscard]] const PatternParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] NodeId pick_random(NodeId src, Rng& rng) const;
+  [[nodiscard]] NodeId pick_staggered(NodeId src, Rng& rng) const;
+  [[nodiscard]] NodeId pick_stride(NodeId src) const;
+
+  const topo::Topology* topo_;
+  PatternParams params_;
+  std::vector<NodeId> hosts_;                       // index -> host
+  std::vector<std::uint32_t> host_index_;           // node id -> index
+  std::vector<std::vector<NodeId>> hosts_by_tor_;   // tor order
+  std::vector<std::vector<NodeId>> hosts_by_pod_;
+  std::vector<std::uint32_t> tor_ordinal_;          // node id -> hosts_by_tor_ row
+  int effective_stride_ = 1;
+};
+
+struct WorkloadParams {
+  PatternParams pattern;
+  // Mean inter-arrival per source host (exponential); the paper's testbed
+  // sweeps per-pair rates 1..10/s, its simulator uses 0.2 s expectation.
+  Seconds mean_interarrival = 1.0;
+  Bytes flow_size = 128 * kMiB;
+  Seconds duration = 60.0;  // generation window [0, duration)
+  std::uint64_t seed = 1;
+};
+
+// All flow arrivals of a workload, sorted by arrival time.
+[[nodiscard]] std::vector<flowsim::FlowSpec> generate_workload(
+    const topo::Topology& t, const WorkloadParams& params);
+
+}  // namespace dard::traffic

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "addressing/hierarchical.h"
+#include "addressing/name_service.h"
+#include "topology/builders.h"
+
+namespace dard::addr {
+namespace {
+
+using topo::build_clos;
+using topo::build_fat_tree;
+using topo::build_three_tier;
+using topo::NodeKind;
+using topo::Topology;
+
+TEST(Address, GroupAccess) {
+  const Address a(1, 2, 3, 4);
+  EXPECT_EQ(a.group(0), 1);
+  EXPECT_EQ(a.group(1), 2);
+  EXPECT_EQ(a.group(2), 3);
+  EXPECT_EQ(a.group(3), 4);
+  EXPECT_EQ(a.to_string(), "(1,2,3,4)");
+}
+
+TEST(Address, WithGroup) {
+  const Address a(1, 2, 3, 4);
+  const Address b = a.with_group(2, 9);
+  EXPECT_EQ(b.group(2), 9);
+  EXPECT_EQ(b.group(0), 1);
+  EXPECT_EQ(a.group(2), 3);  // original untouched
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(Address(1, 2, 0, 0), 2);
+  EXPECT_TRUE(p.contains(Address(1, 2, 3, 4)));
+  EXPECT_TRUE(p.contains(Address(1, 2, 0, 0)));
+  EXPECT_FALSE(p.contains(Address(1, 3, 3, 4)));
+  EXPECT_FALSE(p.contains(Address(2, 2, 3, 4)));
+}
+
+TEST(Prefix, CanonicalizesTail) {
+  // Construction zeroes groups beyond the length.
+  const Prefix p(Address(1, 2, 3, 4), 2);
+  EXPECT_EQ(p.base(), Address(1, 2, 0, 0));
+}
+
+TEST(Prefix, ContainsPrefixAndExtend) {
+  const Prefix root(Address(5, 0, 0, 0), 1);
+  const Prefix child = root.extend(7);
+  EXPECT_EQ(child.groups(), 2);
+  EXPECT_EQ(child.base(), Address(5, 7, 0, 0));
+  EXPECT_TRUE(root.contains(child));
+  EXPECT_FALSE(child.contains(root));
+}
+
+TEST(LpmTable, LongestMatchWins) {
+  LpmTable table;
+  table.insert(Prefix(Address(1, 0, 0, 0), 1), LinkId(10));
+  table.insert(Prefix(Address(1, 2, 0, 0), 2), LinkId(20));
+  EXPECT_EQ(table.lookup(Address(1, 2, 3, 4)), LinkId(20));
+  EXPECT_EQ(table.lookup(Address(1, 9, 3, 4)), LinkId(10));
+  EXPECT_FALSE(table.lookup(Address(2, 0, 0, 0)).valid());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+class PlanTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    topo_ = build_fat_tree({.p = GetParam()});
+    plan_ = std::make_unique<AddressingPlan>(topo_);
+  }
+  Topology topo_;
+  std::unique_ptr<AddressingPlan> plan_;
+};
+
+TEST_P(PlanTest, EveryHostGetsOneAddressPerCore) {
+  // Paper: "every end host gets p^2/4 addresses, each of which stands for
+  // its position in one of the trees."
+  for (const NodeId h : topo_.hosts())
+    EXPECT_EQ(plan_->host_addresses(h).size(), topo_.cores().size());
+}
+
+TEST_P(PlanTest, AddressesAreGloballyUnique) {
+  std::set<std::uint64_t> seen;
+  for (const NodeId h : topo_.hosts())
+    for (const auto& rec : plan_->host_addresses(h))
+      EXPECT_TRUE(seen.insert(rec.address.raw()).second)
+          << rec.address.to_string();
+}
+
+TEST_P(PlanTest, AllocPathsStartAtDistinctRoots) {
+  for (const NodeId h : topo_.hosts()) {
+    std::set<NodeId> roots;
+    for (const auto& rec : plan_->host_addresses(h)) {
+      EXPECT_EQ(rec.alloc_path.back(), h);
+      EXPECT_EQ(topo_.node(rec.alloc_path.front()).kind, NodeKind::Core);
+      roots.insert(rec.alloc_path.front());
+    }
+    EXPECT_EQ(roots.size(), topo_.cores().size());
+  }
+}
+
+TEST_P(PlanTest, HostOfRoundTrips) {
+  for (const NodeId h : topo_.hosts())
+    for (const auto& rec : plan_->host_addresses(h))
+      EXPECT_EQ(plan_->host_of(rec.address), h);
+  EXPECT_FALSE(plan_->host_of(Address(0, 0, 0, 0)).valid());
+}
+
+TEST_P(PlanTest, CoresHaveNoUphillTable) {
+  for (const NodeId core : topo_.cores()) {
+    EXPECT_EQ(plan_->uphill_table(core).size(), 0u);
+    EXPECT_GT(plan_->downhill_table(core).size(), 0u);
+  }
+}
+
+TEST_P(PlanTest, TraceFollowsEveryAddressPair) {
+  // For any (src address, dst address) under a common root, forwarding
+  // must deliver, and the peak of the traced path must be in that tree.
+  const NodeId src = topo_.hosts().front();
+  const NodeId dst = topo_.hosts().back();
+  for (const auto& src_rec : plan_->host_addresses(src)) {
+    for (const auto& dst_rec : plan_->host_addresses(dst)) {
+      if (src_rec.alloc_path.front() != dst_rec.alloc_path.front()) continue;
+      const topo::Path p = plan_->trace(src_rec.address, dst_rec.address);
+      EXPECT_EQ(p.nodes.front(), src);
+      EXPECT_EQ(p.nodes.back(), dst);
+    }
+  }
+}
+
+TEST_P(PlanTest, EncodeTraceRoundTripsEveryInterPodPath) {
+  const NodeId src = topo_.hosts().front();
+  const NodeId dst = topo_.hosts().back();
+  const auto& tor_paths = topo::enumerate_tor_paths(
+      topo_, topo_.tor_of_host(src), topo_.tor_of_host(dst));
+  for (const auto& tp : tor_paths) {
+    const topo::Path full = topo::host_path(topo_, src, dst, tp);
+    const auto pair = plan_->encode(full);
+    ASSERT_TRUE(pair.has_value());
+    const topo::Path traced = plan_->trace(pair->first, pair->second);
+    EXPECT_EQ(traced.nodes, full.nodes)
+        << "pair " << pair->first.to_string() << " -> "
+        << pair->second.to_string();
+  }
+}
+
+TEST_P(PlanTest, DistinctPathsGetDistinctAddressPairs) {
+  const NodeId src = topo_.hosts().front();
+  const NodeId dst = topo_.hosts().back();
+  const auto& tor_paths = topo::enumerate_tor_paths(
+      topo_, topo_.tor_of_host(src), topo_.tor_of_host(dst));
+  std::set<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  for (const auto& tp : tor_paths) {
+    const auto pair =
+        plan_->encode(topo::host_path(topo_, src, dst, tp));
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_TRUE(
+        pairs.emplace(pair->first.raw(), pair->second.raw()).second);
+  }
+}
+
+TEST_P(PlanTest, OrdinaryModeAvailableAndEquivalentOnFatTree) {
+  // Paper Table 3: a destination-keyed table suffices on fat-trees.
+  ASSERT_TRUE(plan_->ordinary_mode_available());
+  const NodeId src = topo_.hosts().front();
+  const NodeId dst = topo_.hosts().back();
+  for (const auto& src_rec : plan_->host_addresses(src)) {
+    for (const auto& dst_rec : plan_->host_addresses(dst)) {
+      if (src_rec.alloc_path.front() != dst_rec.alloc_path.front()) continue;
+      const topo::Path p = plan_->trace(src_rec.address, dst_rec.address);
+      // Replay with the ordinary table; hops must agree at every switch.
+      for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+        EXPECT_EQ(plan_->forward_ordinary(p.nodes[i], dst_rec.address),
+                  p.links[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanTest, ::testing::Values(4, 8));
+
+TEST(PlanClos, OrdinaryModeUnavailable) {
+  // Paper: "picking a core switch as the intermediate node cannot determine
+  // either the uphill path or the downhill path for a Clos network."
+  const Topology t = build_clos({.d_i = 4, .d_a = 4, .hosts_per_tor = 2});
+  const AddressingPlan plan(t);
+  EXPECT_FALSE(plan.ordinary_mode_available());
+}
+
+TEST(PlanClos, HostsGetOneAddressPerRootPerAgg) {
+  // Every ToR is dual-homed, so each host owns 2 * (d_a/2) addresses.
+  const int d = 4;
+  const Topology t = build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 2});
+  const AddressingPlan plan(t);
+  for (const NodeId h : t.hosts())
+    EXPECT_EQ(plan.host_addresses(h).size(), static_cast<std::size_t>(d));
+}
+
+TEST(PlanClos, EncodeTraceRoundTripsInterPodPaths) {
+  const Topology t = build_clos({.d_i = 4, .d_a = 4, .hosts_per_tor = 2});
+  const AddressingPlan plan(t);
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  ASSERT_NE(t.node(src).pod, t.node(dst).pod);
+  const auto& tor_paths =
+      topo::enumerate_tor_paths(t, t.tor_of_host(src), t.tor_of_host(dst));
+  EXPECT_EQ(tor_paths.size(), 8u);  // 2 * d_a
+  for (const auto& tp : tor_paths) {
+    const topo::Path full = topo::host_path(t, src, dst, tp);
+    const auto pair = plan.encode(full);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(plan.trace(pair->first, pair->second).nodes, full.nodes);
+  }
+}
+
+TEST(PlanThreeTier, EncodeTraceRoundTrips) {
+  const Topology t = build_three_tier(
+      {.pods = 2, .access_per_pod = 2, .hosts_per_access = 2});
+  const AddressingPlan plan(t);
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  const auto& tor_paths =
+      topo::enumerate_tor_paths(t, t.tor_of_host(src), t.tor_of_host(dst));
+  for (const auto& tp : tor_paths) {
+    const topo::Path full = topo::host_path(t, src, dst, tp);
+    const auto pair = plan.encode(full);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(plan.trace(pair->first, pair->second).nodes, full.nodes);
+  }
+}
+
+TEST(PlanIntraPod, EncodableViaSharedAgg) {
+  const Topology t = build_fat_tree({.p = 4});
+  const AddressingPlan plan(t);
+  // Hosts on different ToRs of pod 0.
+  NodeId src, dst;
+  for (const NodeId h : t.hosts())
+    if (t.node(h).pod == 0) {
+      if (!src.valid()) {
+        src = h;
+      } else if (t.tor_of_host(h) != t.tor_of_host(src)) {
+        dst = h;
+        break;
+      }
+    }
+  ASSERT_TRUE(dst.valid());
+  const auto& tor_paths =
+      topo::enumerate_tor_paths(t, t.tor_of_host(src), t.tor_of_host(dst));
+  EXPECT_EQ(tor_paths.size(), 2u);
+  for (const auto& tp : tor_paths) {
+    const topo::Path full = topo::host_path(t, src, dst, tp);
+    const auto pair = plan.encode(full);
+    ASSERT_TRUE(pair.has_value());
+    // Forwarding must peak at the aggregation switch, not climb to a core.
+    EXPECT_EQ(plan.trace(pair->first, pair->second).nodes, full.nodes);
+  }
+}
+
+TEST(NameServiceTest, UidsRoundTripAndResolve) {
+  const Topology t = build_fat_tree({.p = 4});
+  const AddressingPlan plan(t);
+  const NameService ns(plan);
+  EXPECT_EQ(ns.host_count(), t.hosts().size());
+  for (const NodeId h : t.hosts()) {
+    const HostUid uid = ns.uid_of(h);
+    ASSERT_NE(uid, kInvalidHostUid);
+    EXPECT_EQ(ns.host_of(uid), h);
+    EXPECT_EQ(ns.resolve(uid).size(), plan.host_addresses(h).size());
+  }
+  EXPECT_EQ(ns.uid_of(t.tors().front()), kInvalidHostUid);
+}
+
+}  // namespace
+}  // namespace dard::addr

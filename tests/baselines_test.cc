@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/ecmp.h"
+#include "topology/builders.h"
+
+namespace dard::baselines {
+namespace {
+
+using flowsim::FlowSimulator;
+using flowsim::FlowSpec;
+using topo::build_fat_tree;
+using topo::Topology;
+
+FlowSpec make_spec(NodeId src, NodeId dst, Bytes size, Seconds at,
+                   std::uint16_t port) {
+  FlowSpec s;
+  s.src_host = src;
+  s.dst_host = dst;
+  s.size = size;
+  s.arrival = at;
+  s.src_port = port;
+  s.dst_port = 443;
+  return s;
+}
+
+TEST(Ecmp, SameTupleSamePathDifferentTupleSpreads) {
+  const Topology t = build_fat_tree({.p = 4});
+  FlowSimulator sim(t);
+  EcmpAgent agent;
+  sim.set_agent(&agent);
+
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  std::set<PathIndex> seen;
+  std::vector<FlowId> ids;
+  for (std::uint16_t p = 0; p < 32; ++p)
+    ids.push_back(sim.submit(make_spec(src, dst, 1'000'000, 0.0, p)));
+  sim.run_until(0.001);
+  for (const FlowId id : ids) seen.insert(sim.flow(id).path_index);
+  EXPECT_EQ(seen.size(), 4u) << "32 random tuples should hit all 4 paths";
+  sim.run_until_flows_done();
+}
+
+TEST(Ecmp, NeverMovesFlows) {
+  const Topology t = build_fat_tree({.p = 4});
+  FlowSimulator sim(t);
+  EcmpAgent agent;
+  sim.set_agent(&agent);
+  for (std::uint16_t p = 0; p < 8; ++p)
+    sim.submit(make_spec(t.hosts()[p % 4], t.hosts()[12 + p % 4],
+                         500'000'000, 0.0, p));
+  sim.run_until_flows_done();
+  for (const auto& rec : sim.records()) EXPECT_EQ(rec.path_switches, 0u);
+}
+
+TEST(Pvlb, RepicksPeriodically) {
+  const Topology t = build_fat_tree({.p = 4});
+  FlowSimulator sim(t);
+  PvlbAgent agent(/*repick_interval=*/2.0, /*seed=*/3);
+  sim.set_agent(&agent);
+
+  // A very long flow must change path at least once across many re-picks
+  // (each re-pick keeps the same path with probability 1/4).
+  const FlowId id = sim.submit(make_spec(t.hosts().front(), t.hosts().back(),
+                                         4'000'000'000, 0.0, 1));
+  sim.run_until(30.0);
+  EXPECT_GT(sim.flow(id).path_switches, 0u);
+  sim.run_until_flows_done();
+}
+
+TEST(Pvlb, StopsTouchingFinishedFlows) {
+  const Topology t = build_fat_tree({.p = 4});
+  FlowSimulator sim(t);
+  PvlbAgent agent(1.0, 4);
+  sim.set_agent(&agent);
+  sim.submit(make_spec(t.hosts().front(), t.hosts().back(), 1'000'000, 0.0, 1));
+  sim.run_until_flows_done();
+  const auto switches = sim.records().front().path_switches;
+  // Ticks after completion must not crash or mutate records.
+  sim.run_until(20.0);
+  EXPECT_EQ(sim.records().front().path_switches, switches);
+}
+
+TEST(Pvlb, BreaksPermanentCollisions) {
+  // Two elephants forced onto one core: over many re-pick intervals pVLB
+  // should spend much of the time on distinct paths.
+  const Topology t = build_fat_tree({.p = 4});
+  FlowSimulator sim(t);
+  PvlbAgent agent(1.0, 5);
+  sim.set_agent(&agent);
+  const FlowId f1 = sim.submit(
+      make_spec(t.hosts()[0], t.hosts()[12], 8'000'000'000, 0.0, 1));
+  const FlowId f2 = sim.submit(
+      make_spec(t.hosts()[1], t.hosts()[13], 8'000'000'000, 0.0, 2));
+  sim.run_until(0.01);
+  sim.move_flow(f1, 0);
+  sim.move_flow(f2, 0);
+
+  int distinct = 0, checks = 0;
+  for (double at = 2.5; at < 30.0; at += 1.0) {
+    sim.run_until(at);
+    ++checks;
+    if (sim.flow(f1).path_index != sim.flow(f2).path_index) ++distinct;
+  }
+  EXPECT_GT(distinct, checks / 3) << "pVLB failed to separate the collision";
+  sim.run_until(1000.0);
+}
+
+}  // namespace
+}  // namespace dard::baselines

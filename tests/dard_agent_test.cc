@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "dard/dard_agent.h"
+#include "topology/builders.h"
+
+namespace dard::core {
+namespace {
+
+using flowsim::FlowSimulator;
+using flowsim::FlowSpec;
+using topo::build_fat_tree;
+using topo::Topology;
+
+FlowSpec spec_between(NodeId src, NodeId dst, Bytes size, Seconds at,
+                      std::uint16_t port) {
+  FlowSpec s;
+  s.src_host = src;
+  s.dst_host = dst;
+  s.size = size;
+  s.arrival = at;
+  s.src_port = port;
+  s.dst_port = 5001;
+  return s;
+}
+
+class DardAgentTest : public ::testing::Test {
+ protected:
+  DardAgentTest() : topo_(build_fat_tree({.p = 4})), sim_(topo_) {
+    DardConfig cfg;
+    cfg.query_interval = 1.0;
+    cfg.schedule_base = 2.0;
+    cfg.schedule_jitter = 1.0;
+    agent_ = std::make_unique<DardAgent>(cfg);
+    sim_.set_agent(agent_.get());
+  }
+
+  Topology topo_;
+  FlowSimulator sim_;
+  std::unique_ptr<DardAgent> agent_;
+};
+
+TEST_F(DardAgentTest, MonitorCreatedOnDemandAndReleased) {
+  const NodeId src = topo_.hosts().front();
+  const NodeId dst = topo_.hosts().back();
+  sim_.submit(spec_between(src, dst, 500'000'000, 0.0, 1));
+
+  sim_.run_until(0.5);
+  EXPECT_EQ(agent_->live_monitor_count(), 0u);  // not yet an elephant
+
+  sim_.run_until(1.5);
+  EXPECT_EQ(agent_->live_monitor_count(), 1u);
+  const auto* daemon = agent_->daemon(src);
+  ASSERT_NE(daemon, nullptr);
+  EXPECT_EQ(daemon->monitor_count(), 1u);
+  EXPECT_NE(daemon->monitor_for(topo_.tor_of_host(dst)), nullptr);
+
+  sim_.run_until_flows_done();
+  EXPECT_EQ(agent_->live_monitor_count(), 0u);  // released after drain
+}
+
+TEST_F(DardAgentTest, OneMonitorPerTorPairNotPerFlow) {
+  // Two elephants from the same host to two hosts on the same remote ToR:
+  // a single monitor tracks both (paper Section 2.4.1).
+  const NodeId src = topo_.hosts().front();
+  const NodeId d1 = topo_.hosts()[14];
+  const NodeId d2 = topo_.hosts()[15];
+  ASSERT_EQ(topo_.tor_of_host(d1), topo_.tor_of_host(d2));
+  sim_.submit(spec_between(src, d1, 500'000'000, 0.0, 1));
+  sim_.submit(spec_between(src, d2, 500'000'000, 0.0, 2));
+  sim_.run_until(1.5);
+  const auto* daemon = agent_->daemon(src);
+  ASSERT_NE(daemon, nullptr);
+  EXPECT_EQ(daemon->monitor_count(), 1u);
+  const auto* monitor = daemon->monitor_for(topo_.tor_of_host(d1));
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_EQ(monitor->tracked_flows(), 2u);
+  sim_.run_until_flows_done();
+}
+
+TEST_F(DardAgentTest, IntraTorElephantsAreNotMonitored) {
+  const NodeId src = topo_.hosts()[0];
+  const NodeId dst = topo_.hosts()[1];
+  ASSERT_EQ(topo_.tor_of_host(src), topo_.tor_of_host(dst));
+  sim_.submit(spec_between(src, dst, 500'000'000, 0.0, 1));
+  sim_.run_until(1.5);
+  EXPECT_EQ(agent_->live_monitor_count(), 0u);
+  sim_.run_until_flows_done();
+}
+
+TEST_F(DardAgentTest, CollidingElephantsGetSeparated) {
+  // Force two inter-pod elephants from different source hosts onto the
+  // same core; DARD must move one of them within a few rounds.
+  const NodeId s1 = topo_.hosts()[0];
+  const NodeId s2 = topo_.hosts()[1];
+  const NodeId d1 = topo_.hosts()[12];
+  const NodeId d2 = topo_.hosts()[13];
+  const FlowId f1 = sim_.submit(spec_between(s1, d1, 4'000'000'000, 0.0, 1));
+  const FlowId f2 = sim_.submit(spec_between(s2, d2, 4'000'000'000, 0.0, 2));
+  sim_.run_until(0.1);
+  sim_.move_flow(f1, 0);
+  sim_.move_flow(f2, 0);  // same ToR pair -> same path set -> same core
+
+  // Enough rounds that desynchronized queries break any move/counter-move
+  // ping-pong (two daemons acting on stale state can briefly chase each
+  // other; the randomized round offsets resolve it).
+  sim_.run_until(30.0);
+  EXPECT_NE(sim_.flow(f1).path_index, sim_.flow(f2).path_index)
+      << "DARD left both elephants on the same path";
+  EXPECT_GE(agent_->total_moves(), 1u);
+  // After separation both should be at (or near) line rate.
+  EXPECT_NEAR(sim_.flow(f1).rate, 1 * kGbps, 5e7);
+  EXPECT_NEAR(sim_.flow(f2).rate, 1 * kGbps, 5e7);
+  sim_.run_until_flows_done();
+}
+
+TEST_F(DardAgentTest, NoOscillationWhenBalanced) {
+  // Two elephants already on disjoint paths: DARD must not touch them.
+  const NodeId s1 = topo_.hosts()[0];
+  const NodeId s2 = topo_.hosts()[1];
+  const FlowId f1 =
+      sim_.submit(spec_between(s1, topo_.hosts()[12], 2'000'000'000, 0.0, 1));
+  const FlowId f2 =
+      sim_.submit(spec_between(s2, topo_.hosts()[13], 2'000'000'000, 0.0, 2));
+  sim_.run_until(0.1);
+  sim_.move_flow(f1, 0);
+  sim_.move_flow(f2, 2);  // disjoint above the ToR
+  const auto switches_before =
+      sim_.flow(f1).path_switches + sim_.flow(f2).path_switches;
+  sim_.run_until(15.0);
+  EXPECT_EQ(sim_.flow(f1).path_switches + sim_.flow(f2).path_switches,
+            switches_before)
+      << "DARD moved flows on balanced paths";
+  sim_.run_until_flows_done();
+}
+
+TEST_F(DardAgentTest, QueriesAreAccounted) {
+  sim_.submit(spec_between(topo_.hosts().front(), topo_.hosts().back(),
+                           1'000'000'000, 0.0, 1));
+  sim_.run_until(5.0);
+  EXPECT_GT(sim_.accountant().total_bytes(fabric::ControlCategory::DardQuery),
+            0u);
+  EXPECT_GT(sim_.accountant().total_bytes(fabric::ControlCategory::DardReply),
+            0u);
+  sim_.run_until_flows_done();
+}
+
+TEST_F(DardAgentTest, PlaceIsEcmpDeterministic) {
+  // Same five tuple -> same initial path on repeated simulations.
+  const NodeId src = topo_.hosts().front();
+  const NodeId dst = topo_.hosts().back();
+
+  FlowSimulator sim2(topo_);
+  DardAgent agent2(agent_->config());
+  sim2.set_agent(&agent2);
+
+  const FlowId a = sim_.submit(spec_between(src, dst, 1'000'000, 0.0, 9));
+  const FlowId b = sim2.submit(spec_between(src, dst, 1'000'000, 0.0, 9));
+  sim_.run_until(0.01);
+  sim2.run_until(0.01);
+  EXPECT_EQ(sim_.flow(a).path_index, sim2.flow(b).path_index);
+  sim_.run_until_flows_done();
+  sim2.run_until_flows_done();
+}
+
+}  // namespace
+}  // namespace dard::core

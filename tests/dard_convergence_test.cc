@@ -1,0 +1,176 @@
+// System-level convergence properties: the full DARD stack (simulator +
+// daemons + monitors), run on a static set of long-lived elephants, must
+// reach a state that matches the appendix's predictions — no host can
+// improve its own BoNF by more than δ, and the global minimum BoNF never
+// ends lower than it started.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "dard/dard_agent.h"
+#include "topology/builders.h"
+
+namespace dard::core {
+namespace {
+
+using flowsim::FlowSimulator;
+using flowsim::FlowSpec;
+using topo::build_clos;
+using topo::build_fat_tree;
+using topo::Topology;
+
+// Minimum BoNF over loaded switch-switch links, from the live board.
+double global_min_bonf(const FlowSimulator& sim) {
+  const auto& t = sim.topology();
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& link : t.links()) {
+    if (!t.is_switch_switch(link.id)) continue;
+    const auto n = sim.link_state().elephants(link.id);
+    if (n == 0) continue;
+    best = std::min(best, link.capacity / static_cast<double>(n));
+  }
+  return best;
+}
+
+// True if a DARD monitor with *fresh* state would still move flow `id`:
+// the paper's Algorithm 1 criterion — estimated target BoNF under the
+// non-overlap assumption, bw(bottleneck)/(n+1), must beat the flow's
+// current path BoNF by more than δ. (Exact-payoff Nash convergence of the
+// idealized game is covered in game_test; the running system can stop one
+// conservative estimate short of it, by design.)
+bool has_accepted_move(FlowSimulator& sim, FlowId id, double delta) {
+  const auto& f = sim.flow(id);
+  const auto& t = sim.topology();
+  const auto& paths = sim.paths().tor_paths(f.src_tor, f.dst_tor);
+  auto path_state = [&](const topo::Path& p) {
+    double best = std::numeric_limits<double>::infinity();
+    double bottleneck_cap = 0, bottleneck_n = 0;
+    for (const LinkId l : p.links) {
+      if (!t.is_switch_switch(l)) continue;
+      const double n = sim.link_state().elephants(l);
+      const double bonf = t.link(l).capacity / std::max(n, 1.0);
+      if (bonf < best) {
+        best = bonf;
+        bottleneck_cap = t.link(l).capacity;
+        bottleneck_n = n;
+      }
+    }
+    return std::pair{best, bottleneck_cap / (bottleneck_n + 1)};
+  };
+  const double own = path_state(paths[f.path_index]).first;
+  for (PathIndex r = 0; r < paths.size(); ++r) {
+    if (r == f.path_index) continue;
+    if (path_state(paths[r]).second - own > delta) return true;
+  }
+  return false;
+}
+
+class ConvergenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvergenceTest, SteadyStateIsApproximateNash) {
+  const Topology t = build_fat_tree({.p = 4});
+  // Keep the paper's staleness ratio: queries refresh several times
+  // between rounds, so concurrent stale-state moves stay rare.
+  DardConfig cfg;
+  cfg.query_interval = 0.25;
+  cfg.schedule_base = 2.0;
+  cfg.schedule_jitter = 2.0;
+  cfg.delta = 10 * kMbps;
+  cfg.seed = GetParam();
+  FlowSimulator sim(t);
+  DardAgent agent(cfg);
+  sim.set_agent(&agent);
+
+  // A static population of very long flows between random inter-pod pairs.
+  Rng rng(GetParam());
+  std::vector<FlowId> ids;
+  const auto& hosts = t.hosts();
+  while (ids.size() < 12) {
+    const NodeId s = hosts[rng.next_below(hosts.size())];
+    const NodeId d = hosts[rng.next_below(hosts.size())];
+    if (s == d || t.node(s).pod == t.node(d).pod) continue;
+    FlowSpec spec;
+    spec.src_host = s;
+    spec.dst_host = d;
+    spec.size = 40'000'000'000ull;  // outlives the whole test window
+    spec.arrival = rng.uniform(0.0, 0.5);
+    spec.src_port = static_cast<std::uint16_t>(ids.size());
+    ids.push_back(sim.submit(spec));
+  }
+
+  sim.run_until(3.0);
+  const double initial_min = global_min_bonf(sim);
+  sim.run_until(50.0);  // dozens of rounds: reach steady state
+
+  // Theorem 2 holds for sequential play (tested exactly in game_test);
+  // the running system plays in parallel on slightly stale state, so the
+  // paper's measurable claim is a *low residual switching rate* — 90% of
+  // flows switch <= 3 times over whole lifetimes — not literal quiescence.
+  std::uint64_t switches_mid = 0;
+  for (const FlowId id : ids) switches_mid += sim.flow(id).path_switches;
+  sim.run_until(80.0);
+  std::uint64_t switches_end = 0;
+  for (const FlowId id : ids) switches_end += sim.flow(id).path_switches;
+  const double per_flow_per_10s =
+      static_cast<double>(switches_end - switches_mid) / 3.0 /
+      static_cast<double>(ids.size());
+  EXPECT_LE(per_flow_per_10s, 1.0)
+      << "DARD oscillates: " << switches_end - switches_mid
+      << " switches in 30 s across " << ids.size() << " flows";
+
+  EXPECT_GE(global_min_bonf(sim), initial_min - 1.0)
+      << "selfish play lowered the global minimum BoNF";
+
+  // At any instant, at most a few flows should be one fresh-state round
+  // away from moving (the residual dance involves few flows).
+  int movable = 0;
+  for (const FlowId id : ids)
+    if (has_accepted_move(sim, id, cfg.delta)) ++movable;
+  EXPECT_LE(movable, 4) << movable << " of " << ids.size()
+                        << " flows still want to move";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(ConvergenceClos, SteadyStateStopsMoving) {
+  // On a Clos, once converged, path switching must cease: measure switch
+  // counts over two disjoint windows.
+  const Topology t = build_clos({.d_i = 4, .d_a = 4, .hosts_per_tor = 2});
+  DardConfig cfg;
+  cfg.query_interval = 0.5;
+  cfg.schedule_base = 1.0;
+  cfg.schedule_jitter = 1.0;
+  FlowSimulator sim(t);
+  DardAgent agent(cfg);
+  sim.set_agent(&agent);
+
+  Rng rng(5);
+  std::vector<FlowId> ids;
+  const auto& hosts = t.hosts();
+  while (ids.size() < 8) {
+    const NodeId s = hosts[rng.next_below(hosts.size())];
+    const NodeId d = hosts[rng.next_below(hosts.size())];
+    if (s == d || t.tor_of_host(s) == t.tor_of_host(d)) continue;
+    FlowSpec spec;
+    spec.src_host = s;
+    spec.dst_host = d;
+    spec.size = 40'000'000'000ull;
+    spec.arrival = 0.0;
+    spec.src_port = static_cast<std::uint16_t>(ids.size());
+    ids.push_back(sim.submit(spec));
+  }
+
+  sim.run_until(30.0);
+  std::uint64_t switches_mid = 0;
+  for (const FlowId id : ids) switches_mid += sim.flow(id).path_switches;
+  sim.run_until(60.0);
+  std::uint64_t switches_end = 0;
+  for (const FlowId id : ids) switches_end += sim.flow(id).path_switches;
+
+  EXPECT_EQ(switches_end, switches_mid)
+      << "DARD kept oscillating after convergence";
+}
+
+}  // namespace
+}  // namespace dard::core

@@ -1,0 +1,148 @@
+// End-to-end experiments through the harness: small versions of the
+// paper's headline comparisons, asserting the qualitative results the
+// evaluation section reports.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "topology/builders.h"
+
+namespace dard::harness {
+namespace {
+
+using topo::build_fat_tree;
+using topo::Topology;
+
+ExperimentConfig base_config(traffic::PatternKind pattern, double rate,
+                             SchedulerKind scheduler) {
+  ExperimentConfig cfg;
+  cfg.workload.pattern.kind = pattern;
+  cfg.workload.mean_interarrival = 1.0 / rate;
+  cfg.workload.flow_size = 128 * kMiB;  // paper's elephant size
+  cfg.workload.duration = 20.0;
+  cfg.workload.seed = 42;
+  cfg.scheduler = scheduler;
+  // Shrink DARD's control intervals in proportion to the scaled-down
+  // workload so elephants live through several scheduling rounds, as they
+  // do at the paper's scale.
+  cfg.dard.query_interval = 0.5;
+  cfg.dard.schedule_base = 2.0;
+  cfg.dard.schedule_jitter = 2.0;
+  cfg.hedera.interval = 2.0;
+  return cfg;
+}
+
+TEST(Integration, RunsEverySchedulerToCompletion) {
+  const Topology t = build_fat_tree({.p = 4});
+  for (const auto kind : {SchedulerKind::Ecmp, SchedulerKind::Pvlb,
+                          SchedulerKind::Dard, SchedulerKind::Hedera}) {
+    const auto cfg = base_config(traffic::PatternKind::Random, 0.3, kind);
+    const auto result = run_experiment(t, cfg);
+    EXPECT_GT(result.flows, 0u);
+    EXPECT_GT(result.avg_transfer_time, 0.0);
+    EXPECT_EQ(result.transfer_times.count(), result.flows);
+  }
+}
+
+TEST(Integration, DardBeatsEcmpOnStride) {
+  // The paper's headline: under stride (all flows inter-pod), DARD
+  // outperforms ECMP's random placement.
+  const Topology t = build_fat_tree({.p = 4});
+  const auto ecmp = run_experiment(
+      t, base_config(traffic::PatternKind::Stride, 1.0, SchedulerKind::Ecmp));
+  const auto dard = run_experiment(
+      t, base_config(traffic::PatternKind::Stride, 1.0, SchedulerKind::Dard));
+  EXPECT_LT(dard.avg_transfer_time, ecmp.avg_transfer_time)
+      << "DARD should improve average transfer time under stride";
+  EXPECT_GT(improvement_over(ecmp, dard), 0.0);
+  EXPECT_GT(dard.reroutes, 0u);
+}
+
+TEST(Integration, DardIsDeterministicGivenSeed) {
+  const Topology t = build_fat_tree({.p = 4});
+  const auto cfg =
+      base_config(traffic::PatternKind::Random, 0.5, SchedulerKind::Dard);
+  const auto a = run_experiment(t, cfg);
+  const auto b = run_experiment(t, cfg);
+  EXPECT_DOUBLE_EQ(a.avg_transfer_time, b.avg_transfer_time);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+}
+
+TEST(Integration, DardPathSwitchesAreBounded) {
+  // Paper: 90% of flows switch paths <= 3 times; the maximum stays well
+  // below the number of available paths.
+  const Topology t = build_fat_tree({.p = 4});
+  const auto dard = run_experiment(
+      t, base_config(traffic::PatternKind::Stride, 0.5, SchedulerKind::Dard));
+  ASSERT_GT(dard.path_switch_counts.count(), 0u);
+  EXPECT_LE(dard.path_switch_percentile(0.9), 3.0);
+  EXPECT_LT(dard.max_path_switches(), 10.0);
+}
+
+TEST(Integration, EcmpNeverSwitchesPaths) {
+  const Topology t = build_fat_tree({.p = 4});
+  const auto ecmp = run_experiment(
+      t, base_config(traffic::PatternKind::Stride, 0.5, SchedulerKind::Ecmp));
+  EXPECT_DOUBLE_EQ(ecmp.max_path_switches(), 0.0);
+  EXPECT_EQ(ecmp.control_bytes, 0u);
+}
+
+TEST(Integration, DardControlTrafficIsNonzeroButModest) {
+  const Topology t = build_fat_tree({.p = 4});
+  const auto dard = run_experiment(
+      t, base_config(traffic::PatternKind::Stride, 0.5, SchedulerKind::Dard));
+  EXPECT_GT(dard.control_bytes, 0u);
+  // Queries are tens of bytes per switch per second: far below 1 MB/s on
+  // this 16-host testbed.
+  EXPECT_LT(dard.control_peak_rate, 1e6);
+}
+
+TEST(Integration, StaggeredTrafficLimitsEveryScheduler) {
+  // With ToRP=.5/PodP=.3 most bottlenecks are at the edge; the paper finds
+  // all schedulers within a modest band of each other.
+  const Topology t = build_fat_tree({.p = 4});
+  const auto ecmp = run_experiment(t, base_config(
+      traffic::PatternKind::Staggered, 0.5, SchedulerKind::Ecmp));
+  const auto dard = run_experiment(t, base_config(
+      traffic::PatternKind::Staggered, 0.5, SchedulerKind::Dard));
+  // DARD must not make things worse by more than noise.
+  EXPECT_LT(dard.avg_transfer_time, ecmp.avg_transfer_time * 1.15);
+}
+
+TEST(Integration, WorksOnClos) {
+  const Topology t =
+      topo::build_clos({.d_i = 4, .d_a = 4, .hosts_per_tor = 2});
+  const auto ecmp = run_experiment(
+      t, base_config(traffic::PatternKind::Stride, 0.5, SchedulerKind::Ecmp));
+  const auto dard = run_experiment(
+      t, base_config(traffic::PatternKind::Stride, 0.5, SchedulerKind::Dard));
+  EXPECT_GT(ecmp.flows, 0u);
+  EXPECT_LE(dard.avg_transfer_time, ecmp.avg_transfer_time * 1.05);
+}
+
+TEST(Integration, WorksOnThreeTier) {
+  const Topology t = topo::build_three_tier(
+      {.pods = 2, .access_per_pod = 2, .hosts_per_access = 3});
+  const auto dard = run_experiment(
+      t, base_config(traffic::PatternKind::Random, 0.3, SchedulerKind::Dard));
+  EXPECT_GT(dard.flows, 0u);
+}
+
+TEST(Harness, SchedulerNames) {
+  EXPECT_STREQ(to_string(SchedulerKind::Ecmp), "ECMP");
+  EXPECT_STREQ(to_string(SchedulerKind::Pvlb), "pVLB");
+  EXPECT_STREQ(to_string(SchedulerKind::Dard), "DARD");
+  EXPECT_STREQ(to_string(SchedulerKind::Hedera), "SimAnneal");
+}
+
+TEST(Harness, MakeAgentProducesRightTypes) {
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::Dard;
+  EXPECT_NE(dynamic_cast<core::DardAgent*>(make_agent(cfg).get()), nullptr);
+  cfg.scheduler = SchedulerKind::Hedera;
+  EXPECT_NE(dynamic_cast<baselines::HederaAgent*>(make_agent(cfg).get()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace dard::harness

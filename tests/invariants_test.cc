@@ -1,0 +1,84 @@
+// Invariant violations must abort loudly (DCN_CHECK), never corrupt state.
+#include <gtest/gtest.h>
+
+#include "addressing/hierarchical.h"
+#include "baselines/ecmp.h"
+#include "flowsim/event_queue.h"
+#include "flowsim/simulator.h"
+#include "topology/builders.h"
+
+namespace dard {
+namespace {
+
+using topo::build_fat_tree;
+using topo::NodeKind;
+using topo::Topology;
+
+TEST(InvariantDeath, EventQueueRejectsPastScheduling) {
+  flowsim::EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_DEATH(q.schedule(1.0, [] {}), "cannot schedule into the past");
+}
+
+TEST(InvariantDeath, LpmTableRejectsDuplicatePrefix) {
+  addr::LpmTable table;
+  table.insert(addr::Prefix(addr::Address(1, 0, 0, 0), 1), LinkId(1));
+  EXPECT_DEATH(
+      table.insert(addr::Prefix(addr::Address(1, 0, 0, 0), 1), LinkId(2)),
+      "duplicate prefix");
+}
+
+TEST(InvariantDeath, TopologyRejectsDuplicateCable) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::Tor, 0, 0);
+  const NodeId b = t.add_node(NodeKind::Agg, 0, 0);
+  t.add_cable(a, b, 1 * kGbps, 0.001);
+  EXPECT_DEATH(t.add_cable(a, b, 1 * kGbps, 0.001), "duplicate cable");
+}
+
+TEST(InvariantDeath, SimulatorRejectsSelfFlow) {
+  const Topology t = build_fat_tree({.p = 4});
+  flowsim::FlowSimulator sim(t);
+  baselines::EcmpAgent agent;
+  sim.set_agent(&agent);
+  flowsim::FlowSpec spec;
+  spec.src_host = spec.dst_host = t.hosts().front();
+  spec.size = 1;
+  EXPECT_DEATH((void)sim.submit(spec), "flow to self");
+}
+
+TEST(InvariantDeath, SimulatorRejectsZeroSize) {
+  const Topology t = build_fat_tree({.p = 4});
+  flowsim::FlowSimulator sim(t);
+  baselines::EcmpAgent agent;
+  sim.set_agent(&agent);
+  flowsim::FlowSpec spec;
+  spec.src_host = t.hosts()[0];
+  spec.dst_host = t.hosts()[1];
+  spec.size = 0;
+  EXPECT_DEATH((void)sim.submit(spec), "");
+}
+
+TEST(InvariantDeath, MoveFlowRejectsBadPathIndex) {
+  const Topology t = build_fat_tree({.p = 4});
+  flowsim::FlowSimulator sim(t);
+  baselines::EcmpAgent agent;
+  sim.set_agent(&agent);
+  flowsim::FlowSpec spec;
+  spec.src_host = t.hosts().front();
+  spec.dst_host = t.hosts().back();
+  spec.size = 1'000'000'000;
+  const FlowId id = sim.submit(spec);
+  sim.run_until(0.5);
+  EXPECT_DEATH(sim.move_flow(id, 99), "path index out of range");
+}
+
+TEST(InvariantDeath, BoardUnderflowCaught) {
+  const Topology t = build_fat_tree({.p = 4});
+  fabric::LinkStateBoard board(t);
+  EXPECT_DEATH(board.remove_elephant(t.links().front().id), "");
+}
+
+}  // namespace
+}  // namespace dard

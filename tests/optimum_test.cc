@@ -1,0 +1,86 @@
+// Optimal-assignment search and the Nash-gap claim from the abstract.
+#include <gtest/gtest.h>
+
+#include "analysis/optimum.h"
+#include "common/stats.h"
+#include "topology/builders.h"
+
+namespace dard::analysis {
+namespace {
+
+using topo::build_fat_tree;
+using topo::Topology;
+
+GameFlow flow_between(const Topology& t, topo::PathRepository& repo,
+                      NodeId src, NodeId dst, std::uint32_t route) {
+  GameFlow f;
+  for (const auto& p : repo.tor_paths(t.tor_of_host(src), t.tor_of_host(dst)))
+    f.routes.push_back(topo::host_path(t, src, dst, p).links);
+  f.route = route;
+  return f;
+}
+
+TEST(Optimum, ExhaustiveFindsCollisionFreeAssignment) {
+  const Topology t = build_fat_tree({.p = 4});
+  topo::PathRepository repo(t);
+  std::vector<GameFlow> flows;
+  flows.push_back(flow_between(t, repo, t.hosts()[0], t.hosts()[4], 0));
+  flows.push_back(flow_between(t, repo, t.hosts()[2], t.hosts()[7], 0));
+  flows.push_back(flow_between(t, repo, t.hosts()[10], t.hosts()[6], 0));
+  const CongestionGame game(t, std::move(flows));
+
+  Rng rng(1);
+  const auto opt = find_optimum(game, rng);
+  EXPECT_TRUE(opt.exhaustive);
+  EXPECT_EQ(opt.states_examined, 64u);  // 4^3 joint strategies
+  EXPECT_DOUBLE_EQ(opt.min_bonf, 1 * kGbps);
+}
+
+TEST(Optimum, LocalSearchMatchesExhaustiveOnSmallInstances) {
+  const Topology t = build_fat_tree({.p = 4});
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const CongestionGame game = random_game(t, 6, rng);
+    const auto exhaustive = find_optimum(game, rng);
+    ASSERT_TRUE(exhaustive.exhaustive);
+    const auto local = local_search_optimum(game, rng);
+    EXPECT_NEAR(local.min_bonf, exhaustive.min_bonf, 1.0)
+        << "trial " << trial;
+  }
+}
+
+TEST(Optimum, FallsBackToLocalSearchWhenSpaceIsLarge) {
+  const Topology t = build_fat_tree({.p = 4});
+  Rng rng(9);
+  const CongestionGame game = random_game(t, 30, rng);  // 4^30 states
+  const auto opt = find_optimum(game, rng);
+  EXPECT_FALSE(opt.exhaustive);
+  EXPECT_GT(opt.min_bonf, 0.0);
+}
+
+TEST(Optimum, NashGapIsSmallOnRandomInstances) {
+  // The abstract: "our evaluation results suggest its gap to the optimal
+  // solution is likely to be small in practice."
+  const Topology t = build_fat_tree({.p = 4});
+  Rng rng(21);
+  OnlineStats gaps;
+  for (int trial = 0; trial < 10; ++trial) {
+    CongestionGame game = random_game(t, 8, rng);
+    const auto opt = find_optimum(game, rng);
+    (void)play_until_converged(game, 1 * kMbps, rng);
+    const double ratio = nash_gap_ratio(game.min_bonf(), opt);
+    gaps.add(ratio);
+    EXPECT_GE(ratio, 0.5) << "trial " << trial;  // never catastrophically bad
+  }
+  EXPECT_GE(gaps.mean(), 0.9) << "Nash should track optimum closely";
+}
+
+TEST(Optimum, GapRatioIsClampedToOne) {
+  OptimumResult opt;
+  opt.min_bonf = 100.0;
+  EXPECT_DOUBLE_EQ(nash_gap_ratio(150.0, opt), 1.0);
+  EXPECT_DOUBLE_EQ(nash_gap_ratio(50.0, opt), 0.5);
+}
+
+}  // namespace
+}  // namespace dard::analysis

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/builders.h"
+#include "topology/paths.h"
+
+namespace dard::topo {
+namespace {
+
+// A path is well-formed if consecutive links chain and directions exist.
+void expect_well_formed(const Topology& t, const Path& p) {
+  ASSERT_EQ(p.links.size() + 1, p.nodes.size());
+  for (std::size_t i = 0; i < p.links.size(); ++i) {
+    EXPECT_EQ(t.link(p.links[i]).src, p.nodes[i]);
+    EXPECT_EQ(t.link(p.links[i]).dst, p.nodes[i + 1]);
+  }
+}
+
+// Valley-free: layers strictly rise to a single peak then strictly fall.
+void expect_valley_free(const Topology& t, const Path& p) {
+  bool descending = false;
+  for (std::size_t i = 1; i < p.nodes.size(); ++i) {
+    const int prev = layer_of(t.node(p.nodes[i - 1]).kind);
+    const int cur = layer_of(t.node(p.nodes[i]).kind);
+    if (cur > prev) {
+      EXPECT_FALSE(descending) << "path climbs after descending";
+    } else {
+      descending = true;
+    }
+    EXPECT_EQ(std::abs(cur - prev), 1);
+  }
+}
+
+class FatTreePathsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreePathsTest, InterPodPathCount) {
+  const int p = GetParam();
+  const Topology t = build_fat_tree({.p = p});
+  // First ToR of pod 0 to first ToR of pod 1.
+  const NodeId src = t.tors()[0];
+  NodeId dst;
+  for (const NodeId tor : t.tors())
+    if (t.node(tor).pod == 1) {
+      dst = tor;
+      break;
+    }
+  const auto paths = enumerate_tor_paths(t, src, dst);
+  EXPECT_EQ(paths.size(),
+            static_cast<std::size_t>(fat_tree_inter_pod_paths(p)));
+  for (const auto& path : paths) {
+    expect_well_formed(t, path);
+    expect_valley_free(t, path);
+    EXPECT_EQ(path.links.size(), 4u);  // tor-agg-core-agg-tor
+  }
+}
+
+TEST_P(FatTreePathsTest, IntraPodPathCount) {
+  const int p = GetParam();
+  const Topology t = build_fat_tree({.p = p});
+  // Two ToRs of pod 0: one path per aggregation switch.
+  NodeId a, b;
+  int found = 0;
+  for (const NodeId tor : t.tors())
+    if (t.node(tor).pod == 0) {
+      (found == 0 ? a : b) = tor;
+      if (++found == 2) break;
+    }
+  const auto paths = enumerate_tor_paths(t, a, b);
+  EXPECT_EQ(paths.size(), static_cast<std::size_t>(p / 2));
+  for (const auto& path : paths) EXPECT_EQ(path.links.size(), 2u);
+}
+
+TEST_P(FatTreePathsTest, PathsAreDistinct) {
+  const Topology t = build_fat_tree({.p = GetParam()});
+  const NodeId src = t.tors().front();
+  const NodeId dst = t.tors().back();
+  const auto paths = enumerate_tor_paths(t, src, dst);
+  std::set<std::vector<LinkId>> unique;
+  for (const auto& path : paths) unique.insert(path.links);
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST_P(FatTreePathsTest, InterPodPathIndexMatchesCoreIndex) {
+  // The deterministic sort makes "path i" the path through core i —
+  // the property the paper's toy example and Hedera's core assignment use.
+  const Topology t = build_fat_tree({.p = GetParam()});
+  const NodeId src = t.tors().front();
+  const NodeId dst = t.tors().back();
+  const auto paths = enumerate_tor_paths(t, src, dst);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const NodeId peak = paths[i].nodes[2];
+    EXPECT_EQ(t.node(peak).kind, NodeKind::Core);
+    EXPECT_EQ(static_cast<std::size_t>(t.node(peak).index), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreePathsTest, ::testing::Values(4, 8));
+
+TEST(Paths, SameTorIsTrivial) {
+  const Topology t = build_fat_tree({.p = 4});
+  const NodeId tor = t.tors().front();
+  const auto paths = enumerate_tor_paths(t, tor, tor);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths.front().empty());
+}
+
+class ClosPathsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosPathsTest, InterPodPathCountIs2Da) {
+  const int d = GetParam();
+  const Topology t = build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 2});
+  // Two ToRs in different pods.
+  const NodeId src = t.tors().front();
+  NodeId dst;
+  for (const NodeId tor : t.tors())
+    if (t.node(tor).pod != t.node(src).pod) {
+      dst = tor;
+      break;
+    }
+  const auto paths = enumerate_tor_paths(t, src, dst);
+  EXPECT_EQ(paths.size(), static_cast<std::size_t>(clos_inter_pod_paths(d)));
+  for (const auto& path : paths) {
+    expect_well_formed(t, path);
+    expect_valley_free(t, path);
+  }
+}
+
+TEST_P(ClosPathsTest, IntraPodPathsViaSharedAggs) {
+  const int d = GetParam();
+  const Topology t = build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 2});
+  const NodeId src = t.tors().front();
+  NodeId dst;
+  for (const NodeId tor : t.tors())
+    if (tor != src && t.node(tor).pod == t.node(src).pod) {
+      dst = tor;
+      break;
+    }
+  ASSERT_TRUE(dst.valid());
+  const auto paths = enumerate_tor_paths(t, src, dst);
+  // Two 2-hop paths (shared agg pair) plus longer up-and-over paths; the
+  // shortest-first ordering puts the 2-hop ones first.
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].links.size(), 2u);
+  EXPECT_EQ(paths[1].links.size(), 2u);
+  for (const auto& path : paths) expect_valley_free(t, path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClosPathsTest, ::testing::Values(4, 8, 16));
+
+TEST(ThreeTierPaths, InterPodCount) {
+  const Topology t = build_three_tier({});
+  const NodeId src = t.tors().front();
+  NodeId dst;
+  for (const NodeId tor : t.tors())
+    if (t.node(tor).pod != t.node(src).pod) {
+      dst = tor;
+      break;
+    }
+  const auto paths = enumerate_tor_paths(t, src, dst);
+  // 2 src aggs x 8 cores x 2 dst aggs.
+  EXPECT_EQ(paths.size(), 32u);
+  for (const auto& path : paths) expect_valley_free(t, path);
+}
+
+TEST(HostPath, PrependsAndAppendsHostLinks) {
+  const Topology t = build_fat_tree({.p = 4});
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  const auto tor_paths =
+      enumerate_tor_paths(t, t.tor_of_host(src), t.tor_of_host(dst));
+  const Path full = host_path(t, src, dst, tor_paths.front());
+  expect_well_formed(t, full);
+  EXPECT_EQ(full.nodes.front(), src);
+  EXPECT_EQ(full.nodes.back(), dst);
+  EXPECT_EQ(full.links.size(), tor_paths.front().links.size() + 2);
+}
+
+TEST(HostPath, IntraTorPair) {
+  const Topology t = build_fat_tree({.p = 4});
+  // Hosts 0 and 1 share the first ToR (hosts_per_tor = 2 when p = 4).
+  const NodeId a = t.hosts()[0];
+  const NodeId b = t.hosts()[1];
+  ASSERT_EQ(t.tor_of_host(a), t.tor_of_host(b));
+  const auto tor_paths = enumerate_tor_paths(t, t.tor_of_host(a), t.tor_of_host(b));
+  const Path full = host_path(t, a, b, tor_paths.front());
+  EXPECT_EQ(full.links.size(), 2u);
+}
+
+TEST(PathRepository, CachesAndReturnsSameObject) {
+  const Topology t = build_fat_tree({.p = 4});
+  PathRepository repo(t);
+  const auto& p1 = repo.tor_paths(t.tors().front(), t.tors().back());
+  const auto& p2 = repo.tor_paths(t.tors().front(), t.tors().back());
+  EXPECT_EQ(&p1, &p2);
+  EXPECT_FALSE(p1.empty());
+}
+
+}  // namespace
+}  // namespace dard::topo

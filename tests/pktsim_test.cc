@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "pktsim/session.h"
+#include "topology/builders.h"
+
+namespace dard::pktsim {
+namespace {
+
+using topo::build_fat_tree;
+using topo::Topology;
+
+topo::FatTreeParams testbed_params() {
+  // The paper's emulator speed: 100 Mbps data plane.
+  return {.p = 4, .hosts_per_tor = -1, .link_capacity = 100 * kMbps,
+          .link_delay = 0.0001};
+}
+
+TEST(PacketNetworkTest, DeliversAlongRoute) {
+  const Topology t = build_fat_tree(testbed_params());
+  flowsim::EventQueue events;
+  PacketNetwork net(t, events);
+
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  topo::PathRepository repo(t);
+  const auto& tp = repo.tor_paths(t.tor_of_host(src), t.tor_of_host(dst));
+  const auto route = topo::host_path(t, src, dst, tp.front()).links;
+
+  int delivered = 0;
+  net.set_delivery_handler([&](const Packet& p) {
+    ++delivered;
+    EXPECT_EQ(p.hop, p.route.size());
+  });
+  Packet p;
+  p.flow = FlowId(0);
+  p.route = route;
+  net.send(std::move(p));
+  while (events.run_next()) {
+  }
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.drops(), 0u);
+  // Latency = 6 hops x (tx + delay).
+  const double tx = kDataPacketBytes * 8.0 / (100 * kMbps);
+  EXPECT_NEAR(events.now(), 6 * (tx + 0.0001), 1e-9);
+}
+
+TEST(PacketNetworkTest, DropsWhenQueueOverflows) {
+  const Topology t = build_fat_tree(testbed_params());
+  flowsim::EventQueue events;
+  // Tiny queues: 2 packets.
+  PacketNetwork net(t, events, 2 * kDataPacketBytes);
+
+  const NodeId src = t.hosts().front();
+  const NodeId dst = t.hosts().back();
+  topo::PathRepository repo(t);
+  const auto route =
+      topo::host_path(t, src, dst,
+                      repo.tor_paths(t.tor_of_host(src), t.tor_of_host(dst))
+                          .front())
+          .links;
+  int delivered = 0;
+  net.set_delivery_handler([&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {  // burst of 10 into a 2-packet queue
+    Packet p;
+    p.flow = FlowId(0);
+    p.seq = static_cast<std::uint64_t>(i);
+    p.route = route;
+    net.send(std::move(p));
+  }
+  while (events.run_next()) {
+  }
+  EXPECT_EQ(delivered + static_cast<int>(net.drops()), 10);
+  EXPECT_GT(net.drops(), 0u);
+}
+
+TEST(PacketNetworkTest, UtilizationCounters) {
+  const Topology t = build_fat_tree(testbed_params());
+  flowsim::EventQueue events;
+  PacketNetwork net(t, events);
+  net.set_delivery_handler([](const Packet&) {});
+
+  const NodeId src = t.hosts().front();
+  const LinkId up = t.out_links(src).front();
+  Packet p;
+  p.flow = FlowId(0);
+  p.route = {up};
+  net.send(std::move(p));
+  while (events.run_next()) {
+  }
+  EXPECT_EQ(net.bytes_sent(up), kDataPacketBytes);
+  EXPECT_GT(net.utilization(up, 0.01), 0.0);
+  net.reset_counters();
+  EXPECT_EQ(net.bytes_sent(up), 0u);
+}
+
+TEST(TcpTest, SingleFlowCompletesNearLinkRate) {
+  const Topology t = build_fat_tree(testbed_params());
+  auto router = std::make_unique<FixedPathRouter>(t);
+  // Queues larger than the worst-case window: no slow-start overshoot loss.
+  PktSession session(t, std::move(router), {}, 128 * 1000);
+  const FlowId id = session.add_flow(
+      {t.hosts().front(), t.hosts().back(), 2 * kMiB, 0.0});
+  ASSERT_TRUE(session.run(60.0));
+  const TcpResult& r = session.result(id);
+  EXPECT_EQ(r.retransmissions, 0u) << "clean path should not lose packets";
+  // Ideal time at 100 Mbps with header overhead ~ 0.176 s; allow slow start.
+  const double ideal = 2.0 * kMiB * 8 / (100e6) * 1500.0 / 1460.0;
+  EXPECT_LT(r.transfer_time(), ideal * 1.6);
+  EXPECT_GT(r.transfer_time(), ideal * 0.99);
+}
+
+TEST(TcpTest, UniquePacketsMatchFileSize) {
+  const Topology t = build_fat_tree(testbed_params());
+  PktSession session(t, std::make_unique<FixedPathRouter>(t));
+  const Bytes size = 1 * kMiB;
+  const FlowId id =
+      session.add_flow({t.hosts().front(), t.hosts().back(), size, 0.0});
+  ASSERT_TRUE(session.run(60.0));
+  EXPECT_EQ(session.result(id).unique_packets, (size + kMss - 1) / kMss);
+}
+
+TEST(TcpTest, TwoFlowsShareFairly) {
+  const Topology t = build_fat_tree(testbed_params());
+  auto router = std::make_unique<FixedPathRouter>(t);
+  // Pin both flows through the same core by construction: same ToR pair and
+  // the hash may differ, so check fairness only loosely via completion.
+  PktSession session(t, std::move(router));
+  const FlowId a =
+      session.add_flow({t.hosts()[0], t.hosts()[12], 2 * kMiB, 0.0});
+  const FlowId b =
+      session.add_flow({t.hosts()[1], t.hosts()[13], 2 * kMiB, 0.0});
+  ASSERT_TRUE(session.run(120.0));
+  const double ta = session.result(a).transfer_time();
+  const double tb = session.result(b).transfer_time();
+  EXPECT_LT(std::max(ta, tb) / std::min(ta, tb), 3.0);
+}
+
+TEST(TcpTest, RecoversFromHeavyCongestion) {
+  // 4 flows into one receiver: incast-like pressure; every flow must still
+  // complete, with some loss handled by fast retransmit / RTO.
+  const Topology t = build_fat_tree(testbed_params());
+  PktSession session(t, std::make_unique<FixedPathRouter>(t));
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 4; ++i)
+    ids.push_back(session.add_flow(
+        {t.hosts()[static_cast<std::size_t>(i * 2)], t.hosts()[15],
+         1 * kMiB, 0.0}));
+  ASSERT_TRUE(session.run(300.0));
+  for (const FlowId id : ids) EXPECT_TRUE(session.result(id).done());
+}
+
+TEST(AdaptiveRouterTest, MovesCollidingFlows) {
+  const Topology t = build_fat_tree(testbed_params());
+  auto router = std::make_unique<AdaptiveFlowRouter>(
+      t, /*interval=*/0.2, /*jitter=*/0.2, /*delta=*/1 * kMbps);
+  auto* raw = router.get();
+  PktSession session(t, std::move(router));
+  // Large enough transfers that the adaptive rounds kick in.
+  session.add_flow({t.hosts()[0], t.hosts()[12], 4 * kMiB, 0.0});
+  session.add_flow({t.hosts()[1], t.hosts()[13], 4 * kMiB, 0.0});
+  session.add_flow({t.hosts()[2], t.hosts()[14], 4 * kMiB, 0.0});
+  session.add_flow({t.hosts()[3], t.hosts()[15], 4 * kMiB, 0.0});
+  ASSERT_TRUE(session.run(300.0));
+  // With 4 flows over 4 cores the adaptive router converges to (near-)
+  // disjoint paths; exact move count depends on initial hashing.
+  EXPECT_LE(raw->total_moves(), 16u);
+}
+
+TEST(TexcpRouterTest, ScattersPacketsAcrossPaths) {
+  const Topology t = build_fat_tree(testbed_params());
+  auto router = std::make_unique<TexcpRouter>(t);
+  auto* raw = router.get();
+  PktSession session(t, std::move(router));
+  session.add_flow({t.hosts()[0], t.hosts()[12], 1 * kMiB, 0.0});
+  ASSERT_TRUE(session.run(120.0));
+
+  // Count distinct routes used by sampling route_for repeatedly.
+  raw->on_flow_started(FlowId(99), t.hosts()[0], t.hosts()[12]);
+  std::set<const std::vector<LinkId>*> distinct;
+  for (int i = 0; i < 64; ++i) distinct.insert(&raw->route_for(FlowId(99), 0));
+  EXPECT_GT(distinct.size(), 1u) << "TeXCP must use multiple paths";
+}
+
+TEST(TexcpVsDard, TexcpReordersMore) {
+  // The paper's Figure 14: TeXCP's per-packet scattering produces a higher
+  // TCP retransmission rate than DARD's flow-level switching.
+  const Topology t = build_fat_tree(testbed_params());
+
+  auto run_with = [&](std::unique_ptr<PacketRouter> router) {
+    PktSession session(t, std::move(router));
+    std::vector<FlowId> ids;
+    // Stride-like: every host sends one transfer to the host one pod over.
+    const auto& hosts = t.hosts();
+    for (std::size_t i = 0; i < hosts.size(); ++i)
+      ids.push_back(session.add_flow(
+          {hosts[i], hosts[(i + 4) % hosts.size()], 1 * kMiB, 0.0}));
+    EXPECT_TRUE(session.run(600.0));
+    double total_rate = 0;
+    for (const FlowId id : ids)
+      total_rate += session.result(id).retransmission_rate();
+    return total_rate / static_cast<double>(ids.size());
+  };
+
+  const double dard_rate =
+      run_with(std::make_unique<AdaptiveFlowRouter>(t, 0.5, 0.5));
+  const double texcp_rate = run_with(std::make_unique<TexcpRouter>(t));
+  EXPECT_GE(texcp_rate, dard_rate);
+  EXPECT_GT(texcp_rate, 0.0) << "per-packet scattering must reorder";
+}
+
+}  // namespace
+}  // namespace dard::pktsim

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/builders.h"
+#include "traffic/patterns.h"
+
+namespace dard::traffic {
+namespace {
+
+using topo::build_fat_tree;
+using topo::Topology;
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest() : topo_(build_fat_tree({.p = 4})) {}
+  Topology topo_;
+};
+
+TEST_F(PatternTest, RandomNeverPicksSelf) {
+  const DestinationPicker picker(topo_, {.kind = PatternKind::Random});
+  Rng rng(1);
+  for (const NodeId src : topo_.hosts())
+    for (int i = 0; i < 20; ++i) EXPECT_NE(picker.pick(src, rng), src);
+}
+
+TEST_F(PatternTest, RandomCoversManyDestinations) {
+  const DestinationPicker picker(topo_, {.kind = PatternKind::Random});
+  Rng rng(2);
+  const NodeId src = topo_.hosts().front();
+  std::set<NodeId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(picker.pick(src, rng));
+  // 15 possible destinations in a p=4 fat-tree.
+  EXPECT_EQ(seen.size(), topo_.hosts().size() - 1);
+}
+
+TEST_F(PatternTest, StaggeredProportions) {
+  const DestinationPicker picker(
+      topo_, {.kind = PatternKind::Staggered, .tor_p = 0.5, .pod_p = 0.3});
+  Rng rng(3);
+  const NodeId src = topo_.hosts().front();
+  int same_tor = 0, same_pod = 0, other = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const NodeId d = picker.pick(src, rng);
+    if (topo_.tor_of_host(d) == topo_.tor_of_host(src))
+      ++same_tor;
+    else if (topo_.node(d).pod == topo_.node(src).pod)
+      ++same_pod;
+    else
+      ++other;
+  }
+  EXPECT_NEAR(same_tor / double(kN), 0.5, 0.02);
+  EXPECT_NEAR(same_pod / double(kN), 0.3, 0.02);
+  EXPECT_NEAR(other / double(kN), 0.2, 0.02);
+}
+
+TEST_F(PatternTest, StrideAutoCrossesPods) {
+  const DestinationPicker picker(topo_, {.kind = PatternKind::Stride});
+  Rng rng(4);
+  for (const NodeId src : topo_.hosts()) {
+    const NodeId d = picker.pick(src, rng);
+    EXPECT_NE(topo_.node(d).pod, topo_.node(src).pod) << "stride stayed in pod";
+  }
+}
+
+TEST_F(PatternTest, StrideIsDeterministicPermutation) {
+  const DestinationPicker picker(topo_, {.kind = PatternKind::Stride});
+  Rng rng(5);
+  std::set<NodeId> dsts;
+  for (const NodeId src : topo_.hosts()) {
+    const NodeId d1 = picker.pick(src, rng);
+    const NodeId d2 = picker.pick(src, rng);
+    EXPECT_EQ(d1, d2);
+    dsts.insert(d1);
+  }
+  // A stride is a bijection on hosts.
+  EXPECT_EQ(dsts.size(), topo_.hosts().size());
+}
+
+TEST_F(PatternTest, ExplicitStride) {
+  const DestinationPicker picker(topo_,
+                                 {.kind = PatternKind::Stride, .stride = 1});
+  Rng rng(6);
+  const auto& hosts = topo_.hosts();
+  EXPECT_EQ(picker.pick(hosts[0], rng), hosts[1]);
+  EXPECT_EQ(picker.pick(hosts.back(), rng), hosts[0]);
+}
+
+TEST(Workload, ReproducibleAndSorted) {
+  const Topology t = build_fat_tree({.p = 4});
+  WorkloadParams params;
+  params.pattern.kind = PatternKind::Random;
+  params.mean_interarrival = 0.5;
+  params.duration = 10.0;
+  params.seed = 77;
+
+  const auto a = generate_workload(t, params);
+  const auto b = generate_workload(t, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src_host, b[i].src_host);
+    EXPECT_EQ(a[i].dst_host, b[i].dst_host);
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+  }
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(),
+                             [](const auto& x, const auto& y) {
+                               return x.arrival < y.arrival;
+                             }));
+  for (const auto& s : a) {
+    EXPECT_LT(s.arrival, params.duration);
+    EXPECT_EQ(s.size, params.flow_size);
+    EXPECT_NE(s.src_host, s.dst_host);
+  }
+}
+
+TEST(Workload, RateScalesWithMeanInterarrival) {
+  const Topology t = build_fat_tree({.p = 4});
+  WorkloadParams slow, fast;
+  slow.mean_interarrival = 2.0;
+  fast.mean_interarrival = 0.25;
+  slow.duration = fast.duration = 50.0;
+  const auto a = generate_workload(t, slow);
+  const auto b = generate_workload(t, fast);
+  // Expected counts: hosts * duration / mean. Allow generous slack.
+  EXPECT_NEAR(static_cast<double>(a.size()), 16 * 50 / 2.0, 120);
+  EXPECT_NEAR(static_cast<double>(b.size()), 16 * 50 / 0.25, 400);
+  EXPECT_GT(b.size(), 4 * a.size());
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  const Topology t = build_fat_tree({.p = 4});
+  WorkloadParams p1, p2;
+  p1.seed = 1;
+  p2.seed = 2;
+  p1.duration = p2.duration = 20.0;
+  const auto a = generate_workload(t, p1);
+  const auto b = generate_workload(t, p2);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].arrival != b[i].arrival || a[i].dst_host != b[i].dst_host;
+  EXPECT_TRUE(differs);
+}
+
+TEST(PatternName, Strings) {
+  EXPECT_STREQ(to_string(PatternKind::Random), "random");
+  EXPECT_STREQ(to_string(PatternKind::Staggered), "staggered");
+  EXPECT_STREQ(to_string(PatternKind::Stride), "stride");
+}
+
+}  // namespace
+}  // namespace dard::traffic
