@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_dard_params.cc" "bench/CMakeFiles/bench_ablation_dard_params.dir/bench_ablation_dard_params.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_dard_params.dir/bench_ablation_dard_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dcn_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/dcn_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/dard/CMakeFiles/dcn_dard.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/dcn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dcn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktsim/CMakeFiles/dcn_pktsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/dcn_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/dcn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/addressing/CMakeFiles/dcn_addressing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_threetier_switches.dir/bench_fig12_threetier_switches.cc.o"
+  "CMakeFiles/bench_fig12_threetier_switches.dir/bench_fig12_threetier_switches.cc.o.d"
+  "bench_fig12_threetier_switches"
+  "bench_fig12_threetier_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_threetier_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_texcp_retransmission.dir/bench_fig14_texcp_retransmission.cc.o"
+  "CMakeFiles/bench_fig14_texcp_retransmission.dir/bench_fig14_texcp_retransmission.cc.o.d"
+  "bench_fig14_texcp_retransmission"
+  "bench_fig14_texcp_retransmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_texcp_retransmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

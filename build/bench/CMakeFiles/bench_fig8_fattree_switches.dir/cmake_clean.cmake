@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fattree_switches.dir/bench_fig8_fattree_switches.cc.o"
+  "CMakeFiles/bench_fig8_fattree_switches.dir/bench_fig8_fattree_switches.cc.o.d"
+  "bench_fig8_fattree_switches"
+  "bench_fig8_fattree_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fattree_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gap_to_optimal.dir/bench_gap_to_optimal.cc.o"
+  "CMakeFiles/bench_gap_to_optimal.dir/bench_gap_to_optimal.cc.o.d"
+  "bench_gap_to_optimal"
+  "bench_gap_to_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gap_to_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

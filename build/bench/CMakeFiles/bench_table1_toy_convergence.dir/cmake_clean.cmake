@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_toy_convergence.dir/bench_table1_toy_convergence.cc.o"
+  "CMakeFiles/bench_table1_toy_convergence.dir/bench_table1_toy_convergence.cc.o.d"
+  "bench_table1_toy_convergence"
+  "bench_table1_toy_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_toy_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

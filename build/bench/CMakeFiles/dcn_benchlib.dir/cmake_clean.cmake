@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_benchlib.dir/bench_lib.cc.o"
+  "CMakeFiles/dcn_benchlib.dir/bench_lib.cc.o.d"
+  "libdcn_benchlib.a"
+  "libdcn_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addressing_tour.dir/addressing_tour.cc.o"
+  "CMakeFiles/addressing_tour.dir/addressing_tour.cc.o.d"
+  "addressing_tour"
+  "addressing_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addressing_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clos_datacenter.dir/clos_datacenter.cc.o"
+  "CMakeFiles/clos_datacenter.dir/clos_datacenter.cc.o.d"
+  "clos_datacenter"
+  "clos_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clos_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dardsim.dir/dardsim.cc.o"
+  "CMakeFiles/dardsim.dir/dardsim.cc.o.d"
+  "dardsim"
+  "dardsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dardsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

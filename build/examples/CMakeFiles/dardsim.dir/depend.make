@@ -1,0 +1,2 @@
+# Empty dependencies file for dardsim.
+# This may be replaced when dependencies are built.

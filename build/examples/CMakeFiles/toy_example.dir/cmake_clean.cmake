@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_example.dir/toy_example.cc.o"
+  "CMakeFiles/toy_example.dir/toy_example.cc.o.d"
+  "toy_example"
+  "toy_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

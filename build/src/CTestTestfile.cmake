@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("topology")
+subdirs("addressing")
+subdirs("fabric")
+subdirs("flowsim")
+subdirs("traffic")
+subdirs("dard")
+subdirs("baselines")
+subdirs("analysis")
+subdirs("pktsim")
+subdirs("harness")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/addressing/address.cc" "src/addressing/CMakeFiles/dcn_addressing.dir/address.cc.o" "gcc" "src/addressing/CMakeFiles/dcn_addressing.dir/address.cc.o.d"
+  "/root/repo/src/addressing/hierarchical.cc" "src/addressing/CMakeFiles/dcn_addressing.dir/hierarchical.cc.o" "gcc" "src/addressing/CMakeFiles/dcn_addressing.dir/hierarchical.cc.o.d"
+  "/root/repo/src/addressing/name_service.cc" "src/addressing/CMakeFiles/dcn_addressing.dir/name_service.cc.o" "gcc" "src/addressing/CMakeFiles/dcn_addressing.dir/name_service.cc.o.d"
+  "/root/repo/src/addressing/tunnel.cc" "src/addressing/CMakeFiles/dcn_addressing.dir/tunnel.cc.o" "gcc" "src/addressing/CMakeFiles/dcn_addressing.dir/tunnel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

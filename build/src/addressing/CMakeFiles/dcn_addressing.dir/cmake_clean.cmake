@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_addressing.dir/address.cc.o"
+  "CMakeFiles/dcn_addressing.dir/address.cc.o.d"
+  "CMakeFiles/dcn_addressing.dir/hierarchical.cc.o"
+  "CMakeFiles/dcn_addressing.dir/hierarchical.cc.o.d"
+  "CMakeFiles/dcn_addressing.dir/name_service.cc.o"
+  "CMakeFiles/dcn_addressing.dir/name_service.cc.o.d"
+  "CMakeFiles/dcn_addressing.dir/tunnel.cc.o"
+  "CMakeFiles/dcn_addressing.dir/tunnel.cc.o.d"
+  "libdcn_addressing.a"
+  "libdcn_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/congestion_game.cc" "src/analysis/CMakeFiles/dcn_analysis.dir/congestion_game.cc.o" "gcc" "src/analysis/CMakeFiles/dcn_analysis.dir/congestion_game.cc.o.d"
+  "/root/repo/src/analysis/optimum.cc" "src/analysis/CMakeFiles/dcn_analysis.dir/optimum.cc.o" "gcc" "src/analysis/CMakeFiles/dcn_analysis.dir/optimum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

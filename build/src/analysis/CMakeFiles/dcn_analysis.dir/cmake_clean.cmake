@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_analysis.dir/congestion_game.cc.o"
+  "CMakeFiles/dcn_analysis.dir/congestion_game.cc.o.d"
+  "CMakeFiles/dcn_analysis.dir/optimum.cc.o"
+  "CMakeFiles/dcn_analysis.dir/optimum.cc.o.d"
+  "libdcn_analysis.a"
+  "libdcn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_baselines.dir/ecmp.cc.o"
+  "CMakeFiles/dcn_baselines.dir/ecmp.cc.o.d"
+  "CMakeFiles/dcn_baselines.dir/hedera.cc.o"
+  "CMakeFiles/dcn_baselines.dir/hedera.cc.o.d"
+  "libdcn_baselines.a"
+  "libdcn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

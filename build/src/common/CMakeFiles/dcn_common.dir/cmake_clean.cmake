@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_common.dir/stats.cc.o"
+  "CMakeFiles/dcn_common.dir/stats.cc.o.d"
+  "CMakeFiles/dcn_common.dir/table.cc.o"
+  "CMakeFiles/dcn_common.dir/table.cc.o.d"
+  "libdcn_common.a"
+  "libdcn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

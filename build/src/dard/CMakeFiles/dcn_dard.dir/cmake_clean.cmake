@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_dard.dir/dard_agent.cc.o"
+  "CMakeFiles/dcn_dard.dir/dard_agent.cc.o.d"
+  "CMakeFiles/dcn_dard.dir/host_daemon.cc.o"
+  "CMakeFiles/dcn_dard.dir/host_daemon.cc.o.d"
+  "CMakeFiles/dcn_dard.dir/monitor.cc.o"
+  "CMakeFiles/dcn_dard.dir/monitor.cc.o.d"
+  "libdcn_dard.a"
+  "libdcn_dard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_dard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

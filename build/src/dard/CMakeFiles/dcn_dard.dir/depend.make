@@ -1,0 +1,2 @@
+# Empty dependencies file for dcn_dard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_fabric.dir/accounting.cc.o"
+  "CMakeFiles/dcn_fabric.dir/accounting.cc.o.d"
+  "CMakeFiles/dcn_fabric.dir/controller.cc.o"
+  "CMakeFiles/dcn_fabric.dir/controller.cc.o.d"
+  "CMakeFiles/dcn_fabric.dir/switch_state.cc.o"
+  "CMakeFiles/dcn_fabric.dir/switch_state.cc.o.d"
+  "libdcn_fabric.a"
+  "libdcn_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowsim/max_min.cc" "src/flowsim/CMakeFiles/dcn_flowsim.dir/max_min.cc.o" "gcc" "src/flowsim/CMakeFiles/dcn_flowsim.dir/max_min.cc.o.d"
+  "/root/repo/src/flowsim/simulator.cc" "src/flowsim/CMakeFiles/dcn_flowsim.dir/simulator.cc.o" "gcc" "src/flowsim/CMakeFiles/dcn_flowsim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/dcn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/addressing/CMakeFiles/dcn_addressing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_flowsim.dir/max_min.cc.o"
+  "CMakeFiles/dcn_flowsim.dir/max_min.cc.o.d"
+  "CMakeFiles/dcn_flowsim.dir/simulator.cc.o"
+  "CMakeFiles/dcn_flowsim.dir/simulator.cc.o.d"
+  "libdcn_flowsim.a"
+  "libdcn_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_harness.dir/experiment.cc.o"
+  "CMakeFiles/dcn_harness.dir/experiment.cc.o.d"
+  "libdcn_harness.a"
+  "libdcn_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_pktsim.dir/network.cc.o"
+  "CMakeFiles/dcn_pktsim.dir/network.cc.o.d"
+  "CMakeFiles/dcn_pktsim.dir/routing.cc.o"
+  "CMakeFiles/dcn_pktsim.dir/routing.cc.o.d"
+  "CMakeFiles/dcn_pktsim.dir/session.cc.o"
+  "CMakeFiles/dcn_pktsim.dir/session.cc.o.d"
+  "CMakeFiles/dcn_pktsim.dir/tcp.cc.o"
+  "CMakeFiles/dcn_pktsim.dir/tcp.cc.o.d"
+  "libdcn_pktsim.a"
+  "libdcn_pktsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_pktsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

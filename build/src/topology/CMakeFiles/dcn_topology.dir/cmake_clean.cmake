@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_topology.dir/builders.cc.o"
+  "CMakeFiles/dcn_topology.dir/builders.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/paths.cc.o"
+  "CMakeFiles/dcn_topology.dir/paths.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology.cc.o.d"
+  "libdcn_topology.a"
+  "libdcn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

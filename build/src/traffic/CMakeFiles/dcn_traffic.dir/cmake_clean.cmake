@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_traffic.dir/patterns.cc.o"
+  "CMakeFiles/dcn_traffic.dir/patterns.cc.o.d"
+  "libdcn_traffic.a"
+  "libdcn_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

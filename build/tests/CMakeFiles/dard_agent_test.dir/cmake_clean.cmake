@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dard_agent_test.dir/dard_agent_test.cc.o"
+  "CMakeFiles/dard_agent_test.dir/dard_agent_test.cc.o.d"
+  "dard_agent_test"
+  "dard_agent_test.pdb"
+  "dard_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dard_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dard_convergence_test.dir/dard_convergence_test.cc.o"
+  "CMakeFiles/dard_convergence_test.dir/dard_convergence_test.cc.o.d"
+  "dard_convergence_test"
+  "dard_convergence_test.pdb"
+  "dard_convergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dard_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

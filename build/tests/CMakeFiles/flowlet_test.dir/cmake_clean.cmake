@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowlet_test.dir/flowlet_test.cc.o"
+  "CMakeFiles/flowlet_test.dir/flowlet_test.cc.o.d"
+  "flowlet_test"
+  "flowlet_test.pdb"
+  "flowlet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedera_test.dir/hedera_test.cc.o"
+  "CMakeFiles/hedera_test.dir/hedera_test.cc.o.d"
+  "hedera_test"
+  "hedera_test.pdb"
+  "hedera_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedera_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_min_test.dir/max_min_test.cc.o"
+  "CMakeFiles/max_min_test.dir/max_min_test.cc.o.d"
+  "max_min_test"
+  "max_min_test.pdb"
+  "max_min_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimum_test.dir/optimum_test.cc.o"
+  "CMakeFiles/optimum_test.dir/optimum_test.cc.o.d"
+  "optimum_test"
+  "optimum_test.pdb"
+  "optimum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

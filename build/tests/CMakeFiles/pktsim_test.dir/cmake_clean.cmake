@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pktsim_test.dir/pktsim_test.cc.o"
+  "CMakeFiles/pktsim_test.dir/pktsim_test.cc.o.d"
+  "pktsim_test"
+  "pktsim_test.pdb"
+  "pktsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pktsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunnel_test.dir/tunnel_test.cc.o"
+  "CMakeFiles/tunnel_test.dir/tunnel_test.cc.o.d"
+  "tunnel_test"
+  "tunnel_test.pdb"
+  "tunnel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunnel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/paths_test[1]_include.cmake")
+include("/root/repo/build/tests/addressing_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/max_min_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/dard_agent_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/hedera_test[1]_include.cmake")
+include("/root/repo/build/tests/game_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/pktsim_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/dard_convergence_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/tunnel_test[1]_include.cmake")
+include("/root/repo/build/tests/flowlet_test[1]_include.cmake")
+include("/root/repo/build/tests/optimum_test[1]_include.cmake")
