@@ -96,14 +96,22 @@ void print_cdf(const std::string& title,
 harness::ExperimentResult run_logged(const topo::Topology& t,
                                      const harness::ExperimentConfig& cfg,
                                      const char* label) {
+  // Collect run metrics unless the caller installed their own registry.
+  obs::MetricsRegistry metrics;
+  harness::ExperimentConfig run_cfg = cfg;
+  if (run_cfg.telemetry.metrics == nullptr)
+    run_cfg.telemetry.metrics = &metrics;
+
   const auto start = std::chrono::steady_clock::now();
-  auto result = harness::run_experiment(t, cfg);
+  auto result = harness::run_experiment(t, run_cfg);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   std::fprintf(stderr, "  [%s] %s: %zu flows, avg %.2fs (%.1fs wall)\n", label,
                result.scheduler.c_str(), result.flows,
                result.avg_transfer_time, wall);
+  std::fprintf(stderr, "  [%s] metrics: %s\n", label,
+               run_cfg.telemetry.metrics->summary().c_str());
   return result;
 }
 

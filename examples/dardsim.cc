@@ -1,20 +1,60 @@
 // dardsim — command-line driver for the simulator: pick a topology, a
 // traffic pattern and a scheduler, get the paper's metrics (and optionally
-// a CSV of per-flow records) without writing any code.
-//
-//   dardsim [--topo=fattree|clos|threetier] [--size=N] [--pattern=random|
-//           staggered|stride] [--scheduler=ecmp|pvlb|dard|hedera]
-//           [--rate=F] [--duration=S] [--seed=N] [--csv]
+// a CSV of per-flow records) without writing any code. Telemetry flags
+// stream a structured JSONL event trace, a metrics CSV and link-utilization
+// / aggregate time series for offline plotting (see DESIGN.md
+// "Observability").
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "harness/experiment.h"
+#include "obs/trace.h"
 #include "topology/builders.h"
 
 using namespace dard;
 
 namespace {
+
+constexpr const char* kTopos = "fattree, clos, threetier";
+constexpr const char* kPatterns = "random, staggered, stride";
+constexpr const char* kSchedulers = "ecmp, pvlb, dard, hedera";
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dardsim [options]\n"
+               "\n"
+               "simulation options:\n"
+               "  --topo=NAME          topology: %s (default fattree)\n"
+               "  --size=N             p for fat-tree, D for Clos; ignored "
+               "for threetier (default 8)\n"
+               "  --pattern=NAME       traffic pattern: %s (default stride)\n"
+               "  --scheduler=NAME     scheduler: %s (default dard)\n"
+               "  --rate=F             flows per second per host (default 1)\n"
+               "  --duration=S         workload generation window in seconds "
+               "(default 10)\n"
+               "  --seed=N             workload / scheduler seed (default 1)\n"
+               "\n"
+               "output options:\n"
+               "  --csv                print the summary as metric,value CSV\n"
+               "  --trace=FILE         write a JSONL event trace (flow "
+               "arrive/elephant/move/complete,\n"
+               "                       DARD round decisions)\n"
+               "  --metrics=FILE       write the metrics registry "
+               "(counters/gauges/latencies) as CSV\n"
+               "  --samples=FILE       write sampled per-link utilization as "
+               "CSV\n"
+               "  --agg-samples=FILE   write sampled aggregate counters "
+               "(active flows/elephants,\n"
+               "                       throughput) as CSV\n"
+               "  --sample-period=S    sampling period in seconds (default "
+               "0.5; used by --samples\n"
+               "                       and --agg-samples)\n"
+               "  --help               show this message\n",
+               kTopos, kPatterns, kSchedulers);
+}
 
 struct Options {
   std::string topo = "fattree";
@@ -25,6 +65,12 @@ struct Options {
   double duration = 10.0;
   std::uint64_t seed = 1;
   bool csv = false;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string samples_path;
+  std::string agg_samples_path;
+  double sample_period = 0.5;
+  bool help = false;
 };
 
 bool parse(int argc, char** argv, Options* opt) {
@@ -50,10 +96,23 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->duration = std::atof(v);
     } else if (const char* v = value("--seed=")) {
       opt->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--trace=")) {
+      opt->trace_path = v;
+    } else if (const char* v = value("--metrics=")) {
+      opt->metrics_path = v;
+    } else if (const char* v = value("--samples=")) {
+      opt->samples_path = v;
+    } else if (const char* v = value("--agg-samples=")) {
+      opt->agg_samples_path = v;
+    } else if (const char* v = value("--sample-period=")) {
+      opt->sample_period = std::atof(v);
     } else if (arg == "--csv") {
       opt->csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt->help = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::fprintf(stderr, "unknown flag: %s\n\n", arg.c_str());
+      print_usage(stderr);
       return false;
     }
   }
@@ -65,6 +124,10 @@ bool parse(int argc, char** argv, Options* opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    print_usage(stdout);
+    return 0;
+  }
 
   topo::Topology network;
   if (opt.topo == "fattree") {
@@ -75,7 +138,8 @@ int main(int argc, char** argv) {
   } else if (opt.topo == "threetier") {
     network = topo::build_three_tier({});
   } else {
-    std::fprintf(stderr, "unknown topology: %s\n", opt.topo.c_str());
+    std::fprintf(stderr, "unknown topology: %s (valid: %s)\n",
+                 opt.topo.c_str(), kTopos);
     return 2;
   }
 
@@ -87,7 +151,8 @@ int main(int argc, char** argv) {
   } else if (opt.pattern == "stride") {
     cfg.workload.pattern.kind = traffic::PatternKind::Stride;
   } else {
-    std::fprintf(stderr, "unknown pattern: %s\n", opt.pattern.c_str());
+    std::fprintf(stderr, "unknown pattern: %s (valid: %s)\n",
+                 opt.pattern.c_str(), kPatterns);
     return 2;
   }
   if (opt.scheduler == "ecmp") {
@@ -99,14 +164,74 @@ int main(int argc, char** argv) {
   } else if (opt.scheduler == "hedera") {
     cfg.scheduler = harness::SchedulerKind::Hedera;
   } else {
-    std::fprintf(stderr, "unknown scheduler: %s\n", opt.scheduler.c_str());
+    std::fprintf(stderr, "unknown scheduler: %s (valid: %s)\n",
+                 opt.scheduler.c_str(), kSchedulers);
     return 2;
   }
   cfg.workload.mean_interarrival = 1.0 / opt.rate;
   cfg.workload.duration = opt.duration;
   cfg.workload.seed = opt.seed;
 
+  // Telemetry wiring; everything stays null/zero (and therefore free)
+  // unless the corresponding flag was given.
+  std::ofstream trace_file;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  std::unique_ptr<obs::TraceObserver> trace_observer;
+  if (!opt.trace_path.empty()) {
+    trace_file.open(opt.trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open trace file: %s\n",
+                   opt.trace_path.c_str());
+      return 2;
+    }
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_file);
+    trace_observer = std::make_unique<obs::TraceObserver>(*trace_sink);
+    cfg.telemetry.observer = trace_observer.get();
+  }
+  obs::MetricsRegistry metrics;
+  if (!opt.metrics_path.empty()) cfg.telemetry.metrics = &metrics;
+  if (!opt.samples_path.empty() || !opt.agg_samples_path.empty()) {
+    if (opt.sample_period <= 0) {
+      std::fprintf(stderr, "--sample-period must be positive\n");
+      return 2;
+    }
+    cfg.telemetry.sample_period = opt.sample_period;
+  }
+
   const auto result = harness::run_experiment(network, cfg);
+
+  if (trace_sink != nullptr) {
+    trace_sink->flush();
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 trace_sink->written(), opt.trace_path.c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    std::ofstream out(opt.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file: %s\n",
+                   opt.metrics_path.c_str());
+      return 2;
+    }
+    metrics.write_csv(out);
+  }
+  if (!opt.samples_path.empty() && result.series != nullptr) {
+    std::ofstream out(opt.samples_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open samples file: %s\n",
+                   opt.samples_path.c_str());
+      return 2;
+    }
+    result.series->write_link_csv(out);
+  }
+  if (!opt.agg_samples_path.empty() && result.series != nullptr) {
+    std::ofstream out(opt.agg_samples_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open aggregate samples file: %s\n",
+                   opt.agg_samples_path.c_str());
+      return 2;
+    }
+    result.series->write_aggregate_csv(out);
+  }
 
   if (opt.csv) {
     std::printf("metric,value\n");
@@ -147,6 +272,8 @@ int main(int argc, char** argv) {
                 result.control_mean_rate / 1000.0,
                 result.control_peak_rate / 1000.0);
     std::printf("  reroutes:           %zu\n", result.reroutes);
+    if (!opt.metrics_path.empty())
+      std::printf("  metrics:            %s\n", metrics.summary().c_str());
   }
   return 0;
 }

@@ -13,6 +13,15 @@ void DardAgent::start(FlowSimulator& sim) {
                                                          &sim.accountant());
   daemons_.clear();
   daemons_.resize(sim.topology().node_count());
+
+  counters_ = DardCounters{};
+  if (obs::MetricsRegistry* m = sim.metrics()) {
+    counters_.moves_proposed = &m->counter("dard.moves_proposed");
+    counters_.moves_accepted = &m->counter("dard.moves_accepted");
+    counters_.moves_rejected = &m->counter("dard.moves_rejected");
+    counters_.delta_rejections = &m->counter("dard.delta_rejections");
+    counters_.monitor_queries = &m->counter("dard.monitor_queries");
+  }
 }
 
 PathIndex DardAgent::place(FlowSimulator& sim, const Flow& flow) {
@@ -27,7 +36,8 @@ DardHostDaemon& DardAgent::daemon_for(FlowSimulator& sim, NodeId host) {
   auto& slot = daemons_[host.value()];
   if (!slot) {
     slot = std::make_unique<DardHostDaemon>(sim, *service_, host, cfg_,
-                                            rng_->fork(host.value()));
+                                            rng_->fork(host.value()),
+                                            &counters_);
   }
   return *slot;
 }

@@ -40,6 +40,7 @@ class DardAgent : public flowsim::SchedulerAgent {
   std::unique_ptr<Rng> rng_;
   std::unique_ptr<fabric::StateQueryService> service_;
   std::vector<std::unique_ptr<DardHostDaemon>> daemons_;  // by node id value
+  DardCounters counters_;  // shared by all daemons; null fields = disabled
 };
 
 }  // namespace dard::core

@@ -6,13 +6,20 @@ using flowsim::Flow;
 
 DardHostDaemon::DardHostDaemon(flowsim::FlowSimulator& sim,
                                const fabric::StateQueryService& service,
-                               NodeId host, const DardConfig& cfg, Rng rng)
+                               NodeId host, const DardConfig& cfg, Rng rng,
+                               const DardCounters* counters)
     : sim_(&sim),
       service_(&service),
       host_(host),
       src_tor_(sim.topology().tor_of_host(host)),
       cfg_(&cfg),
-      rng_(rng) {}
+      rng_(rng),
+      counters_(counters) {}
+
+void DardHostDaemon::account_refresh(const PathMonitor& monitor) const {
+  if (counters_ != nullptr && counters_->monitor_queries != nullptr)
+    counters_->monitor_queries->add(monitor.queried_switches().size());
+}
 
 void DardHostDaemon::on_elephant(const Flow& flow) {
   DCN_CHECK(flow.spec.src_host == host_);
@@ -27,6 +34,7 @@ void DardHostDaemon::on_elephant(const Flow& flow) {
     // A fresh monitor assembles path state immediately so the next round
     // has something to act on.
     it->second.refresh(sim_->now(), *service_);
+    account_refresh(it->second);
   }
   it->second.add_flow(flow.id, flow.path_index);
   tracked_.emplace(flow.id, flow.dst_tor);
@@ -66,8 +74,10 @@ void DardHostDaemon::ensure_round_scheduled() {
 void DardHostDaemon::query_tick() {
   query_ticking_ = false;
   if (monitors_.empty()) return;
-  for (auto& [dst_tor, monitor] : monitors_)
+  for (auto& [dst_tor, monitor] : monitors_) {
     monitor.refresh(sim_->now(), *service_);
+    account_refresh(monitor);
+  }
   ensure_query_ticking();
 }
 
@@ -79,10 +89,25 @@ void DardHostDaemon::run_round() {
   // best estimated gain. (Letting each monitor move independently makes
   // two monitors of the same host leapfrog between their shared ToR
   // uplinks forever.)
+  obs::SimObserver* const observer = sim_->observer();
+  const bool count =
+      counters_ != nullptr && counters_->moves_proposed != nullptr;
+  // Per-monitor evaluations, kept only while telemetry needs to report
+  // which candidate ultimately won; unused (and unallocated) otherwise.
+  std::vector<std::pair<NodeId, RoundEvaluation>> evals;
+  if (observer != nullptr) evals.reserve(monitors_.size());
+
   PathMonitor* best_monitor = nullptr;
   std::optional<ProposedMove> best;
+  std::size_t proposed = 0;
   for (auto& [dst_tor, monitor] : monitors_) {
-    const auto move = monitor.propose(cfg_->delta, rng_);
+    RoundEvaluation eval;
+    const auto move = monitor.propose(
+        cfg_->delta, rng_, observer != nullptr || count ? &eval : nullptr);
+    if (observer != nullptr) evals.emplace_back(dst_tor, eval);
+    if (count && eval.considered && !eval.passed_delta)
+      counters_->delta_rejections->add();
+    if (move) ++proposed;
     if (move && (!best || move->estimated_gain > best->estimated_gain)) {
       best = move;
       best_monitor = &monitor;
@@ -92,6 +117,34 @@ void DardHostDaemon::run_round() {
     sim_->move_flow(best->flow, best->to);
     best_monitor->record_move(best->flow, best->from, best->to);
     ++total_moves_;
+  }
+  if (count) {
+    counters_->moves_proposed->add(proposed);
+    if (best) {
+      counters_->moves_accepted->add();
+      counters_->moves_rejected->add(proposed - 1);
+    } else {
+      counters_->moves_rejected->add(proposed);
+    }
+  }
+  if (observer != nullptr) {
+    for (const auto& [dst_tor, eval] : evals) {
+      if (!eval.considered) continue;
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::DardRound;
+      e.time = sim_->now();
+      e.src_host = host_;
+      e.dst_host = dst_tor;
+      e.path_from = eval.from;
+      e.path_to = eval.to;
+      e.bonf_from = eval.from_bonf;
+      e.bonf_to = eval.to_bonf;
+      e.gain = eval.estimated_gain;
+      e.delta_threshold = cfg_->delta;
+      e.accepted = best.has_value() && best_monitor != nullptr &&
+                   best_monitor->dst_tor() == dst_tor;
+      observer->on_dard_round(e);
+    }
   }
   ensure_round_scheduled();
 }

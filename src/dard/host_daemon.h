@@ -18,14 +18,28 @@
 #include "common/rng.h"
 #include "dard/config.h"
 #include "dard/monitor.h"
+#include "obs/metrics.h"
 
 namespace dard::core {
+
+// Cached handles into the experiment's MetricsRegistry, owned by DardAgent
+// and shared by every host daemon. All null when metrics are disabled, in
+// which case each instrumentation site costs one null check.
+struct DardCounters {
+  obs::Counter* moves_proposed = nullptr;   // candidate moves passing δ
+  obs::Counter* moves_accepted = nullptr;   // moves actually applied
+  obs::Counter* moves_rejected = nullptr;   // candidates losing the per-host
+                                            // best-gain comparison
+  obs::Counter* delta_rejections = nullptr; // evaluations failing the δ test
+  obs::Counter* monitor_queries = nullptr;  // switch state queries issued
+};
 
 class DardHostDaemon {
  public:
   DardHostDaemon(flowsim::FlowSimulator& sim,
                  const fabric::StateQueryService& service, NodeId host,
-                 const DardConfig& cfg, Rng rng);
+                 const DardConfig& cfg, Rng rng,
+                 const DardCounters* counters = nullptr);
 
   // Simulator callbacks (routed through DardAgent).
   void on_elephant(const flowsim::Flow& flow);
@@ -42,12 +56,16 @@ class DardHostDaemon {
   void query_tick();
   void run_round();
 
+  // Counts one refresh's switch queries and emits nothing when disabled.
+  void account_refresh(const PathMonitor& monitor) const;
+
   flowsim::FlowSimulator* sim_;
   const fabric::StateQueryService* service_;
   NodeId host_;
   NodeId src_tor_;
   const DardConfig* cfg_;
   Rng rng_;
+  const DardCounters* counters_;  // may be null
 
   std::map<NodeId, PathMonitor> monitors_;   // keyed by destination ToR
   std::map<FlowId, NodeId> tracked_;         // flow -> destination ToR

@@ -80,7 +80,9 @@ std::uint32_t PathMonitor::flows_on(PathIndex path) const {
   return static_cast<std::uint32_t>(fv_[path].size());
 }
 
-std::optional<ProposedMove> PathMonitor::propose(Bps delta, Rng& rng) const {
+std::optional<ProposedMove> PathMonitor::propose(Bps delta, Rng& rng,
+                                                 RoundEvaluation* eval) const {
+  if (eval != nullptr) *eval = RoundEvaluation{};
   if (paths_->size() < 2 || tracked_flows_ == 0) return std::nullopt;
 
   // from: smallest BoNF among paths this host has elephants on;
@@ -116,6 +118,15 @@ std::optional<ProposedMove> PathMonitor::propose(Bps delta, Rng& rng) const {
   const double estimation =
       target.bandwidth / static_cast<double>(target.flow_numbers + 1);
   const double gain = estimation - pv_[*from].bonf();
+  if (eval != nullptr) {
+    eval->considered = true;
+    eval->from = *from;
+    eval->to = *to;
+    eval->from_bonf = pv_[*from].bonf();
+    eval->to_bonf = pv_[*to].bonf();
+    eval->estimated_gain = gain;
+    eval->passed_delta = gain > delta;
+  }
   if (gain <= delta) return std::nullopt;
 
   return ProposedMove{fv_[*from].front(), *from, *to, gain};

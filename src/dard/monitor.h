@@ -43,6 +43,20 @@ struct ProposedMove {
   double estimated_gain = 0;  // estimated BoNF(to after move) - BoNF(from)
 };
 
+// What one propose() call saw, for telemetry: the worst/best paths
+// considered and the outcome of the δ test. Filled even when no move is
+// proposed, so traces show *why* a round stayed put.
+struct RoundEvaluation {
+  bool considered = false;  // had >= 2 paths, >= 1 tracked flow, and both
+                            // an occupied worst path and a best path
+  PathIndex from = 0;       // smallest-BoNF path this host occupies
+  PathIndex to = 0;         // largest-BoNF path overall
+  double from_bonf = 0;
+  double to_bonf = 0;
+  double estimated_gain = 0;   // est. BoNF(to with one more flow) - from_bonf
+  bool passed_delta = false;   // estimated_gain > δ
+};
+
 class PathMonitor {
  public:
   PathMonitor(flowsim::FlowSimulator& sim, NodeId src_tor, NodeId dst_tor);
@@ -78,8 +92,10 @@ class PathMonitor {
   // deterministic tie-breaking makes every host dump flows onto the same
   // first-indexed idle path and chase each other indefinitely — the same
   // herding the randomized round offsets exist to prevent.
-  [[nodiscard]] std::optional<ProposedMove> propose(Bps delta,
-                                                    Rng& rng) const;
+  // `eval`, when non-null, receives what the round saw (telemetry only;
+  // filling it draws nothing from `rng` and never changes the decision).
+  [[nodiscard]] std::optional<ProposedMove> propose(
+      Bps delta, Rng& rng, RoundEvaluation* eval = nullptr) const;
 
   [[nodiscard]] const std::vector<NodeId>& queried_switches() const {
     return query_set_;

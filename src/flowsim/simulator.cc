@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace dard::flowsim {
 
@@ -23,6 +24,40 @@ bool rate_changed(Bps a, Bps b) {
 
 FlowSimulator::FlowSimulator(const topo::Topology& t, SimConfig cfg)
     : topo_(&t), cfg_(cfg), paths_(t), board_(t), allocator_(t, &board_) {}
+
+void FlowSimulator::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    m_reallocs_ = nullptr;
+    m_queue_depth_ = nullptr;
+    m_maxmin_wall_ = nullptr;
+    return;
+  }
+  m_reallocs_ = &metrics_->counter("flowsim.reallocations");
+  m_queue_depth_ = &metrics_->gauge("flowsim.event_queue_depth");
+  m_maxmin_wall_ = &metrics_->latency("flowsim.maxmin_wall");
+}
+
+double FlowSimulator::path_bonf(const Flow& f, PathIndex index) {
+  const auto& set = paths_.tor_paths(f.src_tor, f.dst_tor);
+  DCN_CHECK_MSG(index < set.size(), "path index out of range");
+  double bonf = std::numeric_limits<double>::infinity();
+  for (const LinkId l : set[index].links) {
+    if (!topo_->is_switch_switch(l)) continue;
+    const fabric::LinkState state{l, board_.capacity(l), board_.elephants(l)};
+    bonf = std::min(bonf, state.bonf());
+  }
+  // Intra-ToR paths have no switch-switch link; report 0 rather than inf.
+  return std::isinf(bonf) ? 0.0 : bonf;
+}
+
+void FlowSimulator::link_loads(std::vector<double>* out) const {
+  out->assign(topo_->link_count(), 0.0);
+  for (const FlowId id : active_) {
+    const Flow& f = flows_[id.value()];
+    for (const LinkId l : f.links) (*out)[l.value()] += f.rate;
+  }
+}
 
 FlowId FlowSimulator::submit(const FlowSpec& spec) {
   DCN_CHECK_MSG(spec.src_host != spec.dst_host, "flow to self");
@@ -95,6 +130,17 @@ void FlowSimulator::arrive(FlowId id) {
         promote_elephant(id);
     });
   }
+  if (observer_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::FlowArrive;
+    e.time = events_.now();
+    e.flow = id;
+    e.src_host = f.spec.src_host;
+    e.dst_host = f.spec.dst_host;
+    e.size = f.spec.size;
+    e.path_to = f.path_index;
+    observer_->on_flow_arrive(e);
+  }
   request_reallocate();
 }
 
@@ -104,6 +150,16 @@ void FlowSimulator::promote_elephant(FlowId id) {
   board_add(f);
   ++active_elephants_;
   peak_active_elephants_ = std::max(peak_active_elephants_, active_elephants_);
+  if (observer_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::FlowElephant;
+    e.time = events_.now();
+    e.flow = id;
+    e.src_host = f.spec.src_host;
+    e.dst_host = f.spec.dst_host;
+    e.path_to = f.path_index;
+    observer_->on_flow_elephant(e);
+  }
   agent_->on_elephant(*this, f);
 }
 
@@ -147,6 +203,17 @@ void FlowSimulator::complete(FlowId id, std::uint64_t version) {
                   topo_->node(f.spec.dst_host).pod;
   records_.push_back(rec);
 
+  if (observer_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::FlowComplete;
+    e.time = now;
+    e.flow = id;
+    e.src_host = f.spec.src_host;
+    e.dst_host = f.spec.dst_host;
+    e.size = f.spec.size;
+    e.path_to = f.path_index;
+    observer_->on_flow_complete(e);
+  }
   agent_->on_finished(*this, f);
   request_reallocate();
 }
@@ -154,10 +221,32 @@ void FlowSimulator::complete(FlowId id, std::uint64_t version) {
 void FlowSimulator::apply_move(Flow& f, PathIndex new_path) {
   DCN_CHECK_MSG(f.state == FlowState::Active, "moving a finished flow");
   if (f.path_index == new_path) return;
+  const PathIndex old_path = f.path_index;
+  // Ground-truth BoNF of both paths at decision time (before the move
+  // itself shifts the board), matching the state a scheduler acted on.
+  double bonf_from = 0, bonf_to = 0;
+  if (observer_ != nullptr) {
+    bonf_from = path_bonf(f, old_path);
+    bonf_to = path_bonf(f, new_path);
+  }
   if (f.is_elephant) board_remove(f);
   set_path_links(f, new_path);
   if (f.is_elephant) board_add(f);
   ++f.path_switches;
+  if (observer_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::FlowMove;
+    e.time = events_.now();
+    e.flow = f.id;
+    e.src_host = f.spec.src_host;
+    e.dst_host = f.spec.dst_host;
+    e.path_from = old_path;
+    e.path_to = new_path;
+    e.bonf_from = bonf_from;
+    e.bonf_to = bonf_to;
+    e.gain = bonf_to - bonf_from;
+    observer_->on_flow_move(e);
+  }
 }
 
 void FlowSimulator::set_cable_failed(NodeId a, NodeId b, bool failed) {
@@ -207,12 +296,22 @@ void FlowSimulator::reallocate() {
   const Seconds now = events_.now();
   last_realloc_ = now;
 
+  if (m_reallocs_ != nullptr) {
+    m_reallocs_->add();
+    m_queue_depth_->set(static_cast<double>(events_.pending()));
+  }
+
   alloc_scratch_.clear();
   alloc_scratch_.reserve(active_.size());
   for (const FlowId id : active_)
     alloc_scratch_.push_back(&flows_[id.value()].links);
 
-  const std::vector<Bps>& rates = allocator_.compute(alloc_scratch_);
+  const std::vector<Bps>* rates_ptr;
+  {
+    obs::ScopedLatencyTimer timer(m_maxmin_wall_);
+    rates_ptr = &allocator_.compute(alloc_scratch_);
+  }
+  const std::vector<Bps>& rates = *rates_ptr;
 
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const FlowId id = active_[i];

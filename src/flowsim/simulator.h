@@ -17,6 +17,8 @@
 #include "flowsim/event_queue.h"
 #include "flowsim/flow.h"
 #include "flowsim/max_min.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
 #include "topology/paths.h"
 
 namespace dard::flowsim {
@@ -96,6 +98,28 @@ class FlowSimulator {
     return paths_.tor_paths(f.src_tor, f.dst_tor);
   }
 
+  // --- telemetry (see DESIGN.md "Observability") ---
+  // Installs the lifecycle-event observer. Must be set before the first
+  // flow arrives; null disables tracing (the default), leaving one branch
+  // per lifecycle event as the only cost.
+  void set_observer(obs::SimObserver* observer) { observer_ = observer; }
+  [[nodiscard]] obs::SimObserver* observer() const { return observer_; }
+
+  // Installs the metrics registry and caches the simulator's own metric
+  // handles. Null (the default) disables metrics collection; the hot path
+  // then pays one null check per reallocation and never reads the clock.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // Ground-truth BoNF of one path of `f`'s equal-cost set: min over the
+  // path's switch-switch links of effective capacity / elephant count.
+  // Mirrors what a DARD monitor would assemble from fresh switch state.
+  [[nodiscard]] double path_bonf(const Flow& f, PathIndex index);
+
+  // Per-link allocated rate (bps, by LinkId value): the sum of active flow
+  // rates crossing each link. Resizes `out` to link_count().
+  void link_loads(std::vector<double>* out) const;
+
   // Fails (or restores) both directions of the cable between a and b:
   // effective capacity collapses, flows pinned across it starve, adaptive
   // schedulers observe the near-zero BoNF and route around it.
@@ -152,6 +176,13 @@ class FlowSimulator {
   std::size_t peak_active_elephants_ = 0;
   bool realloc_pending_ = false;
   Seconds last_realloc_ = -1;
+
+  // Telemetry; all null when observability is disabled.
+  obs::SimObserver* observer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_reallocs_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::LatencyStat* m_maxmin_wall_ = nullptr;
 };
 
 }  // namespace dard::flowsim

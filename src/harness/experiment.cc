@@ -40,6 +40,17 @@ ExperimentResult run_experiment(const topo::Topology& t,
   sim_cfg.realloc_interval = cfg.realloc_interval;
   flowsim::FlowSimulator sim(t, sim_cfg);
 
+  // Telemetry installs before the agent starts so agents can pick up the
+  // registry in start().
+  sim.set_observer(cfg.telemetry.observer);
+  sim.set_metrics(cfg.telemetry.metrics);
+  std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  if (cfg.telemetry.sample_period > 0) {
+    sampler =
+        std::make_unique<obs::TimeSeriesSampler>(sim, cfg.telemetry.sample_period);
+    sampler->start();
+  }
+
   const auto agent = make_agent(cfg);
   sim.set_agent(agent.get());
 
@@ -71,6 +82,11 @@ ExperimentResult run_experiment(const topo::Topology& t,
   if (const auto* hedera =
           dynamic_cast<const baselines::HederaAgent*>(agent.get()))
     result.reroutes = hedera->total_reassignments();
+  if (sampler != nullptr) {
+    // One final snapshot so the series covers the tail of the run.
+    sampler->sample_now();
+    result.series = std::make_shared<obs::TimeSeries>(sampler->take());
+  }
   return result;
 }
 

@@ -13,6 +13,9 @@
 #include "baselines/hedera.h"
 #include "common/stats.h"
 #include "dard/dard_agent.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/samplers.h"
 #include "traffic/patterns.h"
 
 namespace dard::harness {
@@ -20,6 +23,18 @@ namespace dard::harness {
 enum class SchedulerKind : std::uint8_t { Ecmp, Pvlb, Dard, Hedera };
 
 [[nodiscard]] const char* to_string(SchedulerKind k);
+
+// Optional observability wiring, all disabled by default. Observer and
+// registry are borrowed (caller-owned, must outlive run_experiment); a
+// positive sample_period additionally collects an obs::TimeSeries into the
+// result. With everything at its default, the experiment runs exactly as it
+// would have before telemetry existed — same events, same RNG draws, same
+// numbers.
+struct TelemetryConfig {
+  obs::SimObserver* observer = nullptr;    // e.g. an obs::TraceObserver
+  obs::MetricsRegistry* metrics = nullptr;
+  Seconds sample_period = 0;               // > 0 enables time-series sampling
+};
 
 struct ExperimentConfig {
   traffic::WorkloadParams workload;
@@ -32,6 +47,7 @@ struct ExperimentConfig {
   core::DardConfig dard;
   baselines::HederaConfig hedera;
   Seconds pvlb_repick_interval = 10.0;
+  TelemetryConfig telemetry;
 };
 
 struct ExperimentResult {
@@ -45,6 +61,10 @@ struct ExperimentResult {
   double control_peak_rate = 0;  // bytes/s over the generation window
   double control_mean_rate = 0;
   std::size_t reroutes = 0;  // accepted moves (DARD) / reassignments (Hedera)
+
+  // Collected when telemetry.sample_period > 0; null otherwise. Shared so
+  // results stay cheap to copy.
+  std::shared_ptr<const obs::TimeSeries> series;
 
   [[nodiscard]] double path_switch_percentile(double q) const;
   [[nodiscard]] double max_path_switches() const;

@@ -1,0 +1,94 @@
+// Structured trace events and the simulator observer hook interface.
+//
+// FlowSimulator (flow lifecycle) and the DARD host daemons (scheduling
+// decisions) call the SimObserver hooks; implementations either act on the
+// typed callbacks directly or forward the flat TraceEvent record to a
+// TraceSink (trace.h) for serialization. Every hook has an empty default so
+// observers override only what they need, and the simulators guard each
+// emission behind a single `observer != nullptr` check — with no observer
+// installed, tracing costs one branch per lifecycle event.
+#pragma once
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace dard::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  FlowArrive,    // flow entered the network and received its initial path
+  FlowElephant,  // flow crossed the elephant age threshold
+  FlowMove,      // flow re-routed from path_from to path_to
+  FlowComplete,  // flow drained its last byte
+  DardRound,     // one monitor's evaluation within a DARD scheduling round
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind kind);
+
+// One flat trace record. Fields not meaningful for a given kind keep their
+// defaults; the per-kind schema is documented in DESIGN.md "Observability"
+// and enforced by the JSONL serializer, which only emits relevant fields.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::FlowArrive;
+  Seconds time = 0;
+
+  // Flow events; for DardRound, src_host is the deciding host and dst_host
+  // the destination ToR of the evaluating monitor.
+  FlowId flow;
+  NodeId src_host;
+  NodeId dst_host;
+  Bytes size = 0;  // flow size (FlowArrive / FlowComplete)
+
+  // FlowMove: old and new path; DardRound: worst (from) and best (to)
+  // candidate paths of the evaluation. FlowElephant/FlowArrive: path_to is
+  // the current path.
+  PathIndex path_from = 0;
+  PathIndex path_to = 0;
+
+  // Path BoNF (bandwidth over number of elephant flows, bps) of path_from /
+  // path_to as observed when the event fired. For FlowMove these are the
+  // simulator's ground-truth values; for DardRound they are the monitor's
+  // (possibly stale) assembled view.
+  double bonf_from = 0;
+  double bonf_to = 0;
+
+  // FlowMove: ground-truth BoNF delta (bonf_to - bonf_from).
+  // DardRound: the estimated gain tested against delta_threshold.
+  double gain = 0;
+  double delta_threshold = 0;  // DardRound: the δ in force
+  // DardRound: true when the evaluation produced a candidate move that
+  // passed the δ test AND won the host's best-gain comparison (i.e. the
+  // flow was actually shifted this round).
+  bool accepted = false;
+};
+
+// Hook interface the simulators emit into. Hooks fire synchronously at
+// simulation-event granularity, in causal order per flow: arrive, then
+// (optionally) elephant, then zero or more moves, then complete.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void on_flow_arrive(const TraceEvent& /*e*/) {}
+  virtual void on_flow_elephant(const TraceEvent& /*e*/) {}
+  virtual void on_flow_move(const TraceEvent& /*e*/) {}
+  virtual void on_flow_complete(const TraceEvent& /*e*/) {}
+  virtual void on_dard_round(const TraceEvent& /*e*/) {}
+};
+
+inline const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::FlowArrive:
+      return "flow_arrive";
+    case TraceEventKind::FlowElephant:
+      return "flow_elephant";
+    case TraceEventKind::FlowMove:
+      return "flow_move";
+    case TraceEventKind::FlowComplete:
+      return "flow_complete";
+    case TraceEventKind::DardRound:
+      return "dard_round";
+  }
+  return "?";
+}
+
+}  // namespace dard::obs

@@ -1,0 +1,98 @@
+// Periodic time-series samplers over a running FlowSimulator.
+//
+// The paper's evaluation is built from time-varying views — link
+// utilization converging under selfish scheduling, elephant population,
+// aggregate goodput — that end-of-run aggregates cannot show. A
+// TimeSeriesSampler schedules itself on the simulator's own event queue at
+// a configurable period and snapshots, per tick: per-link utilization
+// (allocated rate / effective capacity), active flow and elephant counts,
+// and aggregate throughput. Samples are read-only observations, so enabling
+// a sampler never perturbs flow dynamics. The collected TimeSeries is
+// detached from the simulator and exports the CSVs the figures plot from.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "flowsim/simulator.h"
+
+namespace dard::obs {
+
+// Static per-link description, copied out of the topology so a TimeSeries
+// stays valid after the simulator is gone.
+struct LinkMeta {
+  std::string src;
+  std::string dst;
+  Bps capacity = 0;        // nominal capacity
+  bool switch_switch = false;
+};
+
+// One snapshot of every link's utilization (allocated rate over effective
+// capacity, clamped to [0, 1]). The clamp matters: the simulator keeps a
+// flow's rate when a reallocation changes it by less than its 0.1%
+// tolerance band (and, in batched mode, for up to realloc_interval), so
+// summed nominal rates can oversubscribe a link by that margin — a
+// bookkeeping artifact, not traffic the link could actually carry.
+struct LinkSample {
+  Seconds time = 0;
+  std::vector<double> utilization;  // by LinkId value
+};
+
+// One snapshot of the aggregate counters.
+struct AggregateSample {
+  Seconds time = 0;
+  std::size_t active_flows = 0;
+  std::size_t active_elephants = 0;
+  double throughput_bps = 0;  // sum of allocated flow rates
+  double max_utilization = 0;
+};
+
+class TimeSeries {
+ public:
+  std::vector<LinkMeta> links;
+  std::vector<LinkSample> link_samples;
+  std::vector<AggregateSample> aggregate_samples;
+
+  [[nodiscard]] bool empty() const { return aggregate_samples.empty(); }
+
+  // Long-format link utilization:
+  //   time,link,src,dst,capacity_bps,used_bps,utilization
+  // Links that stay idle for the whole run are skipped to keep files small;
+  // pass include_idle=true to emit every link at every tick.
+  void write_link_csv(std::ostream& os, bool include_idle = false) const;
+
+  // time,active_flows,active_elephants,throughput_bps,max_utilization
+  void write_aggregate_csv(std::ostream& os) const;
+};
+
+class TimeSeriesSampler {
+ public:
+  // Samples every `period` seconds starting at the simulator's current
+  // time. `sim` must outlive the sampler's scheduled ticks (the sampler is
+  // driven by sim's own event queue, so destroying the sim first is fine —
+  // the pending callbacks die with it — but running the sim after the
+  // sampler is destroyed is not).
+  TimeSeriesSampler(flowsim::FlowSimulator& sim, Seconds period);
+
+  // Schedules the first snapshot (at the current simulation time).
+  void start();
+
+  // Takes one snapshot immediately, outside the periodic schedule.
+  void sample_now();
+
+  [[nodiscard]] const TimeSeries& series() const { return data_; }
+  [[nodiscard]] TimeSeries take() { return std::move(data_); }
+
+ private:
+  void tick();
+
+  flowsim::FlowSimulator* sim_;
+  Seconds period_;
+  TimeSeries data_;
+  std::vector<double> load_scratch_;
+};
+
+}  // namespace dard::obs

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dard::obs {
+
+namespace {
+
+void field_id(std::ostringstream& os, const char* name, std::uint32_t value) {
+  os << ",\"" << name << "\":" << value;
+}
+
+void field_double(std::ostringstream& os, const char* name, double value) {
+  os << ",\"" << name << "\":" << value;
+}
+
+}  // namespace
+
+std::string to_json(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << to_string(e.kind) << "\",\"t\":" << e.time;
+  switch (e.kind) {
+    case TraceEventKind::FlowArrive:
+      field_id(os, "flow", e.flow.value());
+      field_id(os, "src", e.src_host.value());
+      field_id(os, "dst", e.dst_host.value());
+      os << ",\"size\":" << e.size;
+      field_id(os, "path", e.path_to);
+      break;
+    case TraceEventKind::FlowElephant:
+      field_id(os, "flow", e.flow.value());
+      field_id(os, "path", e.path_to);
+      break;
+    case TraceEventKind::FlowMove:
+      field_id(os, "flow", e.flow.value());
+      field_id(os, "from", e.path_from);
+      field_id(os, "to", e.path_to);
+      field_double(os, "bonf_from", e.bonf_from);
+      field_double(os, "bonf_to", e.bonf_to);
+      field_double(os, "bonf_delta", e.gain);
+      break;
+    case TraceEventKind::FlowComplete:
+      field_id(os, "flow", e.flow.value());
+      os << ",\"size\":" << e.size;
+      break;
+    case TraceEventKind::DardRound:
+      field_id(os, "host", e.src_host.value());
+      field_id(os, "dst_tor", e.dst_host.value());
+      field_id(os, "worst_path", e.path_from);
+      field_id(os, "best_path", e.path_to);
+      field_double(os, "worst_bonf", e.bonf_from);
+      field_double(os, "best_bonf", e.bonf_to);
+      field_double(os, "est_gain", e.gain);
+      field_double(os, "delta", e.delta_threshold);
+      os << ",\"accepted\":" << (e.accepted ? "true" : "false");
+      break;
+  }
+  os << '}';
+  return os.str();
+}
+
+void JsonlTraceSink::write(const TraceEvent& e) {
+  *out_ << to_json(e) << '\n';
+  ++written_;
+}
+
+void JsonlTraceSink::flush() { out_->flush(); }
+
+RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
+    : capacity_(capacity) {
+  DCN_CHECK(capacity > 0);
+  buffer_.reserve(capacity);
+}
+
+void RingBufferTraceSink::write(const TraceEvent& e) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(e);
+    next_ = buffer_.size() % capacity_;
+    return;
+  }
+  wrapped_ = true;
+  ++dropped_;
+  buffer_[next_] = e;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t RingBufferTraceSink::size() const { return buffer_.size(); }
+
+std::vector<TraceEvent> RingBufferTraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  if (wrapped_) {
+    out.insert(out.end(), buffer_.begin() + static_cast<std::ptrdiff_t>(next_),
+               buffer_.end());
+    out.insert(out.end(), buffer_.begin(),
+               buffer_.begin() + static_cast<std::ptrdiff_t>(next_));
+  } else {
+    out = buffer_;
+  }
+  return out;
+}
+
+void RingBufferTraceSink::clear() {
+  buffer_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+}  // namespace dard::obs

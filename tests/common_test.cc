@@ -95,7 +95,24 @@ TEST(OnlineStats, Empty) {
   OnlineStats s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
+  // Extremes are the identity elements for min/max so merging an empty
+  // summary is a no-op: min is +inf, max is -inf.
   EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_GT(s.min(), 0.0);
+  EXPECT_TRUE(std::isinf(s.max()));
+  EXPECT_LT(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0) << "sample variance is undefined at n=1";
+  EXPECT_EQ(s.stddev(), 0.0);
 }
 
 TEST(OnlineStats, MeanVarianceMinMax) {
@@ -124,6 +141,31 @@ TEST(Cdf, FractionBelow) {
   EXPECT_DOUBLE_EQ(cdf.fraction_below(5.0), 0.5);
   EXPECT_DOUBLE_EQ(cdf.fraction_below(0.0), 0.0);
   EXPECT_DOUBLE_EQ(cdf.fraction_below(100.0), 1.0);
+  // fraction_below is inclusive (samples <= x), so exact boundary values
+  // count themselves.
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(9.5), 0.9);
+}
+
+TEST(Cdf, PercentileNearestRankBoundaries) {
+  Cdf cdf;
+  for (int i = 1; i <= 4; ++i) cdf.add(i);
+  // Nearest-rank: q=0 and anything up to 1/n select the smallest sample;
+  // q=1 selects the largest.
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 4.0);
+}
+
+TEST(Cdf, PercentileSingleSample) {
+  Cdf cdf;
+  cdf.add(7.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 7.0);
 }
 
 TEST(Cdf, CurveIsMonotone) {
@@ -161,6 +203,20 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_EQ(h.count_in(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(Histogram, BoundaryValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // x == lo lands in the first bucket
+  h.add(10.0);  // x == hi (half-open range) clamps to the last bucket
+  h.add(5.0);   // exact interior edge belongs to the bucket it opens
+  EXPECT_EQ(h.count_in(0), 1u);
+  EXPECT_EQ(h.count_in(9), 1u);
+  EXPECT_EQ(h.count_in(5), 1u);
+  EXPECT_EQ(h.count_in(4), 0u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(9), 9.0);
 }
 
 TEST(AsciiTable, RendersAlignedRows) {

@@ -1,0 +1,435 @@
+// Telemetry subsystem: metrics registry, trace sinks, time-series samplers,
+// and the end-to-end guarantees the observability layer makes — causally
+// consistent per-flow traces, capacity-bounded utilization samples, and
+// bit-identical experiment results when everything is disabled.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "obs/metrics.h"
+#include "obs/samplers.h"
+#include "obs/trace.h"
+#include "topology/builders.h"
+
+namespace dard::obs {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::run_experiment;
+using harness::SchedulerKind;
+using topo::build_fat_tree;
+using topo::Topology;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry m;
+  Counter& c = m.counter("a.b");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(m.counter("a.b").value, 5u);
+  EXPECT_EQ(&m.counter("a.b"), &c) << "handles must be stable";
+}
+
+TEST(Metrics, GaugeTracksPeak) {
+  MetricsRegistry m;
+  Gauge& g = m.gauge("depth");
+  g.set(3);
+  g.set(10);
+  g.set(2);
+  EXPECT_DOUBLE_EQ(g.value, 2.0);
+  EXPECT_DOUBLE_EQ(g.peak, 10.0);
+}
+
+TEST(Metrics, LatencySummaryAndBuckets) {
+  MetricsRegistry m;
+  LatencyStat& l = m.latency("wall");
+  l.record(5e-6);   // [1µs, 10µs)  -> bucket 1
+  l.record(0.5);    // [0.1s, 1s)   -> bucket 6
+  l.record(2.0);    // >= 1s        -> bucket 7 (last)
+  l.record(1e-9);   // < 1µs        -> bucket 0
+  EXPECT_EQ(l.count(), 4u);
+  EXPECT_DOUBLE_EQ(l.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(l.max(), 2.0);
+  EXPECT_EQ(l.count_in(0), 1u);
+  EXPECT_EQ(l.count_in(1), 1u);
+  EXPECT_EQ(l.count_in(6), 1u);
+  EXPECT_EQ(l.count_in(LatencyStat::kBuckets - 1), 1u);
+  EXPECT_DOUBLE_EQ(LatencyStat::bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyStat::bucket_lo(1), 1e-6);
+  EXPECT_DOUBLE_EQ(LatencyStat::bucket_lo(6), 0.1);
+}
+
+TEST(Metrics, CsvListsEveryMetric) {
+  MetricsRegistry m;
+  m.counter("c").add(7);
+  m.gauge("g").set(1.5);
+  m.latency("l").record(0.25);
+  std::ostringstream os;
+  m.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("name,kind,count,value,mean,min,max"), std::string::npos);
+  EXPECT_NE(csv.find("c,counter,7,7"), std::string::npos);
+  EXPECT_NE(csv.find("g,gauge,,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("l,latency,1,0.25"), std::string::npos);
+}
+
+TEST(Metrics, SummaryIsOneLine) {
+  MetricsRegistry m;
+  m.counter("moves").add(3);
+  m.gauge("depth").set(9);
+  const std::string s = m.summary();
+  EXPECT_EQ(s.find('\n'), std::string::npos);
+  EXPECT_NE(s.find("moves=3"), std::string::npos);
+  EXPECT_NE(s.find("depth=9"), std::string::npos);
+}
+
+TEST(Metrics, NullScopedTimerIsANoop) {
+  ScopedLatencyTimer timer(nullptr);  // must not crash or read the clock
+}
+
+TEST(Metrics, ScopedTimerRecordsOnce) {
+  LatencyStat stat;
+  { ScopedLatencyTimer timer(&stat); }
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_GE(stat.max(), 0.0);
+}
+
+// ------------------------------------------------------------ trace sinks
+
+TraceEvent event_at(Seconds t) {
+  TraceEvent e;
+  e.kind = TraceEventKind::FlowArrive;
+  e.time = t;
+  e.flow = FlowId(static_cast<FlowId::value_type>(t));
+  return e;
+}
+
+TEST(Trace, RingBufferKeepsMostRecentOldestFirst) {
+  RingBufferTraceSink sink(4);
+  for (int i = 0; i < 10; ++i) sink.write(event_at(i));
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(events[i].time, 6.0 + i);
+}
+
+TEST(Trace, RingBufferBelowCapacityIsInOrder) {
+  RingBufferTraceSink sink(8);
+  for (int i = 0; i < 3; ++i) sink.write(event_at(i));
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.events();
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(events[i].time, i);
+}
+
+TEST(Trace, JsonlWritesOneObjectPerLine) {
+  std::ostringstream os;
+  JsonlTraceSink sink(os);
+  sink.write(event_at(1));
+  sink.write(event_at(2));
+  EXPECT_EQ(sink.written(), 2u);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+    EXPECT_NE(line.find("\"t\":"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Trace, JsonSchemasCarryKindSpecificFields) {
+  TraceEvent move;
+  move.kind = TraceEventKind::FlowMove;
+  move.flow = FlowId(3);
+  move.path_from = 1;
+  move.path_to = 2;
+  move.bonf_from = 1e8;
+  move.bonf_to = 5e8;
+  move.gain = 4e8;
+  const std::string mj = to_json(move);
+  EXPECT_NE(mj.find("\"kind\":\"flow_move\""), std::string::npos);
+  EXPECT_NE(mj.find("\"from\":1"), std::string::npos);
+  EXPECT_NE(mj.find("\"to\":2"), std::string::npos);
+  EXPECT_NE(mj.find("\"bonf_delta\":4e+08"), std::string::npos);
+
+  TraceEvent round;
+  round.kind = TraceEventKind::DardRound;
+  round.src_host = NodeId(7);
+  round.dst_host = NodeId(9);
+  round.bonf_from = 1e8;
+  round.bonf_to = 1e9;
+  round.delta_threshold = 1e7;
+  round.accepted = true;
+  const std::string rj = to_json(round);
+  EXPECT_NE(rj.find("\"kind\":\"dard_round\""), std::string::npos);
+  EXPECT_NE(rj.find("\"host\":7"), std::string::npos);
+  EXPECT_NE(rj.find("\"worst_bonf\":1e+08"), std::string::npos);
+  EXPECT_NE(rj.find("\"best_bonf\":1e+09"), std::string::npos);
+  EXPECT_NE(rj.find("\"accepted\":true"), std::string::npos);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(TraceEventKind::FlowArrive), "flow_arrive");
+  EXPECT_STREQ(to_string(TraceEventKind::FlowElephant), "flow_elephant");
+  EXPECT_STREQ(to_string(TraceEventKind::FlowMove), "flow_move");
+  EXPECT_STREQ(to_string(TraceEventKind::FlowComplete), "flow_complete");
+  EXPECT_STREQ(to_string(TraceEventKind::DardRound), "dard_round");
+}
+
+// ------------------------------------------------- end-to-end experiments
+
+// Small fat-tree DARD run with enough load that elephants exist and DARD
+// makes moves; exact reallocation keeps rates honest for the utilization
+// bound.
+ExperimentConfig traced_config() {
+  ExperimentConfig cfg;
+  cfg.workload.pattern.kind = traffic::PatternKind::Stride;
+  cfg.workload.mean_interarrival = 1.0;
+  cfg.workload.flow_size = 128 * kMiB;
+  cfg.workload.duration = 20.0;
+  cfg.workload.seed = 42;
+  cfg.scheduler = SchedulerKind::Dard;
+  cfg.realloc_interval = 0;
+  cfg.dard.query_interval = 0.5;
+  cfg.dard.schedule_base = 2.0;
+  cfg.dard.schedule_jitter = 2.0;
+  return cfg;
+}
+
+TEST(ObsIntegration, TracedRunIsCausallyConsistentPerFlow) {
+  const Topology t = build_fat_tree({.p = 4});
+  RingBufferTraceSink sink(1u << 20);
+  TraceObserver observer(sink);
+  auto cfg = traced_config();
+  cfg.telemetry.observer = &observer;
+
+  const auto result = run_experiment(t, cfg);
+  ASSERT_GT(result.flows, 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+
+  struct FlowTrail {
+    std::size_t arrives = 0, elephants = 0, moves = 0, completes = 0;
+    Seconds last_time = -1;
+    bool complete_seen = false;
+  };
+  std::map<FlowId, FlowTrail> trails;
+  std::size_t rounds = 0;
+  Seconds last_time = 0;
+  for (const TraceEvent& e : sink.events()) {
+    EXPECT_GE(e.time, last_time) << "trace must be time-ordered";
+    last_time = e.time;
+    if (e.kind == TraceEventKind::DardRound) {
+      ++rounds;
+      EXPECT_GE(e.bonf_to, e.bonf_from)
+          << "best path BoNF cannot be below worst path BoNF";
+      EXPECT_GT(e.delta_threshold, 0.0);
+      continue;
+    }
+    FlowTrail& trail = trails[e.flow];
+    EXPECT_FALSE(trail.complete_seen) << "no events after flow_complete";
+    switch (e.kind) {
+      case TraceEventKind::FlowArrive:
+        EXPECT_EQ(trail.arrives, 0u);
+        EXPECT_EQ(trail.elephants + trail.moves + trail.completes, 0u)
+            << "arrive must be the flow's first event";
+        ++trail.arrives;
+        break;
+      case TraceEventKind::FlowElephant:
+        EXPECT_EQ(trail.arrives, 1u);
+        EXPECT_EQ(trail.elephants, 0u);
+        ++trail.elephants;
+        break;
+      case TraceEventKind::FlowMove:
+        EXPECT_EQ(trail.arrives, 1u);
+        EXPECT_NE(e.path_from, e.path_to);
+        ++trail.moves;
+        break;
+      case TraceEventKind::FlowComplete:
+        EXPECT_EQ(trail.arrives, 1u);
+        ++trail.completes;
+        trail.complete_seen = true;
+        break;
+      case TraceEventKind::DardRound:
+        break;
+    }
+    trail.last_time = e.time;
+  }
+
+  EXPECT_EQ(trails.size(), result.flows);
+  std::size_t total_moves = 0;
+  for (const auto& [flow, trail] : trails) {
+    EXPECT_EQ(trail.arrives, 1u);
+    EXPECT_EQ(trail.completes, 1u) << "every flow must complete";
+    total_moves += trail.moves;
+  }
+  EXPECT_EQ(total_moves, result.reroutes)
+      << "trace moves must match the experiment's accepted-move count";
+  EXPECT_GT(rounds, 0u) << "DARD rounds must be traced";
+}
+
+TEST(ObsIntegration, JsonlTraceFileIsParseable) {
+  const Topology t = build_fat_tree({.p = 4});
+  const std::string path = testing::TempDir() + "/dard_trace.jsonl";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open());
+    JsonlTraceSink sink(out);
+    TraceObserver observer(sink);
+    auto cfg = traced_config();
+    cfg.telemetry.observer = &observer;
+    const auto result = run_experiment(t, cfg);
+    ASSERT_GT(result.flows, 0u);
+    EXPECT_GT(sink.written(), 2 * result.flows)
+        << "at least arrive + complete per flow";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_arrive = false, saw_elephant = false, saw_move = false,
+       saw_complete = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ASSERT_NE(line.find("\"kind\":\""), std::string::npos);
+    saw_arrive |= line.find("\"kind\":\"flow_arrive\"") != std::string::npos;
+    saw_elephant |=
+        line.find("\"kind\":\"flow_elephant\"") != std::string::npos;
+    saw_move |= line.find("\"kind\":\"flow_move\"") != std::string::npos;
+    saw_complete |=
+        line.find("\"kind\":\"flow_complete\"") != std::string::npos;
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_TRUE(saw_arrive);
+  EXPECT_TRUE(saw_elephant);
+  EXPECT_TRUE(saw_move);
+  EXPECT_TRUE(saw_complete);
+  std::remove(path.c_str());
+}
+
+TEST(ObsIntegration, SampledUtilizationNeverExceedsCapacity) {
+  const Topology t = build_fat_tree({.p = 4});
+  auto cfg = traced_config();
+  cfg.telemetry.sample_period = 0.25;
+  const auto result = run_experiment(t, cfg);
+  ASSERT_NE(result.series, nullptr);
+  ASSERT_FALSE(result.series->empty());
+  ASSERT_EQ(result.series->links.size(), t.link_count());
+
+  bool saw_traffic = false;
+  for (const auto& sample : result.series->link_samples) {
+    ASSERT_EQ(sample.utilization.size(), t.link_count());
+    for (std::size_t l = 0; l < sample.utilization.size(); ++l) {
+      EXPECT_GE(sample.utilization[l], 0.0);
+      EXPECT_LE(sample.utilization[l], 1.0)
+          << "link " << l << " oversubscribed at t=" << sample.time;
+      saw_traffic |= sample.utilization[l] > 0;
+    }
+  }
+  EXPECT_TRUE(saw_traffic);
+
+  // The aggregate series must track the simulator's own counters.
+  std::size_t peak_elephants = 0;
+  for (const auto& agg : result.series->aggregate_samples) {
+    EXPECT_LE(agg.max_utilization, 1.0);
+    EXPECT_GE(agg.throughput_bps, 0.0);
+    peak_elephants = std::max(peak_elephants, agg.active_elephants);
+  }
+  EXPECT_LE(peak_elephants, result.peak_elephants);
+  EXPECT_GT(peak_elephants, 0u);
+
+  // CSV exports carry the data and the documented headers.
+  std::ostringstream links_csv;
+  result.series->write_link_csv(links_csv);
+  EXPECT_NE(links_csv.str().find(
+                "time,link,src,dst,capacity_bps,used_bps,utilization"),
+            std::string::npos);
+  std::ostringstream agg_csv;
+  result.series->write_aggregate_csv(agg_csv);
+  EXPECT_NE(
+      agg_csv.str().find(
+          "time,active_flows,active_elephants,throughput_bps,max_utilization"),
+      std::string::npos);
+}
+
+TEST(ObsIntegration, MetricsCoverTheRun) {
+  const Topology t = build_fat_tree({.p = 4});
+  MetricsRegistry metrics;
+  auto cfg = traced_config();
+  cfg.telemetry.metrics = &metrics;
+  const auto result = run_experiment(t, cfg);
+  ASSERT_GT(result.reroutes, 0u);
+
+  EXPECT_GT(metrics.counter("flowsim.reallocations").value, 0u);
+  EXPECT_GT(metrics.counter("dard.monitor_queries").value, 0u);
+  EXPECT_EQ(metrics.counter("dard.moves_accepted").value, result.reroutes);
+  EXPECT_GE(metrics.counter("dard.moves_proposed").value,
+            metrics.counter("dard.moves_accepted").value);
+  EXPECT_EQ(metrics.counter("dard.moves_proposed").value,
+            metrics.counter("dard.moves_accepted").value +
+                metrics.counter("dard.moves_rejected").value);
+  EXPECT_GT(metrics.gauge("flowsim.event_queue_depth").peak, 0.0);
+  EXPECT_EQ(metrics.latency("flowsim.maxmin_wall").count(),
+            metrics.counter("flowsim.reallocations").value);
+}
+
+TEST(ObsIntegration, DisabledTelemetryIsBitIdentical) {
+  // The overhead-when-disabled contract's observable half: running with
+  // telemetry fully enabled must not change a single experiment metric,
+  // because observers and samplers only read simulator state.
+  const Topology t = build_fat_tree({.p = 4});
+  const auto plain = run_experiment(t, traced_config());
+
+  RingBufferTraceSink sink(1u << 20);
+  TraceObserver observer(sink);
+  MetricsRegistry metrics;
+  auto cfg = traced_config();
+  cfg.telemetry.observer = &observer;
+  cfg.telemetry.metrics = &metrics;
+  cfg.telemetry.sample_period = 0.25;
+  const auto traced = run_experiment(t, cfg);
+
+  EXPECT_EQ(plain.flows, traced.flows);
+  EXPECT_EQ(plain.avg_transfer_time, traced.avg_transfer_time);
+  EXPECT_EQ(plain.reroutes, traced.reroutes);
+  EXPECT_EQ(plain.control_bytes, traced.control_bytes);
+  EXPECT_EQ(plain.peak_elephants, traced.peak_elephants);
+  EXPECT_EQ(plain.transfer_times.count(), traced.transfer_times.count());
+  for (std::size_t i = 0; i < plain.transfer_times.count(); ++i) {
+    EXPECT_EQ(plain.transfer_times.samples()[i],
+              traced.transfer_times.samples()[i]);
+  }
+}
+
+TEST(ObsIntegration, SamplerOnEcmpRunHasNoDardEvents) {
+  const Topology t = build_fat_tree({.p = 4});
+  RingBufferTraceSink sink(1u << 18);
+  TraceObserver observer(sink);
+  auto cfg = traced_config();
+  cfg.scheduler = SchedulerKind::Ecmp;
+  cfg.telemetry.observer = &observer;
+  const auto result = run_experiment(t, cfg);
+  ASSERT_GT(result.flows, 0u);
+  for (const TraceEvent& e : sink.events()) {
+    EXPECT_NE(e.kind, TraceEventKind::DardRound);
+    EXPECT_NE(e.kind, TraceEventKind::FlowMove) << "ECMP never re-routes";
+  }
+}
+
+}  // namespace
+}  // namespace dard::obs
