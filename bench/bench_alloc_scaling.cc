@@ -1,0 +1,104 @@
+// Allocator scaling: how per-event reallocation cost grows with the
+// standing flow population, scoped vs full, on a p=16 fat-tree.
+//
+// The full recompute is O(active flows x path length) per event; the
+// scoped pass is O(dirty component), which under pod-local traffic stays
+// near-constant as the population grows — the curve separation is the
+// whole argument for the incremental allocator. Also covers the one-shot
+// compute() used by tests and the congestion-game analysis, and the
+// PathStore pool append, so the JSON trail has per-component wall times.
+// Results are mirrored to BENCH_alloc_scaling.json.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/max_min.h"
+#include "flowsim/path_store.h"
+#include "micro_json_main.h"
+#include "realloc_workload.h"
+#include "topology/builders.h"
+#include "topology/paths.h"
+
+namespace {
+
+using namespace dard;
+
+void BM_ScalingScoped(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 16});
+  bench::ReallocWorkload w(t, static_cast<std::size_t>(state.range(0)),
+                           /*full_only=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.churn_step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScalingScoped)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ScalingFull(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 16});
+  bench::ReallocWorkload w(t, static_cast<std::size_t>(state.range(0)),
+                           /*full_only=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.churn_step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScalingFull)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_OneShotCompute(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 16});
+  topo::PathRepository repo(t);
+  Rng rng(1);
+  const auto& hosts = t.hosts();
+  std::vector<std::vector<LinkId>> paths;
+  while (paths.size() < static_cast<std::size_t>(state.range(0))) {
+    const NodeId s = hosts[rng.next_below(hosts.size())];
+    const NodeId d = hosts[rng.next_below(hosts.size())];
+    if (s == d) continue;
+    const auto& tp = repo.tor_paths(t.tor_of_host(s), t.tor_of_host(d));
+    paths.push_back(
+        topo::host_path(t, s, d, tp[rng.next_below(tp.size())]).links);
+  }
+  std::vector<const std::vector<LinkId>*> input;
+  for (const auto& p : paths) input.push_back(&p);
+  flowsim::MaxMinAllocator alloc(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.compute(input));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_OneShotCompute)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PathStoreSet(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 8});
+  topo::PathRepository repo(t);
+  Rng rng(1);
+  const auto& hosts = t.hosts();
+  std::vector<std::vector<LinkId>> paths;
+  while (paths.size() < 256) {
+    const NodeId s = hosts[rng.next_below(hosts.size())];
+    const NodeId d = hosts[rng.next_below(hosts.size())];
+    if (s == d) continue;
+    const auto& tp = repo.tor_paths(t.tor_of_host(s), t.tor_of_host(d));
+    paths.push_back(
+        topo::host_path(t, s, d, tp[rng.next_below(tp.size())]).links);
+  }
+  flowsim::PathStore store;
+  std::vector<std::uint32_t> fids(paths.size());
+  for (std::uint32_t i = 0; i < fids.size(); ++i) fids[i] = i;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint32_t fid = static_cast<std::uint32_t>(i % paths.size());
+    store.set(fid, paths[(i * 7) % paths.size()]);
+    if (store.should_compact()) store.compact(fids);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PathStoreSet);
+
+}  // namespace
+
+DCN_BENCHMARK_JSON_MAIN("BENCH_alloc_scaling.json")

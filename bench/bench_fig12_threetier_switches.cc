@@ -13,12 +13,14 @@ int main(int argc, char** argv) {
   const double rate = flags.rate > 0 ? flags.rate : 0.3;
   const double duration = flags.duration > 0 ? flags.duration : 10.0;
 
-  std::vector<harness::ExperimentResult> results;
+  std::vector<Cell> cells;
   for (const auto pattern : kAllPatterns) {
     auto cfg = ns2_config(pattern, rate, duration, flags.seed);
     cfg.scheduler = harness::SchedulerKind::Dard;
-    results.push_back(run_logged(t, cfg, "fig12"));
+    cells.push_back({std::string("fig12/") + traffic::to_string(pattern), &t,
+                     std::move(cfg)});
   }
+  const auto results = run_cells(cells, flags.jobs);
   print_cdf("Figure 12 — path switch count CDF, DARD, 3-tier topology:",
             {{"random", &results[0].path_switch_counts},
              {"staggered", &results[1].path_switch_counts},

@@ -16,12 +16,14 @@ int main(int argc, char** argv) {
   const double rate = flags.rate > 0 ? flags.rate : 1.2;
   const double duration = flags.duration > 0 ? flags.duration : 10.0;
 
-  std::vector<harness::ExperimentResult> results;
+  std::vector<Cell> cells;
   for (const auto pattern : kAllPatterns) {
     auto cfg = ns2_config(pattern, rate, duration, flags.seed);
     cfg.scheduler = harness::SchedulerKind::Dard;
-    results.push_back(run_logged(t, cfg, "fig8"));
+    cells.push_back({std::string("fig8/") + traffic::to_string(pattern), &t,
+                     std::move(cfg)});
   }
+  const auto results = run_cells(cells, flags.jobs);
   print_cdf(std::string("Figure 8 — path switch count CDF, DARD, p=") +
                 std::to_string(p) + " fat-tree:",
             {{"random", &results[0].path_switch_counts},

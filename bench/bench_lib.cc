@@ -17,10 +17,12 @@ Flags parse_flags(int argc, char** argv) {
       flags.duration = std::atof(arg + 11);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      flags.jobs = static_cast<unsigned>(std::atoi(arg + 7));
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --full --rate= --duration= "
-                   "--seed=)\n",
+                   "--seed= --jobs=)\n",
                    arg);
       std::exit(2);
     }
@@ -113,6 +115,37 @@ harness::ExperimentResult run_logged(const topo::Topology& t,
   std::fprintf(stderr, "  [%s] metrics: %s\n", label,
                run_cfg.telemetry.metrics->summary().c_str());
   return result;
+}
+
+std::vector<harness::ExperimentResult> run_cells(const std::vector<Cell>& cells,
+                                                 unsigned jobs) {
+  if (jobs <= 1) {
+    std::vector<harness::ExperimentResult> results;
+    results.reserve(cells.size());
+    for (const auto& cell : cells)
+      results.push_back(
+          run_logged(*cell.topology, cell.config, cell.label.c_str()));
+    return results;
+  }
+
+  std::vector<harness::ExperimentCell> pcells;
+  pcells.reserve(cells.size());
+  for (const auto& cell : cells)
+    pcells.push_back({cell.topology, cell.config});
+
+  const auto start = std::chrono::steady_clock::now();
+  auto results = harness::run_experiments_parallel(
+      pcells, jobs, [&](std::size_t i, const harness::ExperimentResult& r) {
+        std::fprintf(stderr, "  [%s] %s: %zu flows, avg %.2fs\n",
+                     cells[i].label.c_str(), r.scheduler.c_str(), r.flows,
+                     r.avg_transfer_time);
+      });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::fprintf(stderr, "  %zu cells on %u threads in %.1fs wall\n",
+               cells.size(), jobs, wall);
+  return results;
 }
 
 }  // namespace dard::bench

@@ -11,6 +11,8 @@
 //    --rate=X        flows per second per host
 //    --duration=X    workload generation window (seconds)
 //    --seed=N
+//    --jobs=N        run independent experiment cells on N threads
+//                    (default 1 = serial; results are identical either way)
 #pragma once
 
 #include <cstdio>
@@ -28,6 +30,7 @@ struct Flags {
   double rate = -1;      // flows/s per host; -1 = bench default
   double duration = -1;  // seconds; -1 = bench default
   std::uint64_t seed = 1;
+  unsigned jobs = 1;     // worker threads for sweep cells; 0 = hardware
 };
 
 Flags parse_flags(int argc, char** argv);
@@ -59,5 +62,18 @@ void print_cdf(const std::string& title,
 harness::ExperimentResult run_logged(const topo::Topology& t,
                                      const harness::ExperimentConfig& cfg,
                                      const char* label);
+
+// A labelled sweep cell for run_cells.
+struct Cell {
+  std::string label;
+  const topo::Topology* topology = nullptr;
+  harness::ExperimentConfig config;
+};
+
+// Runs every cell — serially through run_logged when jobs <= 1, else on a
+// harness::run_experiments_parallel thread pool — and returns results in
+// cell order. Per-cell results are identical for any jobs value.
+std::vector<harness::ExperimentResult> run_cells(const std::vector<Cell>& cells,
+                                                 unsigned jobs);
 
 }  // namespace dard::bench

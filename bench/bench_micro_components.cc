@@ -1,6 +1,8 @@
 // Microbenchmarks (google-benchmark) for the hot components:
-// longest-prefix forwarding lookups, max-min rate allocation, path
-// enumeration, path encoding and monitor refresh.
+// longest-prefix forwarding lookups, max-min rate allocation (one-shot,
+// and scoped-vs-full reallocation churn), path enumeration, path encoding
+// and monitor refresh. Results are mirrored to BENCH_micro.json for the
+// CI regression gate (bench/check_bench_regression.py).
 #include <benchmark/benchmark.h>
 
 #include "addressing/hierarchical.h"
@@ -8,6 +10,8 @@
 #include "common/rng.h"
 #include "dard/monitor.h"
 #include "flowsim/max_min.h"
+#include "micro_json_main.h"
+#include "realloc_workload.h"
 #include "topology/builders.h"
 #include "topology/paths.h"
 
@@ -67,6 +71,39 @@ void BM_MaxMinAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinAllocation)->Arg(64)->Arg(512)->Arg(4096);
 
+// The reallocation event loop on a p=16 fat-tree (1024 hosts) with a
+// standing pod-local population: one flow moves, rates re-solve. Scoped is
+// the production configuration; Full forces the pre-incremental behaviour
+// (every event re-solves all flows). Their ratio is the headline win of
+// the dirty-component allocator.
+void BM_ReallocEventScoped(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 16});
+  bench::ReallocWorkload w(t, static_cast<std::size_t>(state.range(0)),
+                           /*full_only=*/false);
+  std::size_t touched = 0;
+  for (auto _ : state) {
+    touched += w.churn_step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["touched_flows_per_event"] = benchmark::Counter(
+      static_cast<double>(touched), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ReallocEventScoped)->Arg(512)->Arg(2048);
+
+void BM_ReallocEventFull(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 16});
+  bench::ReallocWorkload w(t, static_cast<std::size_t>(state.range(0)),
+                           /*full_only=*/true);
+  std::size_t touched = 0;
+  for (auto _ : state) {
+    touched += w.churn_step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["touched_flows_per_event"] = benchmark::Counter(
+      static_cast<double>(touched), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ReallocEventFull)->Arg(512)->Arg(2048);
+
 void BM_PathEnumeration(benchmark::State& state) {
   const auto t = topo::build_fat_tree({.p = static_cast<int>(state.range(0))});
   const NodeId src = t.tors().front();
@@ -106,4 +143,4 @@ BENCHMARK(BM_MonitorRefresh)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DCN_BENCHMARK_JSON_MAIN("BENCH_micro.json")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate allocator microbench regressions against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 2.0]
+                              [--prefix BM_MaxMinAllocation --prefix ...]
+
+Both files are google-benchmark JSON reports (the format
+bench_micro_components writes to BENCH_micro.json). Benchmarks whose name
+starts with one of the prefixes are compared by real_time; the script
+fails (exit 1) if any is more than --threshold times slower than the
+baseline, or if a baseline benchmark disappeared. Machines differ, so the
+default threshold is a deliberately loose 2x meant to catch algorithmic
+regressions (e.g. the scoped allocator silently falling back to full
+recomputes), not scheduling noise.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_PREFIXES = ["BM_MaxMinAllocation", "BM_ReallocEvent"]
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path, prefixes):
+    with open(path) as f:
+        report = json.load(f)
+    times = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        times[name] = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0)
+    ap.add_argument("--prefix", action="append", dest="prefixes")
+    args = ap.parse_args()
+    prefixes = args.prefixes or DEFAULT_PREFIXES
+
+    base = load_times(args.baseline, prefixes)
+    cur = load_times(args.current, prefixes)
+    if not base:
+        print(f"no benchmarks matching {prefixes} in {args.baseline}")
+        return 1
+
+    failed = False
+    width = max(len(n) for n in base)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<{width}}  MISSING from {args.current}")
+            failed = True
+            continue
+        ratio = cur[name] / base[name]
+        flag = "  REGRESSED" if ratio > args.threshold else ""
+        print(f"{name:<{width}}  {base[name]:>10.0f}ns  {cur[name]:>10.0f}ns"
+              f"  {ratio:5.2f}x{flag}")
+        if ratio > args.threshold:
+            failed = True
+
+    if failed:
+        print(f"\nFAIL: regression beyond {args.threshold:.1f}x "
+              f"(or missing benchmark)")
+        return 1
+    print(f"\nOK: all within {args.threshold:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

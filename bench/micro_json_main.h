@@ -1,0 +1,45 @@
+// Shared main() for google-benchmark binaries that must leave a
+// machine-readable trail: console output for humans plus a JSON report at
+// a fixed default path, so CI can diff runs against a checked-in baseline
+// (bench/check_bench_regression.py). An explicit --benchmark_out=... on
+// the command line wins over the default.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dard::bench {
+
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const char* json_path) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = std::string("--benchmark_out=") + json_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::fprintf(stderr, "wrote %s\n", json_path);
+  return 0;
+}
+
+}  // namespace dard::bench
+
+#define DCN_BENCHMARK_JSON_MAIN(json_path)                       \
+  int main(int argc, char** argv) {                              \
+    return dard::bench::run_benchmarks_with_json(argc, argv,     \
+                                                 (json_path));   \
+  }

@@ -1,0 +1,89 @@
+// Reallocation-churn workload shared by the micro and scaling benches.
+//
+// Models the simulator's steady state on a fat-tree: a standing population
+// of flows with pod-local placement (the staggered pattern's dominant
+// case), churned one path-move at a time. Pod locality is what gives the
+// scoped allocator something to exploit — each pod's flows form their own
+// connected component of the sharing graph, so a single move dirties ~1/p
+// of the system. Dense all-to-all traffic percolates into one giant
+// component and degrades to the full-recompute path by design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/max_min.h"
+#include "flowsim/path_store.h"
+#include "topology/builders.h"
+#include "topology/paths.h"
+
+namespace dard::bench {
+
+class ReallocWorkload {
+ public:
+  // `full_only` forces every recompute down the from-scratch path — the
+  // "before" side of the scoped-vs-full comparison.
+  ReallocWorkload(const topo::Topology& t, std::size_t flow_count,
+                  bool full_only, std::uint64_t seed = 1)
+      : topo_(&t), repo_(t), alloc_(t), rng_(seed) {
+    alloc_.attach(store_);
+    alloc_.set_full_only(full_only);
+
+    for (const NodeId h : t.hosts()) {
+      const int pod = t.node(h).pod;
+      if (pod < 0) continue;  // topologies without pod structure
+      const auto p = static_cast<std::size_t>(pod);
+      if (p >= pods_.size()) pods_.resize(p + 1);
+      pods_[p].push_back(h);
+    }
+
+    for (std::uint32_t fid = 0; fid < flow_count; ++fid) {
+      store_.set(fid, random_pod_local_path());
+      alloc_.add_flow(fid);
+      fids_.push_back(fid);
+    }
+    alloc_.recompute();  // first pass is always full; not part of the churn
+  }
+
+  // One simulator-shaped event: move a flow to a fresh path, re-solve.
+  // Returns the number of flows whose rate was touched.
+  std::size_t churn_step() {
+    const std::uint32_t fid = fids_[cursor_++ % fids_.size()];
+    alloc_.remove_flow(fid);  // before the store update: old span needed
+    store_.set(fid, random_pod_local_path());
+    alloc_.add_flow(fid);
+    if (store_.should_compact()) store_.compact(fids_);
+    return alloc_.recompute().size();
+  }
+
+  [[nodiscard]] const flowsim::MaxMinAllocator& allocator() const {
+    return alloc_;
+  }
+
+ private:
+  // Intra-pod, cross-ToR src/dst through a uniformly chosen agg path.
+  std::vector<LinkId> random_pod_local_path() {
+    while (true) {
+      const auto& pod = pods_[rng_.next_below(pods_.size())];
+      const NodeId s = pod[rng_.next_below(pod.size())];
+      const NodeId d = pod[rng_.next_below(pod.size())];
+      if (s == d || topo_->tor_of_host(s) == topo_->tor_of_host(d)) continue;
+      const auto& tp = repo_.tor_paths(topo_->tor_of_host(s),
+                                       topo_->tor_of_host(d));
+      return topo::host_path(*topo_, s, d, tp[rng_.next_below(tp.size())])
+          .links;
+    }
+  }
+
+  const topo::Topology* topo_;
+  topo::PathRepository repo_;
+  flowsim::PathStore store_;
+  flowsim::MaxMinAllocator alloc_;
+  Rng rng_;
+  std::vector<std::vector<NodeId>> pods_;  // host ids grouped by pod
+  std::vector<std::uint32_t> fids_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dard::bench

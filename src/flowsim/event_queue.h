@@ -3,10 +3,16 @@
 // Both simulators are driven off this queue. Events firing at identical
 // times run in insertion order (a monotone sequence number breaks ties), so
 // simulations are fully deterministic.
+//
+// The heap is a plain vector managed with std::push_heap / std::pop_heap
+// rather than std::priority_queue: top() of a priority_queue is const, so
+// draining one forces a copy of the Entry — and of its std::function, a
+// heap allocation per event. pop_heap moves the entry to the back, where
+// the callback is moved out for free.
 #pragma once
 
+#include <algorithm>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -21,7 +27,8 @@ class EventQueue {
 
   void schedule(Seconds at, Callback cb) {
     DCN_CHECK_MSG(at >= now_, "cannot schedule into the past");
-    heap_.push(Entry{at, seq_++, std::move(cb)});
+    heap_.push_back(Entry{at, seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] Seconds now() const { return now_; }
@@ -31,10 +38,9 @@ class EventQueue {
   // Runs the earliest event; returns false when none remain.
   bool run_next() {
     if (heap_.empty()) return false;
-    // std::priority_queue::top returns const&; the callback must be moved
-    // out before pop. Entry is mutable via const_cast-free copy of cb.
-    Entry e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     now_ = e.time;
     e.cb();
     return true;
@@ -42,7 +48,7 @@ class EventQueue {
 
   // Runs events with time <= t, then advances the clock to t.
   void run_until(Seconds t) {
-    while (!heap_.empty() && heap_.top().time <= t) run_next();
+    while (!heap_.empty() && heap_.front().time <= t) run_next();
     now_ = std::max(now_, t);
   }
 
@@ -51,12 +57,15 @@ class EventQueue {
     Seconds time;
     std::uint64_t seq;
     Callback cb;
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  };
+  // Min-heap order: the max-heap comparator ranks the *later* event higher.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Entry> heap_;
   Seconds now_ = 0;
   std::uint64_t seq_ = 0;
 };

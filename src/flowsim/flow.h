@@ -29,10 +29,11 @@ struct Flow {
   NodeId dst_tor;
   FlowState state = FlowState::Active;
 
-  // Index into the (src_tor, dst_tor) equal-cost path set; the concrete
-  // link list is the host-level expansion of that path.
+  // Index into the (src_tor, dst_tor) equal-cost path set. The concrete
+  // link list — the host-level expansion of that path — lives in the
+  // simulator's pooled PathStore; read it via FlowSimulator::links_of().
+  // Only active flows have a path; a finished flow's list is released.
   PathIndex path_index = 0;
-  std::vector<LinkId> links;
 
   // Fluid progress. `remaining` is exact as of `last_update`; the current
   // value is remaining - rate * (now - last_update).

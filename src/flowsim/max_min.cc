@@ -14,10 +14,17 @@ MaxMinAllocator::MaxMinAllocator(const topo::Topology& t,
       remaining_(t.link_count(), 0.0),
       unfrozen_(t.link_count(), 0),
       flows_on_(t.link_count()),
-      saturated_(t.link_count(), false) {}
+      saturated_(t.link_count(), false),
+      inc_flows_on_(t.link_count()),
+      dirty_link_mark_(t.link_count(), 0),
+      link_visit_(t.link_count(), 0),
+      inc_remaining_(t.link_count(), 0.0),
+      inc_unfrozen_(t.link_count(), 0),
+      inc_saturated_(t.link_count(), 0) {}
 
-const std::vector<Bps>& MaxMinAllocator::compute(
-    const std::vector<const std::vector<LinkId>*>& links_of) {
+template <class PathAt>
+const std::vector<Bps>& MaxMinAllocator::compute_impl(std::size_t flow_count,
+                                                      PathAt&& path_at) {
   // Reset only what the previous run touched.
   for (const LinkId l : used_links_) {
     flows_on_[l.value()].clear();
@@ -26,14 +33,13 @@ const std::vector<Bps>& MaxMinAllocator::compute(
   }
   used_links_.clear();
 
-  const std::size_t flow_count = links_of.size();
   rate_.assign(flow_count, 0.0);
   frozen_.assign(flow_count, false);
   if (flow_count == 0) return rate_;
 
   for (std::size_t f = 0; f < flow_count; ++f) {
-    DCN_CHECK_MSG(!links_of[f]->empty(), "flow with empty path");
-    for (const LinkId l : *links_of[f]) {
+    DCN_CHECK_MSG(!path_at(f).empty(), "flow with empty path");
+    for (const LinkId l : path_at(f)) {
       if (flows_on_[l.value()].empty()) {
         used_links_.push_back(l);
         remaining_[l.value()] = capacity_of(l);
@@ -73,7 +79,7 @@ const std::vector<Bps>& MaxMinAllocator::compute(
       frozen_[f] = true;
       ++frozen_count;
       rate_[f] = share;
-      for (const LinkId l : *links_of[f]) {
+      for (const LinkId l : path_at(f)) {
         remaining_[l.value()] -= share;
         --unfrozen_[l.value()];
       }
@@ -81,6 +87,202 @@ const std::vector<Bps>& MaxMinAllocator::compute(
     saturated_[lv] = true;
   }
   return rate_;
+}
+
+const std::vector<Bps>& MaxMinAllocator::compute(
+    const std::vector<const std::vector<LinkId>*>& links_of) {
+  return compute_impl(links_of.size(), [&](std::size_t f) -> const auto& {
+    return *links_of[f];
+  });
+}
+
+const std::vector<Bps>& MaxMinAllocator::compute_spans(
+    const std::vector<std::span<const LinkId>>& links_of) {
+  return compute_impl(links_of.size(),
+                      [&](std::size_t f) { return links_of[f]; });
+}
+
+void MaxMinAllocator::ensure_fid(std::uint32_t fid) {
+  if (fid < in_system_.size()) return;
+  const std::size_t n = fid + 1;
+  in_system_.resize(n, 0);
+  member_pos_.resize(n, 0);
+  inc_rate_.resize(n, 0.0);
+  dirty_flow_mark_.resize(n, 0);
+  flow_visit_.resize(n, 0);
+  frozen_mark_.resize(n, 0);
+}
+
+void MaxMinAllocator::mark_dirty_flow(std::uint32_t fid) {
+  if (dirty_flow_mark_[fid] == dirty_stamp_) return;
+  dirty_flow_mark_[fid] = dirty_stamp_;
+  dirty_flows_.push_back(fid);
+}
+
+void MaxMinAllocator::mark_dirty_link(LinkId::value_type lv) {
+  if (dirty_link_mark_[lv] == dirty_stamp_) return;
+  dirty_link_mark_[lv] = dirty_stamp_;
+  dirty_links_.push_back(lv);
+}
+
+void MaxMinAllocator::add_flow(std::uint32_t fid) {
+  DCN_CHECK_MSG(store_ != nullptr, "add_flow before attach");
+  ensure_fid(fid);
+  DCN_CHECK_MSG(!in_system_[fid], "flow already registered");
+  const auto path = store_->span(fid);
+  DCN_CHECK_MSG(!path.empty(), "flow with empty path");
+  in_system_[fid] = 1;
+  member_pos_[fid] = static_cast<std::uint32_t>(members_.size());
+  members_.push_back(fid);
+  for (const LinkId l : path) inc_flows_on_[l.value()].push_back(fid);
+  mark_dirty_flow(fid);
+}
+
+void MaxMinAllocator::remove_flow(std::uint32_t fid) {
+  DCN_CHECK_MSG(fid < in_system_.size() && in_system_[fid],
+                "removing unregistered flow");
+  in_system_[fid] = 0;
+  inc_rate_[fid] = 0.0;
+
+  const std::uint32_t pos = member_pos_[fid];
+  members_[pos] = members_.back();
+  member_pos_[members_[pos]] = pos;
+  members_.pop_back();
+
+  for (const LinkId l : store_->span(fid)) {
+    auto& on = inc_flows_on_[l.value()];
+    // Swap-erase; lists are short (flows sharing one link), the scan is a
+    // contiguous sweep.
+    const auto it = std::find(on.begin(), on.end(), fid);
+    DCN_CHECK(it != on.end());
+    *it = on.back();
+    on.pop_back();
+    mark_dirty_link(l.value());
+  }
+}
+
+void MaxMinAllocator::touch_link(LinkId l) {
+  mark_dirty_link(l.value());
+}
+
+bool MaxMinAllocator::collect_component(std::size_t limit) {
+  for (const std::uint32_t fid : dirty_flows_) {
+    if (!in_system_[fid] || flow_visit_[fid] == visit_stamp_) continue;
+    flow_visit_[fid] = visit_stamp_;
+    comp_flows_.push_back(fid);
+  }
+  for (const LinkId::value_type lv : dirty_links_) {
+    for (const std::uint32_t fid : inc_flows_on_[lv]) {
+      if (flow_visit_[fid] == visit_stamp_) continue;
+      flow_visit_[fid] = visit_stamp_;
+      comp_flows_.push_back(fid);
+    }
+  }
+  // BFS over the flow/link sharing graph; comp_flows_ doubles as the queue.
+  for (std::size_t i = 0; i < comp_flows_.size(); ++i) {
+    if (comp_flows_.size() > limit) return false;
+    const std::uint32_t fid = comp_flows_[i];
+    for (const LinkId l : store_->span(fid)) {
+      const auto lv = l.value();
+      if (link_visit_[lv] == visit_stamp_) continue;
+      link_visit_[lv] = visit_stamp_;
+      comp_links_.push_back(lv);
+      for (const std::uint32_t g : inc_flows_on_[lv]) {
+        if (flow_visit_[g] == visit_stamp_) continue;
+        flow_visit_[g] = visit_stamp_;
+        comp_flows_.push_back(g);
+      }
+    }
+  }
+  return comp_flows_.size() <= limit;
+}
+
+void MaxMinAllocator::collect_everything() {
+  comp_flows_.assign(members_.begin(), members_.end());
+  for (const std::uint32_t fid : members_) {
+    for (const LinkId l : store_->span(fid)) {
+      const auto lv = l.value();
+      if (link_visit_[lv] == visit_stamp_) continue;
+      link_visit_[lv] = visit_stamp_;
+      comp_links_.push_back(lv);
+    }
+  }
+}
+
+void MaxMinAllocator::water_fill() {
+  ++frozen_stamp_;
+  for (const auto lv : comp_links_) {
+    inc_remaining_[lv] = capacity_of(LinkId(lv));
+    inc_unfrozen_[lv] =
+        static_cast<std::uint32_t>(inc_flows_on_[lv].size());
+    inc_saturated_[lv] = 0;
+  }
+
+  using Entry = std::pair<double, LinkId::value_type>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  auto share_of = [&](LinkId::value_type lv) {
+    return inc_remaining_[lv] / static_cast<double>(inc_unfrozen_[lv]);
+  };
+  for (const auto lv : comp_links_) heap.emplace(share_of(lv), lv);
+
+  std::size_t frozen_count = 0;
+  const std::size_t target = comp_flows_.size();
+  while (frozen_count < target) {
+    DCN_CHECK_MSG(!heap.empty(), "no bottleneck but unfrozen flows remain");
+    const auto [key, lv] = heap.top();
+    heap.pop();
+    if (inc_saturated_[lv] || inc_unfrozen_[lv] == 0) continue;
+    const double actual = share_of(lv);
+    if (actual > key * (1 + 1e-12) + 1e-9) {
+      heap.emplace(actual, lv);
+      continue;
+    }
+    const double share = std::max(actual, 0.0);
+
+    for (const std::uint32_t fid : inc_flows_on_[lv]) {
+      if (frozen_mark_[fid] == frozen_stamp_) continue;
+      frozen_mark_[fid] = frozen_stamp_;
+      ++frozen_count;
+      inc_rate_[fid] = share;
+      for (const LinkId l : store_->span(fid)) {
+        inc_remaining_[l.value()] -= share;
+        --inc_unfrozen_[l.value()];
+      }
+    }
+    inc_saturated_[lv] = 1;
+  }
+}
+
+const std::vector<std::uint32_t>& MaxMinAllocator::recompute() {
+  DCN_CHECK_MSG(store_ != nullptr, "recompute before attach");
+  ++visit_stamp_;
+  comp_flows_.clear();
+  comp_links_.clear();
+
+  bool full = full_only_ || !inc_ready_;
+  if (!full) {
+    // Past ~2/3 of the system the scoped pass saves nothing over a full
+    // one (and pays the BFS), so bail out early.
+    const std::size_t limit = members_.size() - members_.size() / 3;
+    if (!collect_component(limit)) {
+      full = true;
+      ++visit_stamp_;  // invalidate the aborted BFS's marks
+      comp_flows_.clear();
+      comp_links_.clear();
+    }
+  }
+  if (full) {
+    collect_everything();
+    inc_ready_ = true;
+  }
+  last_full_ = full;
+
+  dirty_flows_.clear();
+  dirty_links_.clear();
+  ++dirty_stamp_;
+
+  water_fill();
+  return comp_flows_;
 }
 
 }  // namespace dard::flowsim

@@ -23,18 +23,27 @@ bool rate_changed(Bps a, Bps b) {
 }  // namespace
 
 FlowSimulator::FlowSimulator(const topo::Topology& t, SimConfig cfg)
-    : topo_(&t), cfg_(cfg), paths_(t), board_(t), allocator_(t, &board_) {}
+    : topo_(&t), cfg_(cfg), paths_(t), board_(t), allocator_(t, &board_) {
+  allocator_.attach(store_);
+  allocator_.set_full_only(cfg_.full_realloc);
+}
 
 void FlowSimulator::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (metrics_ == nullptr) {
     m_reallocs_ = nullptr;
+    m_realloc_full_ = nullptr;
+    m_realloc_scoped_ = nullptr;
     m_queue_depth_ = nullptr;
+    m_dirty_flows_ = nullptr;
     m_maxmin_wall_ = nullptr;
     return;
   }
   m_reallocs_ = &metrics_->counter("flowsim.reallocations");
+  m_realloc_full_ = &metrics_->counter("flowsim.realloc_full");
+  m_realloc_scoped_ = &metrics_->counter("flowsim.realloc_scoped");
   m_queue_depth_ = &metrics_->gauge("flowsim.event_queue_depth");
+  m_dirty_flows_ = &metrics_->gauge("flowsim.maxmin_dirty_flows");
   m_maxmin_wall_ = &metrics_->latency("flowsim.maxmin_wall");
 }
 
@@ -55,7 +64,7 @@ void FlowSimulator::link_loads(std::vector<double>* out) const {
   out->assign(topo_->link_count(), 0.0);
   for (const FlowId id : active_) {
     const Flow& f = flows_[id.value()];
-    for (const LinkId l : f.links) (*out)[l.value()] += f.rate;
+    for (const LinkId l : links_of(f)) (*out)[l.value()] += f.rate;
   }
 }
 
@@ -99,15 +108,15 @@ void FlowSimulator::set_path_links(Flow& f, PathIndex index) {
   f.path_index = index;
   const topo::Path full =
       topo::host_path(*topo_, f.spec.src_host, f.spec.dst_host, set[index]);
-  f.links = full.links;
+  store_.set(f.id.value(), full.links);
 }
 
 void FlowSimulator::board_add(const Flow& f) {
-  for (const LinkId l : f.links) board_.add_elephant(l);
+  for (const LinkId l : links_of(f)) board_.add_elephant(l);
 }
 
 void FlowSimulator::board_remove(const Flow& f) {
-  for (const LinkId l : f.links) board_.remove_elephant(l);
+  for (const LinkId l : links_of(f)) board_.remove_elephant(l);
 }
 
 void FlowSimulator::arrive(FlowId id) {
@@ -116,6 +125,7 @@ void FlowSimulator::arrive(FlowId id) {
 
   const PathIndex initial = agent_->place(*this, f);
   set_path_links(f, initial);
+  allocator_.add_flow(id.value());
   f.last_update = events_.now();
 
   active_pos_[id.value()] = static_cast<std::uint32_t>(active_.size());
@@ -188,6 +198,9 @@ void FlowSimulator::complete(FlowId id, std::uint64_t version) {
     board_remove(f);
     --active_elephants_;
   }
+  allocator_.remove_flow(id.value());
+  store_.release(id.value());
+  if (store_.should_compact()) store_.compact(active_);
 
   FlowRecord rec;
   rec.id = f.id;
@@ -230,7 +243,9 @@ void FlowSimulator::apply_move(Flow& f, PathIndex new_path) {
     bonf_to = path_bonf(f, new_path);
   }
   if (f.is_elephant) board_remove(f);
+  allocator_.remove_flow(f.id.value());  // old path still in the store
   set_path_links(f, new_path);
+  allocator_.add_flow(f.id.value());
   if (f.is_elephant) board_add(f);
   ++f.path_switches;
   if (observer_ != nullptr) {
@@ -255,6 +270,8 @@ void FlowSimulator::set_cable_failed(NodeId a, NodeId b, bool failed) {
   DCN_CHECK_MSG(ab.valid() && ba.valid(), "no such cable");
   board_.set_failed(ab, failed);
   board_.set_failed(ba, failed);
+  allocator_.touch_link(ab);
+  allocator_.touch_link(ba);
   request_reallocate();
 }
 
@@ -301,38 +318,57 @@ void FlowSimulator::reallocate() {
     m_queue_depth_->set(static_cast<double>(events_.pending()));
   }
 
-  alloc_scratch_.clear();
-  alloc_scratch_.reserve(active_.size());
-  for (const FlowId id : active_)
-    alloc_scratch_.push_back(&flows_[id.value()].links);
-
-  const std::vector<Bps>* rates_ptr;
+  const std::vector<std::uint32_t>* touched_ptr;
   {
     obs::ScopedLatencyTimer timer(m_maxmin_wall_);
-    rates_ptr = &allocator_.compute(alloc_scratch_);
+    touched_ptr = &allocator_.recompute();
   }
-  const std::vector<Bps>& rates = *rates_ptr;
+  const std::vector<std::uint32_t>& touched = *touched_ptr;
 
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    const FlowId id = active_[i];
-    Flow& f = flows_[id.value()];
-    const Bps new_rate = rates[i];
+  if (m_realloc_full_ != nullptr) {
+    (allocator_.last_recompute_was_full() ? m_realloc_full_
+                                          : m_realloc_scoped_)
+        ->add();
+    m_dirty_flows_->set(static_cast<double>(touched.size()));
+  }
+  if (cfg_.validate_incremental) validate_rates();
+
+  for (const std::uint32_t fid : touched) {
+    Flow& f = flows_[fid];
+    const Bps new_rate = allocator_.rate_of(fid);
     if (!rate_changed(f.rate, new_rate)) continue;
 
     // Settle progress under the old rate, then switch to the new one and
     // reschedule completion under a fresh version.
-    remaining_[id.value()] -= f.rate / 8.0 * (now - f.last_update);
-    remaining_[id.value()] = std::max(remaining_[id.value()], 0.0);
-    f.remaining = static_cast<Bytes>(remaining_[id.value()]);
+    remaining_[fid] -= f.rate / 8.0 * (now - f.last_update);
+    remaining_[fid] = std::max(remaining_[fid], 0.0);
+    f.remaining = static_cast<Bytes>(remaining_[fid]);
     f.last_update = now;
     f.rate = new_rate;
     ++f.version;
 
     if (new_rate > 0) {
-      const Seconds finish = now + remaining_[id.value()] * 8.0 / new_rate;
+      const FlowId id = f.id;
+      const Seconds finish = now + remaining_[fid] * 8.0 / new_rate;
       const std::uint64_t version = f.version;
       events_.schedule(finish, [this, id, version] { complete(id, version); });
     }
+  }
+}
+
+void FlowSimulator::validate_rates() {
+  if (check_alloc_ == nullptr)
+    check_alloc_ = std::make_unique<MaxMinAllocator>(*topo_, &board_);
+  check_paths_.clear();
+  check_paths_.reserve(active_.size());
+  for (const FlowId id : active_)
+    check_paths_.push_back(store_.span(id.value()));
+  const std::vector<Bps>& full = check_alloc_->compute_spans(check_paths_);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const Bps a = allocator_.rate_of(active_[i].value());
+    const Bps b = full[i];
+    DCN_CHECK_MSG(std::abs(a - b) <= 1e-9 * std::max({a, b, 1.0}),
+                  "incremental max-min diverged from full recompute");
   }
 }
 

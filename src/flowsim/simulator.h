@@ -9,6 +9,8 @@
 // elephant, is counted on its links' state boards, and becomes schedulable.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,6 +19,7 @@
 #include "flowsim/event_queue.h"
 #include "flowsim/flow.h"
 #include "flowsim/max_min.h"
+#include "flowsim/path_store.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "topology/paths.h"
@@ -54,6 +57,16 @@ struct SimConfig {
   // across bursts of events — the dominant cost on large topologies —
   // at the price of rates being stale for at most that long.
   Seconds realloc_interval = 0.0;
+
+  // Forces every reallocation down the full-recompute path instead of the
+  // scoped dirty-component one (A/B benchmarking; the results are the
+  // same either way — see DESIGN.md "Performance").
+  bool full_realloc = false;
+
+  // Cross-checks every scoped reallocation against a from-scratch
+  // computation and aborts on divergence beyond 1e-9 relative. Test-only:
+  // it makes every event as expensive as a full recompute.
+  bool validate_incremental = false;
 };
 
 class FlowSimulator {
@@ -96,6 +109,12 @@ class FlowSimulator {
   // The equal-cost ToR-path set this flow selects among.
   const std::vector<topo::Path>& path_set(const Flow& f) {
     return paths_.tor_paths(f.src_tor, f.dst_tor);
+  }
+  // The flow's current host-to-host link list (a view into the pooled
+  // path store). Valid for *active* flows only, and only until the next
+  // arrival / move / completion mutates the store.
+  [[nodiscard]] std::span<const LinkId> links_of(const Flow& f) const {
+    return store_.span(f.id.value());
   }
 
   // --- telemetry (see DESIGN.md "Observability") ---
@@ -152,6 +171,8 @@ class FlowSimulator {
   // earlier than realloc_interval after the previous one.
   void request_reallocate();
   void reallocate();
+  // validate_incremental: abort if the scoped rates diverge from scratch.
+  void validate_rates();
   void set_path_links(Flow& f, PathIndex index);
   void board_add(const Flow& f);
   void board_remove(const Flow& f);
@@ -169,8 +190,12 @@ class FlowSimulator {
   std::vector<FlowId> active_;
   std::vector<std::uint32_t> active_pos_;  // FlowId -> index in active_
   std::vector<FlowRecord> records_;
+  PathStore store_;  // active flows' link lists, CSR-pooled
   MaxMinAllocator allocator_;
-  std::vector<const std::vector<LinkId>*> alloc_scratch_;
+  // validate_incremental scratch: a second, stateless allocator recomputes
+  // everything from scratch for comparison.
+  std::unique_ptr<MaxMinAllocator> check_alloc_;
+  std::vector<std::span<const LinkId>> check_paths_;
 
   std::size_t active_elephants_ = 0;
   std::size_t peak_active_elephants_ = 0;
@@ -181,7 +206,10 @@ class FlowSimulator {
   obs::SimObserver* observer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_reallocs_ = nullptr;
+  obs::Counter* m_realloc_full_ = nullptr;
+  obs::Counter* m_realloc_scoped_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_dirty_flows_ = nullptr;
   obs::LatencyStat* m_maxmin_wall_ = nullptr;
 };
 

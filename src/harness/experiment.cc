@@ -1,5 +1,9 @@
 #include "harness/experiment.h"
 
+#include <atomic>
+#include <mutex>
+#include <thread>
+
 namespace dard::harness {
 
 const char* to_string(SchedulerKind k) {
@@ -96,6 +100,44 @@ double ExperimentResult::path_switch_percentile(double q) const {
 
 double ExperimentResult::max_path_switches() const {
   return path_switch_counts.empty() ? 0.0 : path_switch_counts.max();
+}
+
+std::vector<ExperimentResult> run_experiments_parallel(
+    const std::vector<ExperimentCell>& cells, unsigned jobs,
+    const std::function<void(std::size_t, const ExperimentResult&)>& on_done) {
+  std::vector<ExperimentResult> results(cells.size());
+  if (cells.empty()) return results;
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  jobs = std::max(1u, std::min<unsigned>(jobs, cells.size()));
+
+  // Work-stealing by atomic cursor: workers pull the next unclaimed cell.
+  // Which thread runs a cell never affects its result — every cell builds
+  // its own simulator, RNGs and agent from the config alone.
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      DCN_CHECK_MSG(cells[i].topology != nullptr, "cell without topology");
+      ExperimentResult r = run_experiment(*cells[i].topology, cells[i].config);
+      if (on_done) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        on_done(i, r);
+      }
+      results[i] = std::move(r);
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
 }
 
 double improvement_over(const ExperimentResult& baseline,

@@ -6,8 +6,10 @@
 // overhead, improvement over ECMP.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/ecmp.h"
 #include "baselines/hedera.h"
@@ -79,5 +81,25 @@ struct ExperimentResult {
 // The paper's Figure 4 metric: (avg_T(ECMP) - avg_T(other)) / avg_T(ECMP).
 [[nodiscard]] double improvement_over(const ExperimentResult& baseline,
                                       const ExperimentResult& other);
+
+// One independent cell of a sweep: a (topology, config) pair. The topology
+// is borrowed and may be shared between cells (it is only read).
+struct ExperimentCell {
+  const topo::Topology* topology = nullptr;
+  ExperimentConfig config;
+};
+
+// Runs every cell and returns results in cell order, using up to `jobs`
+// worker threads (0 = hardware concurrency). Each cell gets its own
+// FlowSimulator, so per-cell results are bit-identical to a serial
+// run_experiment() call — the determinism contract benches and tests rely
+// on (see DESIGN.md "Performance"). Cells must not share TelemetryConfig
+// observers or registries: those are written from the worker running the
+// cell. `on_done`, if given, is called after each cell completes (cell
+// index + result), serialized under an internal mutex.
+[[nodiscard]] std::vector<ExperimentResult> run_experiments_parallel(
+    const std::vector<ExperimentCell>& cells, unsigned jobs = 0,
+    const std::function<void(std::size_t, const ExperimentResult&)>& on_done =
+        nullptr);
 
 }  // namespace dard::harness

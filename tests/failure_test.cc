@@ -49,7 +49,7 @@ TEST(Failure, StaticFlowStarvesAndRepairRestores) {
   EXPECT_NEAR(f.rate, 1 * kGbps, 1e6);
 
   // Fail the first switch-switch hop of the flow's own path.
-  const LinkId hop = f.links[1];
+  const LinkId hop = sim.links_of(f)[1];
   ASSERT_TRUE(t.is_switch_switch(hop));
   sim.set_cable_failed(t.link(hop).src, t.link(hop).dst, true);
   sim.run_until(1.0);
@@ -76,7 +76,7 @@ TEST(Failure, DardRoutesAroundFailure) {
   sim.run_until(2.0);  // promoted, monitored
   ASSERT_TRUE(sim.flow(id).is_elephant);
 
-  const LinkId hop = sim.flow(id).links[1];
+  const LinkId hop = sim.links_of(sim.flow(id))[1];
   sim.set_cable_failed(t.link(hop).src, t.link(hop).dst, true);
 
   // Within a handful of query + scheduling rounds DARD must have moved the
@@ -84,7 +84,7 @@ TEST(Failure, DardRoutesAroundFailure) {
   sim.run_until(10.0);
   EXPECT_GT(sim.flow(id).path_switches, 0u)
       << "DARD never moved off the failed path";
-  for (const LinkId l : sim.flow(id).links)
+  for (const LinkId l : sim.links_of(sim.flow(id)))
     EXPECT_FALSE(sim.link_state().failed(l));
   EXPECT_NEAR(sim.flow(id).rate, 1 * kGbps, 5e7);
   sim.run_until_flows_done();
@@ -112,7 +112,7 @@ TEST(Failure, DardKeepsOtherFlowsStable) {
   const auto bystander_switches = sim.flow(bystander).path_switches;
 
   // Fail the victim's core uplink (agg -> core on its path).
-  const LinkId hop = sim.flow(victim).links[2];
+  const LinkId hop = sim.links_of(sim.flow(victim))[2];
   ASSERT_TRUE(t.is_switch_switch(hop));
   sim.set_cable_failed(t.link(hop).src, t.link(hop).dst, true);
   sim.run_until(12.0);

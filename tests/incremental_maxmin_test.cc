@@ -1,0 +1,220 @@
+// The scoped incremental allocator must be indistinguishable from a
+// from-scratch max-min computation.
+//
+// Property tested (over random fat-tree / Clos workloads and seeds): after
+// any churn of add_flow / remove_flow / moves / link failures, recompute()
+// leaves every live flow's rate within 1e-9 relative of what a one-shot
+// MaxMinAllocator::compute() over the same paths produces — and flows NOT
+// in the returned touched set keep their previous rate bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/ecmp.h"
+#include "common/rng.h"
+#include "flowsim/max_min.h"
+#include "flowsim/path_store.h"
+#include "flowsim/simulator.h"
+#include "topology/builders.h"
+#include "topology/paths.h"
+#include "traffic/patterns.h"
+
+namespace dard::flowsim {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+bool close(double a, double b) {
+  return std::abs(a - b) <= kRelTol * std::max({a, b, 1.0});
+}
+
+// Drives an incremental allocator and mirrors every operation so the state
+// can be re-derived from scratch at any point.
+class ChurnHarness {
+ public:
+  ChurnHarness(const topo::Topology& t, std::uint64_t seed)
+      : topo_(&t),
+        repo_(t),
+        board_(t),
+        alloc_(t, &board_),
+        // Staggered placement keeps most flows ToR- or pod-local, so the
+        // sharing graph splits into many components and the scoped path
+        // actually fires; uniform all-to-all would percolate into one
+        // giant component and degrade to full recomputes by design.
+        picker_(t, {.kind = traffic::PatternKind::Staggered}),
+        rng_(seed) {
+    alloc_.attach(store_);
+  }
+
+  std::vector<LinkId> random_path() {
+    const auto& hosts = topo_->hosts();
+    const NodeId s = hosts[rng_.next_below(hosts.size())];
+    const NodeId d = picker_.pick(s, rng_);
+    const auto& tp =
+        repo_.tor_paths(topo_->tor_of_host(s), topo_->tor_of_host(d));
+    return topo::host_path(*topo_, s, d, tp[rng_.next_below(tp.size())])
+        .links;
+  }
+
+  void add() {
+    const std::uint32_t fid = next_fid_++;
+    store_.set(fid, random_path());
+    alloc_.add_flow(fid);
+    live_.push_back(fid);
+  }
+
+  void remove() {
+    if (live_.empty()) return;
+    const std::size_t i = rng_.next_below(live_.size());
+    const std::uint32_t fid = live_[i];
+    alloc_.remove_flow(fid);
+    store_.release(fid);
+    live_[i] = live_.back();
+    live_.pop_back();
+  }
+
+  void move() {
+    if (live_.empty()) return;
+    const std::uint32_t fid = live_[rng_.next_below(live_.size())];
+    alloc_.remove_flow(fid);  // before the store update: old span needed
+    store_.set(fid, random_path());
+    alloc_.add_flow(fid);
+  }
+
+  void flip_link() {
+    const LinkId l(static_cast<LinkId::value_type>(
+        rng_.next_below(topo_->link_count())));
+    board_.set_failed(l, !board_.failed(l));
+    alloc_.touch_link(l);
+  }
+
+  // recompute() + both invariants. Returns whether the pass was scoped.
+  bool check() {
+    std::vector<Bps> before(next_fid_, 0.0);
+    for (const std::uint32_t fid : live_) before[fid] = alloc_.rate_of(fid);
+
+    const auto& touched = alloc_.recompute();
+    const std::unordered_set<std::uint32_t> touched_set(touched.begin(),
+                                                        touched.end());
+
+    // Reference: from-scratch allocation over the same paths + board.
+    std::vector<std::span<const LinkId>> paths;
+    paths.reserve(live_.size());
+    for (const std::uint32_t fid : live_) paths.push_back(store_.span(fid));
+    MaxMinAllocator fresh(*topo_, &board_);
+    const auto& want = fresh.compute_spans(paths);
+
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      const std::uint32_t fid = live_[i];
+      EXPECT_TRUE(close(alloc_.rate_of(fid), want[i]))
+          << "fid " << fid << ": incremental " << alloc_.rate_of(fid)
+          << " vs full " << want[i];
+      if (touched_set.count(fid) == 0) {
+        EXPECT_EQ(alloc_.rate_of(fid), before[fid])
+            << "untouched fid " << fid << " drifted";
+      }
+    }
+    return !alloc_.last_recompute_was_full();
+  }
+
+  Rng& rng() { return rng_; }
+  std::size_t live_count() const { return live_.size(); }
+
+ private:
+  const topo::Topology* topo_;
+  topo::PathRepository repo_;
+  fabric::LinkStateBoard board_;
+  PathStore store_;
+  MaxMinAllocator alloc_;
+  traffic::DestinationPicker picker_;
+  Rng rng_;
+  std::vector<std::uint32_t> live_;
+  std::uint32_t next_fid_ = 0;
+};
+
+// Returns how many passes took the scoped (non-full) path. Equivalence is
+// asserted inside check() regardless; the caller only uses the count to
+// guard that the scoped path got exercised at all. On tiny topologies the
+// sharing graph often percolates into one component, so the count is
+// seed-dependent — assert on the aggregate, not per run.
+std::size_t run_churn(const topo::Topology& t, std::uint64_t seed) {
+  ChurnHarness h(t, seed);
+  // Warm-up population, then recompute (the first pass is always full).
+  for (int i = 0; i < 40; ++i) h.add();
+  h.check();
+
+  std::size_t scoped = 0;
+  for (int step = 0; step < 120; ++step) {
+    const std::uint64_t op = h.rng().next_below(10);
+    if (op < 4) {
+      h.add();
+    } else if (op < 7) {
+      h.remove();
+    } else if (op < 9) {
+      h.move();
+    } else {
+      h.flip_link();
+    }
+    if (h.check()) ++scoped;
+  }
+  return scoped;
+}
+
+TEST(IncrementalMaxMin, MatchesFullOnRandomFatTreeChurn) {
+  const auto t = topo::build_fat_tree({.p = 4});
+  std::size_t scoped = 0;
+  for (const std::uint64_t seed : {1, 7, 42}) scoped += run_churn(t, seed);
+  EXPECT_GT(scoped, 10u) << "scoped path barely exercised";
+}
+
+TEST(IncrementalMaxMin, MatchesFullOnRandomClosChurn) {
+  const auto t = topo::build_clos({});
+  std::size_t scoped = 0;
+  for (const std::uint64_t seed : {3, 11, 19, 27}) {
+    scoped += run_churn(t, seed);
+  }
+  // The 2-tier Clos is one big sharing component most of the time; a
+  // handful of scoped passes is all locality affords here.
+  EXPECT_GT(scoped, 0u) << "scoped path never exercised";
+}
+
+TEST(IncrementalMaxMin, MatchesFullOnLargerFatTree) {
+  const auto t = topo::build_fat_tree({.p = 8});
+  // 16 pods give real locality: the scoped path must dominate.
+  EXPECT_GT(run_churn(t, 5), 60u);
+}
+
+// End-to-end: the simulator's validate_incremental mode cross-checks every
+// scoped reallocation against a from-scratch computation and DCN_CHECKs on
+// divergence; a full random workload running clean is the assertion.
+TEST(IncrementalMaxMin, SimulatorValidateModeRunsClean) {
+  const auto t = topo::build_fat_tree({.p = 4});
+  SimConfig cfg;
+  cfg.elephant_threshold = 0.05;
+  cfg.validate_incremental = true;
+  FlowSimulator sim(t, cfg);
+  baselines::EcmpAgent agent;
+  sim.set_agent(&agent);
+
+  traffic::WorkloadParams wl;
+  wl.pattern.kind = traffic::PatternKind::Staggered;
+  wl.mean_interarrival = 0.5;
+  wl.flow_size = 16 * kMiB;
+  wl.duration = 4.0;
+  wl.seed = 2;
+  std::size_t submitted = 0;
+  for (const auto& spec : traffic::generate_workload(t, wl)) {
+    sim.submit(spec);
+    ++submitted;
+  }
+  ASSERT_GT(submitted, 50u) << "workload too small to exercise anything";
+  sim.run_until_flows_done();  // DCN_CHECKs every flow finished
+  EXPECT_EQ(sim.records().size(), submitted);
+}
+
+}  // namespace
+}  // namespace dard::flowsim

@@ -1,0 +1,89 @@
+// run_experiments_parallel() determinism contract: per-cell results are
+// bit-identical whether the sweep runs on 1 thread or 8 — each cell owns
+// its simulator, RNG and agent, so thread scheduling cannot leak in.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.h"
+#include "topology/builders.h"
+
+namespace dard::harness {
+namespace {
+
+std::vector<ExperimentCell> make_cells(const topo::Topology& t) {
+  std::vector<ExperimentCell> cells;
+  const SchedulerKind scheds[] = {SchedulerKind::Ecmp, SchedulerKind::Dard,
+                                  SchedulerKind::Hedera};
+  const traffic::PatternKind patterns[] = {traffic::PatternKind::Random,
+                                           traffic::PatternKind::Stride};
+  std::uint64_t seed = 1;
+  for (const auto sched : scheds) {
+    for (const auto pattern : patterns) {
+      ExperimentConfig cfg;
+      cfg.scheduler = sched;
+      cfg.elephant_threshold = 0.05;
+      cfg.workload.pattern.kind = pattern;
+      cfg.workload.mean_interarrival = 0.5;
+      cfg.workload.flow_size = 8 * kMiB;
+      cfg.workload.duration = 2.0;
+      cfg.workload.seed = seed++;
+      cells.push_back({&t, cfg});
+    }
+  }
+  return cells;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.flows, b.flows);
+  EXPECT_EQ(a.avg_transfer_time, b.avg_transfer_time);  // bit-identical
+  EXPECT_EQ(a.transfer_times.samples(), b.transfer_times.samples());
+  EXPECT_EQ(a.path_switch_counts.samples(), b.path_switch_counts.samples());
+  EXPECT_EQ(a.peak_elephants, b.peak_elephants);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+  EXPECT_EQ(a.control_peak_rate, b.control_peak_rate);
+  EXPECT_EQ(a.control_mean_rate, b.control_mean_rate);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+}
+
+TEST(ParallelRunner, EightJobsMatchOneJobPerCell) {
+  const auto t = topo::build_fat_tree({.p = 4});
+  const auto cells = make_cells(t);
+
+  const auto serial = run_experiments_parallel(cells, 1);
+  const auto parallel = run_experiments_parallel(cells, 8);
+
+  ASSERT_EQ(serial.size(), cells.size());
+  ASSERT_EQ(parallel.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelRunner, MatchesDirectRunExperiment) {
+  const auto t = topo::build_fat_tree({.p = 4});
+  const auto cells = make_cells(t);
+  const auto parallel = run_experiments_parallel(cells, 4);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    expect_identical(run_experiment(t, cells[i].config), parallel[i]);
+  }
+}
+
+TEST(ParallelRunner, OnDoneFiresOncePerCell) {
+  const auto t = topo::build_fat_tree({.p = 4});
+  const auto cells = make_cells(t);
+  std::vector<int> done(cells.size(), 0);
+  const auto results = run_experiments_parallel(
+      cells, 8, [&](std::size_t i, const ExperimentResult& r) {
+        ++done[i];
+        EXPECT_GT(r.flows, 0u);
+      });
+  EXPECT_EQ(results.size(), cells.size());
+  for (const int d : done) EXPECT_EQ(d, 1);
+}
+
+}  // namespace
+}  // namespace dard::harness

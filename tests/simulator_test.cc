@@ -142,10 +142,14 @@ TEST_F(SimulatorTest, ElephantCountsAppearOnBoard) {
   sim_.run_until(1.5);  // past promotion
   const Flow& f = sim_.flow(id);
   ASSERT_TRUE(f.is_elephant);
-  for (const LinkId l : f.links)
+  // Capture the links while the flow is active: a finished flow's path is
+  // released from the store.
+  const auto links = std::vector<LinkId>(sim_.links_of(f).begin(),
+                                         sim_.links_of(f).end());
+  for (const LinkId l : links)
     EXPECT_EQ(sim_.link_state().elephants(l), 1u);
   sim_.run_until_flows_done();
-  for (const LinkId l : f.links)
+  for (const LinkId l : links)
     EXPECT_EQ(sim_.link_state().elephants(l), 0u);
 }
 
@@ -156,18 +160,20 @@ TEST_F(SimulatorTest, MoveFlowUpdatesBoardAndCountsSwitch) {
       sim_.submit(make_spec(src, dst, Bytes{500'000'000}, 0.0, 1));
   sim_.run_until(1.5);
   const Flow& f = sim_.flow(id);
-  const auto old_links = f.links;
+  const auto old_links = std::vector<LinkId>(sim_.links_of(f).begin(),
+                                             sim_.links_of(f).end());
   const PathIndex other = (f.path_index + 1) % 4;
 
   sim_.move_flow(id, other);
   EXPECT_EQ(f.path_index, other);
   EXPECT_EQ(f.path_switches, 1u);
+  const auto new_links = sim_.links_of(f);
   for (const LinkId l : old_links) {
-    if (std::find(f.links.begin(), f.links.end(), l) == f.links.end()) {
+    if (std::find(new_links.begin(), new_links.end(), l) == new_links.end()) {
       EXPECT_EQ(sim_.link_state().elephants(l), 0u);
     }
   }
-  for (const LinkId l : f.links)
+  for (const LinkId l : new_links)
     EXPECT_EQ(sim_.link_state().elephants(l), 1u);
 
   sim_.run_until_flows_done();
