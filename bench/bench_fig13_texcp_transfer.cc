@@ -5,72 +5,42 @@
 // Expected shape (paper): the two achieve similar bisection utilization;
 // DARD ends up slightly ahead on goodput because TeXCP's per-packet
 // scattering triggers retransmissions.
+//
+// Both cells run through harness::run_experiment on the Packet substrate:
+// DARD is the same agent stack the fluid benches schedule with, behind the
+// pktsim::AgentRouter adapter.
 #include "bench_lib.h"
-
-#include "pktsim/session.h"
 
 using namespace dard;
 using namespace dard::bench;
 
-namespace {
-
-struct PktOutcome {
-  Cdf transfer_times;
-  Cdf retransmission_rates;
-};
-
-PktOutcome run_stride(const topo::Topology& t,
-                      std::unique_ptr<pktsim::PacketRouter> router,
-                      Bytes file_size, int waves, std::uint64_t seed) {
-  pktsim::PktSession session(t, std::move(router));
-  Rng rng(seed);
-  std::vector<FlowId> ids;
-  const auto& hosts = t.hosts();
-  const std::size_t pod_hosts = hosts.size() / 4;
-  for (int wave = 0; wave < waves; ++wave) {
-    for (std::size_t i = 0; i < hosts.size(); ++i) {
-      // Stride destination one pod over, staggered start within 100 ms.
-      ids.push_back(session.add_flow({hosts[i],
-                                      hosts[(i + pod_hosts) % hosts.size()],
-                                      file_size,
-                                      wave * 0.5 + rng.uniform(0.0, 0.1)}));
-    }
-  }
-  const bool done = session.run(3600.0);
-  DCN_CHECK_MSG(done, "packet simulation did not converge");
-
-  PktOutcome out;
-  for (const FlowId id : ids) {
-    out.transfer_times.add(session.result(id).transfer_time());
-    out.retransmission_rates.add(session.result(id).retransmission_rate());
-  }
-  std::fprintf(stderr, "  [fig13/14] %zu flows, avg %.2fs, mean retx %.3f\n",
-               ids.size(), out.transfer_times.mean(),
-               out.retransmission_rates.mean());
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
   const topo::Topology t = testbed_fat_tree();
-  const Bytes file_size = flags.full ? 64 * kMiB : 16 * kMiB;
-  const int waves = flags.full ? 3 : 2;
 
-  const auto dard = run_stride(
-      t,
-      std::make_unique<pktsim::AdaptiveFlowRouter>(t, /*interval=*/0.5,
-                                                   /*jitter=*/0.5,
-                                                   /*delta=*/1 * kMbps),
-      file_size, waves, flags.seed);
-  const auto texcp = run_stride(t, std::make_unique<pktsim::TexcpRouter>(t),
-                                file_size, waves, flags.seed);
+  const double rate = flags.rate > 0 ? flags.rate : 2.0;
+  const double duration = flags.duration > 0 ? flags.duration : 1.0;
+  harness::ExperimentConfig cfg =
+      packet_stride_config(rate, duration, flags.seed);
+  cfg.workload.flow_size = flags.full ? 64 * kMiB : 16 * kMiB;
+
+  std::vector<Cell> cells;
+  cfg.scheduler = harness::SchedulerKind::Dard;
+  cells.push_back({"fig13 dard", &t, cfg});
+  cfg.scheduler = harness::SchedulerKind::Texcp;
+  cells.push_back({"fig13 texcp", &t, cfg});
+  const auto results = run_cells(cells, flags.jobs);
+  const auto& dard = results[0];
+  const auto& texcp = results[1];
 
   print_cdf("Figure 13 — transfer time CDF (s), p=4 fat-tree, stride, "
             "packet-level:",
-            {{"DARD", &dard.transfer_times}, {"TeXCP", &texcp.transfer_times}});
+            {{"DARD", &dard.transfer_times},
+             {"TeXCP", &texcp.transfer_times}});
   std::printf("avg transfer: DARD %.2fs, TeXCP %.2fs\n",
-              dard.transfer_times.mean(), texcp.transfer_times.mean());
+              dard.avg_transfer_time, texcp.avg_transfer_time);
+  std::printf("mean retransmission rate: DARD %.3f, TeXCP %.3f\n",
+              dard.retransmission_rates.mean(),
+              texcp.retransmission_rates.mean());
   return 0;
 }

@@ -5,40 +5,48 @@
 // per-packet scattering over paths with different RTTs reorders segments,
 // triggers duplicate-ACK retransmissions and lowers goodput; DARD keeps a
 // flow on one path at a time so its rate stays near zero.
+//
+// All three cells run through harness::run_experiment on the Packet
+// substrate; the third is the paper's future-work variant, TeXCP at
+// flowlet (2 ms gap) granularity.
 #include "bench_lib.h"
-
-#include "pktsim/session.h"
 
 using namespace dard;
 using namespace dard::bench;
 
+namespace {
+
+// The per-flow retransmission-rate distribution rescaled to percent.
+Cdf as_percent(const Cdf& rates) {
+  Cdf out;
+  for (const double r : rates.samples()) out.add(r * 100.0);
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
   const topo::Topology t = testbed_fat_tree();
-  const Bytes file_size = flags.full ? 64 * kMiB : 16 * kMiB;
 
-  auto run_router = [&](std::unique_ptr<pktsim::PacketRouter> router) {
-    pktsim::PktSession session(t, std::move(router));
-    Rng rng(flags.seed);
-    std::vector<FlowId> ids;
-    const auto& hosts = t.hosts();
-    for (std::size_t i = 0; i < hosts.size(); ++i)
-      ids.push_back(session.add_flow(
-          {hosts[i], hosts[(i + 4) % hosts.size()], file_size,
-           rng.uniform(0.0, 0.1)}));
-    DCN_CHECK(session.run(3600.0));
-    Cdf rates;
-    for (const FlowId id : ids)
-      rates.add(session.result(id).retransmission_rate() * 100.0);
-    return rates;
-  };
+  const double rate = flags.rate > 0 ? flags.rate : 2.0;
+  const double duration = flags.duration > 0 ? flags.duration : 0.5;
+  harness::ExperimentConfig cfg =
+      packet_stride_config(rate, duration, flags.seed);
+  cfg.workload.flow_size = flags.full ? 64 * kMiB : 16 * kMiB;
 
-  const Cdf dard = run_router(std::make_unique<pktsim::AdaptiveFlowRouter>(
-      t, 0.5, 0.5, 1 * kMbps));
-  const Cdf texcp = run_router(std::make_unique<pktsim::TexcpRouter>(t));
-  // The paper's future-work variant: flowlet-granularity TeXCP (2 ms gap).
-  const Cdf flowlet = run_router(
-      std::make_unique<pktsim::TexcpRouter>(t, 0.010, 31, 0.002));
+  std::vector<Cell> cells;
+  cfg.scheduler = harness::SchedulerKind::Dard;
+  cells.push_back({"fig14 dard", &t, cfg});
+  cfg.scheduler = harness::SchedulerKind::Texcp;
+  cells.push_back({"fig14 texcp", &t, cfg});
+  cfg.texcp_flowlet_gap = 0.002;  // the paper's future-work variant
+  cells.push_back({"fig14 texcp-flowlet", &t, cfg});
+  const auto results = run_cells(cells, flags.jobs);
+
+  const Cdf dard = as_percent(results[0].retransmission_rates);
+  const Cdf texcp = as_percent(results[1].retransmission_rates);
+  const Cdf flowlet = as_percent(results[2].retransmission_rates);
 
   print_cdf("Figure 14 — TCP retransmission rate CDF (%), p=4 fat-tree:",
             {{"DARD", &dard},

@@ -71,6 +71,21 @@ harness::ExperimentConfig ns2_config(traffic::PatternKind pattern, double rate,
   return base_config(pattern, rate, duration, seed);
 }
 
+harness::ExperimentConfig packet_stride_config(double rate, double duration,
+                                               std::uint64_t seed) {
+  auto cfg = base_config(traffic::PatternKind::Stride, rate, duration, seed);
+  cfg.substrate = harness::Substrate::Packet;
+  // Transfers here last seconds, not the testbed's >= 10.7 s: promote
+  // elephants after 0.25 s and run DARD rounds at 0.5 s + U[0,0.5] s so
+  // flows still span several scheduling rounds.
+  cfg.elephant_threshold = 0.25;
+  cfg.dard.query_interval = 0.25;
+  cfg.dard.schedule_base = 0.5;
+  cfg.dard.schedule_jitter = 0.5;
+  cfg.dard.delta = 1 * kMbps;
+  return cfg;
+}
+
 topo::Topology testbed_fat_tree() {
   return topo::build_fat_tree({.p = 4,
                                .hosts_per_tor = -1,

@@ -41,6 +41,10 @@ harness::ExperimentConfig testbed_config(traffic::PatternKind pattern,
                                          std::uint64_t seed);
 harness::ExperimentConfig ns2_config(traffic::PatternKind pattern, double rate,
                                      double duration, std::uint64_t seed);
+// Packet-substrate stride config for the TeXCP figures: control intervals
+// tightened to the second-scale transfers a 100 Mbps packet run affords.
+harness::ExperimentConfig packet_stride_config(double rate, double duration,
+                                               std::uint64_t seed);
 
 // The paper's testbed fat-tree: p=4 at 100 Mbps.
 topo::Topology testbed_fat_tree();

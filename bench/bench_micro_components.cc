@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "dard/monitor.h"
 #include "flowsim/max_min.h"
+#include "flowsim/simulator.h"
 #include "micro_json_main.h"
 #include "realloc_workload.h"
 #include "topology/builders.h"

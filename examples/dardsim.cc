@@ -22,7 +22,8 @@ namespace {
 
 constexpr const char* kTopos = "fattree, clos, threetier";
 constexpr const char* kPatterns = "random, staggered, stride";
-constexpr const char* kSchedulers = "ecmp, pvlb, dard, hedera";
+constexpr const char* kSchedulers = "ecmp, pvlb, dard, hedera, texcp";
+constexpr const char* kSubstrates = "fluid, packet";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
@@ -33,7 +34,18 @@ void print_usage(std::FILE* out) {
                "  --size=N             p for fat-tree, D for Clos; ignored "
                "for threetier (default 8)\n"
                "  --pattern=NAME       traffic pattern: %s (default stride)\n"
-               "  --scheduler=NAME     scheduler: %s (default dard)\n"
+               "  --scheduler=NAME     scheduler: %s (default dard;\n"
+               "                       texcp needs --substrate=packet)\n"
+               "  --substrate=NAME     simulation substrate: %s (default "
+               "fluid).\n"
+               "                       packet runs TCP New Reno over "
+               "drop-tail queues\n"
+               "                       with the same scheduler stack; "
+               "control intervals\n"
+               "                       tighten to second-scale transfers\n"
+               "  --flow-mb=F          transfer size in MiB (default 128; "
+               "use a few MiB\n"
+               "                       to keep packet runs fast)\n"
                "  --rate=F             flows per second per host (default 1)\n"
                "  --duration=S         workload generation window in seconds "
                "(default 10)\n"
@@ -61,7 +73,7 @@ void print_usage(std::FILE* out) {
                "0.5; used by --samples\n"
                "                       and --agg-samples)\n"
                "  --help               show this message\n",
-               kTopos, kPatterns, kSchedulers);
+               kTopos, kPatterns, kSchedulers, kSubstrates);
 }
 
 struct Options {
@@ -69,6 +81,8 @@ struct Options {
   int size = 8;  // p for fat-tree, D for Clos; ignored for threetier
   std::string pattern = "stride";
   std::string scheduler = "dard";
+  std::string substrate = "fluid";
+  double flow_mb = 128.0;
   double rate = 1.0;
   double duration = 10.0;
   std::uint64_t seed = 1;
@@ -100,6 +114,10 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->pattern = v;
     } else if (const char* v = value("--scheduler=")) {
       opt->scheduler = v;
+    } else if (const char* v = value("--substrate=")) {
+      opt->substrate = v;
+    } else if (const char* v = value("--flow-mb=")) {
+      opt->flow_mb = std::atof(v);
     } else if (const char* v = value("--rate=")) {
       opt->rate = std::atof(v);
     } else if (const char* v = value("--duration=")) {
@@ -177,11 +195,42 @@ int main(int argc, char** argv) {
     cfg.scheduler = harness::SchedulerKind::Dard;
   } else if (opt.scheduler == "hedera") {
     cfg.scheduler = harness::SchedulerKind::Hedera;
+  } else if (opt.scheduler == "texcp") {
+    cfg.scheduler = harness::SchedulerKind::Texcp;
   } else {
     std::fprintf(stderr, "unknown scheduler: %s (valid: %s)\n",
                  opt.scheduler.c_str(), kSchedulers);
     return 2;
   }
+  if (opt.substrate == "fluid") {
+    cfg.substrate = harness::Substrate::Fluid;
+  } else if (opt.substrate == "packet") {
+    cfg.substrate = harness::Substrate::Packet;
+    // Packet transfers last around a second, not the testbed's tens:
+    // tighten the control intervals so flows span several scheduling
+    // rounds (the same scaling tests/substrate_test.cc pins).
+    cfg.elephant_threshold = 0.1;
+    cfg.dard.query_interval = 0.1;
+    cfg.dard.schedule_base = 0.25;
+    cfg.dard.schedule_jitter = 0.25;
+    cfg.dard.delta = 1 * kMbps;
+  } else {
+    std::fprintf(stderr, "unknown substrate: %s (valid: %s)\n",
+                 opt.substrate.c_str(), kSubstrates);
+    return 2;
+  }
+  if (cfg.scheduler == harness::SchedulerKind::Texcp &&
+      cfg.substrate != harness::Substrate::Packet) {
+    std::fprintf(stderr,
+                 "texcp scatters packets and only runs on the packet "
+                 "substrate (add --substrate=packet)\n");
+    return 2;
+  }
+  if (opt.flow_mb <= 0) {
+    std::fprintf(stderr, "--flow-mb must be positive\n");
+    return 2;
+  }
+  cfg.workload.flow_size = static_cast<Bytes>(opt.flow_mb * kMiB);
   cfg.workload.mean_interarrival = 1.0 / opt.rate;
   cfg.workload.duration = opt.duration;
   cfg.workload.seed = opt.seed;
@@ -319,12 +368,22 @@ int main(int argc, char** argv) {
     std::printf("control_bytes,%llu\n",
                 static_cast<unsigned long long>(result.control_bytes));
     std::printf("reroutes,%zu\n", result.reroutes);
+    if (cfg.substrate == harness::Substrate::Packet) {
+      std::printf("retransmissions,%llu\n",
+                  static_cast<unsigned long long>(result.retransmissions));
+      std::printf("packet_drops,%llu\n",
+                  static_cast<unsigned long long>(result.packet_drops));
+      std::printf("retransmission_rate_mean,%.4f\n",
+                  result.retransmission_rates.empty()
+                      ? 0.0
+                      : result.retransmission_rates.mean());
+    }
   } else {
-    std::printf("%s on %s (%zu hosts), %s pattern, %.2f flows/s/host for "
-                "%.0fs\n",
+    std::printf("%s on %s (%zu hosts, %s substrate), %s pattern, "
+                "%.2f flows/s/host for %.0fs\n",
                 result.scheduler.c_str(), opt.topo.c_str(),
-                network.hosts().size(), opt.pattern.c_str(), opt.rate,
-                opt.duration);
+                network.hosts().size(), harness::to_string(cfg.substrate),
+                opt.pattern.c_str(), opt.rate, opt.duration);
     std::printf("  flows completed:    %zu\n", result.flows);
     std::printf("  avg transfer time:  %.2f s  (p50 %.2f, p90 %.2f, p99 "
                 "%.2f)\n",
@@ -340,6 +399,14 @@ int main(int argc, char** argv) {
                 result.control_mean_rate / 1000.0,
                 result.control_peak_rate / 1000.0);
     std::printf("  reroutes:           %zu\n", result.reroutes);
+    if (cfg.substrate == harness::Substrate::Packet)
+      std::printf("  retransmissions:    %llu (%llu drops, mean rate "
+                  "%.4f)\n",
+                  static_cast<unsigned long long>(result.retransmissions),
+                  static_cast<unsigned long long>(result.packet_drops),
+                  result.retransmission_rates.empty()
+                      ? 0.0
+                      : result.retransmission_rates.mean());
     if (!opt.metrics_path.empty())
       std::printf("  metrics:            %s\n", metrics.summary().c_str());
   }

@@ -4,48 +4,46 @@
 
 namespace dard::baselines {
 
-using flowsim::Flow;
-using flowsim::FlowSimulator;
+using fabric::DataPlane;
+using fabric::FlowView;
 
-PathIndex EcmpAgent::place(FlowSimulator& sim, const Flow& flow) {
-  const auto& paths = sim.path_set(flow);
-  const std::uint64_t h =
-      five_tuple_hash(flow.spec.src_host.value(), flow.spec.dst_host.value(),
-                      flow.spec.src_port, flow.spec.dst_port);
-  return static_cast<PathIndex>(h % paths.size());
+PathIndex EcmpAgent::place(DataPlane& net, const FlowView& flow) {
+  const auto& paths = net.path_set(flow);
+  return ecmp_path_index(flow.src_host, flow.dst_host, flow.src_port,
+                         flow.dst_port, paths.size());
 }
 
-void PvlbAgent::start(FlowSimulator& sim) {
+void PvlbAgent::start(DataPlane& net) {
   rng_ = std::make_unique<Rng>(seed_);
   live_.clear();
-  sim.events().schedule(sim.now() + repick_interval_, [this, &sim] {
-    tick(sim);
+  net.events().schedule(net.now() + repick_interval_, [this, &net] {
+    tick(net);
   });
 }
 
-PathIndex PvlbAgent::place(FlowSimulator& sim, const Flow& flow) {
-  const auto& paths = sim.path_set(flow);
+PathIndex PvlbAgent::place(DataPlane& net, const FlowView& flow) {
+  const auto& paths = net.path_set(flow);
   live_.insert(flow.id);
   return static_cast<PathIndex>(rng_->next_below(paths.size()));
 }
 
-void PvlbAgent::on_finished(FlowSimulator& /*sim*/, const Flow& flow) {
+void PvlbAgent::on_finished(DataPlane& /*net*/, const FlowView& flow) {
   live_.erase(flow.id);
 }
 
-void PvlbAgent::tick(FlowSimulator& sim) {
+void PvlbAgent::tick(DataPlane& net) {
   // Each live flow re-picks a random path; unchanged picks are no-ops.
   std::vector<std::pair<FlowId, PathIndex>> moves;
   moves.reserve(live_.size());
   for (const FlowId id : live_) {
-    const Flow& f = sim.flow(id);
-    const auto& paths = sim.path_set(f);
+    const fabric::FlowView f = net.flow_view(id);
+    const auto& paths = net.path_set(f);
     moves.emplace_back(id,
                        static_cast<PathIndex>(rng_->next_below(paths.size())));
   }
-  sim.move_flows(moves);
-  sim.events().schedule(sim.now() + repick_interval_, [this, &sim] {
-    tick(sim);
+  net.move_flows(moves);
+  net.events().schedule(net.now() + repick_interval_, [this, &net] {
+    tick(net);
   });
 }
 

@@ -7,38 +7,39 @@
 //   re-randomizes each flow's intermediate switch every `repick_interval`
 //   (paper: 10 s) to break the permanent collisions plain VLB shares with
 //   ECMP.
+// Both are written against fabric::DataPlane and run on either substrate.
 #pragma once
 
 #include <memory>
 #include <set>
 
 #include "common/rng.h"
-#include "flowsim/simulator.h"
+#include "fabric/data_plane.h"
 
 namespace dard::baselines {
 
-class EcmpAgent : public flowsim::SchedulerAgent {
+class EcmpAgent : public fabric::ControlAgent {
  public:
   [[nodiscard]] const char* name() const override { return "ECMP"; }
-  PathIndex place(flowsim::FlowSimulator& sim,
-                  const flowsim::Flow& flow) override;
+  PathIndex place(fabric::DataPlane& net,
+                  const fabric::FlowView& flow) override;
 };
 
-class PvlbAgent : public flowsim::SchedulerAgent {
+class PvlbAgent : public fabric::ControlAgent {
  public:
   explicit PvlbAgent(Seconds repick_interval = 10.0, std::uint64_t seed = 7)
       : repick_interval_(repick_interval), seed_(seed) {}
 
   [[nodiscard]] const char* name() const override { return "pVLB"; }
 
-  void start(flowsim::FlowSimulator& sim) override;
-  PathIndex place(flowsim::FlowSimulator& sim,
-                  const flowsim::Flow& flow) override;
-  void on_finished(flowsim::FlowSimulator& sim,
-                   const flowsim::Flow& flow) override;
+  void start(fabric::DataPlane& net) override;
+  PathIndex place(fabric::DataPlane& net,
+                  const fabric::FlowView& flow) override;
+  void on_finished(fabric::DataPlane& net,
+                   const fabric::FlowView& flow) override;
 
  private:
-  void tick(flowsim::FlowSimulator& sim);
+  void tick(fabric::DataPlane& net);
 
   Seconds repick_interval_;
   std::uint64_t seed_;

@@ -9,8 +9,8 @@
 
 namespace dard::baselines {
 
-using flowsim::Flow;
-using flowsim::FlowSimulator;
+using fabric::DataPlane;
+using fabric::FlowView;
 
 std::vector<double> estimate_demands(const std::vector<std::uint32_t>& srcs,
                                      const std::vector<std::uint32_t>& dsts,
@@ -98,24 +98,22 @@ std::vector<double> estimate_demands(const std::vector<std::uint32_t>& srcs,
   return demand;
 }
 
-void HederaAgent::start(FlowSimulator& sim) {
+void HederaAgent::start(DataPlane& net) {
   rng_ = std::make_unique<Rng>(cfg_.seed);
   selector_.clear();
   rounds_ = 0;
   reassignments_ = 0;
-  sim.events().schedule(sim.now() + cfg_.interval,
-                        [this, &sim] { control_round(sim); });
+  net.events().schedule(net.now() + cfg_.interval,
+                        [this, &net] { control_round(net); });
 }
 
-PathIndex HederaAgent::place(FlowSimulator& sim, const Flow& flow) {
-  const auto& paths = sim.path_set(flow);
-  const std::uint64_t h =
-      five_tuple_hash(flow.spec.src_host.value(), flow.spec.dst_host.value(),
-                      flow.spec.src_port, flow.spec.dst_port);
-  return static_cast<PathIndex>(h % paths.size());
+PathIndex HederaAgent::place(DataPlane& net, const FlowView& flow) {
+  const auto& paths = net.path_set(flow);
+  return ecmp_path_index(flow.src_host, flow.dst_host, flow.src_port,
+                         flow.dst_port, paths.size());
 }
 
-void HederaAgent::control_round(FlowSimulator& sim) {
+void HederaAgent::control_round(DataPlane& sim) {
   ++rounds_;
   const topo::Topology& t = sim.topology();
   const Seconds now = sim.now();
@@ -147,7 +145,7 @@ void HederaAgent::control_round(FlowSimulator& sim) {
 
   std::vector<Entry> entries;
   for (const FlowId id : sim.active_flows()) {
-    const Flow& f = sim.flow(id);
+    const FlowView f = sim.flow_view(id);
     if (!f.is_elephant) continue;
     sim.accountant().record(now, fabric::kHederaReportBytes,
                             fabric::ControlCategory::SchedulerReport);
@@ -155,11 +153,11 @@ void HederaAgent::control_round(FlowSimulator& sim) {
     if (paths.size() < 2) continue;  // nothing to schedule
     Entry e;
     e.id = id;
-    e.src_dense = dense_of(f.spec.src_host);
-    e.dst_dense = dense_of(f.spec.dst_host);
+    e.src_dense = dense_of(f.src_host);
+    e.dst_dense = dense_of(f.dst_host);
     e.paths = &paths;
-    e.src_host = f.spec.src_host;
-    e.dst_host = f.spec.dst_host;
+    e.src_host = f.src_host;
+    e.dst_host = f.dst_host;
     e.current = f.path_index;
     entries.push_back(e);
   }

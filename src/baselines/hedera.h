@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "flowsim/simulator.h"
+#include "fabric/data_plane.h"
 
 namespace dard::baselines {
 
@@ -46,16 +46,16 @@ struct HederaConfig {
     const std::vector<std::uint32_t>& srcs,
     const std::vector<std::uint32_t>& dsts, std::uint32_t host_count);
 
-class HederaAgent : public flowsim::SchedulerAgent {
+class HederaAgent : public fabric::ControlAgent {
  public:
   explicit HederaAgent(HederaConfig cfg = {}) : cfg_(cfg) {}
 
   [[nodiscard]] const char* name() const override { return "SimAnneal"; }
 
-  void start(flowsim::FlowSimulator& sim) override;
+  void start(fabric::DataPlane& net) override;
   // Default routing between control rounds is ECMP, as in the paper.
-  PathIndex place(flowsim::FlowSimulator& sim,
-                  const flowsim::Flow& flow) override;
+  PathIndex place(fabric::DataPlane& net,
+                  const fabric::FlowView& flow) override;
 
   [[nodiscard]] std::size_t rounds_run() const { return rounds_; }
   [[nodiscard]] std::size_t total_reassignments() const {
@@ -63,7 +63,7 @@ class HederaAgent : public flowsim::SchedulerAgent {
   }
 
  private:
-  void control_round(flowsim::FlowSimulator& sim);
+  void control_round(fabric::DataPlane& net);
 
   HederaConfig cfg_;
   std::unique_ptr<Rng> rng_;

@@ -1,7 +1,10 @@
 // Small non-cryptographic hashing used for ECMP-style path selection.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+
+#include "common/types.h"
 
 namespace dard {
 
@@ -31,6 +34,22 @@ class Fnv1a {
   h.mix(dst_host);
   h.mix((static_cast<std::uint64_t>(src_port) << 16) | dst_port);
   return h.digest();
+}
+
+// ECMP's actual decision: hash the five tuple, reduce modulo the equal-cost
+// path count. Every ECMP-placing policy — the baseline agent, DARD's and
+// Hedera's default routing, the packet substrate's fixed-path mode — must
+// route through this one helper so a flow lands on the same path index on
+// every substrate. Pinned by HashTest.EcmpPathChoiceIsStable: changing the
+// hash or the reduction silently re-randomizes every experiment.
+[[nodiscard]] inline PathIndex ecmp_path_index(NodeId src_host,
+                                               NodeId dst_host,
+                                               std::uint16_t src_port,
+                                               std::uint16_t dst_port,
+                                               std::size_t path_count) {
+  return static_cast<PathIndex>(
+      five_tuple_hash(src_host.value(), dst_host.value(), src_port, dst_port) %
+      path_count);
 }
 
 }  // namespace dard

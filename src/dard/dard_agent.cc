@@ -4,51 +4,50 @@
 
 namespace dard::core {
 
-using flowsim::Flow;
-using flowsim::FlowSimulator;
+using fabric::DataPlane;
+using fabric::FlowView;
 
-void DardAgent::start(FlowSimulator& sim) {
+void DardAgent::start(DataPlane& net) {
   rng_ = std::make_unique<Rng>(cfg_.seed);
-  service_ = std::make_unique<fabric::StateQueryService>(sim.link_state(),
-                                                         &sim.accountant());
+  service_ = std::make_unique<fabric::StateQueryService>(net.link_state(),
+                                                         &net.accountant());
   daemons_.clear();
-  daemons_.resize(sim.topology().node_count());
+  daemons_.resize(net.topology().node_count());
 
   counters_ = DardCounters{};
-  if (obs::MetricsRegistry* m = sim.metrics()) {
+  if (obs::MetricsRegistry* m = net.metrics()) {
     counters_.moves_proposed = &m->counter("dard.moves_proposed");
     counters_.moves_accepted = &m->counter("dard.moves_accepted");
     counters_.moves_rejected = &m->counter("dard.moves_rejected");
     counters_.delta_rejections = &m->counter("dard.delta_rejections");
     counters_.monitor_queries = &m->counter("dard.monitor_queries");
+    net.accountant().set_message_counter(&m->counter("dard.control_msgs"));
   }
 }
 
-PathIndex DardAgent::place(FlowSimulator& sim, const Flow& flow) {
-  const auto& paths = sim.path_set(flow);
-  const std::uint64_t h =
-      five_tuple_hash(flow.spec.src_host.value(), flow.spec.dst_host.value(),
-                      flow.spec.src_port, flow.spec.dst_port);
-  return static_cast<PathIndex>(h % paths.size());
+PathIndex DardAgent::place(DataPlane& net, const FlowView& flow) {
+  const auto& paths = net.path_set(flow);
+  return ecmp_path_index(flow.src_host, flow.dst_host, flow.src_port,
+                         flow.dst_port, paths.size());
 }
 
-DardHostDaemon& DardAgent::daemon_for(FlowSimulator& sim, NodeId host) {
+DardHostDaemon& DardAgent::daemon_for(DataPlane& net, NodeId host) {
   auto& slot = daemons_[host.value()];
   if (!slot) {
-    slot = std::make_unique<DardHostDaemon>(sim, *service_, host, cfg_,
+    slot = std::make_unique<DardHostDaemon>(net, *service_, host, cfg_,
                                             rng_->fork(host.value()),
                                             &counters_);
   }
   return *slot;
 }
 
-void DardAgent::on_elephant(FlowSimulator& sim, const Flow& flow) {
-  daemon_for(sim, flow.spec.src_host).on_elephant(flow);
+void DardAgent::on_elephant(DataPlane& net, const FlowView& flow) {
+  daemon_for(net, flow.src_host).on_elephant(flow);
 }
 
-void DardAgent::on_finished(FlowSimulator& sim, const Flow& flow) {
+void DardAgent::on_finished(DataPlane& net, const FlowView& flow) {
   if (!flow.is_elephant) return;
-  daemon_for(sim, flow.spec.src_host).on_finished(flow);
+  daemon_for(net, flow.src_host).on_finished(flow);
 }
 
 const DardHostDaemon* DardAgent::daemon(NodeId host) const {

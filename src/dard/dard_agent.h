@@ -1,32 +1,33 @@
-// DARD as a scheduling agent over the fluid simulator.
+// DARD as a substrate-neutral control agent (see fabric/data_plane.h).
 //
 // Initial placement is the paper's default routing, ECMP (five-tuple hash);
 // once a flow is detected as an elephant its source host's daemon monitors
 // and selfishly re-schedules it. Host daemons are created lazily on the
-// first elephant a host sources.
+// first elephant a host sources. The same agent — daemons, monitors,
+// Algorithm 1 — runs over the fluid simulator and the packet substrate.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "dard/host_daemon.h"
-#include "flowsim/simulator.h"
+#include "fabric/data_plane.h"
 
 namespace dard::core {
 
-class DardAgent : public flowsim::SchedulerAgent {
+class DardAgent : public fabric::ControlAgent {
  public:
   explicit DardAgent(DardConfig cfg = {}) : cfg_(cfg) {}
 
   [[nodiscard]] const char* name() const override { return "DARD"; }
 
-  void start(flowsim::FlowSimulator& sim) override;
-  PathIndex place(flowsim::FlowSimulator& sim,
-                  const flowsim::Flow& flow) override;
-  void on_elephant(flowsim::FlowSimulator& sim,
-                   const flowsim::Flow& flow) override;
-  void on_finished(flowsim::FlowSimulator& sim,
-                   const flowsim::Flow& flow) override;
+  void start(fabric::DataPlane& net) override;
+  PathIndex place(fabric::DataPlane& net,
+                  const fabric::FlowView& flow) override;
+  void on_elephant(fabric::DataPlane& net,
+                   const fabric::FlowView& flow) override;
+  void on_finished(fabric::DataPlane& net,
+                   const fabric::FlowView& flow) override;
 
   [[nodiscard]] const DardConfig& config() const { return cfg_; }
   [[nodiscard]] const DardHostDaemon* daemon(NodeId host) const;
@@ -34,7 +35,7 @@ class DardAgent : public flowsim::SchedulerAgent {
   [[nodiscard]] std::size_t live_monitor_count() const;
 
  private:
-  DardHostDaemon& daemon_for(flowsim::FlowSimulator& sim, NodeId host);
+  DardHostDaemon& daemon_for(fabric::DataPlane& net, NodeId host);
 
   DardConfig cfg_;
   std::unique_ptr<Rng> rng_;

@@ -2,16 +2,16 @@
 
 namespace dard::core {
 
-using flowsim::Flow;
+using fabric::FlowView;
 
-DardHostDaemon::DardHostDaemon(flowsim::FlowSimulator& sim,
+DardHostDaemon::DardHostDaemon(fabric::DataPlane& net,
                                const fabric::StateQueryService& service,
                                NodeId host, const DardConfig& cfg, Rng rng,
                                const DardCounters* counters)
-    : sim_(&sim),
+    : net_(&net),
       service_(&service),
       host_(host),
-      src_tor_(sim.topology().tor_of_host(host)),
+      src_tor_(net.topology().tor_of_host(host)),
       cfg_(&cfg),
       rng_(rng),
       counters_(counters) {}
@@ -21,19 +21,19 @@ void DardHostDaemon::account_refresh(const PathMonitor& monitor) const {
     counters_->monitor_queries->add(monitor.queried_switches().size());
 }
 
-void DardHostDaemon::on_elephant(const Flow& flow) {
-  DCN_CHECK(flow.spec.src_host == host_);
+void DardHostDaemon::on_elephant(const FlowView& flow) {
+  DCN_CHECK(flow.src_host == host_);
   // Intra-ToR elephants have a single trivial path; nothing to monitor.
   if (flow.dst_tor == src_tor_) return;
 
   auto it = monitors_.find(flow.dst_tor);
   if (it == monitors_.end()) {
     it = monitors_
-             .emplace(flow.dst_tor, PathMonitor(*sim_, src_tor_, flow.dst_tor))
+             .emplace(flow.dst_tor, PathMonitor(*net_, src_tor_, flow.dst_tor))
              .first;
     // A fresh monitor assembles path state immediately so the next round
     // has something to act on.
-    it->second.refresh(sim_->now(), *service_);
+    it->second.refresh(net_->now(), *service_);
     account_refresh(it->second);
   }
   it->second.add_flow(flow.id, flow.path_index);
@@ -42,7 +42,7 @@ void DardHostDaemon::on_elephant(const Flow& flow) {
   ensure_round_scheduled();
 }
 
-void DardHostDaemon::on_finished(const Flow& flow) {
+void DardHostDaemon::on_finished(const FlowView& flow) {
   const auto tracked = tracked_.find(flow.id);
   if (tracked == tracked_.end()) return;
 
@@ -57,7 +57,7 @@ void DardHostDaemon::on_finished(const Flow& flow) {
 void DardHostDaemon::ensure_query_ticking() {
   if (query_ticking_) return;
   query_ticking_ = true;
-  sim_->events().schedule(sim_->now() + cfg_->query_interval,
+  net_->events().schedule(net_->now() + cfg_->query_interval,
                           [this] { query_tick(); });
 }
 
@@ -68,14 +68,14 @@ void DardHostDaemon::ensure_round_scheduled() {
       cfg_->schedule_base + (cfg_->schedule_jitter > 0
                                  ? rng_.uniform(0.0, cfg_->schedule_jitter)
                                  : 0.0);
-  sim_->events().schedule(sim_->now() + wait, [this] { run_round(); });
+  net_->events().schedule(net_->now() + wait, [this] { run_round(); });
 }
 
 void DardHostDaemon::query_tick() {
   query_ticking_ = false;
   if (monitors_.empty()) return;
   for (auto& [dst_tor, monitor] : monitors_) {
-    monitor.refresh(sim_->now(), *service_);
+    monitor.refresh(net_->now(), *service_);
     account_refresh(monitor);
   }
   ensure_query_ticking();
@@ -89,7 +89,7 @@ void DardHostDaemon::run_round() {
   // best estimated gain. (Letting each monitor move independently makes
   // two monitors of the same host leapfrog between their shared ToR
   // uplinks forever.)
-  obs::SimObserver* const observer = sim_->observer();
+  obs::SimObserver* const observer = net_->observer();
   const bool count =
       counters_ != nullptr && counters_->moves_proposed != nullptr;
   // Per-monitor evaluations, kept only while telemetry needs to report
@@ -114,7 +114,7 @@ void DardHostDaemon::run_round() {
     }
   }
   if (best) {
-    sim_->move_flow(best->flow, best->to);
+    net_->move_flow(best->flow, best->to);
     best_monitor->record_move(best->flow, best->from, best->to);
     ++total_moves_;
   }
@@ -132,7 +132,7 @@ void DardHostDaemon::run_round() {
       if (!eval.considered) continue;
       obs::TraceEvent e;
       e.kind = obs::TraceEventKind::DardRound;
-      e.time = sim_->now();
+      e.time = net_->now();
       e.src_host = host_;
       e.dst_host = dst_tor;
       e.path_from = eval.from;

@@ -1,7 +1,7 @@
 // The per-end-host DARD daemon (paper Section 3.1).
 //
 // Mirrors the paper's three components:
-//  * elephant detection is delegated to the simulator (on_elephant fires
+//  * elephant detection is delegated to the substrate (on_elephant fires
 //    when a flow crosses the age threshold);
 //  * Monitors: one per destination ToR with live elephants, created on
 //    demand and released when the last tracked elephant finishes;
@@ -36,14 +36,14 @@ struct DardCounters {
 
 class DardHostDaemon {
  public:
-  DardHostDaemon(flowsim::FlowSimulator& sim,
+  DardHostDaemon(fabric::DataPlane& net,
                  const fabric::StateQueryService& service, NodeId host,
                  const DardConfig& cfg, Rng rng,
                  const DardCounters* counters = nullptr);
 
-  // Simulator callbacks (routed through DardAgent).
-  void on_elephant(const flowsim::Flow& flow);
-  void on_finished(const flowsim::Flow& flow);
+  // Substrate callbacks (routed through DardAgent).
+  void on_elephant(const fabric::FlowView& flow);
+  void on_finished(const fabric::FlowView& flow);
 
   [[nodiscard]] NodeId host() const { return host_; }
   [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
@@ -59,7 +59,7 @@ class DardHostDaemon {
   // Counts one refresh's switch queries and emits nothing when disabled.
   void account_refresh(const PathMonitor& monitor) const;
 
-  flowsim::FlowSimulator* sim_;
+  fabric::DataPlane* net_;
   const fabric::StateQueryService* service_;
   NodeId host_;
   NodeId src_tor_;

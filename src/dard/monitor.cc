@@ -6,18 +6,17 @@
 
 namespace dard::core {
 
-PathMonitor::PathMonitor(flowsim::FlowSimulator& sim, NodeId src_tor,
+PathMonitor::PathMonitor(fabric::DataPlane& net, NodeId src_tor,
                          NodeId dst_tor)
-    : sim_(&sim),
-      src_tor_(src_tor),
+    : src_tor_(src_tor),
       dst_tor_(dst_tor),
-      paths_(&sim.paths().tor_paths(src_tor, dst_tor)),
+      paths_(&net.paths().tor_paths(src_tor, dst_tor)),
       pv_(paths_->size()),
       fv_(paths_->size()) {
   // Switches whose egress ports cover every switch-switch link of every
   // monitored path; plus the per-path link lists a refresh assembles from.
   std::unordered_set<NodeId> seen;
-  const topo::Topology& t = sim.topology();
+  const topo::Topology& t = net.topology();
   monitored_links_.reserve(paths_->size());
   for (const topo::Path& p : *paths_) {
     auto& links = monitored_links_.emplace_back();

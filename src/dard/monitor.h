@@ -17,8 +17,8 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "dard/config.h"
+#include "fabric/data_plane.h"
 #include "fabric/switch_state.h"
-#include "flowsim/simulator.h"
 
 namespace dard::core {
 
@@ -59,7 +59,7 @@ struct RoundEvaluation {
 
 class PathMonitor {
  public:
-  PathMonitor(flowsim::FlowSimulator& sim, NodeId src_tor, NodeId dst_tor);
+  PathMonitor(fabric::DataPlane& net, NodeId src_tor, NodeId dst_tor);
 
   [[nodiscard]] NodeId src_tor() const { return src_tor_; }
   [[nodiscard]] NodeId dst_tor() const { return dst_tor_; }
@@ -102,7 +102,6 @@ class PathMonitor {
   }
 
  private:
-  flowsim::FlowSimulator* sim_;
   NodeId src_tor_;
   NodeId dst_tor_;
   const std::vector<topo::Path>* paths_;

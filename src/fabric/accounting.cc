@@ -15,6 +15,7 @@ void ControlPlaneAccountant::record(Seconds now, Bytes bytes,
   buckets_[bucket] += static_cast<double>(bytes);
   ++messages_;
   total_by_category_[static_cast<std::size_t>(category)] += bytes;
+  if (counter_ != nullptr) counter_->add();
 }
 
 Bytes ControlPlaneAccountant::total_bytes() const {

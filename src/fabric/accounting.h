@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace dard::fabric {
 
@@ -25,6 +26,11 @@ inline constexpr std::size_t kControlCategories = 4;
 class ControlPlaneAccountant {
  public:
   void record(Seconds now, Bytes bytes, ControlCategory category);
+
+  // Mirrors every recorded message into a metrics counter (conventionally
+  // "dard.control_msgs"). Null (the default) disables the mirror; record()
+  // then pays one null check.
+  void set_message_counter(obs::Counter* counter) { counter_ = counter; }
 
   [[nodiscard]] Bytes total_bytes() const;
   [[nodiscard]] Bytes total_bytes(ControlCategory category) const;
@@ -41,6 +47,7 @@ class ControlPlaneAccountant {
   std::vector<double> buckets_;  // bytes per [i, i+1) second
   std::size_t messages_ = 0;
   Bytes total_by_category_[kControlCategories] = {};
+  obs::Counter* counter_ = nullptr;
 };
 
 }  // namespace dard::fabric

@@ -1,0 +1,115 @@
+// The substrate-neutral control-plane boundary (see DESIGN.md §10).
+//
+// The paper validates one control-plane design — Algorithm 1 running on end
+// hosts, reading switch state through OpenFlow-style queries — on two very
+// different data planes: a fluid-rate testbed model and a packet-level
+// simulator. This header is that boundary in code. Everything a scheduling
+// agent may do to a network goes through DataPlane:
+//
+//   * path-set lookup (the equal-cost ToR-path repository),
+//   * per-link state reads via the LinkStateBoard, queried through
+//     StateQueryService so control messages are accounted identically on
+//     either substrate,
+//   * flow placement at arrival and whole-flow path moves,
+//   * elephant / finish notifications (delivered to the ControlAgent),
+//   * event scheduling against the shared flowsim::EventQueue.
+//
+// Two adapters implement it: flowsim::FlowSimulator (fluid rates) and
+// pktsim::AgentRouter (TCP packets over drop-tail queues). A scheduler
+// written against ControlAgent therefore runs, unmodified, on both — the
+// property the paper's testbed/ns-2 comparison quietly relies on.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "fabric/accounting.h"
+#include "fabric/switch_state.h"
+#include "flowsim/event_queue.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "topology/paths.h"
+
+namespace dard::fabric {
+
+// One flow as the control plane sees it: endpoints, the five-tuple ports
+// ECMP hashes, the current path choice, and elephant status. Substrates own
+// the authoritative flow state; views are cheap value snapshots.
+struct FlowView {
+  FlowId id;
+  NodeId src_host;
+  NodeId dst_host;
+  NodeId src_tor;
+  NodeId dst_tor;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  PathIndex path_index = 0;
+  bool is_elephant = false;
+};
+
+class DataPlane {
+ public:
+  virtual ~DataPlane() = default;
+
+  [[nodiscard]] virtual const topo::Topology& topology() const = 0;
+  // Equal-cost ToR-path enumeration, shared and cached per (src, dst) ToR
+  // pair. Path indices handed to place()/move_flow() index into these sets.
+  virtual topo::PathRepository& paths() = 0;
+
+  [[nodiscard]] virtual Seconds now() const = 0;
+  // The event queue driving this substrate; agents schedule their periodic
+  // control work (query ticks, scheduling rounds) here.
+  virtual flowsim::EventQueue& events() = 0;
+
+  // Live per-link elephant counts and effective capacities. Monitors must
+  // not read this directly — build a StateQueryService over it (and the
+  // accountant) so every read is a modeled, accounted control message.
+  [[nodiscard]] virtual const LinkStateBoard& link_state() const = 0;
+  virtual ControlPlaneAccountant& accountant() = 0;
+
+  // Whole-flow path change; packets/bytes already in flight stay on the old
+  // path, subsequent traffic uses the new one. A no-op when new_path is the
+  // flow's current path.
+  virtual void move_flow(FlowId id, PathIndex new_path) = 0;
+  // Batch variant: apply all moves, settle once (centralized schedulers).
+  virtual void move_flows(
+      const std::vector<std::pair<FlowId, PathIndex>>& moves) = 0;
+
+  // Flows currently in the network, in substrate-deterministic order.
+  [[nodiscard]] virtual const std::vector<FlowId>& active_flows() const = 0;
+  [[nodiscard]] virtual FlowView flow_view(FlowId id) const = 0;
+
+  // Telemetry hooks; null when disabled (the default).
+  [[nodiscard]] virtual obs::SimObserver* observer() const { return nullptr; }
+  [[nodiscard]] virtual obs::MetricsRegistry* metrics() const {
+    return nullptr;
+  }
+
+  // The equal-cost path set `v` selects among.
+  const std::vector<topo::Path>& path_set(const FlowView& v) {
+    return paths().tor_paths(v.src_tor, v.dst_tor);
+  }
+};
+
+// A flow-scheduling policy — ECMP, pVLB, the DARD host-daemon stack, or the
+// centralized scheduler — written once against DataPlane and run on either
+// substrate. Agents pick initial paths at arrival and may re-route active
+// flows from periodic work they schedule on the event queue in start().
+class ControlAgent {
+ public:
+  virtual ~ControlAgent() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Called once, before any flow arrives on `net`.
+  virtual void start(DataPlane& /*net*/) {}
+
+  // Initial path (index into net.path_set(flow)) for an arriving flow.
+  virtual PathIndex place(DataPlane& net, const FlowView& flow) = 0;
+
+  virtual void on_elephant(DataPlane& /*net*/, const FlowView& /*flow*/) {}
+  virtual void on_finished(DataPlane& /*net*/, const FlowView& /*flow*/) {}
+};
+
+}  // namespace dard::fabric

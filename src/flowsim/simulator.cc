@@ -123,7 +123,7 @@ void FlowSimulator::arrive(FlowId id) {
   Flow& f = flows_[id.value()];
   DCN_CHECK(agent_ != nullptr);
 
-  const PathIndex initial = agent_->place(*this, f);
+  const PathIndex initial = agent_->place(*this, flow_view(id));
   set_path_links(f, initial);
   allocator_.add_flow(id.value());
   f.last_update = events_.now();
@@ -170,7 +170,7 @@ void FlowSimulator::promote_elephant(FlowId id) {
     e.path_to = f.path_index;
     observer_->on_flow_elephant(e);
   }
-  agent_->on_elephant(*this, f);
+  agent_->on_elephant(*this, flow_view(id));
 }
 
 void FlowSimulator::complete(FlowId id, std::uint64_t version) {
@@ -227,7 +227,7 @@ void FlowSimulator::complete(FlowId id, std::uint64_t version) {
     e.path_to = f.path_index;
     observer_->on_flow_complete(e);
   }
-  agent_->on_finished(*this, f);
+  agent_->on_finished(*this, flow_view(id));
   request_reallocate();
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "fabric/accounting.h"
+#include "fabric/data_plane.h"
 #include "fabric/switch_state.h"
 #include "flowsim/event_queue.h"
 #include "flowsim/flow.h"
@@ -25,26 +26,6 @@
 #include "topology/paths.h"
 
 namespace dard::flowsim {
-
-class FlowSimulator;
-
-// A flow-scheduling policy: ECMP, pVLB, DARD hosts, or the centralized
-// scheduler. Agents pick initial paths at arrival and may re-route active
-// flows from periodic work they schedule on the event queue in start().
-class SchedulerAgent {
- public:
-  virtual ~SchedulerAgent() = default;
-  [[nodiscard]] virtual const char* name() const = 0;
-
-  // Called once before the simulation runs.
-  virtual void start(FlowSimulator& /*sim*/) {}
-
-  // Initial path (index into sim.path_set(flow)) for an arriving flow.
-  virtual PathIndex place(FlowSimulator& sim, const Flow& flow) = 0;
-
-  virtual void on_elephant(FlowSimulator& /*sim*/, const Flow& /*flow*/) {}
-  virtual void on_finished(FlowSimulator& /*sim*/, const Flow& /*flow*/) {}
-};
 
 struct SimConfig {
   // Seconds a flow must live before it is considered an elephant (paper:
@@ -69,12 +50,14 @@ struct SimConfig {
   bool validate_incremental = false;
 };
 
-class FlowSimulator {
+// The fluid-substrate adapter: FlowSimulator *is* a fabric::DataPlane, so
+// any fabric::ControlAgent schedules flows on it directly.
+class FlowSimulator : public fabric::DataPlane {
  public:
   FlowSimulator(const topo::Topology& t, SimConfig cfg = {});
 
   // Installs the scheduling policy and lets it set up its periodic work.
-  void set_agent(SchedulerAgent* agent) {
+  void set_agent(fabric::ControlAgent* agent) {
     agent_ = agent;
     agent_->start(*this);
   }
@@ -88,28 +71,37 @@ class FlowSimulator {
   // not queue emptiness — is the termination condition.)
   void run_until_flows_done();
 
-  // --- accessors for agents and experiments ---
-  [[nodiscard]] Seconds now() const { return events_.now(); }
-  EventQueue& events() { return events_; }
-  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
-  topo::PathRepository& paths() { return paths_; }
+  // --- fabric::DataPlane (accessors for agents and experiments) ---
+  [[nodiscard]] Seconds now() const override { return events_.now(); }
+  EventQueue& events() override { return events_; }
+  [[nodiscard]] const topo::Topology& topology() const override {
+    return *topo_;
+  }
+  topo::PathRepository& paths() override { return paths_; }
   fabric::LinkStateBoard& link_state() { return board_; }
-  [[nodiscard]] const fabric::LinkStateBoard& link_state() const {
+  [[nodiscard]] const fabric::LinkStateBoard& link_state() const override {
     return board_;
   }
-  fabric::ControlPlaneAccountant& accountant() { return accountant_; }
+  fabric::ControlPlaneAccountant& accountant() override { return accountant_; }
 
   [[nodiscard]] const Flow& flow(FlowId id) const {
     DCN_CHECK(id.value() < flows_.size());
     return flows_[id.value()];
   }
-  [[nodiscard]] const std::vector<FlowId>& active_flows() const {
+  [[nodiscard]] const std::vector<FlowId>& active_flows() const override {
     return active_;
+  }
+  [[nodiscard]] fabric::FlowView flow_view(FlowId id) const override {
+    const Flow& f = flow(id);
+    return fabric::FlowView{f.id,           f.spec.src_host, f.spec.dst_host,
+                            f.src_tor,      f.dst_tor,       f.spec.src_port,
+                            f.spec.dst_port, f.path_index,   f.is_elephant};
   }
   // The equal-cost ToR-path set this flow selects among.
   const std::vector<topo::Path>& path_set(const Flow& f) {
     return paths_.tor_paths(f.src_tor, f.dst_tor);
   }
+  using fabric::DataPlane::path_set;
   // The flow's current host-to-host link list (a view into the pooled
   // path store). Valid for *active* flows only, and only until the next
   // arrival / move / completion mutates the store.
@@ -122,13 +114,17 @@ class FlowSimulator {
   // flow arrives; null disables tracing (the default), leaving one branch
   // per lifecycle event as the only cost.
   void set_observer(obs::SimObserver* observer) { observer_ = observer; }
-  [[nodiscard]] obs::SimObserver* observer() const { return observer_; }
+  [[nodiscard]] obs::SimObserver* observer() const override {
+    return observer_;
+  }
 
   // Installs the metrics registry and caches the simulator's own metric
   // handles. Null (the default) disables metrics collection; the hot path
   // then pays one null check per reallocation and never reads the clock.
   void set_metrics(obs::MetricsRegistry* metrics);
-  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const override {
+    return metrics_;
+  }
 
   // Ground-truth BoNF of one path of `f`'s equal-cost set: min over the
   // path's switch-switch links of effective capacity / elephant count.
@@ -146,9 +142,10 @@ class FlowSimulator {
 
   // Re-route one active flow; a real path change counts as a path switch
   // and triggers reallocation.
-  void move_flow(FlowId id, PathIndex new_path);
+  void move_flow(FlowId id, PathIndex new_path) override;
   // Batch variant: apply all moves, reallocate once (centralized scheduler).
-  void move_flows(const std::vector<std::pair<FlowId, PathIndex>>& moves);
+  void move_flows(
+      const std::vector<std::pair<FlowId, PathIndex>>& moves) override;
 
   [[nodiscard]] const std::vector<FlowRecord>& records() const {
     return records_;
@@ -183,7 +180,7 @@ class FlowSimulator {
   fabric::LinkStateBoard board_;
   fabric::ControlPlaneAccountant accountant_;
   EventQueue events_;
-  SchedulerAgent* agent_ = nullptr;
+  fabric::ControlAgent* agent_ = nullptr;
 
   std::vector<Flow> flows_;            // by FlowId; grows monotonically
   std::vector<double> remaining_;      // fractional bytes, by FlowId

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <thread>
 
+#include "pktsim/agent_router.h"
+
 namespace dard::harness {
 
 const char* to_string(SchedulerKind k) {
@@ -16,11 +18,23 @@ const char* to_string(SchedulerKind k) {
       return "DARD";
     case SchedulerKind::Hedera:
       return "SimAnneal";
+    case SchedulerKind::Texcp:
+      return "TeXCP";
   }
   return "?";
 }
 
-std::unique_ptr<flowsim::SchedulerAgent> make_agent(
+const char* to_string(Substrate s) {
+  switch (s) {
+    case Substrate::Fluid:
+      return "fluid";
+    case Substrate::Packet:
+      return "packet";
+  }
+  return "?";
+}
+
+std::unique_ptr<fabric::ControlAgent> make_agent(
     const ExperimentConfig& cfg) {
   switch (cfg.scheduler) {
     case SchedulerKind::Ecmp:
@@ -32,13 +46,17 @@ std::unique_ptr<flowsim::SchedulerAgent> make_agent(
       return std::make_unique<core::DardAgent>(cfg.dard);
     case SchedulerKind::Hedera:
       return std::make_unique<baselines::HederaAgent>(cfg.hedera);
+    case SchedulerKind::Texcp:
+      DCN_CHECK_MSG(false, "TeXCP has no flow-level agent (packet-only)");
   }
   DCN_CHECK(false);
   return nullptr;
 }
 
-ExperimentResult run_experiment(const topo::Topology& t,
-                                const ExperimentConfig& cfg) {
+namespace {
+
+ExperimentResult run_fluid(const topo::Topology& t,
+                           const ExperimentConfig& cfg) {
   flowsim::SimConfig sim_cfg;
   sim_cfg.elephant_threshold = cfg.elephant_threshold;
   sim_cfg.realloc_interval = cfg.realloc_interval;
@@ -92,6 +110,80 @@ ExperimentResult run_experiment(const topo::Topology& t,
     result.series = std::make_shared<obs::TimeSeries>(sampler->take());
   }
   return result;
+}
+
+ExperimentResult run_packet(const topo::Topology& t,
+                            const ExperimentConfig& cfg) {
+  // TeXCP routes packets itself; everything else is a ControlAgent behind
+  // the AgentRouter adapter — the same objects the fluid substrate runs.
+  std::unique_ptr<fabric::ControlAgent> agent;
+  std::unique_ptr<pktsim::PacketRouter> router;
+  pktsim::AgentRouter* adapter = nullptr;
+  if (cfg.scheduler == SchedulerKind::Texcp) {
+    router = std::make_unique<pktsim::TexcpRouter>(
+        t, cfg.texcp_probe_interval, cfg.workload.seed ^ 0x1f1f1f1f,
+        cfg.texcp_flowlet_gap);
+  } else {
+    agent = make_agent(cfg);
+    auto ar = std::make_unique<pktsim::AgentRouter>(t, *agent,
+                                                    cfg.elephant_threshold);
+    ar->set_observer(cfg.telemetry.observer);
+    ar->set_metrics(cfg.telemetry.metrics);
+    adapter = ar.get();
+    router = std::move(ar);
+  }
+
+  ExperimentResult result;
+  result.scheduler = router->name();
+  pktsim::PktSession session(t, std::move(router), cfg.tcp, cfg.queue_bytes);
+  session.set_metrics(cfg.telemetry.metrics);
+
+  std::vector<FlowId> ids;
+  for (const auto& spec : traffic::generate_workload(t, cfg.workload))
+    ids.push_back(session.add_flow({spec.src_host, spec.dst_host, spec.size,
+                                    spec.arrival, spec.src_port,
+                                    spec.dst_port}));
+  DCN_CHECK_MSG(session.run(cfg.packet_max_time),
+                "packet experiment still running at packet_max_time");
+
+  result.flows = ids.size();
+  OnlineStats transfer;
+  for (const FlowId id : ids) {
+    const pktsim::TcpResult& r = session.result(id);
+    transfer.add(r.transfer_time());
+    result.transfer_times.add(r.transfer_time());
+    result.retransmission_rates.add(r.retransmission_rate());
+    result.retransmissions += r.retransmissions;
+  }
+  result.avg_transfer_time = transfer.mean();
+  result.packet_drops = session.network().drops();
+
+  if (adapter != nullptr) {
+    for (const FlowId id : ids)
+      if (adapter->was_elephant(id))
+        result.path_switch_counts.add(
+            static_cast<double>(adapter->path_switches(id)));
+    result.peak_elephants = adapter->peak_active_elephants();
+    result.control_bytes = adapter->accountant().total_bytes();
+    result.control_peak_rate =
+        adapter->accountant().peak_rate(cfg.workload.duration);
+    result.control_mean_rate =
+        adapter->accountant().mean_rate(cfg.workload.duration);
+  }
+  if (const auto* dard = dynamic_cast<const core::DardAgent*>(agent.get()))
+    result.reroutes = dard->total_moves();
+  if (const auto* hedera =
+          dynamic_cast<const baselines::HederaAgent*>(agent.get()))
+    result.reroutes = hedera->total_reassignments();
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const topo::Topology& t,
+                                const ExperimentConfig& cfg) {
+  return cfg.substrate == Substrate::Packet ? run_packet(t, cfg)
+                                            : run_fluid(t, cfg);
 }
 
 double ExperimentResult::path_switch_percentile(double q) const {

@@ -1,9 +1,17 @@
 // Experiment runner shared by benches, examples and integration tests.
 //
-// Wires a topology, a scheduling agent and a generated workload into the
-// fluid simulator, runs every flow to completion, and reduces the paper's
-// metrics: transfer-time distribution, path-switch distribution, control
-// overhead, improvement over ECMP.
+// Wires a topology, a scheduling agent and a generated workload into a
+// simulation substrate, runs every flow to completion, and reduces the
+// paper's metrics: transfer-time distribution, path-switch distribution,
+// control overhead, improvement over ECMP.
+//
+// Two substrates share one control plane (fabric::ControlAgent):
+//  * Fluid  — flowsim's event-driven max-min rate simulator; fast, exact
+//    rates, no packets. The default, and bit-identical to the pre-substrate
+//    harness.
+//  * Packet — pktsim's TCP New Reno over drop-tail queues behind an
+//    AgentRouter adapter; slower, but measures what rate abstraction hides:
+//    retransmissions, drops, reordering.
 #pragma once
 
 #include <functional>
@@ -18,13 +26,19 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/samplers.h"
+#include "pktsim/session.h"
 #include "traffic/patterns.h"
 
 namespace dard::harness {
 
-enum class SchedulerKind : std::uint8_t { Ecmp, Pvlb, Dard, Hedera };
+// Texcp is packet-only: it scatters individual packets, which has no fluid
+// analogue. Every other scheduler runs on either substrate.
+enum class SchedulerKind : std::uint8_t { Ecmp, Pvlb, Dard, Hedera, Texcp };
+
+enum class Substrate : std::uint8_t { Fluid, Packet };
 
 [[nodiscard]] const char* to_string(SchedulerKind k);
+[[nodiscard]] const char* to_string(Substrate s);
 
 // Optional observability wiring, all disabled by default. Observer and
 // registry are borrowed (caller-owned, must outlive run_experiment); a
@@ -41,15 +55,23 @@ struct TelemetryConfig {
 struct ExperimentConfig {
   traffic::WorkloadParams workload;
   SchedulerKind scheduler = SchedulerKind::Ecmp;
+  Substrate substrate = Substrate::Fluid;
   Seconds elephant_threshold = 1.0;
   // Rate-reallocation settle interval (see SimConfig::realloc_interval);
   // 20 ms batches recomputation without visibly perturbing multi-second
-  // transfers.
+  // transfers. Fluid substrate only.
   Seconds realloc_interval = 0.02;
   core::DardConfig dard;
   baselines::HederaConfig hedera;
   Seconds pvlb_repick_interval = 10.0;
   TelemetryConfig telemetry;
+
+  // Packet-substrate knobs (ignored on Fluid).
+  pktsim::TcpConfig tcp;
+  Bytes queue_bytes = 0;           // 0 = PacketNetwork default
+  Seconds packet_max_time = 3600;  // abort threshold for a stuck simulation
+  Seconds texcp_probe_interval = 0.010;
+  Seconds texcp_flowlet_gap = 0;   // > 0 = the flowlet future-work variant
 };
 
 struct ExperimentResult {
@@ -64,6 +86,12 @@ struct ExperimentResult {
   double control_mean_rate = 0;
   std::size_t reroutes = 0;  // accepted moves (DARD) / reassignments (Hedera)
 
+  // Packet substrate only (all zero / empty on Fluid): what the rate
+  // abstraction cannot see.
+  Cdf retransmission_rates;  // per flow, paper's retransmitted/unique metric
+  std::uint64_t retransmissions = 0;
+  std::uint64_t packet_drops = 0;
+
   // Collected when telemetry.sample_period > 0; null otherwise. Shared so
   // results stay cheap to copy.
   std::shared_ptr<const obs::TimeSeries> series;
@@ -72,7 +100,7 @@ struct ExperimentResult {
   [[nodiscard]] double max_path_switches() const;
 };
 
-[[nodiscard]] std::unique_ptr<flowsim::SchedulerAgent> make_agent(
+[[nodiscard]] std::unique_ptr<fabric::ControlAgent> make_agent(
     const ExperimentConfig& cfg);
 
 [[nodiscard]] ExperimentResult run_experiment(const topo::Topology& t,
@@ -91,7 +119,7 @@ struct ExperimentCell {
 
 // Runs every cell and returns results in cell order, using up to `jobs`
 // worker threads (0 = hardware concurrency). Each cell gets its own
-// FlowSimulator, so per-cell results are bit-identical to a serial
+// simulator (fluid or packet), so per-cell results are bit-identical to a serial
 // run_experiment() call — the determinism contract benches and tests rely
 // on (see DESIGN.md "Performance"). Cells must not share TelemetryConfig
 // observers or registries: those are written from the worker running the

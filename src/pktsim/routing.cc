@@ -1,9 +1,6 @@
 #include "pktsim/routing.h"
 
 #include <algorithm>
-#include <limits>
-
-#include "common/hash.h"
 
 namespace dard::pktsim {
 
@@ -19,141 +16,12 @@ PathSetRouter::FlowPaths PathSetRouter::make_flow_paths(NodeId src_host,
   return fp;
 }
 
-void FixedPathRouter::on_flow_started(FlowId flow, NodeId src, NodeId dst) {
-  FlowPaths fp = make_flow_paths(src, dst);
-  fp.current = static_cast<std::uint32_t>(
-      five_tuple_hash(src.value(), dst.value(),
-                      static_cast<std::uint16_t>(flow.value()), 80) %
-      fp.routes.size());
-  flows_.emplace(flow, std::move(fp));
-}
-
-const std::vector<LinkId>& FixedPathRouter::route_for(FlowId flow,
-                                                      std::uint64_t) {
-  const FlowPaths& fp = flows_.at(flow);
-  return fp.routes[fp.current];
-}
-
-void AdaptiveFlowRouter::on_flow_started(FlowId flow, NodeId src, NodeId dst) {
-  FlowPaths fp = make_flow_paths(src, dst);
-  fp.current = static_cast<std::uint32_t>(
-      five_tuple_hash(src.value(), dst.value(),
-                      static_cast<std::uint16_t>(flow.value()), 80) %
-      fp.routes.size());
-  if (link_flows_.empty()) link_flows_.resize(topo_->link_count(), 0);
-  for (const LinkId l : fp.routes[fp.current]) ++link_flows_[l.value()];
-  flows_.emplace(flow, std::move(fp));
-  schedule_round();
-}
-
-void AdaptiveFlowRouter::on_flow_finished(FlowId flow) {
-  const auto it = flows_.find(flow);
-  if (it == flows_.end()) return;
-  for (const LinkId l : it->second.routes[it->second.current])
-    --link_flows_[l.value()];
-  flows_.erase(it);
-}
-
-const std::vector<LinkId>& AdaptiveFlowRouter::route_for(FlowId flow,
-                                                         std::uint64_t) {
-  const FlowPaths& fp = flows_.at(flow);
-  return fp.routes[fp.current];
-}
-
-std::uint64_t AdaptiveFlowRouter::path_switches(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0 : it->second.switches;
-}
-
-double AdaptiveFlowRouter::path_bonf(const std::vector<LinkId>& route) const {
-  double best = std::numeric_limits<double>::infinity();
-  for (const LinkId l : route) {
-    if (!topo_->is_switch_switch(l)) continue;
-    const std::uint32_t n = link_flows_[l.value()];
-    const double bonf =
-        n == 0 ? topo_->link(l).capacity : topo_->link(l).capacity / n;
-    best = std::min(best, bonf);
-  }
-  return best;
-}
-
-void AdaptiveFlowRouter::schedule_round() {
-  if (round_scheduled_ || events_ == nullptr) return;
-  round_scheduled_ = true;
-  const Seconds wait =
-      interval_ + (jitter_ > 0 ? rng_.uniform(0.0, jitter_) : 0.0);
-  events_->schedule(events_->now() + wait, [this] { run_round(); });
-}
-
-void AdaptiveFlowRouter::run_round() {
-  round_scheduled_ = false;
-  if (flows_.empty()) return;
-  // Per-flow Algorithm 1: the flow's own path is the only "active" one.
-  for (auto& [flow, fp] : flows_) {
-    if (fp.routes.size() < 2) continue;
-    const double own = path_bonf(fp.routes[fp.current]);
-    std::uint32_t best = fp.current;
-    double best_estimate = -1;
-    for (std::uint32_t r = 0; r < fp.routes.size(); ++r) {
-      if (r == fp.current) continue;
-      // Estimated BoNF if this flow joined path r.
-      double estimate = std::numeric_limits<double>::infinity();
-      for (const LinkId l : fp.routes[r]) {
-        if (!topo_->is_switch_switch(l)) continue;
-        estimate = std::min(estimate, topo_->link(l).capacity /
-                                          (link_flows_[l.value()] + 1.0));
-      }
-      if (estimate > best_estimate) {
-        best_estimate = estimate;
-        best = r;
-      }
-    }
-    if (best != fp.current && best_estimate - own > delta_) {
-      for (const LinkId l : fp.routes[fp.current]) --link_flows_[l.value()];
-      fp.current = best;
-      for (const LinkId l : fp.routes[fp.current]) ++link_flows_[l.value()];
-      ++fp.switches;
-      ++moves_;
-    }
-  }
-  schedule_round();
-}
-
-PathSetRouter::FlowPaths TunneledAdaptiveRouter::make_flow_paths(
-    NodeId src_host, NodeId dst_host) {
-  FlowPaths fp;
-  fp.src_host = src_host;
-  fp.dst_host = dst_host;
-  const NodeId src_tor = topo_->tor_of_host(src_host);
-  const NodeId dst_tor = topo_->tor_of_host(dst_host);
-  const std::size_t count = repo_.tor_paths(src_tor, dst_tor).size();
-  for (PathIndex i = 0; i < count; ++i) {
-    const auto header =
-        addr::make_tunnel(*plan_, repo_, src_host, dst_host, i);
-    DCN_CHECK_MSG(header.has_value(), "unencodable equal-cost path");
-    fp.routes.push_back(addr::tunnel_route(*plan_, *header).links);
-  }
-  return fp;
-}
-
-Bytes TunneledAdaptiveRouter::encap_overhead() const {
-  return addr::kEncapOverheadBytes;
-}
-
-addr::EncapHeader TunneledAdaptiveRouter::header_for(FlowId flow) const {
-  const FlowPaths& fp = flows_.at(flow);
-  auto repo = topo::PathRepository(*topo_);
-  const auto header = addr::make_tunnel(*plan_, repo, fp.src_host,
-                                        fp.dst_host, fp.current);
-  DCN_CHECK(header.has_value());
-  return *header;
-}
-
 void TexcpRouter::attach(PacketNetwork& net, flowsim::EventQueue& events) {
   PacketRouter::attach(net, events);
 }
 
-void TexcpRouter::on_flow_started(FlowId flow, NodeId src, NodeId dst) {
+void TexcpRouter::on_flow_started(FlowId flow, NodeId src, NodeId dst,
+                                  std::uint16_t, std::uint16_t) {
   FlowPaths fp = make_flow_paths(src, dst);
   const auto key = std::make_pair(topo_->tor_of_host(src),
                                   topo_->tor_of_host(dst));

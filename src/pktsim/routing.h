@@ -1,11 +1,11 @@
 // Packet routing policies for the packet-level simulator.
 //
-// * FixedPathRouter — ECMP: one hashed path per flow, forever.
-// * AdaptiveFlowRouter — DARD on the packet substrate: each flow
-//   periodically runs Algorithm 1 against exact per-link flow counts
-//   (what the switches would report) and moves, whole-flow-at-a-time, from
-//   its smallest-BoNF path to the largest-BoNF path when the estimated
-//   gain beats δ.
+// Flow-level scheduling (ECMP, pVLB, DARD, Hedera) is NOT implemented here:
+// those policies are fabric::ControlAgents and reach the packet substrate
+// through pktsim::AgentRouter (agent_router.h), the same daemon stack that
+// drives the fluid simulator. This header keeps only the base machinery and
+// the genuinely packet-native policy:
+//
 // * TexcpRouter — per-packet load-adaptive scattering: every ToR pair keeps
 //   per-path weights, probes path utilization every probe_interval
 //   (paper: 10 ms in the datacenter setting) and moves weight from
@@ -18,7 +18,6 @@
 #include <memory>
 #include <vector>
 
-#include "addressing/tunnel.h"
 #include "common/rng.h"
 #include "pktsim/network.h"
 #include "topology/paths.h"
@@ -34,8 +33,11 @@ class PacketRouter {
     net_ = &net;
     events_ = &events;
   }
-  virtual void on_flow_started(FlowId flow, NodeId src_host,
-                               NodeId dst_host) = 0;
+  // Ports are the transport half of the five tuple; ECMP-placing policies
+  // hash them so a flow lands on the same path index on every substrate.
+  virtual void on_flow_started(FlowId flow, NodeId src_host, NodeId dst_host,
+                               std::uint16_t src_port,
+                               std::uint16_t dst_port) = 0;
   virtual void on_flow_finished(FlowId flow) = 0;
 
   // Host-level route of the next data packet of `flow`.
@@ -62,9 +64,11 @@ class PathSetRouter : public PacketRouter {
  protected:
   struct FlowPaths {
     NodeId src_host, dst_host;
+    std::uint16_t src_port = 0, dst_port = 0;
     std::vector<std::vector<LinkId>> routes;  // host-level, per path index
     std::uint32_t current = 0;
     std::uint64_t switches = 0;
+    bool is_elephant = false;
   };
 
   // Default: routes from path enumeration; tunneled routers override to
@@ -74,74 +78,6 @@ class PathSetRouter : public PacketRouter {
   const topo::Topology* topo_;
   topo::PathRepository repo_;
   std::map<FlowId, FlowPaths> flows_;
-};
-
-class FixedPathRouter : public PathSetRouter {
- public:
-  explicit FixedPathRouter(const topo::Topology& t) : PathSetRouter(t) {}
-  [[nodiscard]] const char* name() const override { return "ECMP"; }
-  void on_flow_started(FlowId flow, NodeId src, NodeId dst) override;
-  void on_flow_finished(FlowId flow) override { flows_.erase(flow); }
-  const std::vector<LinkId>& route_for(FlowId flow, std::uint64_t) override;
-};
-
-class AdaptiveFlowRouter : public PathSetRouter {
- public:
-  AdaptiveFlowRouter(const topo::Topology& t, Seconds interval = 5.0,
-                     Seconds jitter = 5.0, Bps delta = 10 * kMbps,
-                     std::uint64_t seed = 21)
-      : PathSetRouter(t),
-        interval_(interval),
-        jitter_(jitter),
-        delta_(delta),
-        rng_(seed) {}
-
-  [[nodiscard]] const char* name() const override { return "DARD"; }
-  void on_flow_started(FlowId flow, NodeId src, NodeId dst) override;
-  void on_flow_finished(FlowId flow) override;
-  const std::vector<LinkId>& route_for(FlowId flow, std::uint64_t) override;
-  [[nodiscard]] std::uint64_t path_switches(FlowId flow) const override;
-  [[nodiscard]] std::uint64_t total_moves() const { return moves_; }
-
- private:
-  void schedule_round();
-  void run_round();
-  [[nodiscard]] double path_bonf(const std::vector<LinkId>& route) const;
-
-  Seconds interval_, jitter_;
-  Bps delta_;
-  Rng rng_;
-  bool round_scheduled_ = false;
-  std::uint64_t moves_ = 0;
-  std::vector<std::uint32_t> link_flows_;  // flows per link (lazily sized)
-};
-
-// DARD with the full addressing stack: each candidate path is realized as
-// an IP-in-IP tunnel — an (outer source, outer destination) hierarchical
-// address pair — and packet routes come from tracing the *installed*
-// downhill/uphill tables rather than from path enumeration. Packets pay
-// the 20-byte outer-header tax. Behaviourally identical scheduling to
-// AdaptiveFlowRouter; used to validate that encapsulated forwarding
-// delivers exactly the scheduled paths (paper Sections 2.3 and 3.1).
-class TunneledAdaptiveRouter : public AdaptiveFlowRouter {
- public:
-  TunneledAdaptiveRouter(const topo::Topology& t,
-                         const addr::AddressingPlan& plan,
-                         Seconds interval = 5.0, Seconds jitter = 5.0,
-                         Bps delta = 10 * kMbps, std::uint64_t seed = 21)
-      : AdaptiveFlowRouter(t, interval, jitter, delta, seed), plan_(&plan) {}
-
-  [[nodiscard]] const char* name() const override { return "DARD-tunneled"; }
-  [[nodiscard]] Bytes encap_overhead() const override;
-
-  // The tunnel header currently stamped on `flow`'s packets.
-  [[nodiscard]] addr::EncapHeader header_for(FlowId flow) const;
-
- protected:
-  FlowPaths make_flow_paths(NodeId src_host, NodeId dst_host) override;
-
- private:
-  const addr::AddressingPlan* plan_;
 };
 
 // TeXCP at two scheduling granularities:
@@ -166,7 +102,8 @@ class TexcpRouter : public PathSetRouter {
     return flowlet_gap_ > 0 ? "TeXCP-flowlet" : "TeXCP";
   }
   void attach(PacketNetwork& net, flowsim::EventQueue& events) override;
-  void on_flow_started(FlowId flow, NodeId src, NodeId dst) override;
+  void on_flow_started(FlowId flow, NodeId src, NodeId dst, std::uint16_t,
+                       std::uint16_t) override;
   void on_flow_finished(FlowId flow) override {
     flows_.erase(flow);
     flowlets_.erase(flow);

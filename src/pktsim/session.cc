@@ -20,16 +20,35 @@ FlowId PktSession::add_flow(const PktFlowSpec& spec) {
   DCN_CHECK(spec.bytes > 0);
   const FlowId id(static_cast<FlowId::value_type>(flows_.size()));
   const std::uint64_t segments = (spec.bytes + kMss - 1) / kMss;
+  // Default ports: the historical (flow id, 80) five tuple, so path hashes
+  // of port-less workloads stay what they always were.
+  std::uint16_t src_port = spec.src_port, dst_port = spec.dst_port;
+  if (src_port == 0 && dst_port == 0) {
+    src_port = static_cast<std::uint16_t>(id.value());
+    dst_port = 80;
+  }
   flows_.push_back(std::make_unique<TcpFlow>(id, spec.src_host, spec.dst_host,
-                                             segments, tcp_, *topo_, net_,
-                                             events_, *router_));
+                                             src_port, dst_port, segments,
+                                             tcp_, *topo_, net_, events_,
+                                             *router_));
   flows_.back()->start(spec.start);
   return id;
+}
+
+std::uint64_t PktSession::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f->result().retransmissions;
+  return total;
 }
 
 bool PktSession::run(Seconds max_time) {
   while (!all_done() && !events_.empty() && events_.now() <= max_time)
     events_.run_next();
+  if (metrics_ != nullptr) {
+    metrics_->counter("pktsim.drops").add(net_.drops());
+    metrics_->counter("pktsim.forwarded").add(net_.forwarded());
+    metrics_->counter("pktsim.retransmits").add(total_retransmissions());
+  }
   return all_done();
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pktsim/tcp.h"
 
 namespace dard::pktsim {
@@ -13,6 +14,11 @@ struct PktFlowSpec {
   NodeId dst_host;
   Bytes bytes = 0;
   Seconds start = 0;
+  // Transport ports of the five tuple. When both are zero, add_flow()
+  // substitutes (flow id as uint16, 80) — the historical packet-substrate
+  // convention, kept so hashed path choices stay stable.
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
 };
 
 class PktSession {
@@ -34,6 +40,13 @@ class PktSession {
   [[nodiscard]] PacketNetwork& network() { return net_; }
   [[nodiscard]] flowsim::EventQueue& events() { return events_; }
 
+  // Mirrors substrate totals (pktsim.drops / pktsim.forwarded /
+  // pktsim.retransmits) into `metrics` when run() returns. Null (the
+  // default) costs nothing.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  [[nodiscard]] std::uint64_t total_retransmissions() const;
+
  private:
   const topo::Topology* topo_;
   flowsim::EventQueue events_;
@@ -41,6 +54,7 @@ class PktSession {
   std::unique_ptr<PacketRouter> router_;
   TcpConfig tcp_;
   std::vector<std::unique_ptr<TcpFlow>> flows_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dard::pktsim

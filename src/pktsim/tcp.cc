@@ -5,12 +5,15 @@
 namespace dard::pktsim {
 
 TcpFlow::TcpFlow(FlowId id, NodeId src_host, NodeId dst_host,
+                 std::uint16_t src_port, std::uint16_t dst_port,
                  std::uint64_t total_segments, const TcpConfig& cfg,
                  const topo::Topology& t, PacketNetwork& net,
                  flowsim::EventQueue& events, PacketRouter& router)
     : id_(id),
       src_host_(src_host),
       dst_host_(dst_host),
+      src_port_(src_port),
+      dst_port_(dst_port),
       total_(total_segments),
       cfg_(cfg),
       topo_(&t),
@@ -29,7 +32,7 @@ void TcpFlow::start(Seconds at) {
 
 void TcpFlow::begin() {
   result_.start = events_->now();
-  router_->on_flow_started(id_, src_host_, dst_host_);
+  router_->on_flow_started(id_, src_host_, dst_host_, src_port_, dst_port_);
   maybe_send();
   arm_rto();
 }

@@ -43,9 +43,9 @@ struct TcpResult {
 
 class TcpFlow {
  public:
-  TcpFlow(FlowId id, NodeId src_host, NodeId dst_host,
-          std::uint64_t total_segments, const TcpConfig& cfg,
-          const topo::Topology& t, PacketNetwork& net,
+  TcpFlow(FlowId id, NodeId src_host, NodeId dst_host, std::uint16_t src_port,
+          std::uint16_t dst_port, std::uint64_t total_segments,
+          const TcpConfig& cfg, const topo::Topology& t, PacketNetwork& net,
           flowsim::EventQueue& events, PacketRouter& router);
 
   void start(Seconds at);
@@ -72,6 +72,7 @@ class TcpFlow {
 
   FlowId id_;
   NodeId src_host_, dst_host_;
+  std::uint16_t src_port_, dst_port_;
   std::uint64_t total_;
   TcpConfig cfg_;
   const topo::Topology* topo_;

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "baselines/ecmp.h"
+#include "flowsim/simulator.h"
 #include "topology/builders.h"
 
 namespace dard::baselines {

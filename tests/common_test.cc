@@ -248,5 +248,21 @@ TEST(Hash, FiveTupleIsDeterministicAndSpreads) {
   for (const int c : counts) EXPECT_GT(c, 50);
 }
 
+TEST(HashTest, EcmpPathChoiceIsStable) {
+  // Pins the shared ECMP decision (FNV-1a five tuple, reduced modulo the
+  // path count) to concrete values. Every substrate routes flow placement
+  // through ecmp_path_index; if this test breaks, every experiment in the
+  // repo silently re-randomizes — change the expectations only with a
+  // deliberate, documented hash migration.
+  EXPECT_EQ(five_tuple_hash(1, 2, 3, 4), 0xa0a541d44f4d7a69ull);
+  EXPECT_EQ(ecmp_path_index(NodeId(0), NodeId(12), 0, 80, 4), 1u);
+  EXPECT_EQ(ecmp_path_index(NodeId(0), NodeId(12), 1, 80, 4), 0u);
+  EXPECT_EQ(ecmp_path_index(NodeId(3), NodeId(9), 7, 80, 4), 0u);
+  EXPECT_EQ(ecmp_path_index(NodeId(3), NodeId(9), 7, 80, 2), 0u);
+  // The historical packet-substrate default tuple (flow id as source port,
+  // destination port 80) stays on its historical paths.
+  EXPECT_EQ(ecmp_path_index(NodeId(1), NodeId(13), 1, 80, 4), 0u);
+}
+
 }  // namespace
 }  // namespace dard

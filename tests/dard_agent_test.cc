@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "dard/dard_agent.h"
+#include "flowsim/simulator.h"
 #include "topology/builders.h"
 
 namespace dard::core {

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "dard/dard_agent.h"
+#include "flowsim/simulator.h"
 #include "topology/builders.h"
 
 namespace dard::core {

@@ -5,6 +5,7 @@
 
 #include "baselines/ecmp.h"
 #include "dard/dard_agent.h"
+#include "flowsim/simulator.h"
 #include "topology/builders.h"
 
 namespace dard::flowsim {

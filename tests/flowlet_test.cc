@@ -27,7 +27,7 @@ TEST(Flowlet, BackToBackPacketsStayOnOnePath) {
   PacketNetwork net(t, events);
   TexcpRouter router(t, 0.010, 31, /*flowlet_gap=*/0.5);
   router.attach(net, events);
-  router.on_flow_started(FlowId(0), t.hosts().front(), t.hosts().back());
+  router.on_flow_started(FlowId(0), t.hosts().front(), t.hosts().back(), 0, 0);
 
   // All samples at the same instant (no idle gap) must return one route.
   const auto* first = &router.route_for(FlowId(0), 0);
@@ -42,7 +42,7 @@ TEST(Flowlet, IdleGapOpensNewFlowlet) {
   PacketNetwork net(t, events);
   TexcpRouter router(t, 0.010, 31, /*flowlet_gap=*/0.05);
   router.attach(net, events);
-  router.on_flow_started(FlowId(0), t.hosts().front(), t.hosts().back());
+  router.on_flow_started(FlowId(0), t.hosts().front(), t.hosts().back(), 0, 0);
 
   (void)router.route_for(FlowId(0), 0);
   events.schedule(1.0, [] {});  // idle for 1 s >> gap

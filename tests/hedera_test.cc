@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/hedera.h"
+#include "flowsim/simulator.h"
 #include "topology/builders.h"
 
 namespace dard::baselines {

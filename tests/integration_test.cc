@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.h"
+#include "flowsim/simulator.h"
 #include "topology/builders.h"
 
 namespace dard::harness {

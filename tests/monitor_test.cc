@@ -4,6 +4,7 @@
 #include "dard/monitor.h"
 #include "common/rng.h"
 #include "fabric/wire.h"
+#include "flowsim/simulator.h"
 #include "topology/builders.h"
 
 namespace dard::core {

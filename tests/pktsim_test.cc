@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "baselines/ecmp.h"
+#include "common/hash.h"
+#include "dard/dard_agent.h"
+#include "pktsim/agent_router.h"
 #include "pktsim/session.h"
 #include "topology/builders.h"
 
@@ -95,7 +99,8 @@ TEST(PacketNetworkTest, UtilizationCounters) {
 
 TEST(TcpTest, SingleFlowCompletesNearLinkRate) {
   const Topology t = build_fat_tree(testbed_params());
-  auto router = std::make_unique<FixedPathRouter>(t);
+  baselines::EcmpAgent ecmp;
+  auto router = std::make_unique<AgentRouter>(t, ecmp);
   // Queues larger than the worst-case window: no slow-start overshoot loss.
   PktSession session(t, std::move(router), {}, 128 * 1000);
   const FlowId id = session.add_flow(
@@ -111,7 +116,8 @@ TEST(TcpTest, SingleFlowCompletesNearLinkRate) {
 
 TEST(TcpTest, UniquePacketsMatchFileSize) {
   const Topology t = build_fat_tree(testbed_params());
-  PktSession session(t, std::make_unique<FixedPathRouter>(t));
+  baselines::EcmpAgent ecmp;
+  PktSession session(t, std::make_unique<AgentRouter>(t, ecmp));
   const Bytes size = 1 * kMiB;
   const FlowId id =
       session.add_flow({t.hosts().front(), t.hosts().back(), size, 0.0});
@@ -121,7 +127,8 @@ TEST(TcpTest, UniquePacketsMatchFileSize) {
 
 TEST(TcpTest, TwoFlowsShareFairly) {
   const Topology t = build_fat_tree(testbed_params());
-  auto router = std::make_unique<FixedPathRouter>(t);
+  baselines::EcmpAgent ecmp;
+  auto router = std::make_unique<AgentRouter>(t, ecmp);
   // Pin both flows through the same core by construction: same ToR pair and
   // the hash may differ, so check fairness only loosely via completion.
   PktSession session(t, std::move(router));
@@ -139,7 +146,8 @@ TEST(TcpTest, RecoversFromHeavyCongestion) {
   // 4 flows into one receiver: incast-like pressure; every flow must still
   // complete, with some loss handled by fast retransmit / RTO.
   const Topology t = build_fat_tree(testbed_params());
-  PktSession session(t, std::make_unique<FixedPathRouter>(t));
+  baselines::EcmpAgent ecmp;
+  PktSession session(t, std::make_unique<AgentRouter>(t, ecmp));
   std::vector<FlowId> ids;
   for (int i = 0; i < 4; ++i)
     ids.push_back(session.add_flow(
@@ -149,21 +157,53 @@ TEST(TcpTest, RecoversFromHeavyCongestion) {
   for (const FlowId id : ids) EXPECT_TRUE(session.result(id).done());
 }
 
-TEST(AdaptiveRouterTest, MovesCollidingFlows) {
+TEST(AgentRouterTest, DardDaemonsMoveCollidingFlows) {
   const Topology t = build_fat_tree(testbed_params());
-  auto router = std::make_unique<AdaptiveFlowRouter>(
-      t, /*interval=*/0.2, /*jitter=*/0.2, /*delta=*/1 * kMbps);
+  core::DardConfig cfg;
+  cfg.query_interval = 0.1;
+  cfg.schedule_base = 0.2;
+  cfg.schedule_jitter = 0.2;
+  cfg.delta = 1 * kMbps;
+  core::DardAgent agent(cfg);
+  auto router =
+      std::make_unique<AgentRouter>(t, agent, /*elephant_threshold=*/0.1);
   auto* raw = router.get();
   PktSession session(t, std::move(router));
-  // Large enough transfers that the adaptive rounds kick in.
+  // Large enough transfers that the daemons' rounds kick in.
   session.add_flow({t.hosts()[0], t.hosts()[12], 4 * kMiB, 0.0});
   session.add_flow({t.hosts()[1], t.hosts()[13], 4 * kMiB, 0.0});
   session.add_flow({t.hosts()[2], t.hosts()[14], 4 * kMiB, 0.0});
   session.add_flow({t.hosts()[3], t.hosts()[15], 4 * kMiB, 0.0});
   ASSERT_TRUE(session.run(300.0));
-  // With 4 flows over 4 cores the adaptive router converges to (near-)
+  // With 4 flows over 4 cores the daemon stack converges to (near-)
   // disjoint paths; exact move count depends on initial hashing.
   EXPECT_LE(raw->total_moves(), 16u);
+  EXPECT_EQ(raw->total_moves(), agent.total_moves())
+      << "adapter and daemons must agree on applied moves";
+}
+
+TEST(AgentRouterTest, EcmpPathMatchesSharedHelper) {
+  // The packet substrate's ECMP choice must come from the one shared
+  // five-tuple helper: same flow, same path index on every substrate.
+  const Topology t = build_fat_tree(testbed_params());
+  baselines::EcmpAgent ecmp;
+  auto router = std::make_unique<AgentRouter>(t, ecmp);
+  auto* raw = router.get();
+  PktSession session(t, std::move(router));
+  const NodeId src = t.hosts()[0], dst = t.hosts()[12];
+  const FlowId id = session.add_flow({src, dst, 64 * 1024, 0.0});
+  ASSERT_TRUE(session.run(60.0));
+  topo::PathRepository repo(t);
+  const auto& paths = repo.tor_paths(t.tor_of_host(src), t.tor_of_host(dst));
+  // add_flow's default five tuple is (flow id, 80).
+  const PathIndex expected = ecmp_path_index(
+      src, dst, static_cast<std::uint16_t>(id.value()), 80, paths.size());
+  EXPECT_EQ(raw->path_switches(id), 0u);
+  const auto expected_route = topo::host_path(t, src, dst,
+                                              paths[expected]).links;
+  raw->on_flow_started(FlowId(99), src, dst,
+                       static_cast<std::uint16_t>(id.value()), 80);
+  EXPECT_EQ(raw->route_for(FlowId(99), 0), expected_route);
 }
 
 TEST(TexcpRouterTest, ScattersPacketsAcrossPaths) {
@@ -175,7 +215,7 @@ TEST(TexcpRouterTest, ScattersPacketsAcrossPaths) {
   ASSERT_TRUE(session.run(120.0));
 
   // Count distinct routes used by sampling route_for repeatedly.
-  raw->on_flow_started(FlowId(99), t.hosts()[0], t.hosts()[12]);
+  raw->on_flow_started(FlowId(99), t.hosts()[0], t.hosts()[12], 0, 0);
   std::set<const std::vector<LinkId>*> distinct;
   for (int i = 0; i < 64; ++i) distinct.insert(&raw->route_for(FlowId(99), 0));
   EXPECT_GT(distinct.size(), 1u) << "TeXCP must use multiple paths";
@@ -201,8 +241,12 @@ TEST(TexcpVsDard, TexcpReordersMore) {
     return total_rate / static_cast<double>(ids.size());
   };
 
-  const double dard_rate =
-      run_with(std::make_unique<AdaptiveFlowRouter>(t, 0.5, 0.5));
+  core::DardConfig cfg;
+  cfg.schedule_base = 0.5;
+  cfg.schedule_jitter = 0.5;
+  core::DardAgent dard_agent(cfg);
+  const double dard_rate = run_with(
+      std::make_unique<AgentRouter>(t, dard_agent, /*elephant_threshold=*/0.25));
   const double texcp_rate = run_with(std::make_unique<TexcpRouter>(t));
   EXPECT_GE(texcp_rate, dard_rate);
   EXPECT_GT(texcp_rate, 0.0) << "per-packet scattering must reorder";

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "addressing/tunnel.h"
+#include "dard/dard_agent.h"
+#include "pktsim/agent_router.h"
 #include "pktsim/session.h"
 #include "topology/builders.h"
 
@@ -69,8 +71,12 @@ TEST(TunneledRouting, PacketsFlowThroughInstalledTables) {
                                            .link_capacity = 100 * kMbps,
                                            .link_delay = 0.0001});
   const AddressingPlan plan(t);
-  auto router = std::make_unique<pktsim::TunneledAdaptiveRouter>(
-      t, plan, /*interval=*/0.5, /*jitter=*/0.5, /*delta=*/1 * kMbps);
+  core::DardConfig cfg;
+  cfg.schedule_base = 0.5;
+  cfg.schedule_jitter = 0.5;
+  cfg.delta = 1 * kMbps;
+  core::DardAgent agent(cfg);
+  auto router = std::make_unique<pktsim::TunneledAgentRouter>(t, plan, agent);
   auto* raw = router.get();
   pktsim::PktSession session(t, std::move(router));
 
@@ -82,7 +88,8 @@ TEST(TunneledRouting, PacketsFlowThroughInstalledTables) {
 
   // The router reports the encap header currently in use; tracing it must
   // reproduce a valid host-to-host route.
-  raw->on_flow_started(FlowId(77), t.hosts().front(), t.hosts().back());
+  raw->on_flow_started(FlowId(77), t.hosts().front(), t.hosts().back(),
+                       0, 0);
   const EncapHeader header = raw->header_for(FlowId(77));
   const topo::Path p = tunnel_route(plan, header);
   EXPECT_EQ(p.nodes.front(), t.hosts().front());
@@ -104,10 +111,11 @@ TEST(TunneledRouting, EncapOverheadSlowsTransferSlightly) {
     return session.result(id).transfer_time();
   };
 
+  core::DardAgent plain_agent, tunneled_agent;
   const double plain =
-      run_one(std::make_unique<pktsim::AdaptiveFlowRouter>(t, 5.0, 5.0));
+      run_one(std::make_unique<pktsim::AgentRouter>(t, plain_agent));
   const double tunneled = run_one(
-      std::make_unique<pktsim::TunneledAdaptiveRouter>(t, plan, 5.0, 5.0));
+      std::make_unique<pktsim::TunneledAgentRouter>(t, plan, tunneled_agent));
   EXPECT_GT(tunneled, plain);  // 20 B per 1500 B packet
   EXPECT_LT(tunneled, plain * 1.05);
 }
