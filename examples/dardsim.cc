@@ -4,7 +4,9 @@
 // stream a structured JSONL event trace, a metrics CSV and link-utilization
 // / aggregate time series for offline plotting (see DESIGN.md
 // "Observability").
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -24,6 +26,42 @@ constexpr const char* kTopos = "fattree, clos, threetier";
 constexpr const char* kPatterns = "random, staggered, stride";
 constexpr const char* kSchedulers = "ecmp, pvlb, dard, hedera, texcp";
 constexpr const char* kSubstrates = "fluid, packet";
+constexpr const char* kFaultPresets =
+    "link-flap, switch-outage, lossy-control, chaos";
+
+// Numeric flag parsing in the valid-choice error style: the whole value
+// must parse (no trailing garbage, no empty string) and land in range, or
+// the caller prints what would have been accepted and exits. atoi/atof
+// silently turning "abc" into 0 is exactly the bug class these replace.
+bool parse_double(const char* v, double* out) {
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_u64(const char* v, std::uint64_t* out) {
+  if (v == nullptr || *v == '\0' || *v == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_long(const char* v, long* out) {
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
@@ -57,6 +95,29 @@ void print_usage(std::FILE* out) {
                "                       0 = all cores; results are identical "
                "for any J)\n"
                "\n"
+               "fault injection options:\n"
+               "  --faults=SPEC        inject a fault plan: a preset (%s)\n"
+               "                       or a path to a JSON plan file; adds "
+               "recovery metrics\n"
+               "                       to the output (not with texcp)\n"
+               "  --fault-seed=N       seed for fault-model randomness "
+               "(query loss draws;\n"
+               "                       default 1234, independent of --seed)\n"
+               "  --query-loss=P       drop monitor query exchanges with "
+               "probability P in [0,1]\n"
+               "                       for the whole run (a shorthand "
+               "control-plane-only plan)\n"
+               "  --query-interval=S   DARD monitor refresh period in "
+               "seconds (default:\n"
+               "                       1 on fluid, 0.1 on packet; tighten "
+               "so daemons notice\n"
+               "                       a fault well before it repairs)\n"
+               "  --schedule-interval=S  DARD scheduling round: base and "
+               "jitter both S,\n"
+               "                       i.e. a round every S + U[0,S] "
+               "seconds (default:\n"
+               "                       5 on fluid, 0.25 on packet)\n"
+               "\n"
                "output options:\n"
                "  --csv                print the summary as metric,value CSV\n"
                "  --trace=FILE         write a JSONL event trace (flow "
@@ -73,7 +134,7 @@ void print_usage(std::FILE* out) {
                "0.5; used by --samples\n"
                "                       and --agg-samples)\n"
                "  --help               show this message\n",
-               kTopos, kPatterns, kSchedulers, kSubstrates);
+               kTopos, kPatterns, kSchedulers, kSubstrates, kFaultPresets);
 }
 
 struct Options {
@@ -88,6 +149,13 @@ struct Options {
   std::uint64_t seed = 1;
   unsigned replicas = 1;
   unsigned jobs = 1;
+  std::string faults;  // preset name or JSON plan path; empty = no faults
+  std::uint64_t fault_seed = 1234;
+  double query_loss = 0.0;
+  // DARD control-loop overrides; <= 0 keeps the substrate default. Fault
+  // runs tighten these so recovery happens on a sub-second clock.
+  double query_interval = -1.0;
+  double schedule_interval = -1.0;
   bool csv = false;
   std::string trace_path;
   std::string metrics_path;
@@ -106,10 +174,16 @@ bool parse(int argc, char** argv, Options* opt) {
                  ? arg.c_str() + std::strlen(prefix)
                  : nullptr;
     };
+    long n = 0;
     if (const char* v = value("--topo=")) {
       opt->topo = v;
     } else if (const char* v = value("--size=")) {
-      opt->size = std::atoi(v);
+      if (!parse_long(v, &n) || n < 2) {
+        std::fprintf(stderr,
+                     "invalid --size: %s (valid: an integer >= 2)\n", v);
+        return false;
+      }
+      opt->size = static_cast<int>(n);
     } else if (const char* v = value("--pattern=")) {
       opt->pattern = v;
     } else if (const char* v = value("--scheduler=")) {
@@ -117,17 +191,78 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if (const char* v = value("--substrate=")) {
       opt->substrate = v;
     } else if (const char* v = value("--flow-mb=")) {
-      opt->flow_mb = std::atof(v);
+      if (!parse_double(v, &opt->flow_mb) || opt->flow_mb <= 0) {
+        std::fprintf(stderr,
+                     "invalid --flow-mb: %s (valid: a number > 0)\n", v);
+        return false;
+      }
     } else if (const char* v = value("--rate=")) {
-      opt->rate = std::atof(v);
+      if (!parse_double(v, &opt->rate) || opt->rate <= 0) {
+        std::fprintf(stderr, "invalid --rate: %s (valid: a number > 0)\n", v);
+        return false;
+      }
     } else if (const char* v = value("--duration=")) {
-      opt->duration = std::atof(v);
+      if (!parse_double(v, &opt->duration) || opt->duration <= 0) {
+        std::fprintf(stderr,
+                     "invalid --duration: %s (valid: a number > 0)\n", v);
+        return false;
+      }
     } else if (const char* v = value("--seed=")) {
-      opt->seed = static_cast<std::uint64_t>(std::atoll(v));
+      if (!parse_u64(v, &opt->seed)) {
+        std::fprintf(stderr,
+                     "invalid --seed: %s (valid: a non-negative integer)\n",
+                     v);
+        return false;
+      }
     } else if (const char* v = value("--replicas=")) {
-      opt->replicas = static_cast<unsigned>(std::atoi(v));
+      if (!parse_long(v, &n) || n < 1) {
+        std::fprintf(stderr,
+                     "invalid --replicas: %s (valid: an integer >= 1)\n", v);
+        return false;
+      }
+      opt->replicas = static_cast<unsigned>(n);
     } else if (const char* v = value("--jobs=")) {
-      opt->jobs = static_cast<unsigned>(std::atoi(v));
+      if (!parse_long(v, &n) || n < 0) {
+        std::fprintf(stderr,
+                     "invalid --jobs: %s (valid: an integer >= 0, 0 = all "
+                     "cores)\n",
+                     v);
+        return false;
+      }
+      opt->jobs = static_cast<unsigned>(n);
+    } else if (const char* v = value("--faults=")) {
+      opt->faults = v;
+    } else if (const char* v = value("--fault-seed=")) {
+      if (!parse_u64(v, &opt->fault_seed)) {
+        std::fprintf(
+            stderr,
+            "invalid --fault-seed: %s (valid: a non-negative integer)\n", v);
+        return false;
+      }
+    } else if (const char* v = value("--query-interval=")) {
+      if (!parse_double(v, &opt->query_interval) ||
+          opt->query_interval <= 0) {
+        std::fprintf(stderr,
+                     "invalid --query-interval: %s (valid: a number > 0)\n",
+                     v);
+        return false;
+      }
+    } else if (const char* v = value("--schedule-interval=")) {
+      if (!parse_double(v, &opt->schedule_interval) ||
+          opt->schedule_interval <= 0) {
+        std::fprintf(
+            stderr, "invalid --schedule-interval: %s (valid: a number > 0)\n",
+            v);
+        return false;
+      }
+    } else if (const char* v = value("--query-loss=")) {
+      if (!parse_double(v, &opt->query_loss) || opt->query_loss < 0 ||
+          opt->query_loss > 1) {
+        std::fprintf(
+            stderr,
+            "invalid --query-loss: %s (valid: a probability in [0, 1])\n", v);
+        return false;
+      }
     } else if (const char* v = value("--trace=")) {
       opt->trace_path = v;
     } else if (const char* v = value("--metrics=")) {
@@ -137,7 +272,12 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if (const char* v = value("--agg-samples=")) {
       opt->agg_samples_path = v;
     } else if (const char* v = value("--sample-period=")) {
-      opt->sample_period = std::atof(v);
+      if (!parse_double(v, &opt->sample_period) || opt->sample_period <= 0) {
+        std::fprintf(stderr,
+                     "invalid --sample-period: %s (valid: a number > 0)\n",
+                     v);
+        return false;
+      }
     } else if (arg == "--csv") {
       opt->csv = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -226,18 +366,39 @@ int main(int argc, char** argv) {
                  "substrate (add --substrate=packet)\n");
     return 2;
   }
-  if (opt.flow_mb <= 0) {
-    std::fprintf(stderr, "--flow-mb must be positive\n");
-    return 2;
+  // Explicit control-loop overrides beat the substrate defaults above.
+  if (opt.query_interval > 0) cfg.dard.query_interval = opt.query_interval;
+  if (opt.schedule_interval > 0) {
+    cfg.dard.schedule_base = opt.schedule_interval;
+    cfg.dard.schedule_jitter = opt.schedule_interval;
   }
   cfg.workload.flow_size = static_cast<Bytes>(opt.flow_mb * kMiB);
   cfg.workload.mean_interarrival = 1.0 / opt.rate;
   cfg.workload.duration = opt.duration;
   cfg.workload.seed = opt.seed;
 
-  if (opt.replicas == 0) {
-    std::fprintf(stderr, "--replicas must be positive\n");
-    return 2;
+  if (!opt.faults.empty() || opt.query_loss > 0) {
+    if (cfg.scheduler == harness::SchedulerKind::Texcp) {
+      std::fprintf(stderr,
+                   "texcp has no fault-injection adapter; --faults and "
+                   "--query-loss need an agent scheduler (%s)\n",
+                   "ecmp, pvlb, dard, hedera");
+      return 2;
+    }
+    if (!opt.faults.empty()) {
+      std::string err;
+      auto plan = faults::FaultPlan::load(opt.faults, &err);
+      if (!plan) {
+        std::fprintf(stderr, "invalid --faults: %s\n", err.c_str());
+        return 2;
+      }
+      cfg.faults.plan = std::move(*plan);
+    }
+    // --query-loss: a control-plane-only degradation spanning the whole run.
+    if (opt.query_loss > 0)
+      cfg.faults.plan.add_control_window(
+          faults::ControlWindow{0.0, 1e18, opt.query_loss, 0.0, false});
+    cfg.faults.seed = opt.fault_seed;
   }
   if (opt.replicas > 1) {
     // Replica sweep: same experiment over workload seeds N..N+K-1, run on
@@ -307,13 +468,8 @@ int main(int argc, char** argv) {
   }
   obs::MetricsRegistry metrics;
   if (!opt.metrics_path.empty()) cfg.telemetry.metrics = &metrics;
-  if (!opt.samples_path.empty() || !opt.agg_samples_path.empty()) {
-    if (opt.sample_period <= 0) {
-      std::fprintf(stderr, "--sample-period must be positive\n");
-      return 2;
-    }
+  if (!opt.samples_path.empty() || !opt.agg_samples_path.empty())
     cfg.telemetry.sample_period = opt.sample_period;
-  }
 
   const auto result = harness::run_experiment(network, cfg);
 
@@ -378,6 +534,26 @@ int main(int argc, char** argv) {
                       ? 0.0
                       : result.retransmission_rates.mean());
     }
+    // Recovery rows appear only under an active plan, so fault-free CSV
+    // output stays byte-identical to the pre-fault-subsystem harness.
+    if (cfg.faults.active()) {
+      std::printf("faults_injected,%llu\n",
+                  static_cast<unsigned long long>(result.faults_injected));
+      std::printf("queries_attempted,%llu\n",
+                  static_cast<unsigned long long>(
+                      result.recovery.queries_attempted));
+      std::printf(
+          "queries_lost,%llu\n",
+          static_cast<unsigned long long>(result.recovery.queries_lost));
+      std::printf("goodput_baseline_bps,%.0f\n",
+                  result.recovery.baseline_goodput);
+      std::printf("goodput_dip_bps,%.0f\n", result.recovery.dip_goodput);
+      std::printf("goodput_dip_frac,%.4f\n", result.recovery.dip_fraction);
+      std::printf("time_to_recover_s,%.4f\n",
+                  result.recovery.time_to_recover);
+      std::printf("starvation_s,%.4f\n",
+                  result.recovery.starvation_seconds);
+    }
   } else {
     std::printf("%s on %s (%zu hosts, %s substrate), %s pattern, "
                 "%.2f flows/s/host for %.0fs\n",
@@ -407,6 +583,31 @@ int main(int argc, char** argv) {
                   result.retransmission_rates.empty()
                       ? 0.0
                       : result.retransmission_rates.mean());
+    if (cfg.faults.active()) {
+      std::printf("  faults injected:    %llu transitions\n",
+                  static_cast<unsigned long long>(result.faults_injected));
+      if (result.recovery.queries_attempted > 0)
+        std::printf("  control loss:       %llu of %llu query exchanges\n",
+                    static_cast<unsigned long long>(
+                        result.recovery.queries_lost),
+                    static_cast<unsigned long long>(
+                        result.recovery.queries_attempted));
+      if (result.recovery.baseline_goodput > 0) {
+        std::printf("  goodput dip:        %.2f -> %.2f Gbps (%.0f%% deep)\n",
+                    result.recovery.baseline_goodput / 1e9,
+                    result.recovery.dip_goodput / 1e9,
+                    result.recovery.dip_fraction * 100.0);
+        if (result.recovery.time_to_recover >= 0)
+          std::printf("  time to recover:    %.2f s (to %.0f%% of baseline)\n",
+                      result.recovery.time_to_recover,
+                      cfg.faults.recovery_fraction * 100.0);
+        else
+          std::printf("  time to recover:    never (within this run)\n");
+        std::printf("  starvation:         %.2f s under %.0f%% of baseline\n",
+                    result.recovery.starvation_seconds,
+                    cfg.faults.starvation_fraction * 100.0);
+      }
+    }
     if (!opt.metrics_path.empty())
       std::printf("  metrics:            %s\n", metrics.summary().c_str());
   }

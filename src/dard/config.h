@@ -28,6 +28,36 @@ struct DardConfig {
   Bps delta = 10 * kMbps;
 
   std::uint64_t seed = 42;
+
+  // --- Recovery hardening (fault experiments; inert on a healthy network,
+  // see DESIGN.md §11). ---
+
+  // Query timeout/retry policy: a monitor's per-switch query exchange is
+  // retried up to query_max_retries times when the exchange is lost or the
+  // reply arrives later than query_timeout; each retry is a fresh accounted
+  // message. Every round is therefore bounded by
+  // (1 + query_max_retries) * |query set| exchanges — no round ever blocks,
+  // even under 100% loss.
+  std::uint32_t query_max_retries = 3;
+  Seconds query_timeout = 0.05;
+  // Modeled extra age accumulated per retry (the backoff spent waiting for
+  // the lost reply); only shifts freshness stamps, never the virtual clock.
+  Seconds retry_backoff = 0.01;
+
+  // A switch whose queries all fail leaves its links on last-known-good
+  // state, age-stamped. Links staler than this cap are distrusted and the
+  // paths crossing them sit out scheduling until fresh state arrives.
+  Seconds state_staleness_cap = 5.0;
+
+  // Paths whose assembled BoNF collapses to (or below) this floor carry a
+  // failed link (a failed link's effective capacity is 1 bps) and are
+  // blacklisted: never a move target, and their flows are evacuated first.
+  // Must sit far below any live BoNF; 1 kbps is 6 orders under a Gbps link.
+  Bps blacklist_bonf_floor = 1e3;
+  // A repaired path (BoNF back above the floor) is on probation for this
+  // many consecutive healthy refreshes before it may receive flows again —
+  // flapping links do not get their flows back on the first good reading.
+  std::uint32_t probation_rounds = 2;
 };
 
 }  // namespace dard::core

@@ -11,6 +11,9 @@ void DardAgent::start(DataPlane& net) {
   rng_ = std::make_unique<Rng>(cfg_.seed);
   service_ = std::make_unique<fabric::StateQueryService>(net.link_state(),
                                                          &net.accountant());
+  // The fault subsystem (if any) installed its degradation model on the
+  // data plane before agents start; route monitor queries through it.
+  service_->set_model(net.control_model());
   daemons_.clear();
   daemons_.resize(net.topology().node_count());
 
@@ -21,6 +24,10 @@ void DardAgent::start(DataPlane& net) {
     counters_.moves_rejected = &m->counter("dard.moves_rejected");
     counters_.delta_rejections = &m->counter("dard.delta_rejections");
     counters_.monitor_queries = &m->counter("dard.monitor_queries");
+    counters_.query_timeouts = &m->counter("dard.query_timeouts");
+    counters_.query_retries = &m->counter("dard.query_retries");
+    counters_.fallback_rounds = &m->counter("dard.fallback_rounds");
+    counters_.blacklisted_paths = &m->gauge("dard.blacklisted_paths");
     net.accountant().set_message_counter(&m->counter("dard.control_msgs"));
   }
 }
@@ -66,6 +73,34 @@ std::size_t DardAgent::live_monitor_count() const {
   std::size_t n = 0;
   for (const auto& d : daemons_)
     if (d) n += d->monitor_count();
+  return n;
+}
+
+std::size_t DardAgent::total_query_timeouts() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->query_timeouts();
+  return n;
+}
+
+std::size_t DardAgent::total_query_retries() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->query_retries();
+  return n;
+}
+
+std::size_t DardAgent::total_fallback_rounds() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->fallback_rounds();
+  return n;
+}
+
+std::size_t DardAgent::blacklisted_paths() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->blacklisted_paths();
   return n;
 }
 

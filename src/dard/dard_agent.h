@@ -34,6 +34,12 @@ class DardAgent : public fabric::ControlAgent {
   [[nodiscard]] std::size_t total_moves() const;
   [[nodiscard]] std::size_t live_monitor_count() const;
 
+  // Recovery-hardening aggregates across all daemons (DESIGN.md §11).
+  [[nodiscard]] std::size_t total_query_timeouts() const;
+  [[nodiscard]] std::size_t total_query_retries() const;
+  [[nodiscard]] std::size_t total_fallback_rounds() const;
+  [[nodiscard]] std::size_t blacklisted_paths() const;
+
  private:
   DardHostDaemon& daemon_for(fabric::DataPlane& net, NodeId host);
 

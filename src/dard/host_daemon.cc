@@ -16,9 +16,29 @@ DardHostDaemon::DardHostDaemon(fabric::DataPlane& net,
       rng_(rng),
       counters_(counters) {}
 
-void DardHostDaemon::account_refresh(const PathMonitor& monitor) const {
-  if (counters_ != nullptr && counters_->monitor_queries != nullptr)
-    counters_->monitor_queries->add(monitor.queried_switches().size());
+void DardHostDaemon::account_refresh(const RefreshStats& stats) {
+  query_timeouts_ += stats.timeouts;
+  query_retries_ += stats.retries;
+  if (counters_ == nullptr) return;
+  if (counters_->monitor_queries != nullptr)
+    counters_->monitor_queries->add(stats.queries);
+  if (counters_->query_timeouts != nullptr && stats.timeouts > 0)
+    counters_->query_timeouts->add(stats.timeouts);
+  if (counters_->query_retries != nullptr && stats.retries > 0)
+    counters_->query_retries->add(stats.retries);
+  // The gauge tracks the fleet-wide live blacklist; every daemon shares it,
+  // so fold in this refresh's net change.
+  if (counters_->blacklisted_paths != nullptr &&
+      (stats.newly_blacklisted > 0 || stats.cleared > 0)) {
+    obs::Gauge& g = *counters_->blacklisted_paths;
+    g.set(g.value + stats.newly_blacklisted - stats.cleared);
+  }
+}
+
+std::size_t DardHostDaemon::blacklisted_paths() const {
+  std::size_t n = 0;
+  for (const auto& [dst_tor, monitor] : monitors_) n += monitor.blacklisted_count();
+  return n;
 }
 
 void DardHostDaemon::on_elephant(const FlowView& flow) {
@@ -33,8 +53,7 @@ void DardHostDaemon::on_elephant(const FlowView& flow) {
              .first;
     // A fresh monitor assembles path state immediately so the next round
     // has something to act on.
-    it->second.refresh(net_->now(), *service_);
-    account_refresh(it->second);
+    account_refresh(it->second.refresh(net_->now(), *service_, *cfg_));
   }
   it->second.add_flow(flow.id, flow.path_index);
   tracked_.emplace(flow.id, flow.dst_tor);
@@ -50,7 +69,15 @@ void DardHostDaemon::on_finished(const FlowView& flow) {
   DCN_CHECK(it != monitors_.end());
   it->second.remove_flow(flow.id, flow.path_index);
   // Release the monitor once its last elephant drains (paper Section 2.4.1).
-  if (!it->second.has_flows()) monitors_.erase(it);
+  if (!it->second.has_flows()) {
+    // Its blacklisted paths leave with it — keep the shared gauge honest.
+    if (counters_ != nullptr && counters_->blacklisted_paths != nullptr &&
+        it->second.blacklisted_count() > 0) {
+      obs::Gauge& g = *counters_->blacklisted_paths;
+      g.set(g.value - static_cast<double>(it->second.blacklisted_count()));
+    }
+    monitors_.erase(it);
+  }
   tracked_.erase(tracked);
 }
 
@@ -74,10 +101,8 @@ void DardHostDaemon::ensure_round_scheduled() {
 void DardHostDaemon::query_tick() {
   query_ticking_ = false;
   if (monitors_.empty()) return;
-  for (auto& [dst_tor, monitor] : monitors_) {
-    monitor.refresh(net_->now(), *service_);
-    account_refresh(monitor);
-  }
+  for (auto& [dst_tor, monitor] : monitors_)
+    account_refresh(monitor.refresh(net_->now(), *service_, *cfg_));
   ensure_query_ticking();
 }
 
@@ -101,10 +126,17 @@ void DardHostDaemon::run_round() {
   std::optional<ProposedMove> best;
   std::size_t proposed = 0;
   for (auto& [dst_tor, monitor] : monitors_) {
+    // The evaluation is always requested: beyond telemetry it reports when
+    // the pair degraded to its static-hash fallback. Filling it draws
+    // nothing from the RNG and never changes the decision.
     RoundEvaluation eval;
-    const auto move = monitor.propose(
-        cfg_->delta, rng_, observer != nullptr || count ? &eval : nullptr);
+    const auto move = monitor.propose(cfg_->delta, rng_, &eval);
     if (observer != nullptr) evals.emplace_back(dst_tor, eval);
+    if (eval.fallback) {
+      ++fallback_rounds_;
+      if (counters_ != nullptr && counters_->fallback_rounds != nullptr)
+        counters_->fallback_rounds->add();
+    }
     if (count && eval.considered && !eval.passed_delta)
       counters_->delta_rejections->add();
     if (move) ++proposed;

@@ -32,6 +32,12 @@ struct DardCounters {
                                             // best-gain comparison
   obs::Counter* delta_rejections = nullptr; // evaluations failing the δ test
   obs::Counter* monitor_queries = nullptr;  // switch state queries issued
+  obs::Counter* query_timeouts = nullptr;   // lost or late query exchanges
+  obs::Counter* query_retries = nullptr;    // re-attempts after a timeout
+  obs::Counter* fallback_rounds = nullptr;  // rounds degraded to static hash
+                                            // (every path blacklisted)
+  obs::Gauge* blacklisted_paths = nullptr;  // live blacklisted paths, fleet-
+                                            // wide across all monitors
 };
 
 class DardHostDaemon {
@@ -50,14 +56,23 @@ class DardHostDaemon {
   [[nodiscard]] std::size_t total_moves() const { return total_moves_; }
   [[nodiscard]] const PathMonitor* monitor_for(NodeId dst_tor) const;
 
+  // Recovery-hardening telemetry, daemon-lifetime totals.
+  [[nodiscard]] std::size_t query_timeouts() const { return query_timeouts_; }
+  [[nodiscard]] std::size_t query_retries() const { return query_retries_; }
+  [[nodiscard]] std::size_t fallback_rounds() const {
+    return fallback_rounds_;
+  }
+  [[nodiscard]] std::size_t blacklisted_paths() const;
+
  private:
   void ensure_query_ticking();
   void ensure_round_scheduled();
   void query_tick();
   void run_round();
 
-  // Counts one refresh's switch queries and emits nothing when disabled.
-  void account_refresh(const PathMonitor& monitor) const;
+  // Folds one refresh's outcome into counters and daemon totals; emits
+  // nothing when metrics are disabled.
+  void account_refresh(const RefreshStats& stats);
 
   fabric::DataPlane* net_;
   const fabric::StateQueryService* service_;
@@ -72,6 +87,9 @@ class DardHostDaemon {
   bool query_ticking_ = false;
   bool round_scheduled_ = false;
   std::size_t total_moves_ = 0;
+  std::size_t query_timeouts_ = 0;
+  std::size_t query_retries_ = 0;
+  std::size_t fallback_rounds_ = 0;
 };
 
 }  // namespace dard::core

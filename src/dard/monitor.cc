@@ -12,35 +12,94 @@ PathMonitor::PathMonitor(fabric::DataPlane& net, NodeId src_tor,
       dst_tor_(dst_tor),
       paths_(&net.paths().tor_paths(src_tor, dst_tor)),
       pv_(paths_->size()),
-      fv_(paths_->size()) {
+      fv_(paths_->size()),
+      blacklisted_(paths_->size(), 0),
+      probation_(paths_->size(), 0) {
   // Switches whose egress ports cover every switch-switch link of every
-  // monitored path; plus the per-path link lists a refresh assembles from.
+  // monitored path; plus the per-path slot lists a refresh assembles from.
+  // Links shared between paths collapse to one slot so each is queried and
+  // cached once per round.
   std::unordered_set<NodeId> seen;
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_of;
   const topo::Topology& t = net.topology();
-  monitored_links_.reserve(paths_->size());
+  path_slots_.reserve(paths_->size());
   for (const topo::Path& p : *paths_) {
-    auto& links = monitored_links_.emplace_back();
+    auto& slots = path_slots_.emplace_back();
     for (const LinkId l : p.links) {
       if (!t.is_switch_switch(l)) continue;
-      links.push_back(l);
+      const auto [it, inserted] =
+          slot_of.emplace(l.value(), static_cast<std::uint32_t>(slot_links_.size()));
+      if (inserted) slot_links_.push_back(l);
+      slots.push_back(it->second);
       const NodeId sw = t.link(l).src;
       if (seen.insert(sw).second) query_set_.push_back(sw);
     }
   }
   std::sort(query_set_.begin(), query_set_.end());
+
+  slot_owner_.resize(slot_links_.size());
+  for (std::size_t s = 0; s < slot_links_.size(); ++s) {
+    const NodeId sw = t.link(slot_links_[s]).src;
+    const auto it = std::lower_bound(query_set_.begin(), query_set_.end(), sw);
+    slot_owner_[s] = static_cast<std::uint32_t>(it - query_set_.begin());
+  }
+  cache_.resize(slot_links_.size());
+  switch_ok_.resize(query_set_.size());
+  switch_fresh_.resize(query_set_.size());
 }
 
-void PathMonitor::refresh(Seconds now,
-                          const fabric::StateQueryService& service) {
-  // One query/reply exchange per switch in the query set; the assembled
-  // payload is read per pre-resolved path link.
-  for (std::size_t i = 0; i < query_set_.size(); ++i)
-    service.account_query(now);
+RefreshStats PathMonitor::refresh(Seconds now,
+                                  const fabric::StateQueryService& service,
+                                  const DardConfig& cfg) {
+  RefreshStats stats;
 
-  for (std::size_t i = 0; i < monitored_links_.size(); ++i) {
+  // One exchange per switch, retried on loss or a late reply. Every attempt
+  // is bounded, so a round costs at most (1+retries) * |query set| messages
+  // and never blocks — even at 100% loss the switch just stays failed.
+  for (std::size_t i = 0; i < query_set_.size(); ++i) {
+    switch_ok_[i] = 0;
+    for (std::uint32_t attempt = 0; attempt <= cfg.query_max_retries;
+         ++attempt) {
+      ++stats.queries;
+      if (attempt > 0) ++stats.retries;
+      const fabric::QueryAttempt qa = service.attempt_query(now);
+      if (!qa.delivered || qa.reply_delay > cfg.query_timeout) {
+        ++stats.timeouts;
+        continue;
+      }
+      switch_ok_[i] = 1;
+      // The reply reflects switch state one delay ago; waiting out earlier
+      // timeouts ages it further. (Perfect channel: fresh_at == now.)
+      switch_fresh_[i] =
+          now - qa.reply_delay - attempt * cfg.retry_backoff;
+      break;
+    }
+    if (switch_ok_[i] == 0) ++stats.failed_switches;
+  }
+
+  // Pull answered switches' port states into the slot cache; unanswered
+  // switches leave their slots on last-known-good (age-stamped) state.
+  for (std::size_t s = 0; s < slot_links_.size(); ++s) {
+    const std::uint32_t owner = slot_owner_[s];
+    if (switch_ok_[owner] == 0) continue;
+    cache_[s].state = service.link_state(slot_links_[s]);
+    cache_[s].fresh_at = switch_fresh_[owner];
+  }
+
+  // Assemble PV per path from the cache (first strict minimum, path order —
+  // identical arithmetic to querying live). A path whose freshest available
+  // state is older than the staleness cap sits this round out (unassembled)
+  // rather than scheduling on fiction.
+  for (std::size_t i = 0; i < path_slots_.size(); ++i) {
     PathState state;
-    for (const LinkId l : monitored_links_[i]) {
-      const fabric::LinkState ls = service.link_state(l);
+    bool usable = !path_slots_[i].empty();
+    for (const std::uint32_t s : path_slots_[i]) {
+      const CachedLink& c = cache_[s];
+      if (c.fresh_at < 0 || now - c.fresh_at > cfg.state_staleness_cap) {
+        usable = false;
+        break;
+      }
+      const fabric::LinkState& ls = c.state;
       if (!state.assembled || ls.bonf() < state.bonf()) {
         state.bottleneck = ls.link;
         state.bandwidth = ls.bandwidth;
@@ -50,8 +109,44 @@ void PathMonitor::refresh(Seconds now,
     }
     // Intra-ToR "paths" have no switch-switch link; they are never
     // scheduled (path_count == 1) so leave them unassembled.
-    if (state.assembled) pv_[i] = state;
+    if (path_slots_[i].empty()) continue;
+    if (usable) {
+      pv_[i] = state;
+    } else {
+      pv_[i].assembled = false;
+    }
   }
+
+  // Blacklist maintenance: a path reading at (or under) the failure floor
+  // carries a dead link; a blacklisted path must string together
+  // `probation_rounds` healthy readings before it may receive flows again.
+  for (std::size_t i = 0; i < pv_.size(); ++i) {
+    if (path_slots_[i].empty() || !pv_[i].assembled) continue;
+    const bool dead = pv_[i].bonf() <= cfg.blacklist_bonf_floor;
+    if (dead) {
+      probation_[i] = cfg.probation_rounds;
+      if (blacklisted_[i] == 0) {
+        blacklisted_[i] = 1;
+        ++blacklisted_live_;
+        ++stats.newly_blacklisted;
+      }
+    } else if (blacklisted_[i] != 0) {
+      if (probation_[i] > 0) {
+        --probation_[i];
+      } else {
+        blacklisted_[i] = 0;
+        --blacklisted_live_;
+        ++stats.cleared;
+      }
+    }
+  }
+  return stats;
+}
+
+void PathMonitor::refresh(Seconds now,
+                          const fabric::StateQueryService& service) {
+  static const DardConfig kDefault;
+  (void)refresh(now, service, kDefault);
 }
 
 void PathMonitor::add_flow(FlowId flow, PathIndex path) {
@@ -83,10 +178,17 @@ std::optional<ProposedMove> PathMonitor::propose(Bps delta, Rng& rng,
                                                  RoundEvaluation* eval) const {
   if (eval != nullptr) *eval = RoundEvaluation{};
   if (paths_->size() < 2 || tracked_flows_ == 0) return std::nullopt;
+  if (all_paths_blacklisted()) {
+    // Nowhere sane to move: degrade to the static hash placement (ECMP-like)
+    // until at least one path clears probation. No RNG draws — the fallback
+    // leaves the stream exactly where a healthy skip would.
+    if (eval != nullptr) eval->fallback = true;
+    return std::nullopt;
+  }
 
   // from: smallest BoNF among paths this host has elephants on;
-  // to:   largest BoNF over all paths. Ties broken uniformly (reservoir
-  // sampling) to avoid cross-host herding onto one path.
+  // to:   largest BoNF over all non-blacklisted paths. Ties broken uniformly
+  // (reservoir sampling) to avoid cross-host herding onto one path.
   constexpr double kTieEps = 1.0;  // BoNFs within 1 bps are tied
   std::optional<PathIndex> from, to;
   std::uint64_t from_ties = 0, to_ties = 0;
@@ -101,6 +203,9 @@ std::optional<ProposedMove> PathMonitor::propose(Bps delta, Rng& rng,
         from = i;
       }
     }
+    // A blacklisted path is a legal `from` (its flows need evacuating) but
+    // never a `to`.
+    if (blacklisted_[i] != 0) continue;
     if (!to || pv_[i].bonf() > pv_[*to].bonf() + kTieEps) {
       to = i;
       to_ties = 1;

@@ -9,6 +9,13 @@
 // switch-to-switch links appearing on any monitored path — for fat-trees
 // and Clos this reduces to the paper's four groups (source ToR, source-side
 // aggregation switches, cores, destination-side aggregation switches).
+//
+// Fault hardening (DESIGN.md §11): each switch query runs through a
+// timeout + bounded-retry policy; links whose switch never answered keep
+// their last-known-good state, age-stamped and distrusted past a staleness
+// cap. Paths whose BoNF collapses to the failure floor are blacklisted
+// (never a move target, flows evacuated first) and sit on probation for a
+// few healthy refreshes after repair before they may receive flows again.
 #pragma once
 
 #include <optional>
@@ -49,12 +56,24 @@ struct ProposedMove {
 struct RoundEvaluation {
   bool considered = false;  // had >= 2 paths, >= 1 tracked flow, and both
                             // an occupied worst path and a best path
+  bool fallback = false;    // every path blacklisted: the pair degraded to
+                            // ECMP-style static hashing this round
   PathIndex from = 0;       // smallest-BoNF path this host occupies
   PathIndex to = 0;         // largest-BoNF path overall
   double from_bonf = 0;
   double to_bonf = 0;
   double estimated_gain = 0;   // est. BoNF(to with one more flow) - from_bonf
   bool passed_delta = false;   // estimated_gain > δ
+};
+
+// Outcome of one refresh round under the query timeout/retry policy.
+struct RefreshStats {
+  std::uint32_t queries = 0;         // exchanges attempted (all accounted)
+  std::uint32_t timeouts = 0;        // lost exchanges or late replies
+  std::uint32_t retries = 0;         // re-attempts after a timeout
+  std::uint32_t failed_switches = 0; // switches that exhausted every retry
+  std::uint32_t newly_blacklisted = 0;  // paths entering the blacklist
+  std::uint32_t cleared = 0;            // paths leaving it (probation done)
 };
 
 class PathMonitor {
@@ -66,7 +85,15 @@ class PathMonitor {
   [[nodiscard]] std::size_t path_count() const { return paths_->size(); }
 
   // One round of path-state assembling: query every relevant switch through
-  // `service` (control messages are accounted there) and rebuild PV.
+  // `service` (control messages are accounted there) and rebuild PV. Each
+  // switch exchange follows cfg's timeout/retry policy; a switch that
+  // exhausts its retries leaves its links on last-known-good state, and
+  // links staler than cfg.state_staleness_cap make their paths sit this
+  // round out. Also updates the path blacklist from the assembled BoNFs.
+  RefreshStats refresh(Seconds now, const fabric::StateQueryService& service,
+                       const DardConfig& cfg);
+  // Perfect-channel convenience overload (tests, benches): default policy,
+  // identical behavior to the pre-fault-subsystem refresh.
   void refresh(Seconds now, const fabric::StateQueryService& service);
 
   // FV maintenance, driven by the owning host daemon.
@@ -81,6 +108,16 @@ class PathMonitor {
     return pv_;
   }
 
+  [[nodiscard]] bool is_blacklisted(PathIndex path) const {
+    return blacklisted_[path] != 0;
+  }
+  [[nodiscard]] std::size_t blacklisted_count() const {
+    return blacklisted_live_;
+  }
+  [[nodiscard]] bool all_paths_blacklisted() const {
+    return !pv_.empty() && blacklisted_live_ == pv_.size();
+  }
+
   // Paper Algorithm 1 ("selfish flow scheduling"), one round:
   //   from = the active path (FV > 0) with the smallest BoNF,
   //   to   = the path with the largest BoNF,
@@ -88,6 +125,9 @@ class PathMonitor {
   // (The TR's pseudocode garbles which index the FV>0 guard applies to; the
   // "inactive path" discussion in Section 2.5 fixes it: a host can only
   // shift a flow *off* a path it contributes to.)
+  // Blacklisted paths are never selected as `to`; when every path is
+  // blacklisted the pair falls back to its static hash placement (no move,
+  // eval->fallback set).
   // Ties on either side are broken uniformly at random via `rng`:
   // deterministic tie-breaking makes every host dump flows onto the same
   // first-indexed idle path and chase each other indefinitely — the same
@@ -106,12 +146,32 @@ class PathMonitor {
   NodeId dst_tor_;
   const std::vector<topo::Path>* paths_;
   std::vector<NodeId> query_set_;
-  // Pre-resolved switch-switch links per path: the only state a refresh
-  // reads, avoiding per-refresh reply materialization on large topologies.
-  std::vector<std::vector<LinkId>> monitored_links_;
+
+  // The unique switch-switch links any monitored path crosses ("slots"),
+  // each owned by the switch (query_set_ index) that reports it, plus the
+  // per-path slot lists a refresh assembles from. Pre-resolved so a refresh
+  // touches no topology structures.
+  std::vector<LinkId> slot_links_;
+  std::vector<std::uint32_t> slot_owner_;          // slot -> query_set_ index
+  std::vector<std::vector<std::uint32_t>> path_slots_;  // per path
+
+  // Last-known-good per-slot state. fresh_at < 0 means never assembled.
+  struct CachedLink {
+    fabric::LinkState state;
+    Seconds fresh_at = -1;
+  };
+  std::vector<CachedLink> cache_;
+  // Per-refresh scratch (member to avoid re-allocating every round).
+  std::vector<std::uint8_t> switch_ok_;
+  std::vector<Seconds> switch_fresh_;
+
   std::vector<PathState> pv_;
   std::vector<std::vector<FlowId>> fv_;  // this host's elephants per path
   std::size_t tracked_flows_ = 0;
+
+  std::vector<std::uint8_t> blacklisted_;   // per path
+  std::vector<std::uint32_t> probation_;    // healthy refreshes still owed
+  std::size_t blacklisted_live_ = 0;
 };
 
 }  // namespace dard::core

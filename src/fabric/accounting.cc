@@ -10,6 +10,14 @@ namespace dard::fabric {
 void ControlPlaneAccountant::record(Seconds now, Bytes bytes,
                                     ControlCategory category) {
   DCN_CHECK(now >= 0);
+  // Control messages have positive size by construction (wire.h constants);
+  // a zero or wrapped-around byte count here means a caller computed a
+  // message size from corrupted state (e.g. a double-decremented counter
+  // during failure-driven flow moves). Fail loudly instead of folding the
+  // garbage into Figure 15's rate series.
+  DCN_CHECK_MSG(bytes > 0, "control message with non-positive size");
+  DCN_CHECK_MSG(static_cast<std::size_t>(category) < kControlCategories,
+                "control category out of range");
   const auto bucket = static_cast<std::size_t>(now);
   if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0.0);
   buckets_[bucket] += static_cast<double>(bytes);

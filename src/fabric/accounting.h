@@ -25,6 +25,10 @@ inline constexpr std::size_t kControlCategories = 4;
 
 class ControlPlaneAccountant {
  public:
+  // CHECK-fails on non-positive `bytes` or an out-of-range category: query
+  // accounting is derived from live counters, and a corrupted (e.g.
+  // underflowed) counter must abort the run rather than silently skew the
+  // control-overhead series.
   void record(Seconds now, Bytes bytes, ControlCategory category);
 
   // Mirrors every recorded message into a metrics counter (conventionally

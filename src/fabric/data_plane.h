@@ -69,6 +69,22 @@ class DataPlane {
   [[nodiscard]] virtual const LinkStateBoard& link_state() const = 0;
   virtual ControlPlaneAccountant& accountant() = 0;
 
+  // Fails (or repairs) both directions of the cable between `a` and `b`.
+  // Substrate semantics: the fluid simulator collapses the links' effective
+  // capacity (flows pinned across them starve); the packet simulator
+  // additionally drops every packet offered to a failed link. Either way the
+  // LinkStateBoard reflects the failure, so schedulers observe it through
+  // their ordinary query path. This is the substrate-neutral hook the fault
+  // injector drives (see faults/injector.h).
+  virtual void set_cable_failed(NodeId a, NodeId b, bool failed) = 0;
+
+  // Control-plane degradation model for fault experiments; null (the
+  // default) means a perfect query channel. Agents pass this to their
+  // StateQueryService in start().
+  [[nodiscard]] virtual ControlPlaneModel* control_model() const {
+    return nullptr;
+  }
+
   // Whole-flow path change; packets/bytes already in flight stay on the old
   // path, subsequent traffic uses the new one. A no-op when new_path is the
   // flow's current path.

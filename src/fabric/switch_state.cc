@@ -10,11 +10,18 @@ std::vector<LinkState> StateQueryService::query_switch(NodeId sw,
   std::vector<LinkState> states;
   const auto& out = t.out_links(sw);
   states.reserve(out.size());
-  for (const LinkId l : out) {
-    states.push_back(LinkState{l, board_->capacity(l), board_->elephants(l)});
-  }
+  for (const LinkId l : out) states.push_back(link_state(l));
   account_query(now);
   return states;
+}
+
+QueryAttempt StateQueryService::attempt_query(Seconds now) const {
+  if (accountant_ != nullptr)
+    accountant_->record(now, kDardQueryBytes, ControlCategory::DardQuery);
+  if (model_ != nullptr && model_->attempt_lost()) return QueryAttempt{false, 0};
+  if (accountant_ != nullptr)
+    accountant_->record(now, kDardReplyBytes, ControlCategory::DardReply);
+  return QueryAttempt{true, model_ != nullptr ? model_->reply_delay() : 0.0};
 }
 
 void StateQueryService::account_query(Seconds now) const {
@@ -22,6 +29,16 @@ void StateQueryService::account_query(Seconds now) const {
     accountant_->record(now, kDardQueryBytes, ControlCategory::DardQuery);
     accountant_->record(now, kDardReplyBytes, ControlCategory::DardReply);
   }
+}
+
+void ControlPlaneModel::capture_stale(const LinkStateBoard& board) {
+  const std::size_t n = board.topology().link_count();
+  snapshot_.resize(n);
+  for (std::size_t lv = 0; lv < n; ++lv) {
+    const LinkId l{static_cast<LinkId::value_type>(lv)};
+    snapshot_[lv] = {board.capacity(l), board.elephants(l)};
+  }
+  stale_active_ = true;
 }
 
 }  // namespace dard::fabric

@@ -5,7 +5,8 @@
 // of elephant flows currently traversing it. The simulators update the
 // LinkStateBoard as flows start / finish / move; DARD monitors read it only
 // through StateQueryService::query_switch, which models and accounts the
-// control messages involved.
+// control messages involved. An optional ControlPlaneModel degrades the
+// query channel (loss, delay, stale snapshots) for fault experiments.
 #pragma once
 
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/types.h"
 #include "common/units.h"
 #include "fabric/accounting.h"
+#include "fabric/control_model.h"
 #include "topology/topology.h"
 
 namespace dard::fabric {
@@ -24,7 +26,12 @@ class LinkStateBoard {
 
   void add_elephant(LinkId l) { ++elephants_[l.value()]; }
   void remove_elephant(LinkId l) {
-    DCN_CHECK(elephants_[l.value()] > 0);
+    // A zero count here means a double-decrement — typically a flow moved
+    // during failure handling and removed from a path it no longer occupies.
+    // Underflowing the unsigned counter would silently inflate BoNF on this
+    // link for the rest of the run; die loudly instead.
+    DCN_CHECK_MSG(elephants_[l.value()] > 0,
+                  "elephant counter double-decrement");
     --elephants_[l.value()];
   }
 
@@ -64,28 +71,52 @@ struct LinkState {
   }
 };
 
+// Outcome of one modeled host->switch query exchange. With no degradation
+// model installed every attempt is `delivered` with zero delay.
+struct QueryAttempt {
+  bool delivered = true;
+  Seconds reply_delay = 0;
+};
+
 class StateQueryService {
  public:
   StateQueryService(const LinkStateBoard& board,
                     ControlPlaneAccountant* accountant)
       : board_(&board), accountant_(accountant) {}
 
+  // Installs (or removes) the degradation model; null restores the perfect
+  // channel. The model is borrowed and must outlive the service.
+  void set_model(ControlPlaneModel* model) { model_ = model; }
+  [[nodiscard]] ControlPlaneModel* model() const { return model_; }
+
   // State of every egress port of `sw`. Models one host->switch query and
   // one switch->host reply (Fig. 15 accounting); `now` timestamps them.
+  // Serves the frozen snapshot during a stale window.
   [[nodiscard]] std::vector<LinkState> query_switch(NodeId sw, Seconds now) const;
 
   // Hot-path split of query_switch for monitors that pre-resolved which
   // ports they need: account the message exchange once per switch, then
   // read individual port states without materializing whole replies. The
   // payload is identical to what query_switch would have returned.
+  //
+  // attempt_query models one exchange through the degradation model: the
+  // query is always charged; the reply is charged only when delivered.
+  // account_query is the legacy perfect-channel spelling (kept so existing
+  // callers and the no-model fast path stay bit-identical).
+  QueryAttempt attempt_query(Seconds now) const;
   void account_query(Seconds now) const;
   [[nodiscard]] LinkState link_state(LinkId l) const {
+    if (model_ != nullptr && model_->stale_active()) {
+      const auto [bw, flows] = model_->stale_state(l.value());
+      return LinkState{l, bw, flows};
+    }
     return LinkState{l, board_->capacity(l), board_->elephants(l)};
   }
 
  private:
   const LinkStateBoard* board_;
   ControlPlaneAccountant* accountant_;  // may be null (unaccounted queries)
+  ControlPlaneModel* model_ = nullptr;  // may be null (perfect channel)
 };
 
 }  // namespace dard::fabric

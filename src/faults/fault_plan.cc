@@ -1,0 +1,504 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dard::faults {
+
+namespace {
+
+// Minimal JSON reader covering exactly what a fault plan needs: objects,
+// arrays, strings, numbers, booleans. No escapes beyond \" \\ \/ \n \t, no
+// unicode, no null — plans are flat and small, and a real JSON dependency
+// is not worth baking into the image.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Object, Array, String, Number, Bool };
+  Kind kind = Kind::Object;
+  std::map<std::string, std::unique_ptr<JsonValue>> object;
+  std::vector<std::unique_ptr<JsonValue>> array;
+  std::string string;
+  double number = 0;
+  bool boolean = false;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<JsonValue> parse(std::string* error) {
+    auto v = value();
+    skip_ws();
+    if (v != nullptr && pos_ != text_.size()) fail("trailing characters");
+    if (failed_) {
+      if (error != nullptr) *error = error_;
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  void fail(const std::string& why) {
+    if (failed_) return;
+    failed_ = true;
+    std::ostringstream os;
+    os << why << " at offset " << pos_;
+    error_ = os.str();
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0)
+      return number();
+    fail("unexpected character");
+    return nullptr;
+  }
+
+  std::unique_ptr<JsonValue> object() {
+    consume('{');
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::Object;
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      auto key = string_value();
+      if (key == nullptr) return nullptr;
+      if (!consume(':')) {
+        fail("expected ':'");
+        return nullptr;
+      }
+      auto val = value();
+      if (val == nullptr) return nullptr;
+      v->object[key->string] = std::move(val);
+    } while (consume(','));
+    if (!consume('}')) {
+      fail("expected '}'");
+      return nullptr;
+    }
+    return v;
+  }
+
+  std::unique_ptr<JsonValue> array() {
+    consume('[');
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::Array;
+    if (consume(']')) return v;
+    do {
+      auto val = value();
+      if (val == nullptr) return nullptr;
+      v->array.push_back(std::move(val));
+    } while (consume(','));
+    if (!consume(']')) {
+      fail("expected ']'");
+      return nullptr;
+    }
+    return v;
+  }
+
+  std::unique_ptr<JsonValue> string_value() {
+    if (!consume('"')) {
+      fail("expected string");
+      return nullptr;
+    }
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::String;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            fail("unsupported escape");
+            return nullptr;
+        }
+      }
+      v->string.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return nullptr;
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  std::unique_ptr<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::Number;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty()) {
+      fail("malformed number");
+      return nullptr;
+    }
+    return v;
+  }
+
+  std::unique_ptr<JsonValue> boolean() {
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    fail("expected boolean");
+    return nullptr;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// Field extraction helpers for the plan schema. Each sets *error and
+// returns false / a default when the field is missing or mistyped.
+bool get_number(const JsonValue& obj, const std::string& key, bool required,
+                double fallback, double* out, std::string* error) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    if (required) {
+      if (error != nullptr) *error = "missing field \"" + key + "\"";
+      return false;
+    }
+    *out = fallback;
+    return true;
+  }
+  if (it->second->kind != JsonValue::Kind::Number) {
+    if (error != nullptr) *error = "field \"" + key + "\" must be a number";
+    return false;
+  }
+  *out = it->second->number;
+  return true;
+}
+
+bool get_string(const JsonValue& obj, const std::string& key, std::string* out,
+                std::string* error) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second->kind != JsonValue::Kind::String) {
+    if (error != nullptr)
+      *error = "missing or non-string field \"" + key + "\"";
+    return false;
+  }
+  *out = it->second->string;
+  return true;
+}
+
+bool get_bool(const JsonValue& obj, const std::string& key, bool fallback,
+              bool* out, std::string* error) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    *out = fallback;
+    return true;
+  }
+  if (it->second->kind != JsonValue::Kind::Bool) {
+    if (error != nullptr) *error = "field \"" + key + "\" must be a boolean";
+    return false;
+  }
+  *out = it->second->boolean;
+  return true;
+}
+
+const JsonValue* get_array(const JsonValue& root, const std::string& key,
+                           std::string* error, bool* ok) {
+  const auto it = root.object.find(key);
+  if (it == root.object.end()) return nullptr;
+  if (it->second->kind != JsonValue::Kind::Array) {
+    if (error != nullptr) *error = "\"" + key + "\" must be an array";
+    *ok = false;
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+void FaultPlan::fail_link(Seconds time, std::string a, std::string b) {
+  DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
+  DCN_CHECK_MSG(!a.empty() && !b.empty() && a != b, "malformed cable endpoints");
+  links_.push_back(LinkEvent{time, std::move(a), std::move(b), true});
+}
+
+void FaultPlan::repair_link(Seconds time, std::string a, std::string b) {
+  DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
+  DCN_CHECK_MSG(!a.empty() && !b.empty() && a != b, "malformed cable endpoints");
+  links_.push_back(LinkEvent{time, std::move(a), std::move(b), false});
+}
+
+void FaultPlan::add_link_flap(std::string a, std::string b, Seconds first_fail,
+                              std::size_t cycles, Seconds down, Seconds up) {
+  DCN_CHECK_MSG(cycles > 0, "flap with zero cycles");
+  DCN_CHECK_MSG(down > 0 && up > 0, "flap intervals must be positive");
+  Seconds t = first_fail;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    fail_link(t, a, b);
+    repair_link(t + down, a, b);
+    t += down + up;
+  }
+}
+
+void FaultPlan::fail_switch(Seconds time, std::string node) {
+  DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
+  DCN_CHECK_MSG(!node.empty(), "switch event without a node");
+  switches_.push_back(SwitchEvent{time, std::move(node), true});
+}
+
+void FaultPlan::repair_switch(Seconds time, std::string node) {
+  DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
+  DCN_CHECK_MSG(!node.empty(), "switch event without a node");
+  switches_.push_back(SwitchEvent{time, std::move(node), false});
+}
+
+void FaultPlan::add_control_window(ControlWindow w) {
+  DCN_CHECK_MSG(w.start >= 0 && w.end > w.start, "malformed control window");
+  DCN_CHECK_MSG(w.query_loss >= 0.0 && w.query_loss <= 1.0,
+                "query loss must be a probability");
+  DCN_CHECK_MSG(w.reply_delay >= 0.0, "negative reply delay");
+  control_.push_back(w);
+}
+
+Seconds FaultPlan::first_fault_time() const {
+  Seconds first = -1;
+  const auto fold = [&first](Seconds t) {
+    if (first < 0 || t < first) first = t;
+  };
+  for (const auto& e : links_)
+    if (e.fail) fold(e.time);
+  for (const auto& e : switches_)
+    if (e.fail) fold(e.time);
+  for (const auto& w : control_) fold(w.start);
+  return first;
+}
+
+Seconds FaultPlan::last_change_time() const {
+  Seconds last = -1;
+  for (const auto& e : links_) last = std::max(last, e.time);
+  for (const auto& e : switches_) last = std::max(last, e.time);
+  for (const auto& w : control_) last = std::max(last, w.end);
+  return last;
+}
+
+std::optional<FaultPlan> FaultPlan::preset(const std::string& name) {
+  // Presets use fat-tree node names (builders.h); they run on any topology
+  // that has those nodes. Times assume a run of at least ~6 s of traffic.
+  FaultPlan p;
+  if (name == "link-flap") {
+    // One agg->core uplink flapping: 3 cycles of 0.5 s down / 0.5 s up
+    // starting at t=1. DARD routes around each outage; ECMP flows hashed
+    // across it stall until repair.
+    p.add_link_flap("agg0_0", "core0", 1.0, 3, 0.5, 0.5);
+    return p;
+  }
+  if (name == "switch-outage") {
+    // A whole aggregation switch down for 2 s: every attached cable fails
+    // and repairs together.
+    p.fail_switch(1.0, "agg0_0");
+    p.repair_switch(3.0, "agg0_0");
+    return p;
+  }
+  if (name == "lossy-control") {
+    // No data-plane faults at all: monitor queries are lost half the time
+    // and delivered replies arrive 20 ms late for 4 s. Exercises the
+    // timeout/retry path; results should degrade gracefully, never hang.
+    p.add_control_window(ControlWindow{1.0, 5.0, 0.5, 0.02, false});
+    return p;
+  }
+  if (name == "chaos") {
+    // Everything at once: a flapping uplink, an aggregation switch outage,
+    // and a lossy + stale control plane over the same span.
+    p.add_link_flap("agg0_0", "core0", 1.0, 2, 0.5, 0.5);
+    p.fail_switch(1.5, "agg1_0");
+    p.repair_switch(3.0, "agg1_0");
+    p.add_control_window(ControlWindow{1.0, 4.0, 0.3, 0.01, true});
+    return p;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& FaultPlan::preset_names() {
+  static const std::vector<std::string> kNames = {
+      "link-flap", "switch-outage", "lossy-control", "chaos"};
+  return kNames;
+}
+
+std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
+                                               std::string* error) {
+  JsonParser parser(text);
+  const auto root = parser.parse(error);
+  if (root == nullptr) return std::nullopt;
+  if (root->kind != JsonValue::Kind::Object) {
+    if (error != nullptr) *error = "plan root must be an object";
+    return std::nullopt;
+  }
+
+  FaultPlan plan;
+  bool ok = true;
+
+  if (const JsonValue* links = get_array(*root, "links", error, &ok)) {
+    for (const auto& e : links->array) {
+      double time = 0;
+      std::string a, b;
+      bool fail = true;
+      if (e->kind != JsonValue::Kind::Object ||
+          !get_number(*e, "time", true, 0, &time, error) ||
+          !get_string(*e, "a", &a, error) || !get_string(*e, "b", &b, error) ||
+          !get_bool(*e, "fail", true, &fail, error))
+        return std::nullopt;
+      if (time < 0 || a.empty() || b.empty() || a == b) {
+        if (error != nullptr) *error = "malformed link event";
+        return std::nullopt;
+      }
+      if (fail)
+        plan.fail_link(time, std::move(a), std::move(b));
+      else
+        plan.repair_link(time, std::move(a), std::move(b));
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  if (const JsonValue* flaps = get_array(*root, "flaps", error, &ok)) {
+    for (const auto& e : flaps->array) {
+      double first = 0, cycles = 0, down = 0, up = 0;
+      std::string a, b;
+      if (e->kind != JsonValue::Kind::Object ||
+          !get_string(*e, "a", &a, error) || !get_string(*e, "b", &b, error) ||
+          !get_number(*e, "first", true, 0, &first, error) ||
+          !get_number(*e, "cycles", false, 1, &cycles, error) ||
+          !get_number(*e, "down", true, 0, &down, error) ||
+          !get_number(*e, "up", true, 0, &up, error))
+        return std::nullopt;
+      if (first < 0 || cycles < 1 || down <= 0 || up <= 0 || a.empty() ||
+          b.empty() || a == b) {
+        if (error != nullptr) *error = "malformed flap entry";
+        return std::nullopt;
+      }
+      plan.add_link_flap(std::move(a), std::move(b), first,
+                         static_cast<std::size_t>(cycles), down, up);
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  if (const JsonValue* switches = get_array(*root, "switches", error, &ok)) {
+    for (const auto& e : switches->array) {
+      double time = 0;
+      std::string node;
+      bool fail = true;
+      if (e->kind != JsonValue::Kind::Object ||
+          !get_number(*e, "time", true, 0, &time, error) ||
+          !get_string(*e, "node", &node, error) ||
+          !get_bool(*e, "fail", true, &fail, error))
+        return std::nullopt;
+      if (time < 0 || node.empty()) {
+        if (error != nullptr) *error = "malformed switch event";
+        return std::nullopt;
+      }
+      if (fail)
+        plan.fail_switch(time, std::move(node));
+      else
+        plan.repair_switch(time, std::move(node));
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  if (const JsonValue* control = get_array(*root, "control", error, &ok)) {
+    for (const auto& e : control->array) {
+      ControlWindow w;
+      bool stale = false;
+      if (e->kind != JsonValue::Kind::Object ||
+          !get_number(*e, "start", true, 0, &w.start, error) ||
+          !get_number(*e, "end", true, 0, &w.end, error) ||
+          !get_number(*e, "loss", false, 0, &w.query_loss, error) ||
+          !get_number(*e, "delay", false, 0, &w.reply_delay, error) ||
+          !get_bool(*e, "stale", false, &stale, error))
+        return std::nullopt;
+      w.stale = stale;
+      if (w.start < 0 || w.end <= w.start || w.query_loss < 0 ||
+          w.query_loss > 1 || w.reply_delay < 0) {
+        if (error != nullptr) *error = "malformed control window";
+        return std::nullopt;
+      }
+      plan.add_control_window(w);
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  if (plan.empty()) {
+    if (error != nullptr)
+      *error = "plan has no events (expected links/flaps/switches/control)";
+    return std::nullopt;
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::load(const std::string& spec,
+                                         std::string* error) {
+  if (auto p = preset(spec)) return p;
+  std::ifstream in(spec);
+  if (!in) {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "'" << spec << "' is neither a preset (";
+      for (std::size_t i = 0; i < preset_names().size(); ++i)
+        os << (i > 0 ? ", " : "") << preset_names()[i];
+      os << ") nor a readable file";
+      *error = os.str();
+    }
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_json(text.str(), error);
+}
+
+}  // namespace dard::faults

@@ -1,0 +1,112 @@
+// Deterministic fault timelines (fault-injection subsystem, DESIGN.md §11).
+//
+// A FaultPlan is data, not behavior: an ordered set of scheduled link
+// failures/repairs, whole-switch outages, and control-plane degradation
+// windows, with nodes referenced by topology name ("agg0_0", "core1") so the
+// identical plan runs against any topology providing those nodes — and, via
+// the substrate-neutral DataPlane, identically on the fluid and packet
+// simulators. Plans come from code (tests), from presets (CLI smoke runs),
+// or from a small JSON file; FaultInjector (injector.h) turns a plan into
+// EventQueue callbacks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dard::faults {
+
+// One directed-pair cable transition: at `time`, the cable between nodes
+// `a` and `b` (both directions) fails or is repaired.
+struct LinkEvent {
+  Seconds time = 0;
+  std::string a;
+  std::string b;
+  bool fail = true;
+};
+
+// Whole-switch transition: every cable attached to `node` fails or is
+// repaired at `time` (the injector ref-counts overlap with link events).
+struct SwitchEvent {
+  Seconds time = 0;
+  std::string node;
+  bool fail = true;
+};
+
+// Control-plane degradation over [start, end): monitor query exchanges are
+// lost with probability `query_loss`, delivered replies arrive `reply_delay`
+// late, and with `stale` set switches answer from a snapshot frozen at
+// window start. Data packets are unaffected — only the query channel.
+struct ControlWindow {
+  Seconds start = 0;
+  Seconds end = 0;
+  double query_loss = 0;
+  Seconds reply_delay = 0;
+  bool stale = false;
+};
+
+class FaultPlan {
+ public:
+  // Builder interface. Times must be >= 0; windows need end > start and a
+  // loss probability in [0, 1]. Violations abort (plans are authored, not
+  // user input — user input goes through parse_json which reports errors).
+  void fail_link(Seconds time, std::string a, std::string b);
+  void repair_link(Seconds time, std::string a, std::string b);
+  // `cycles` fail/repair pairs: fail at first_fail, repair `down` later,
+  // fail again `up` after that, ...
+  void add_link_flap(std::string a, std::string b, Seconds first_fail,
+                     std::size_t cycles, Seconds down, Seconds up);
+  void fail_switch(Seconds time, std::string node);
+  void repair_switch(Seconds time, std::string node);
+  void add_control_window(ControlWindow w);
+
+  [[nodiscard]] const std::vector<LinkEvent>& link_events() const {
+    return links_;
+  }
+  [[nodiscard]] const std::vector<SwitchEvent>& switch_events() const {
+    return switches_;
+  }
+  [[nodiscard]] const std::vector<ControlWindow>& control_windows() const {
+    return control_;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return links_.empty() && switches_.empty() && control_.empty();
+  }
+  // Time of the first injected change; -1 on an empty plan. Recovery metrics
+  // use this as the onset the pre-fault baseline is measured against.
+  [[nodiscard]] Seconds first_fault_time() const;
+  // Time of the last scheduled change (including repairs and window ends);
+  // -1 on an empty plan.
+  [[nodiscard]] Seconds last_change_time() const;
+
+  // Named presets, written against fat-tree node names (any topology with
+  // those nodes works): "link-flap", "switch-outage", "lossy-control",
+  // "chaos". Unknown names return nullopt.
+  [[nodiscard]] static std::optional<FaultPlan> preset(const std::string& name);
+  [[nodiscard]] static const std::vector<std::string>& preset_names();
+
+  // Parses the JSON plan format (see DESIGN.md §11):
+  //   {"links":    [{"time":2, "a":"agg0_0", "b":"core0", "fail":true}],
+  //    "flaps":    [{"a":"agg0_0","b":"core0","first":2,"cycles":3,
+  //                  "down":0.5,"up":0.5}],
+  //    "switches": [{"time":2, "node":"agg0_0", "fail":true}],
+  //    "control":  [{"start":1,"end":6,"loss":0.5,"delay":0.02,
+  //                  "stale":false}]}
+  // Returns nullopt and fills *error on malformed input.
+  [[nodiscard]] static std::optional<FaultPlan> parse_json(
+      const std::string& text, std::string* error);
+
+  // Resolves a --faults= spec: a preset name, else a path to a JSON file.
+  [[nodiscard]] static std::optional<FaultPlan> load(const std::string& spec,
+                                                     std::string* error);
+
+ private:
+  std::vector<LinkEvent> links_;
+  std::vector<SwitchEvent> switches_;
+  std::vector<ControlWindow> control_;
+};
+
+}  // namespace dard::faults

@@ -1,0 +1,104 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+namespace dard::faults {
+
+FaultInjector::FaultInjector(fabric::DataPlane& net, const FaultPlan& plan,
+                             std::uint64_t seed)
+    : net_(&net), model_(seed) {
+  for (const LinkEvent& e : plan.link_events()) {
+    const NodeId a = resolve(e.a);
+    const NodeId b = resolve(e.b);
+    DCN_CHECK_MSG(net_->topology().find_link(a, b).valid(),
+                  "fault plan names a cable the topology does not have");
+    link_events_.push_back(ResolvedLinkEvent{e.time, a, b, e.fail});
+  }
+  for (const SwitchEvent& e : plan.switch_events()) {
+    const NodeId sw = resolve(e.node);
+    DCN_CHECK_MSG(net_->topology().node(sw).kind != topo::NodeKind::Host,
+                  "switch fault targets a host");
+    ResolvedSwitchEvent r{e.time, sw, {}, e.fail};
+    for (const LinkId l : net_->topology().out_links(sw))
+      r.neighbors.push_back(net_->topology().link(l).dst);
+    DCN_CHECK_MSG(!r.neighbors.empty(), "switch with no attached cables");
+    switch_events_.push_back(std::move(r));
+  }
+  windows_ = plan.control_windows();
+}
+
+NodeId FaultInjector::resolve(const std::string& name) const {
+  for (const topo::Node& n : net_->topology().nodes())
+    if (n.name == name) return n.id;
+  DCN_CHECK_MSG(false, "fault plan names an unknown topology node");
+  return NodeId{};
+}
+
+FaultInjector::CableKey FaultInjector::key(NodeId a, NodeId b) {
+  return {std::min(a.value(), b.value()), std::max(a.value(), b.value())};
+}
+
+void FaultInjector::count_injection() {
+  ++injected_;
+  if (m_injected_ != nullptr) m_injected_->add();
+}
+
+void FaultInjector::apply_cable(NodeId a, NodeId b, bool fail) {
+  int& causes = down_causes_[key(a, b)];
+  if (fail) {
+    if (causes++ == 0) {
+      net_->set_cable_failed(a, b, true);
+      count_injection();
+    }
+  } else {
+    DCN_CHECK_MSG(causes > 0, "repairing a cable that was never failed");
+    if (--causes == 0) {
+      net_->set_cable_failed(a, b, false);
+      count_injection();
+    }
+  }
+}
+
+void FaultInjector::install() {
+  DCN_CHECK_MSG(!installed_, "fault plan installed twice");
+  installed_ = true;
+  if (obs::MetricsRegistry* m = net_->metrics())
+    m_injected_ = &m->counter("faults.injected");
+
+  flowsim::EventQueue& events = net_->events();
+  const Seconds now = events.now();
+  // Events at or before `now` apply at the current instant (a plan may
+  // start at t=0 on a queue that has not run yet).
+  const auto at = [now](Seconds t) { return std::max(t, now); };
+
+  for (const ResolvedLinkEvent& e : link_events_)
+    events.schedule(at(e.time),
+                    [this, e] { apply_cable(e.a, e.b, e.fail); });
+
+  for (const ResolvedSwitchEvent& e : switch_events_)
+    events.schedule(at(e.time), [this, &e] {
+      for (const NodeId nb : e.neighbors) apply_cable(e.node, nb, e.fail);
+    });
+
+  for (const ControlWindow& w : windows_) {
+    events.schedule(at(w.start), [this, w] {
+      model_.set_degradation(w.query_loss, w.reply_delay);
+      if (w.stale) model_.capture_stale(net_->link_state());
+      count_injection();
+    });
+    events.schedule(at(w.end), [this] {
+      model_.clear_degradation();
+      model_.clear_stale();
+      count_injection();
+    });
+  }
+}
+
+std::size_t FaultInjector::cables_down() const {
+  std::size_t n = 0;
+  for (const auto& [cable, causes] : down_causes_)
+    if (causes > 0) ++n;
+  return n;
+}
+
+}  // namespace dard::faults

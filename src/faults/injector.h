@@ -1,0 +1,88 @@
+// Executes a FaultPlan against a running substrate (DESIGN.md §11).
+//
+// The injector resolves the plan's node names against the data plane's
+// topology once, then schedules every transition on the substrate's own
+// EventQueue — so an identical plan produces identical fault timing on the
+// fluid and packet simulators, interleaved deterministically with flow
+// events (the queue breaks ties by insertion order).
+//
+// Cable state is reference-counted: a switch outage downs every attached
+// cable, and a cable both individually failed and covered by a failed
+// switch stays down until BOTH causes are repaired. The substrate's
+// set_cable_failed only fires on 0 <-> nonzero transitions.
+//
+// Control-plane windows drive the injector-owned ControlPlaneModel; the
+// harness installs that model on the substrate before agents start, so
+// DARD's monitors observe the loss/delay/staleness through their ordinary
+// StateQueryService queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fabric/control_model.h"
+#include "fabric/data_plane.h"
+#include "faults/fault_plan.h"
+
+namespace dard::faults {
+
+class FaultInjector {
+ public:
+  // Resolves every node name in `plan` against net's topology (aborts on an
+  // unknown name: a plan that silently does nothing is worse than a crash).
+  // `seed` feeds the control-plane model's private RNG only — fault noise
+  // never perturbs scheduler or workload RNG streams.
+  FaultInjector(fabric::DataPlane& net, const FaultPlan& plan,
+                std::uint64_t seed);
+
+  // Schedules every plan transition on net.events(). Call once, after the
+  // substrate exists and before (or at) t = first event time.
+  void install();
+
+  [[nodiscard]] fabric::ControlPlaneModel& model() { return model_; }
+  [[nodiscard]] const fabric::ControlPlaneModel& model() const {
+    return model_;
+  }
+
+  // Transitions actually applied so far (cable fail/repair edges that
+  // changed state, control window starts/ends).
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  // Cables currently down (distinct cables, not causes).
+  [[nodiscard]] std::size_t cables_down() const;
+
+ private:
+  // A resolved undirected cable, keyed by normalized endpoint pair.
+  using CableKey = std::pair<std::uint32_t, std::uint32_t>;
+  static CableKey key(NodeId a, NodeId b);
+
+  [[nodiscard]] NodeId resolve(const std::string& name) const;
+  void apply_cable(NodeId a, NodeId b, bool fail);
+  void count_injection();
+
+  fabric::DataPlane* net_;
+  fabric::ControlPlaneModel model_;
+  bool installed_ = false;
+
+  struct ResolvedLinkEvent {
+    Seconds time;
+    NodeId a, b;
+    bool fail;
+  };
+  struct ResolvedSwitchEvent {
+    Seconds time;
+    NodeId node;
+    std::vector<NodeId> neighbors;  // every cable peer of the switch
+    bool fail;
+  };
+  std::vector<ResolvedLinkEvent> link_events_;
+  std::vector<ResolvedSwitchEvent> switch_events_;
+  std::vector<ControlWindow> windows_;
+
+  std::map<CableKey, int> down_causes_;  // cable -> live failure causes
+  std::uint64_t injected_ = 0;
+  obs::Counter* m_injected_ = nullptr;
+};
+
+}  // namespace dard::faults

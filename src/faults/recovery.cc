@@ -1,0 +1,70 @@
+#include "faults/recovery.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dard::faults {
+
+RecoveryTracker::RecoveryTracker(flowsim::EventQueue& events,
+                                 std::function<double()> probe,
+                                 const FaultConfig& cfg, Seconds fault_onset)
+    : events_(&events),
+      probe_(std::move(probe)),
+      period_(cfg.sample_period),
+      recovery_fraction_(cfg.recovery_fraction),
+      starvation_fraction_(cfg.starvation_fraction),
+      onset_(fault_onset) {
+  DCN_CHECK_MSG(period_ > 0, "recovery sampling needs a positive period");
+  DCN_CHECK_MSG(probe_ != nullptr, "recovery tracker without a probe");
+}
+
+void RecoveryTracker::start() {
+  events_->schedule(events_->now() + period_, [this] { tick(); });
+}
+
+void RecoveryTracker::tick() {
+  samples_.push_back(Sample{events_->now(), probe_()});
+  events_->schedule(events_->now() + period_, [this] { tick(); });
+}
+
+RecoveryMetrics RecoveryTracker::finalize() const {
+  RecoveryMetrics m;
+  if (model_ != nullptr) {
+    m.queries_attempted = model_->attempts();
+    m.queries_lost = model_->lost();
+  }
+  if (samples_.empty() || onset_ < 0) return m;
+
+  // Baseline: mean goodput over the tail of the pre-fault window (up to the
+  // last 25 samples before onset), so one noisy tick doesn't define "normal".
+  double sum = 0;
+  std::size_t n = 0;
+  for (auto it = samples_.rbegin(); it != samples_.rend() && n < 25; ++it) {
+    if (it->time >= onset_) continue;
+    sum += it->goodput;
+    ++n;
+  }
+  if (n == 0) return m;  // fault hit before traffic ramped: no baseline
+  m.baseline_goodput = sum / static_cast<double>(n);
+  if (m.baseline_goodput <= 0) return m;
+
+  // Post-onset reduction. The dip and starvation windows close at recovery
+  // (or at the last sample when goodput never comes back): past that point
+  // goodput falling because flows *finish* is success, not starvation.
+  const double recovered_at_level = recovery_fraction_ * m.baseline_goodput;
+  const double starved_below = starvation_fraction_ * m.baseline_goodput;
+  m.dip_goodput = m.baseline_goodput;
+  for (const Sample& s : samples_) {
+    if (s.time < onset_) continue;
+    if (m.time_to_recover < 0 && s.goodput >= recovered_at_level)
+      m.time_to_recover = s.time - onset_;
+    if (m.time_to_recover >= 0) break;
+    m.dip_goodput = std::min(m.dip_goodput, s.goodput);
+    if (s.goodput < starved_below) m.starvation_seconds += period_;
+  }
+  m.dip_fraction = 1.0 - m.dip_goodput / m.baseline_goodput;
+  return m;
+}
+
+}  // namespace dard::faults

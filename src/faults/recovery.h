@@ -1,0 +1,92 @@
+// Recovery metrics for fault experiments (DESIGN.md §11).
+//
+// A RecoveryTracker samples aggregate goodput on the substrate's own event
+// queue (a substrate-specific probe closure: summed fluid rates, or the
+// derivative of TCP acked bytes) and reduces the samples, against the
+// plan's first fault time, into the numbers the paper's robustness story
+// needs: how deep goodput dipped, how long until it recovered to a fraction
+// of its pre-fault level, and how long flows sat starved. Sampling is
+// read-only — enabling a tracker never perturbs flow dynamics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fabric/control_model.h"
+#include "faults/fault_plan.h"
+#include "flowsim/event_queue.h"
+
+namespace dard::faults {
+
+// The harness-level fault axis: a plan plus the knobs shared by both
+// substrates. Inactive (empty plan) by default — an inactive FaultConfig
+// leaves the experiment bit-identical to one run before the fault subsystem
+// existed.
+struct FaultConfig {
+  FaultPlan plan;
+  // Seeds the control-plane model's private RNG (query-loss draws). A
+  // separate seed from the workload so fault noise is independently
+  // reproducible.
+  std::uint64_t seed = 1234;
+  // Goodput probe cadence for recovery metrics.
+  Seconds sample_period = 0.01;
+  // "Recovered" = goodput back above this fraction of the pre-fault level.
+  double recovery_fraction = 0.95;
+  // A sample below this fraction of the pre-fault level counts as
+  // starvation time.
+  double starvation_fraction = 0.10;
+
+  [[nodiscard]] bool active() const { return !plan.empty(); }
+};
+
+struct RecoveryMetrics {
+  double baseline_goodput = 0;   // bps, mean over the pre-fault window
+  double dip_goodput = 0;        // bps, minimum after fault onset
+  double dip_fraction = 0;       // 1 - dip/baseline (0 = no dip, 1 = total)
+  Seconds time_to_recover = -1;  // onset -> first sample back above the
+                                 // recovery fraction; -1 = never recovered
+  Seconds starvation_seconds = 0;
+  std::uint64_t queries_attempted = 0;  // control-plane exchanges modeled
+  std::uint64_t queries_lost = 0;
+};
+
+class RecoveryTracker {
+ public:
+  // `probe` returns instantaneous aggregate goodput in bps; it is called
+  // once per sample_period tick on `events`. `fault_onset` is the plan's
+  // first fault time (see FaultPlan::first_fault_time).
+  RecoveryTracker(flowsim::EventQueue& events, std::function<double()> probe,
+                  const FaultConfig& cfg, Seconds fault_onset);
+
+  // Schedules the first sample one period from now. The tracker keeps
+  // rescheduling itself; the run loops stop on flow completion, not queue
+  // emptiness, so the tail ticks simply never fire.
+  void start();
+
+  // Reduces the samples collected so far (and, when a model is attached,
+  // its query counters) into metrics.
+  void set_model(const fabric::ControlPlaneModel* model) { model_ = model; }
+  [[nodiscard]] RecoveryMetrics finalize() const;
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  void tick();
+
+  struct Sample {
+    Seconds time;
+    double goodput;
+  };
+
+  flowsim::EventQueue* events_;
+  std::function<double()> probe_;
+  Seconds period_;
+  double recovery_fraction_;
+  double starvation_fraction_;
+  Seconds onset_;
+  const fabric::ControlPlaneModel* model_ = nullptr;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dard::faults

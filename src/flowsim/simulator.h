@@ -138,7 +138,14 @@ class FlowSimulator : public fabric::DataPlane {
   // Fails (or restores) both directions of the cable between a and b:
   // effective capacity collapses, flows pinned across it starve, adaptive
   // schedulers observe the near-zero BoNF and route around it.
-  void set_cable_failed(NodeId a, NodeId b, bool failed);
+  void set_cable_failed(NodeId a, NodeId b, bool failed) override;
+
+  // Installs the control-plane degradation model (fault experiments only;
+  // see faults/injector.h). Must be set before the agent starts.
+  void set_control_model(fabric::ControlPlaneModel* model) { model_ = model; }
+  [[nodiscard]] fabric::ControlPlaneModel* control_model() const override {
+    return model_;
+  }
 
   // Re-route one active flow; a real path change counts as a path switch
   // and triggers reallocation.
@@ -181,6 +188,7 @@ class FlowSimulator : public fabric::DataPlane {
   fabric::ControlPlaneAccountant accountant_;
   EventQueue events_;
   fabric::ControlAgent* agent_ = nullptr;
+  fabric::ControlPlaneModel* model_ = nullptr;
 
   std::vector<Flow> flows_;            // by FlowId; grows monotonically
   std::vector<double> remaining_;      // fractional bytes, by FlowId

@@ -73,8 +73,33 @@ ExperimentResult run_fluid(const topo::Topology& t,
     sampler->start();
   }
 
+  // Fault injection, when configured: the degradation model must be on the
+  // data plane before the agent starts (DardAgent wires its query service
+  // to it in start()). Nothing here runs on an empty plan.
+  std::unique_ptr<faults::FaultInjector> injector;
+  std::unique_ptr<faults::RecoveryTracker> tracker;
+  if (cfg.faults.active()) {
+    injector = std::make_unique<faults::FaultInjector>(sim, cfg.faults.plan,
+                                                       cfg.faults.seed);
+    sim.set_control_model(&injector->model());
+  }
+
   const auto agent = make_agent(cfg);
   sim.set_agent(agent.get());
+
+  if (injector != nullptr) {
+    injector->install();
+    tracker = std::make_unique<faults::RecoveryTracker>(
+        sim.events(),
+        [&sim] {
+          double bps = 0;
+          for (const FlowId id : sim.active_flows()) bps += sim.flow(id).rate;
+          return bps;
+        },
+        cfg.faults, cfg.faults.plan.first_fault_time());
+    tracker->set_model(&injector->model());
+    tracker->start();
+  }
 
   for (const auto& spec : traffic::generate_workload(t, cfg.workload))
     sim.submit(spec);
@@ -104,6 +129,10 @@ ExperimentResult run_fluid(const topo::Topology& t,
   if (const auto* hedera =
           dynamic_cast<const baselines::HederaAgent*>(agent.get()))
     result.reroutes = hedera->total_reassignments();
+  if (tracker != nullptr) {
+    result.recovery = tracker->finalize();
+    result.faults_injected = injector->injected();
+  }
   if (sampler != nullptr) {
     // One final snapshot so the series covers the tail of the run.
     sampler->sample_now();
@@ -120,6 +149,9 @@ ExperimentResult run_packet(const topo::Topology& t,
   std::unique_ptr<pktsim::PacketRouter> router;
   pktsim::AgentRouter* adapter = nullptr;
   if (cfg.scheduler == SchedulerKind::Texcp) {
+    DCN_CHECK_MSG(!cfg.faults.active(),
+                  "TeXCP has no fault-injection adapter (it is not a "
+                  "fabric::DataPlane); run faults on an agent scheduler");
     router = std::make_unique<pktsim::TexcpRouter>(
         t, cfg.texcp_probe_interval, cfg.workload.seed ^ 0x1f1f1f1f,
         cfg.texcp_flowlet_gap);
@@ -133,10 +165,42 @@ ExperimentResult run_packet(const topo::Topology& t,
     router = std::move(ar);
   }
 
+  // The degradation model must be installed before the session constructor:
+  // constructing the session attaches the router, which starts the agent,
+  // which wires its query service to the model. Scheduling the plan's
+  // events (install) must wait until after attach, when the adapter can
+  // reach the session's event queue.
+  std::unique_ptr<faults::FaultInjector> injector;
+  std::unique_ptr<faults::RecoveryTracker> tracker;
+  if (cfg.faults.active()) {
+    DCN_CHECK_MSG(adapter != nullptr, "fault injection needs an agent router");
+    injector = std::make_unique<faults::FaultInjector>(
+        *adapter, cfg.faults.plan, cfg.faults.seed);
+    adapter->set_control_model(&injector->model());
+  }
+
   ExperimentResult result;
   result.scheduler = router->name();
   pktsim::PktSession session(t, std::move(router), cfg.tcp, cfg.queue_bytes);
   session.set_metrics(cfg.telemetry.metrics);
+
+  if (injector != nullptr) {
+    injector->install();
+    // Packet goodput probe: the derivative of cumulatively acked bytes over
+    // the sample period (the fluid probe's instantaneous-rate analogue).
+    tracker = std::make_unique<faults::RecoveryTracker>(
+        session.events(),
+        [&session, last = Bytes{0},
+         period = cfg.faults.sample_period]() mutable {
+          const Bytes acked = session.total_acked_bytes();
+          const double bps = static_cast<double>(acked - last) * 8.0 / period;
+          last = acked;
+          return bps;
+        },
+        cfg.faults, cfg.faults.plan.first_fault_time());
+    tracker->set_model(&injector->model());
+    tracker->start();
+  }
 
   std::vector<FlowId> ids;
   for (const auto& spec : traffic::generate_workload(t, cfg.workload))
@@ -175,6 +239,10 @@ ExperimentResult run_packet(const topo::Topology& t,
   if (const auto* hedera =
           dynamic_cast<const baselines::HederaAgent*>(agent.get()))
     result.reroutes = hedera->total_reassignments();
+  if (tracker != nullptr) {
+    result.recovery = tracker->finalize();
+    result.faults_injected = injector->injected();
+  }
   return result;
 }
 

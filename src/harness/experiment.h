@@ -23,6 +23,8 @@
 #include "baselines/hedera.h"
 #include "common/stats.h"
 #include "dard/dard_agent.h"
+#include "faults/injector.h"
+#include "faults/recovery.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/samplers.h"
@@ -66,6 +68,11 @@ struct ExperimentConfig {
   Seconds pvlb_repick_interval = 10.0;
   TelemetryConfig telemetry;
 
+  // Fault injection (inactive by default: an empty plan leaves the run
+  // bit-identical to one without the fault subsystem). TeXCP has no
+  // fault-injection adapter; an active plan with Texcp aborts.
+  faults::FaultConfig faults;
+
   // Packet-substrate knobs (ignored on Fluid).
   pktsim::TcpConfig tcp;
   Bytes queue_bytes = 0;           // 0 = PacketNetwork default
@@ -91,6 +98,11 @@ struct ExperimentResult {
   Cdf retransmission_rates;  // per flow, paper's retransmitted/unique metric
   std::uint64_t retransmissions = 0;
   std::uint64_t packet_drops = 0;
+
+  // Fault experiments only (config.faults.active()): recovery reduction and
+  // the count of fault transitions actually applied. Zero-valued otherwise.
+  faults::RecoveryMetrics recovery;
+  std::uint64_t faults_injected = 0;
 
   // Collected when telemetry.sample_period > 0; null otherwise. Shared so
   // results stay cheap to copy.

@@ -87,6 +87,17 @@ std::uint64_t AgentRouter::path_switches(FlowId flow) const {
   return done == finished_.end() ? 0 : done->second.switches;
 }
 
+void AgentRouter::set_cable_failed(NodeId a, NodeId b, bool failed) {
+  const LinkId ab = topo_->find_link(a, b);
+  const LinkId ba = topo_->find_link(b, a);
+  DCN_CHECK_MSG(ab.valid() && ba.valid(), "no such cable");
+  board_.set_failed(ab, failed);
+  board_.set_failed(ba, failed);
+  DCN_CHECK_MSG(net_ != nullptr, "router not attached to a network");
+  net_->set_link_failed(ab, failed);
+  net_->set_link_failed(ba, failed);
+}
+
 void AgentRouter::move_flow(FlowId id, PathIndex new_path) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;  // finished before a scheduled round fired

@@ -62,6 +62,13 @@ class AgentRouter : public PathSetRouter, public fabric::DataPlane {
     return board_;
   }
   fabric::ControlPlaneAccountant& accountant() override { return accountant_; }
+  // Fails the cable on the board (so the shared daemons observe it through
+  // their queries) AND in the packet network (so packets crossing it drop).
+  void set_cable_failed(NodeId a, NodeId b, bool failed) override;
+  void set_control_model(fabric::ControlPlaneModel* model) { model_ = model; }
+  [[nodiscard]] fabric::ControlPlaneModel* control_model() const override {
+    return model_;
+  }
   void move_flow(FlowId id, PathIndex new_path) override;
   void move_flows(
       const std::vector<std::pair<FlowId, PathIndex>>& moves) override;
@@ -108,6 +115,7 @@ class AgentRouter : public PathSetRouter, public fabric::DataPlane {
 
   obs::SimObserver* observer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  fabric::ControlPlaneModel* model_ = nullptr;
 };
 
 // AgentRouter with the full addressing stack: each candidate path is

@@ -13,7 +13,8 @@ PacketNetwork::PacketNetwork(const topo::Topology& t,
       free_at_(t.link_count(), 0.0),
       queued_(t.link_count(), 0),
       queue_cap_(t.link_count(), 0),
-      bytes_sent_(t.link_count(), 0) {
+      bytes_sent_(t.link_count(), 0),
+      failed_(t.link_count(), false) {
   for (const auto& link : t.links()) {
     Bytes cap = queue_bytes;
     if (cap == 0) {
@@ -36,6 +37,11 @@ void PacketNetwork::transmit(Packet p) {
   const auto lv = l.value();
   const topo::Link& link = topo_->link(l);
 
+  // A failed link is a black hole: every offered packet drops.
+  if (failed_[lv]) {
+    ++drops_;
+    return;
+  }
   // Drop-tail admission: the packet joins the queue unless full. Bytes in
   // `queued_` include the packet currently serializing.
   if (queued_[lv] + p.size > queue_cap_[lv]) {

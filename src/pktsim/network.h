@@ -36,6 +36,17 @@ class PacketNetwork {
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
 
+  // A failed link drops every packet offered to it (data and ACKs alike);
+  // TCP's retransmission machinery sees a black hole until the link is
+  // repaired or the flow is re-routed. Driven by the fault injector through
+  // AgentRouter::set_cable_failed.
+  void set_link_failed(LinkId l, bool failed) {
+    failed_[l.value()] = failed;
+  }
+  [[nodiscard]] bool link_failed(LinkId l) const {
+    return failed_[l.value()];
+  }
+
   // Bytes transmitted on `l` since the last reset_counters() call.
   [[nodiscard]] Bytes bytes_sent(LinkId l) const {
     return bytes_sent_[l.value()];
@@ -57,6 +68,7 @@ class PacketNetwork {
   std::vector<Bytes> queued_;        // bytes currently queued per link
   std::vector<Bytes> queue_cap_;
   std::vector<Bytes> bytes_sent_;
+  std::vector<bool> failed_;
   std::uint64_t drops_ = 0;
   std::uint64_t forwarded_ = 0;
 };

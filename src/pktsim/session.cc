@@ -41,6 +41,12 @@ std::uint64_t PktSession::total_retransmissions() const {
   return total;
 }
 
+Bytes PktSession::total_acked_bytes() const {
+  Bytes total = 0;
+  for (const auto& f : flows_) total += f->acked_segments() * kMss;
+  return total;
+}
+
 bool PktSession::run(Seconds max_time) {
   while (!all_done() && !events_.empty() && events_.now() <= max_time)
     events_.run_next();

@@ -46,6 +46,9 @@ class PktSession {
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   [[nodiscard]] std::uint64_t total_retransmissions() const;
+  // Payload bytes cumulatively acknowledged across all flows (acked
+  // segments x MSS); the packet substrate's goodput integral.
+  [[nodiscard]] Bytes total_acked_bytes() const;
 
  private:
   const topo::Topology* topo_;

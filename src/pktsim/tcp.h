@@ -54,6 +54,9 @@ class TcpFlow {
 
   [[nodiscard]] const TcpResult& result() const { return result_; }
   [[nodiscard]] FlowId id() const { return id_; }
+  // Segments cumulatively acknowledged; monotone, equals the segment total
+  // once done. Recovery trackers differentiate this into goodput.
+  [[nodiscard]] std::uint64_t acked_segments() const { return acked_; }
 
  private:
   void begin();

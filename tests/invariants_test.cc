@@ -80,5 +80,19 @@ TEST(InvariantDeath, BoardUnderflowCaught) {
   EXPECT_DEATH(board.remove_elephant(t.links().front().id), "");
 }
 
+TEST(InvariantDeath, AccountantRejectsNonPositiveMessageSize) {
+  // Query accounting is derived from live counters; a zero/negative size
+  // means an upstream underflow and must abort, not skew the series.
+  fabric::ControlPlaneAccountant a;
+  EXPECT_DEATH(a.record(0.0, 0, fabric::ControlCategory::DardQuery),
+               "non-positive size");
+}
+
+TEST(InvariantDeath, AccountantRejectsOutOfRangeCategory) {
+  fabric::ControlPlaneAccountant a;
+  EXPECT_DEATH(
+      a.record(0.0, 64, static_cast<fabric::ControlCategory>(200)), "");
+}
+
 }  // namespace
 }  // namespace dard
