@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Gate allocator microbench regressions against a checked-in baseline.
+"""Gate microbench regressions between two google-benchmark JSON reports.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 2.0]
                               [--prefix BM_MaxMinAllocation --prefix ...]
+    check_bench_regression.py RUN_A.json RUN_B.json --all [--threshold 1.5]
 
 Both files are google-benchmark JSON reports (the format
-bench_micro_components writes to BENCH_micro.json). Benchmarks whose name
-starts with one of the prefixes are compared by real_time; the script
-fails (exit 1) if any is more than --threshold times slower than the
-baseline, or if a baseline benchmark disappeared. Machines differ, so the
-default threshold is a deliberately loose 2x meant to catch algorithmic
-regressions (e.g. the scoped allocator silently falling back to full
-recomputes), not scheduling noise.
+bench_micro_components writes to BENCH_micro.json). Two modes:
+
+  * Prefix mode (default): benchmarks whose name starts with one of the
+    prefixes are compared by real_time against a checked-in baseline. The
+    default threshold is a deliberately loose 2x meant to catch algorithmic
+    regressions (e.g. the scoped allocator silently falling back to full
+    recomputes), not scheduling noise across machines.
+  * --all: compare every benchmark in the two reports — the run-to-run
+    diff CI uses on two back-to-back runs of the same build, where a much
+    tighter threshold is meaningful because the machine is the same.
+
+Exit 1 if any compared benchmark is more than --threshold times slower,
+or if a baseline benchmark disappeared; each offender is named in a
+per-benchmark FAIL line and recapped in the summary. Benchmarks only in
+CURRENT are reported (new benches are not an error).
 """
 
 import argparse
@@ -32,7 +41,8 @@ def load_times(path, prefixes):
         if b.get("run_type") == "aggregate":
             continue
         name = b["name"]
-        if not any(name.startswith(p) for p in prefixes):
+        if prefixes is not None and not any(
+                name.startswith(p) for p in prefixes):
             continue
         times[name] = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
     return times
@@ -44,33 +54,45 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=2.0)
     ap.add_argument("--prefix", action="append", dest="prefixes")
+    ap.add_argument("--all", action="store_true",
+                    help="compare every benchmark, ignoring prefixes")
     args = ap.parse_args()
-    prefixes = args.prefixes or DEFAULT_PREFIXES
+    prefixes = None if args.all else (args.prefixes or DEFAULT_PREFIXES)
 
     base = load_times(args.baseline, prefixes)
     cur = load_times(args.current, prefixes)
     if not base:
-        print(f"no benchmarks matching {prefixes} in {args.baseline}")
+        what = "benchmarks" if args.all else f"benchmarks matching {prefixes}"
+        print(f"no {what} in {args.baseline}")
         return 1
 
-    failed = False
+    regressed = []
+    missing = []
     width = max(len(n) for n in base)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
     for name in sorted(base):
         if name not in cur:
             print(f"{name:<{width}}  MISSING from {args.current}")
-            failed = True
+            missing.append(name)
             continue
         ratio = cur[name] / base[name]
         flag = "  REGRESSED" if ratio > args.threshold else ""
         print(f"{name:<{width}}  {base[name]:>10.0f}ns  {cur[name]:>10.0f}ns"
               f"  {ratio:5.2f}x{flag}")
         if ratio > args.threshold:
-            failed = True
+            regressed.append((name, ratio))
 
-    if failed:
-        print(f"\nFAIL: regression beyond {args.threshold:.1f}x "
-              f"(or missing benchmark)")
+    new = sorted(set(cur) - set(base))
+    if new:
+        print(f"\nnew in {args.current} (not compared): " + ", ".join(new))
+
+    if regressed or missing:
+        print()
+        for name, ratio in regressed:
+            print(f"FAIL: {name} regressed {ratio:.2f}x "
+                  f"(threshold {args.threshold:.1f}x)")
+        for name in missing:
+            print(f"FAIL: {name} missing from {args.current}")
         return 1
     print(f"\nOK: all within {args.threshold:.1f}x of baseline")
     return 0

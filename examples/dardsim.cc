@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/manifest.h"
 #include "obs/trace.h"
 #include "topology/builders.h"
 
@@ -119,6 +121,16 @@ void print_usage(std::FILE* out) {
                "                       5 on fluid, 0.25 on packet)\n"
                "\n"
                "output options:\n"
+               "  --run-dir=DIR        write a self-describing run directory "
+               "for dardscope:\n"
+               "                       trace.jsonl, metrics.csv, "
+               "link_samples.csv,\n"
+               "                       agg_samples.csv and a manifest.json "
+               "recording the\n"
+               "                       scenario, seeds, flag values and "
+               "wall-clock timings\n"
+               "                       (explicit --trace/--metrics/... paths "
+               "still win)\n"
                "  --csv                print the summary as metric,value CSV\n"
                "  --trace=FILE         write a JSONL event trace (flow "
                "arrive/elephant/move/complete,\n"
@@ -157,6 +169,7 @@ struct Options {
   double query_interval = -1.0;
   double schedule_interval = -1.0;
   bool csv = false;
+  std::string run_dir;
   std::string trace_path;
   std::string metrics_path;
   std::string samples_path;
@@ -263,6 +276,8 @@ bool parse(int argc, char** argv, Options* opt) {
             "invalid --query-loss: %s (valid: a probability in [0, 1])\n", v);
         return false;
       }
+    } else if (const char* v = value("--run-dir=")) {
+      opt->run_dir = v;
     } else if (const char* v = value("--trace=")) {
       opt->trace_path = v;
     } else if (const char* v = value("--metrics=")) {
@@ -400,13 +415,39 @@ int main(int argc, char** argv) {
           faults::ControlWindow{0.0, 1e18, opt.query_loss, 0.0, false});
     cfg.faults.seed = opt.fault_seed;
   }
+
+  // --run-dir: one directory holding every artifact under its canonical
+  // name plus a manifest describing the run (dardscope's input). Explicit
+  // --trace/--metrics/... paths keep winning for the file they name.
+  if (!opt.run_dir.empty() && opt.replicas == 1) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.run_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create run dir %s: %s\n",
+                   opt.run_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    const auto in_dir = [&](const char* name) {
+      return (std::filesystem::path(opt.run_dir) / name).string();
+    };
+    if (opt.trace_path.empty()) opt.trace_path = in_dir(harness::kTraceFile);
+    if (opt.metrics_path.empty())
+      opt.metrics_path = in_dir(harness::kMetricsFile);
+    if (opt.samples_path.empty())
+      opt.samples_path = in_dir(harness::kLinkSamplesFile);
+    if (opt.agg_samples_path.empty())
+      opt.agg_samples_path = in_dir(harness::kAggSamplesFile);
+  }
+
   if (opt.replicas > 1) {
     // Replica sweep: same experiment over workload seeds N..N+K-1, run on
     // a thread pool. Per-replica results are identical for any --jobs.
     if (!opt.trace_path.empty() || !opt.metrics_path.empty() ||
-        !opt.samples_path.empty() || !opt.agg_samples_path.empty()) {
+        !opt.samples_path.empty() || !opt.agg_samples_path.empty() ||
+        !opt.run_dir.empty()) {
       std::fprintf(stderr,
-                   "--trace/--metrics/--samples need --replicas=1\n");
+                   "--trace/--metrics/--samples/--run-dir need "
+                   "--replicas=1\n");
       return 2;
     }
     std::vector<harness::ExperimentCell> cells(opt.replicas);
@@ -504,6 +545,36 @@ int main(int argc, char** argv) {
       return 2;
     }
     result.series->write_aggregate_csv(out);
+  }
+
+  if (!opt.run_dir.empty()) {
+    auto manifest = harness::build_manifest(network, cfg, result);
+    manifest.argv.assign(argv + 1, argv + argc);
+    manifest.topology = opt.topo;
+    manifest.pattern = opt.pattern;
+    // Record only artifacts that landed inside the run dir, by their name
+    // relative to it — a relocated run dir stays self-contained.
+    const auto relative_name = [&](const std::string& path) -> std::string {
+      const auto p = std::filesystem::path(path);
+      return p.parent_path() == std::filesystem::path(opt.run_dir)
+                 ? p.filename().string()
+                 : std::string();
+    };
+    manifest.trace_file = relative_name(opt.trace_path);
+    manifest.metrics_file = relative_name(opt.metrics_path);
+    if (result.series != nullptr) {
+      manifest.link_samples_file = relative_name(opt.samples_path);
+      manifest.agg_samples_file = relative_name(opt.agg_samples_path);
+    }
+    const auto manifest_path =
+        std::filesystem::path(opt.run_dir) / harness::kManifestFile;
+    std::ofstream out(manifest_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open manifest file: %s\n",
+                   manifest_path.string().c_str());
+      return 2;
+    }
+    harness::write_manifest_json(out, manifest);
   }
 
   if (opt.csv) {
@@ -608,8 +679,16 @@ int main(int argc, char** argv) {
                     cfg.faults.starvation_fraction * 100.0);
       }
     }
+    // Wall-clock phase profile — host time, so only in the human-readable
+    // report (CSV output stays deterministic for a given scenario).
+    std::printf("  wall clock:         %.2f s (setup %.2f, run %.2f, "
+                "collect %.2f)\n",
+                result.timings.total_s(), result.timings.setup_s,
+                result.timings.run_s, result.timings.collect_s);
     if (!opt.metrics_path.empty())
       std::printf("  metrics:            %s\n", metrics.summary().c_str());
+    if (!opt.run_dir.empty())
+      std::printf("  run dir:            %s\n", opt.run_dir.c_str());
   }
   return 0;
 }

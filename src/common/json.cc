@@ -1,0 +1,283 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dard::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<Value> parse(std::string* error) {
+    auto v = value();
+    skip_ws();
+    if (v != nullptr && pos_ != text_.size()) fail("trailing characters");
+    if (failed_) {
+      if (error != nullptr) *error = error_;
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  void fail(const std::string& why) {
+    if (failed_) return;
+    failed_ = true;
+    std::ostringstream os;
+    os << why << " at offset " << pos_;
+    error_ = os.str();
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Value> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0)
+      return number();
+    fail("unexpected character");
+    return nullptr;
+  }
+
+  std::unique_ptr<Value> object() {
+    consume('{');
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Object;
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      auto key = string_value();
+      if (key == nullptr) return nullptr;
+      if (!consume(':')) {
+        fail("expected ':'");
+        return nullptr;
+      }
+      auto val = value();
+      if (val == nullptr) return nullptr;
+      v->object[key->string] = std::move(val);
+    } while (consume(','));
+    if (!consume('}')) {
+      fail("expected '}'");
+      return nullptr;
+    }
+    return v;
+  }
+
+  std::unique_ptr<Value> array() {
+    consume('[');
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Array;
+    if (consume(']')) return v;
+    do {
+      auto val = value();
+      if (val == nullptr) return nullptr;
+      v->array.push_back(std::move(val));
+    } while (consume(','));
+    if (!consume(']')) {
+      fail("expected ']'");
+      return nullptr;
+    }
+    return v;
+  }
+
+  std::unique_ptr<Value> string_value() {
+    if (!consume('"')) {
+      fail("expected string");
+      return nullptr;
+    }
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::String;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            fail("unsupported escape");
+            return nullptr;
+        }
+      }
+      v->string.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return nullptr;
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  std::unique_ptr<Value> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Number;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty()) {
+      fail("malformed number");
+      return nullptr;
+    }
+    return v;
+  }
+
+  std::unique_ptr<Value> boolean() {
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    fail("expected boolean");
+    return nullptr;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+std::unique_ptr<Value> parse(const std::string& text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+bool get_number(const Value& obj, const std::string& key, bool required,
+                double fallback, double* out, std::string* error) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    if (required) {
+      if (error != nullptr) *error = "missing field \"" + key + "\"";
+      return false;
+    }
+    *out = fallback;
+    return true;
+  }
+  if (it->second->kind != Value::Kind::Number) {
+    if (error != nullptr) *error = "field \"" + key + "\" must be a number";
+    return false;
+  }
+  *out = it->second->number;
+  return true;
+}
+
+bool get_string(const Value& obj, const std::string& key, std::string* out,
+                std::string* error) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second->kind != Value::Kind::String) {
+    if (error != nullptr)
+      *error = "missing or non-string field \"" + key + "\"";
+    return false;
+  }
+  *out = it->second->string;
+  return true;
+}
+
+bool get_bool(const Value& obj, const std::string& key, bool fallback,
+              bool* out, std::string* error) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    *out = fallback;
+    return true;
+  }
+  if (it->second->kind != Value::Kind::Bool) {
+    if (error != nullptr) *error = "field \"" + key + "\" must be a boolean";
+    return false;
+  }
+  *out = it->second->boolean;
+  return true;
+}
+
+const Value* get_array(const Value& root, const std::string& key,
+                       std::string* error, bool* ok) {
+  const auto it = root.object.find(key);
+  if (it == root.object.end()) return nullptr;
+  if (it->second->kind != Value::Kind::Array) {
+    if (error != nullptr) *error = "\"" + key + "\" must be an array";
+    *ok = false;
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+const Value* get_object(const Value& root, const std::string& key,
+                        std::string* error, bool* ok) {
+  const auto it = root.object.find(key);
+  if (it == root.object.end()) return nullptr;
+  if (it->second->kind != Value::Kind::Object) {
+    if (error != nullptr) *error = "\"" + key + "\" must be an object";
+    *ok = false;
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dard::json

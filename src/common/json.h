@@ -1,0 +1,57 @@
+// Minimal JSON reader shared by offline-facing subsystems.
+//
+// Covers exactly what this repo's file formats need — objects, arrays,
+// strings, numbers, booleans; no escapes beyond \" \\ \/ \n \t, no unicode,
+// no null — because every producer is also in this repo (fault plans, run
+// manifests, JSONL trace lines, google-benchmark reports are the consumers'
+// inputs). Baking in a real JSON dependency is not worth it for flat,
+// machine-written files. Originally private to faults/fault_plan.cc; hoisted
+// here when the dardscope trace loader became the second consumer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dard::json {
+
+struct Value {
+  enum class Kind : std::uint8_t { Object, Array, String, Number, Bool };
+  Kind kind = Kind::Object;
+  std::map<std::string, std::unique_ptr<Value>> object;
+  std::vector<std::unique_ptr<Value>> array;
+  std::string string;
+  double number = 0;
+  bool boolean = false;
+};
+
+// Parses one JSON document. Returns null and fills *error (with an offset)
+// on malformed input; trailing non-whitespace is an error.
+[[nodiscard]] std::unique_ptr<Value> parse(const std::string& text,
+                                           std::string* error);
+
+// Field extraction helpers over an object Value. Each sets *error and
+// returns false / null when the field is missing (where required) or
+// mistyped; optional lookups fall back without touching *error.
+bool get_number(const Value& obj, const std::string& key, bool required,
+                double fallback, double* out, std::string* error);
+bool get_string(const Value& obj, const std::string& key, std::string* out,
+                std::string* error);
+bool get_bool(const Value& obj, const std::string& key, bool fallback,
+              bool* out, std::string* error);
+// Returns the array under `key`, or null when absent (not an error) or
+// mistyped (*ok cleared, *error set).
+const Value* get_array(const Value& root, const std::string& key,
+                       std::string* error, bool* ok);
+// Returns the object under `key`, or null when absent or mistyped (only the
+// latter sets *error / clears *ok).
+const Value* get_object(const Value& root, const std::string& key,
+                        std::string* error, bool* ok);
+
+// Serialization helper: escapes a string for embedding in a JSON document
+// produced with plain stream output (quotes, backslashes, control chars).
+[[nodiscard]] std::string escape(const std::string& s);
+
+}  // namespace dard::json

@@ -145,20 +145,12 @@ void DardHostDaemon::run_round() {
       best_monitor = &monitor;
     }
   }
-  if (best) {
-    net_->move_flow(best->flow, best->to);
-    best_monitor->record_move(best->flow, best->from, best->to);
-    ++total_moves_;
-  }
-  if (count) {
-    counters_->moves_proposed->add(proposed);
-    if (best) {
-      counters_->moves_accepted->add();
-      counters_->moves_rejected->add(proposed - 1);
-    } else {
-      counters_->moves_rejected->add(proposed);
-    }
-  }
+  // Emit the round's evaluations BEFORE applying the winning move: the
+  // accepted DardRound event is the *cause* of the FlowMove it triggers, and
+  // causal trace order (decision first, effect after, linked by cause id) is
+  // what dardscope reconstructs timelines from. Emission draws nothing from
+  // the RNG and reads only monitor state, so the decision is unchanged.
+  std::uint64_t accepted_cause = 0;
   if (observer != nullptr) {
     for (const auto& [dst_tor, eval] : evals) {
       if (!eval.considered) continue;
@@ -175,7 +167,25 @@ void DardHostDaemon::run_round() {
       e.delta_threshold = cfg_->delta;
       e.accepted = best.has_value() && best_monitor != nullptr &&
                    best_monitor->dst_tor() == dst_tor;
+      e.cause_id = net_->next_cause_id();
+      if (e.accepted) accepted_cause = e.cause_id;
       observer->on_dard_round(e);
+    }
+  }
+  if (best) {
+    if (accepted_cause != 0) net_->set_move_cause(accepted_cause);
+    net_->move_flow(best->flow, best->to);
+    net_->clear_move_cause();
+    best_monitor->record_move(best->flow, best->from, best->to);
+    ++total_moves_;
+  }
+  if (count) {
+    counters_->moves_proposed->add(proposed);
+    if (best) {
+      counters_->moves_accepted->add();
+      counters_->moves_rejected->add(proposed - 1);
+    } else {
+      counters_->moves_rejected->add(proposed);
     }
   }
   ensure_round_scheduled();

@@ -103,10 +103,32 @@ class DataPlane {
     return nullptr;
   }
 
+  // --- Causal tracing (DESIGN.md §12; inert unless an observer is set). ---
+  // One per-run id space shared by everything that can cause a path move:
+  // DARD scheduling-round decisions and fault-plan transitions draw their
+  // ids here, so a FlowMove trace event can name the exact decision that
+  // produced it. Only trace emitters call these; with tracing disabled the
+  // counter never advances and results stay bit-identical.
+  [[nodiscard]] std::uint64_t next_cause_id() { return ++last_cause_id_; }
+  // Annotates the next move_flow() call's FlowMove event with `id`. Callers
+  // set it immediately before the move and clear it after; substrates
+  // consume it with take_move_cause() when they emit the event.
+  void set_move_cause(std::uint64_t id) { move_cause_ = id; }
+  void clear_move_cause() { move_cause_ = 0; }
+  [[nodiscard]] std::uint64_t take_move_cause() {
+    const std::uint64_t id = move_cause_;
+    move_cause_ = 0;
+    return id;
+  }
+
   // The equal-cost path set `v` selects among.
   const std::vector<topo::Path>& path_set(const FlowView& v) {
     return paths().tor_paths(v.src_tor, v.dst_tor);
   }
+
+ private:
+  std::uint64_t last_cause_id_ = 0;
+  std::uint64_t move_cause_ = 0;
 };
 
 // A flow-scheduling policy — ECMP, pVLB, the DARD host-daemon stack, or the

@@ -1,268 +1,19 @@
 #include "faults/fault_plan.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdint>
-#include <cstdlib>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/json.h"
 
 namespace dard::faults {
 
-namespace {
-
-// Minimal JSON reader covering exactly what a fault plan needs: objects,
-// arrays, strings, numbers, booleans. No escapes beyond \" \\ \/ \n \t, no
-// unicode, no null — plans are flat and small, and a real JSON dependency
-// is not worth baking into the image.
-struct JsonValue {
-  enum class Kind : std::uint8_t { Object, Array, String, Number, Bool };
-  Kind kind = Kind::Object;
-  std::map<std::string, std::unique_ptr<JsonValue>> object;
-  std::vector<std::unique_ptr<JsonValue>> array;
-  std::string string;
-  double number = 0;
-  bool boolean = false;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  std::unique_ptr<JsonValue> parse(std::string* error) {
-    auto v = value();
-    skip_ws();
-    if (v != nullptr && pos_ != text_.size()) fail("trailing characters");
-    if (failed_) {
-      if (error != nullptr) *error = error_;
-      return nullptr;
-    }
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
-      ++pos_;
-  }
-
-  void fail(const std::string& why) {
-    if (failed_) return;
-    failed_ = true;
-    std::ostringstream os;
-    os << why << " at offset " << pos_;
-    error_ = os.str();
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::unique_ptr<JsonValue> value() {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      fail("unexpected end of input");
-      return nullptr;
-    }
-    const char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0)
-      return number();
-    fail("unexpected character");
-    return nullptr;
-  }
-
-  std::unique_ptr<JsonValue> object() {
-    consume('{');
-    auto v = std::make_unique<JsonValue>();
-    v->kind = JsonValue::Kind::Object;
-    if (consume('}')) return v;
-    do {
-      skip_ws();
-      auto key = string_value();
-      if (key == nullptr) return nullptr;
-      if (!consume(':')) {
-        fail("expected ':'");
-        return nullptr;
-      }
-      auto val = value();
-      if (val == nullptr) return nullptr;
-      v->object[key->string] = std::move(val);
-    } while (consume(','));
-    if (!consume('}')) {
-      fail("expected '}'");
-      return nullptr;
-    }
-    return v;
-  }
-
-  std::unique_ptr<JsonValue> array() {
-    consume('[');
-    auto v = std::make_unique<JsonValue>();
-    v->kind = JsonValue::Kind::Array;
-    if (consume(']')) return v;
-    do {
-      auto val = value();
-      if (val == nullptr) return nullptr;
-      v->array.push_back(std::move(val));
-    } while (consume(','));
-    if (!consume(']')) {
-      fail("expected ']'");
-      return nullptr;
-    }
-    return v;
-  }
-
-  std::unique_ptr<JsonValue> string_value() {
-    if (!consume('"')) {
-      fail("expected string");
-      return nullptr;
-    }
-    auto v = std::make_unique<JsonValue>();
-    v->kind = JsonValue::Kind::String;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          default:
-            fail("unsupported escape");
-            return nullptr;
-        }
-      }
-      v->string.push_back(c);
-    }
-    if (pos_ >= text_.size()) {
-      fail("unterminated string");
-      return nullptr;
-    }
-    ++pos_;  // closing quote
-    return v;
-  }
-
-  std::unique_ptr<JsonValue> number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    auto v = std::make_unique<JsonValue>();
-    v->kind = JsonValue::Kind::Number;
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    v->number = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0' || token.empty()) {
-      fail("malformed number");
-      return nullptr;
-    }
-    return v;
-  }
-
-  std::unique_ptr<JsonValue> boolean() {
-    auto v = std::make_unique<JsonValue>();
-    v->kind = JsonValue::Kind::Bool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v->boolean = true;
-      pos_ += 4;
-      return v;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      v->boolean = false;
-      pos_ += 5;
-      return v;
-    }
-    fail("expected boolean");
-    return nullptr;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  bool failed_ = false;
-  std::string error_;
-};
-
-// Field extraction helpers for the plan schema. Each sets *error and
-// returns false / a default when the field is missing or mistyped.
-bool get_number(const JsonValue& obj, const std::string& key, bool required,
-                double fallback, double* out, std::string* error) {
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end()) {
-    if (required) {
-      if (error != nullptr) *error = "missing field \"" + key + "\"";
-      return false;
-    }
-    *out = fallback;
-    return true;
-  }
-  if (it->second->kind != JsonValue::Kind::Number) {
-    if (error != nullptr) *error = "field \"" + key + "\" must be a number";
-    return false;
-  }
-  *out = it->second->number;
-  return true;
-}
-
-bool get_string(const JsonValue& obj, const std::string& key, std::string* out,
-                std::string* error) {
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end() || it->second->kind != JsonValue::Kind::String) {
-    if (error != nullptr)
-      *error = "missing or non-string field \"" + key + "\"";
-    return false;
-  }
-  *out = it->second->string;
-  return true;
-}
-
-bool get_bool(const JsonValue& obj, const std::string& key, bool fallback,
-              bool* out, std::string* error) {
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end()) {
-    *out = fallback;
-    return true;
-  }
-  if (it->second->kind != JsonValue::Kind::Bool) {
-    if (error != nullptr) *error = "field \"" + key + "\" must be a boolean";
-    return false;
-  }
-  *out = it->second->boolean;
-  return true;
-}
-
-const JsonValue* get_array(const JsonValue& root, const std::string& key,
-                           std::string* error, bool* ok) {
-  const auto it = root.object.find(key);
-  if (it == root.object.end()) return nullptr;
-  if (it->second->kind != JsonValue::Kind::Array) {
-    if (error != nullptr) *error = "\"" + key + "\" must be an array";
-    *ok = false;
-    return nullptr;
-  }
-  return it->second.get();
-}
-
-}  // namespace
+using json::get_array;
+using json::get_bool;
+using json::get_number;
+using json::get_string;
+using JsonValue = json::Value;
 
 void FaultPlan::fail_link(Seconds time, std::string a, std::string b) {
   DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
@@ -374,8 +125,7 @@ const std::vector<std::string>& FaultPlan::preset_names() {
 
 std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
                                                std::string* error) {
-  JsonParser parser(text);
-  const auto root = parser.parse(error);
+  const auto root = json::parse(text, error);
   if (root == nullptr) return std::nullopt;
   if (root->kind != JsonValue::Kind::Object) {
     if (error != nullptr) *error = "plan root must be an object";

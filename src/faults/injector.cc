@@ -43,18 +43,35 @@ void FaultInjector::count_injection() {
   if (m_injected_ != nullptr) m_injected_->add();
 }
 
+void FaultInjector::emit_fault(obs::FaultAction action, NodeId a, NodeId b) {
+  obs::SimObserver* const observer = net_->observer();
+  if (observer == nullptr) return;
+  obs::TraceEvent e;
+  e.kind = obs::TraceEventKind::Fault;
+  e.time = net_->events().now();
+  e.fault_action = action;
+  e.src_host = a;
+  e.dst_host = b;
+  // Fault transitions share the cause-id space with DARD rounds (DESIGN.md
+  // §12), so a trace totally orders everything that can reroute traffic.
+  e.cause_id = net_->next_cause_id();
+  observer->on_fault(e);
+}
+
 void FaultInjector::apply_cable(NodeId a, NodeId b, bool fail) {
   int& causes = down_causes_[key(a, b)];
   if (fail) {
     if (causes++ == 0) {
       net_->set_cable_failed(a, b, true);
       count_injection();
+      emit_fault(obs::FaultAction::CableDown, a, b);
     }
   } else {
     DCN_CHECK_MSG(causes > 0, "repairing a cable that was never failed");
     if (--causes == 0) {
       net_->set_cable_failed(a, b, false);
       count_injection();
+      emit_fault(obs::FaultAction::CableUp, a, b);
     }
   }
 }
@@ -85,11 +102,13 @@ void FaultInjector::install() {
       model_.set_degradation(w.query_loss, w.reply_delay);
       if (w.stale) model_.capture_stale(net_->link_state());
       count_injection();
+      emit_fault(obs::FaultAction::ControlWindowStart);
     });
     events.schedule(at(w.end), [this] {
       model_.clear_degradation();
       model_.clear_stale();
       count_injection();
+      emit_fault(obs::FaultAction::ControlWindowEnd);
     });
   }
 }

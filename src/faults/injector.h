@@ -60,6 +60,9 @@ class FaultInjector {
   [[nodiscard]] NodeId resolve(const std::string& name) const;
   void apply_cable(NodeId a, NodeId b, bool fail);
   void count_injection();
+  // Emits a Fault trace event (no-op without an observer). Cable
+  // transitions pass the endpoints; control windows leave them invalid.
+  void emit_fault(obs::FaultAction action, NodeId a = {}, NodeId b = {});
 
   fabric::DataPlane* net_;
   fabric::ControlPlaneModel model_;

@@ -260,6 +260,7 @@ void FlowSimulator::apply_move(Flow& f, PathIndex new_path) {
     e.bonf_from = bonf_from;
     e.bonf_to = bonf_to;
     e.gain = bonf_to - bonf_from;
+    e.cause_id = take_move_cause();
     observer_->on_flow_move(e);
   }
 }

@@ -1,12 +1,23 @@
 #include "harness/experiment.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
 #include "pktsim/agent_router.h"
 
 namespace dard::harness {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+}  // namespace
 
 const char* to_string(SchedulerKind k) {
   switch (k) {
@@ -57,6 +68,7 @@ namespace {
 
 ExperimentResult run_fluid(const topo::Topology& t,
                            const ExperimentConfig& cfg) {
+  const auto wall_start = WallClock::now();
   flowsim::SimConfig sim_cfg;
   sim_cfg.elephant_threshold = cfg.elephant_threshold;
   sim_cfg.realloc_interval = cfg.realloc_interval;
@@ -103,9 +115,14 @@ ExperimentResult run_fluid(const topo::Topology& t,
 
   for (const auto& spec : traffic::generate_workload(t, cfg.workload))
     sim.submit(spec);
-  sim.run_until_flows_done();
 
   ExperimentResult result;
+  result.timings.setup_s = seconds_since(wall_start);
+  const auto wall_run = WallClock::now();
+  sim.run_until_flows_done();
+  result.timings.run_s = seconds_since(wall_run);
+  const auto wall_collect = WallClock::now();
+
   result.scheduler = agent->name();
   result.flows = sim.records().size();
 
@@ -138,11 +155,13 @@ ExperimentResult run_fluid(const topo::Topology& t,
     sampler->sample_now();
     result.series = std::make_shared<obs::TimeSeries>(sampler->take());
   }
+  result.timings.collect_s = seconds_since(wall_collect);
   return result;
 }
 
 ExperimentResult run_packet(const topo::Topology& t,
                             const ExperimentConfig& cfg) {
+  const auto wall_start = WallClock::now();
   // TeXCP routes packets itself; everything else is a ControlAgent behind
   // the AgentRouter adapter — the same objects the fluid substrate runs.
   std::unique_ptr<fabric::ControlAgent> agent;
@@ -207,8 +226,12 @@ ExperimentResult run_packet(const topo::Topology& t,
     ids.push_back(session.add_flow({spec.src_host, spec.dst_host, spec.size,
                                     spec.arrival, spec.src_port,
                                     spec.dst_port}));
+  result.timings.setup_s = seconds_since(wall_start);
+  const auto wall_run = WallClock::now();
   DCN_CHECK_MSG(session.run(cfg.packet_max_time),
                 "packet experiment still running at packet_max_time");
+  result.timings.run_s = seconds_since(wall_run);
+  const auto wall_collect = WallClock::now();
 
   result.flows = ids.size();
   OnlineStats transfer;
@@ -243,6 +266,7 @@ ExperimentResult run_packet(const topo::Topology& t,
     result.recovery = tracker->finalize();
     result.faults_injected = injector->injected();
   }
+  result.timings.collect_s = seconds_since(wall_collect);
   return result;
 }
 

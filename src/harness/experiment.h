@@ -81,6 +81,19 @@ struct ExperimentConfig {
   Seconds texcp_flowlet_gap = 0;   // > 0 = the flowlet future-work variant
 };
 
+// Wall-clock phase profile of one run_experiment call (host time, never
+// simulated time — reading it cannot perturb the simulation). setup covers
+// substrate/agent/telemetry construction and workload generation, run the
+// event loop itself, collect the metric reduction afterwards. Recorded on
+// every run; the cost is four steady_clock reads.
+struct PhaseTimings {
+  double setup_s = 0;
+  double run_s = 0;
+  double collect_s = 0;
+
+  [[nodiscard]] double total_s() const { return setup_s + run_s + collect_s; }
+};
+
 struct ExperimentResult {
   std::string scheduler;
   std::size_t flows = 0;
@@ -107,6 +120,10 @@ struct ExperimentResult {
   // Collected when telemetry.sample_period > 0; null otherwise. Shared so
   // results stay cheap to copy.
   std::shared_ptr<const obs::TimeSeries> series;
+
+  // Wall-clock phase profile (always recorded; nondeterministic by nature,
+  // so never fold it into anything a determinism test hashes).
+  PhaseTimings timings;
 
   [[nodiscard]] double path_switch_percentile(double q) const;
   [[nodiscard]] double max_path_switches() const;

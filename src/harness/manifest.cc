@@ -1,0 +1,107 @@
+#include "harness/manifest.h"
+
+#include "common/json.h"
+#include "obs/observer.h"
+
+namespace dard::harness {
+
+RunManifest build_manifest(const topo::Topology& t,
+                           const ExperimentConfig& cfg,
+                           const ExperimentResult& result) {
+  RunManifest m;
+  m.hosts = t.hosts().size();
+  m.links = t.links().size();
+  m.switches = t.nodes().size() - t.hosts().size();
+  m.scheduler = result.scheduler;
+  m.substrate = to_string(cfg.substrate);
+  m.seed = cfg.workload.seed;
+  m.fault_seed = cfg.faults.seed;
+  m.elephant_threshold_s = cfg.elephant_threshold;
+  m.query_interval_s = cfg.dard.query_interval;
+  m.schedule_base_s = cfg.dard.schedule_base;
+  m.schedule_jitter_s = cfg.dard.schedule_jitter;
+  m.delta_bps = cfg.dard.delta;
+  m.faults_active = cfg.faults.active();
+  m.fault_link_events = cfg.faults.plan.link_events().size();
+  m.fault_switch_events = cfg.faults.plan.switch_events().size();
+  m.fault_control_windows = cfg.faults.plan.control_windows().size();
+  m.first_fault_time_s = cfg.faults.plan.first_fault_time();
+  m.timings = result.timings;
+  m.flows = result.flows;
+  m.avg_transfer_s = result.avg_transfer_time;
+  m.p50_transfer_s =
+      result.transfer_times.empty() ? 0 : result.transfer_times.percentile(0.5);
+  m.p99_transfer_s = result.transfer_times.empty()
+                         ? 0
+                         : result.transfer_times.percentile(0.99);
+  m.reroutes = result.reroutes;
+  m.control_bytes = result.control_bytes;
+  m.peak_elephants = result.peak_elephants;
+  m.faults_injected = result.faults_injected;
+  return m;
+}
+
+void write_manifest_json(std::ostream& os, const RunManifest& m) {
+  const auto str = [](const std::string& s) {
+    return '"' + json::escape(s) + '"';
+  };
+  os << "{\n";
+  os << "  \"manifest_version\": " << kManifestVersion << ",\n";
+  os << "  \"trace_schema_version\": " << obs::kTraceSchemaVersion << ",\n";
+  os << "  \"tool\": " << str(m.tool) << ",\n";
+  os << "  \"argv\": [";
+  for (std::size_t i = 0; i < m.argv.size(); ++i)
+    os << (i > 0 ? ", " : "") << str(m.argv[i]);
+  os << "],\n";
+  os << "  \"topology\": " << str(m.topology) << ",\n";
+  os << "  \"hosts\": " << m.hosts << ",\n";
+  os << "  \"switches\": " << m.switches << ",\n";
+  os << "  \"links\": " << m.links << ",\n";
+  os << "  \"pattern\": " << str(m.pattern) << ",\n";
+  os << "  \"scheduler\": " << str(m.scheduler) << ",\n";
+  os << "  \"substrate\": " << str(m.substrate) << ",\n";
+  os << "  \"seed\": " << m.seed << ",\n";
+  os << "  \"fault_seed\": " << m.fault_seed << ",\n";
+  os << "  \"elephant_threshold_s\": " << m.elephant_threshold_s << ",\n";
+  os << "  \"query_interval_s\": " << m.query_interval_s << ",\n";
+  os << "  \"schedule_base_s\": " << m.schedule_base_s << ",\n";
+  os << "  \"schedule_jitter_s\": " << m.schedule_jitter_s << ",\n";
+  os << "  \"delta_bps\": " << m.delta_bps << ",\n";
+  os << "  \"faults\": {\n";
+  os << "    \"active\": " << (m.faults_active ? "true" : "false") << ",\n";
+  os << "    \"link_events\": " << m.fault_link_events << ",\n";
+  os << "    \"switch_events\": " << m.fault_switch_events << ",\n";
+  os << "    \"control_windows\": " << m.fault_control_windows << ",\n";
+  os << "    \"first_fault_time_s\": " << m.first_fault_time_s << ",\n";
+  os << "    \"injected\": " << m.faults_injected << "\n";
+  os << "  },\n";
+  os << "  \"timings\": {\n";
+  os << "    \"setup_s\": " << m.timings.setup_s << ",\n";
+  os << "    \"run_s\": " << m.timings.run_s << ",\n";
+  os << "    \"collect_s\": " << m.timings.collect_s << "\n";
+  os << "  },\n";
+  os << "  \"results\": {\n";
+  os << "    \"flows\": " << m.flows << ",\n";
+  os << "    \"avg_transfer_s\": " << m.avg_transfer_s << ",\n";
+  os << "    \"p50_transfer_s\": " << m.p50_transfer_s << ",\n";
+  os << "    \"p99_transfer_s\": " << m.p99_transfer_s << ",\n";
+  os << "    \"reroutes\": " << m.reroutes << ",\n";
+  os << "    \"control_bytes\": " << m.control_bytes << ",\n";
+  os << "    \"peak_elephants\": " << m.peak_elephants << "\n";
+  os << "  },\n";
+  os << "  \"files\": {\n";
+  bool first = true;
+  const auto file = [&](const char* key, const std::string& name) {
+    if (name.empty()) return;
+    os << (first ? "" : ",\n") << "    \"" << key << "\": " << str(name);
+    first = false;
+  };
+  file("trace", m.trace_file);
+  file("metrics", m.metrics_file);
+  file("link_samples", m.link_samples_file);
+  file("agg_samples", m.agg_samples_file);
+  os << (first ? "" : "\n") << "  }\n";
+  os << "}\n";
+}
+
+}  // namespace dard::harness

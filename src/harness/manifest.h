@@ -1,0 +1,93 @@
+// Per-run manifest: everything needed to interpret (and re-run) the
+// artifacts a --run-dir holds (DESIGN.md §12).
+//
+// A run directory is the unit dardscope analyzes and diffs. The trace,
+// metrics and sampler files inside it are self-describing only up to a
+// point — which topology, which seeds, which flag values, how long each
+// wall-clock phase took, and which files exist live here. The manifest is
+// one flat JSON object, written by the harness side (this header) and read
+// back generically by scope/run_loader, so adding a field never breaks an
+// older reader.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "topology/topology.h"
+
+namespace dard::harness {
+
+// Bump when a field changes meaning (adding fields is compatible; readers
+// look up what they know and ignore the rest).
+inline constexpr int kManifestVersion = 1;
+
+// Canonical artifact names inside a run directory. dardsim writes them,
+// dardscope looks them up through the manifest's "files" object (falling
+// back to these names when no manifest exists).
+inline constexpr const char* kManifestFile = "manifest.json";
+inline constexpr const char* kTraceFile = "trace.jsonl";
+inline constexpr const char* kMetricsFile = "metrics.csv";
+inline constexpr const char* kLinkSamplesFile = "link_samples.csv";
+inline constexpr const char* kAggSamplesFile = "agg_samples.csv";
+
+struct RunManifest {
+  std::string tool = "dardsim";
+  std::vector<std::string> argv;  // flags as given, for provenance
+
+  // Scenario axes.
+  std::string topology;  // CLI name ("fattree", "clos", "threetier")
+  std::size_t hosts = 0;
+  std::size_t switches = 0;
+  std::size_t links = 0;
+  std::string pattern;
+  std::string scheduler;  // result name ("DARD", "ECMP", ...)
+  std::string substrate;  // "fluid" | "packet"
+
+  // Seeds and the control-loop knobs that shape a trace.
+  std::uint64_t seed = 0;
+  std::uint64_t fault_seed = 0;
+  double elephant_threshold_s = 0;
+  double query_interval_s = 0;
+  double schedule_base_s = 0;
+  double schedule_jitter_s = 0;
+  double delta_bps = 0;
+
+  // Fault plan summary (counts, not the plan itself — plans can be loaded
+  // again from their own file/preset; the manifest records the shape).
+  bool faults_active = false;
+  std::size_t fault_link_events = 0;
+  std::size_t fault_switch_events = 0;
+  std::size_t fault_control_windows = 0;
+  double first_fault_time_s = -1;
+
+  // Wall-clock phases and headline results, copied from ExperimentResult.
+  PhaseTimings timings;
+  std::size_t flows = 0;
+  double avg_transfer_s = 0;
+  double p50_transfer_s = 0;
+  double p99_transfer_s = 0;
+  std::size_t reroutes = 0;
+  std::uint64_t control_bytes = 0;
+  std::size_t peak_elephants = 0;
+  std::uint64_t faults_injected = 0;
+
+  // Artifacts present in the run dir (file names relative to it; empty =
+  // not written for this run).
+  std::string trace_file;
+  std::string metrics_file;
+  std::string link_samples_file;
+  std::string agg_samples_file;
+};
+
+// Fills the scenario/result fields from a finished experiment. The caller
+// sets tool/argv/topology-name/pattern and the artifact file names itself.
+[[nodiscard]] RunManifest build_manifest(const topo::Topology& t,
+                                         const ExperimentConfig& cfg,
+                                         const ExperimentResult& result);
+
+// One JSON object, human-diffable (sorted sections, one field per line).
+void write_manifest_json(std::ostream& os, const RunManifest& m);
+
+}  // namespace dard::harness

@@ -20,9 +20,25 @@ enum class TraceEventKind : std::uint8_t {
   FlowMove,      // flow re-routed from path_from to path_to
   FlowComplete,  // flow drained its last byte
   DardRound,     // one monitor's evaluation within a DARD scheduling round
+  Fault,         // a fault-plan transition was applied to the network
 };
 
+// What a Fault event did to the network (TraceEvent::fault_action).
+enum class FaultAction : std::uint8_t {
+  None,                // not a Fault event
+  CableDown,           // cable src_host--dst_host failed
+  CableUp,             // cable src_host--dst_host repaired
+  ControlWindowStart,  // a control-plane degradation window opened
+  ControlWindowEnd,    // ... and closed
+};
+
+// Version of the JSONL trace schema, emitted as "v" on every line so
+// offline tooling (dardscope) can refuse input it would misread. Bump on
+// any field change; v1 was the PR-1 schema without cause ids.
+inline constexpr int kTraceSchemaVersion = 2;
+
 [[nodiscard]] const char* to_string(TraceEventKind kind);
+[[nodiscard]] const char* to_string(FaultAction action);
 
 // One flat trace record. Fields not meaningful for a given kind keep their
 // defaults; the per-kind schema is documented in DESIGN.md "Observability"
@@ -59,6 +75,16 @@ struct TraceEvent {
   // passed the δ test AND won the host's best-gain comparison (i.e. the
   // flow was actually shifted this round).
   bool accepted = false;
+
+  // Causal link (DESIGN.md §12). Cause ids are assigned monotonically from
+  // one per-run space (fabric::DataPlane::next_cause_id). DardRound and
+  // Fault events carry their own id; a FlowMove carries the id of the
+  // DardRound decision that produced it. 0 = unattributed (tracing off when
+  // the cause fired, or a scheduler that does not annotate its moves).
+  std::uint64_t cause_id = 0;
+
+  // Fault events only: what the transition did.
+  FaultAction fault_action = FaultAction::None;
 };
 
 // Hook interface the simulators emit into. Hooks fire synchronously at
@@ -73,6 +99,7 @@ class SimObserver {
   virtual void on_flow_move(const TraceEvent& /*e*/) {}
   virtual void on_flow_complete(const TraceEvent& /*e*/) {}
   virtual void on_dard_round(const TraceEvent& /*e*/) {}
+  virtual void on_fault(const TraceEvent& /*e*/) {}
 };
 
 inline const char* to_string(TraceEventKind kind) {
@@ -87,6 +114,24 @@ inline const char* to_string(TraceEventKind kind) {
       return "flow_complete";
     case TraceEventKind::DardRound:
       return "dard_round";
+    case TraceEventKind::Fault:
+      return "fault";
+  }
+  return "?";
+}
+
+inline const char* to_string(FaultAction action) {
+  switch (action) {
+    case FaultAction::None:
+      return "none";
+    case FaultAction::CableDown:
+      return "cable_down";
+    case FaultAction::CableUp:
+      return "cable_up";
+    case FaultAction::ControlWindowStart:
+      return "control_window_start";
+    case FaultAction::ControlWindowEnd:
+      return "control_window_end";
   }
   return "?";
 }

@@ -20,7 +20,8 @@ void field_double(std::ostringstream& os, const char* name, double value) {
 
 std::string to_json(const TraceEvent& e) {
   std::ostringstream os;
-  os << "{\"kind\":\"" << to_string(e.kind) << "\",\"t\":" << e.time;
+  os << "{\"v\":" << kTraceSchemaVersion << ",\"kind\":\"" << to_string(e.kind)
+     << "\",\"t\":" << e.time;
   switch (e.kind) {
     case TraceEventKind::FlowArrive:
       field_id(os, "flow", e.flow.value());
@@ -40,6 +41,7 @@ std::string to_json(const TraceEvent& e) {
       field_double(os, "bonf_from", e.bonf_from);
       field_double(os, "bonf_to", e.bonf_to);
       field_double(os, "bonf_delta", e.gain);
+      os << ",\"cause_id\":" << e.cause_id;
       break;
     case TraceEventKind::FlowComplete:
       field_id(os, "flow", e.flow.value());
@@ -55,6 +57,14 @@ std::string to_json(const TraceEvent& e) {
       field_double(os, "est_gain", e.gain);
       field_double(os, "delta", e.delta_threshold);
       os << ",\"accepted\":" << (e.accepted ? "true" : "false");
+      os << ",\"round_id\":" << e.cause_id;
+      break;
+    case TraceEventKind::Fault:
+      os << ",\"action\":\"" << to_string(e.fault_action) << '"';
+      // Cable transitions name the endpoints; control windows have none.
+      if (e.src_host.valid()) field_id(os, "a", e.src_host.value());
+      if (e.dst_host.valid()) field_id(os, "b", e.dst_host.value());
+      os << ",\"fault_id\":" << e.cause_id;
       break;
   }
   os << '}';

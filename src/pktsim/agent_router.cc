@@ -119,6 +119,7 @@ void AgentRouter::move_flow(FlowId id, PathIndex new_path) {
     e.dst_host = fp.dst_host;
     e.path_from = old_path;
     e.path_to = new_path;
+    e.cause_id = take_move_cause();
     observer_->on_flow_move(e);
   }
 }

@@ -1,0 +1,262 @@
+#include "scope/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace dard::scope {
+
+using obs::TraceEvent;
+using obs::TraceEventKind;
+
+std::vector<FlowTimeline> build_timelines(const std::vector<TraceEvent>& trace) {
+  std::map<std::uint32_t, FlowTimeline> by_flow;
+  // cause_id -> trace index of an *accepted* DardRound already seen; used to
+  // resolve each move's causal link as the stream replays in order.
+  std::unordered_map<std::uint64_t, std::ptrdiff_t> rounds_seen;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace[i];
+    switch (e.kind) {
+      case TraceEventKind::FlowArrive: {
+        FlowTimeline& t = by_flow[e.flow.value()];
+        t.flow = e.flow.value();
+        t.arrive_time = e.time;
+        t.src = e.src_host.value();
+        t.dst = e.dst_host.value();
+        t.size = static_cast<double>(e.size);
+        t.first_path = e.path_to;
+        break;
+      }
+      case TraceEventKind::FlowElephant: {
+        FlowTimeline& t = by_flow[e.flow.value()];
+        t.flow = e.flow.value();
+        t.elephant_time = e.time;
+        break;
+      }
+      case TraceEventKind::FlowMove: {
+        FlowTimeline& t = by_flow[e.flow.value()];
+        t.flow = e.flow.value();
+        MoveStep step;
+        step.time = e.time;
+        step.from = e.path_from;
+        step.to = e.path_to;
+        step.bonf_delta = e.gain;
+        step.cause_id = e.cause_id;
+        if (e.cause_id != 0) {
+          const auto it = rounds_seen.find(e.cause_id);
+          if (it != rounds_seen.end()) step.cause_event = it->second;
+        }
+        t.moves.push_back(step);
+        break;
+      }
+      case TraceEventKind::FlowComplete: {
+        FlowTimeline& t = by_flow[e.flow.value()];
+        t.flow = e.flow.value();
+        t.complete_time = e.time;
+        break;
+      }
+      case TraceEventKind::DardRound:
+        if (e.accepted && e.cause_id != 0)
+          rounds_seen[e.cause_id] = static_cast<std::ptrdiff_t>(i);
+        break;
+      case TraceEventKind::Fault:
+        break;
+    }
+  }
+
+  std::vector<FlowTimeline> out;
+  out.reserve(by_flow.size());
+  for (auto& [id, t] : by_flow) out.push_back(std::move(t));
+  return out;
+}
+
+CauseAudit audit_causes(const std::vector<TraceEvent>& trace) {
+  CauseAudit audit;
+  std::set<std::uint64_t> rounds_seen;
+  for (const TraceEvent& e : trace) {
+    if (e.kind == TraceEventKind::DardRound && e.accepted && e.cause_id != 0) {
+      rounds_seen.insert(e.cause_id);
+    } else if (e.kind == TraceEventKind::FlowMove) {
+      ++audit.moves;
+      if (e.cause_id == 0) continue;
+      ++audit.attributed;
+      // Strictly prior: the round id must already be in the seen set when
+      // the move streams past (insertion order == trace order).
+      if (rounds_seen.count(e.cause_id) > 0)
+        ++audit.resolved;
+      else
+        ++audit.dangling;
+    }
+  }
+  return audit;
+}
+
+Convergence analyze_convergence(const std::vector<TraceEvent>& trace,
+                                std::size_t window) {
+  Convergence c;
+  c.oscillation_window = window;
+
+  std::set<double> instants;
+  std::size_t instants_at_last_move = 0;
+  double trace_end = 0;
+  std::size_t evals_at_last_move = 0;
+
+  // Per-flow recent path history: the last `window` paths each flow left,
+  // most recent last. Returning to any of them is one oscillation.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> left_paths;
+  std::set<std::uint32_t> oscillating;
+
+  for (const TraceEvent& e : trace) {
+    trace_end = std::max(trace_end, e.time);
+    if (e.kind == TraceEventKind::DardRound) {
+      ++c.evaluations;
+      instants.insert(e.time);
+    } else if (e.kind == TraceEventKind::FlowMove) {
+      ++c.moves;
+      c.last_move_time = e.time;
+      // A host's round emits its evaluations before the winning move, so
+      // the current instant is already counted here.
+      evals_at_last_move = c.evaluations;
+      instants_at_last_move = instants.size();
+
+      auto& history = left_paths[e.flow.value()];
+      if (std::find(history.begin(), history.end(), e.path_to) !=
+          history.end()) {
+        ++c.oscillations;
+        oscillating.insert(e.flow.value());
+      }
+      history.push_back(e.path_from);
+      if (history.size() > window) history.erase(history.begin());
+    }
+  }
+
+  c.scheduling_instants = instants.size();
+  c.rounds_to_quiescence = evals_at_last_move;
+  c.instants_to_quiescence = instants_at_last_move;
+  if (c.last_move_time >= 0) c.quiescent_tail_s = trace_end - c.last_move_time;
+  c.oscillating_flows.assign(oscillating.begin(), oscillating.end());
+  return c;
+}
+
+ChurnSummary summarize_churn(const std::vector<FlowTimeline>& timelines) {
+  ChurnSummary s;
+  s.flows = timelines.size();
+  for (const FlowTimeline& t : timelines) {
+    if (t.elephant_time >= 0) ++s.elephants;
+    if (t.moves.empty()) continue;
+    ++s.flows_moved;
+    s.total_moves += t.moves.size();
+    if (t.moves.size() > s.max_moves_per_flow) {
+      s.max_moves_per_flow = t.moves.size();
+      s.max_moves_flow = t.flow;
+    }
+  }
+  return s;
+}
+
+UtilizationSummary summarize_utilization(
+    const std::vector<LinkSample>& samples) {
+  UtilizationSummary s;
+  if (samples.empty()) return s;
+  s.recorded = true;
+  s.samples = samples.size();
+  std::set<std::uint32_t> links;
+  double total = 0;
+  for (const LinkSample& sample : samples) {
+    links.insert(sample.link);
+    total += sample.utilization;
+    if (sample.utilization > s.peak_utilization) {
+      s.peak_utilization = sample.utilization;
+      s.peak_link = sample.src + "->" + sample.dst;
+      s.peak_time = sample.time;
+    }
+  }
+  s.links = links.size();
+  s.mean_utilization = total / static_cast<double>(samples.size());
+  return s;
+}
+
+ControlOverhead summarize_control(const RunData& run) {
+  ControlOverhead c;
+  if (run.metrics.empty()) return c;
+  c.recorded = run.metrics.count("dard.control_msgs") > 0;
+  c.control_msgs = run.metric_value("dard.control_msgs");
+  c.monitor_queries = run.metric_value("dard.monitor_queries");
+  c.query_timeouts = run.metric_value("dard.query_timeouts");
+  c.query_retries = run.metric_value("dard.query_retries");
+  c.moves_proposed = run.metric_value("dard.moves_proposed");
+  c.moves_accepted = run.metric_value("dard.moves_accepted");
+  c.moves_rejected = run.metric_value("dard.moves_rejected");
+  c.delta_rejections = run.metric_value("dard.delta_rejections");
+  c.fallback_rounds = run.metric_value("dard.fallback_rounds");
+  return c;
+}
+
+RunDiff diff_runs(const RunData& a, const RunData& b, std::size_t top_n) {
+  RunDiff d;
+  d.comparable = a.manifest != nullptr && b.manifest != nullptr;
+  d.same_seed = a.manifest_number("seed", -1) == b.manifest_number("seed", -2);
+
+  const auto add = [&](const char* name, double va, double vb) {
+    d.metrics.push_back(MetricDelta{name, va, vb});
+  };
+  if (d.comparable) {
+    add("flows", a.manifest_path_number("results.flows"),
+        b.manifest_path_number("results.flows"));
+    add("avg_transfer_s", a.manifest_path_number("results.avg_transfer_s"),
+        b.manifest_path_number("results.avg_transfer_s"));
+    add("p50_transfer_s", a.manifest_path_number("results.p50_transfer_s"),
+        b.manifest_path_number("results.p50_transfer_s"));
+    add("p99_transfer_s", a.manifest_path_number("results.p99_transfer_s"),
+        b.manifest_path_number("results.p99_transfer_s"));
+    add("reroutes", a.manifest_path_number("results.reroutes"),
+        b.manifest_path_number("results.reroutes"));
+    add("control_bytes", a.manifest_path_number("results.control_bytes"),
+        b.manifest_path_number("results.control_bytes"));
+    add("peak_elephants", a.manifest_path_number("results.peak_elephants"),
+        b.manifest_path_number("results.peak_elephants"));
+  }
+  if (!a.metrics.empty() || !b.metrics.empty()) {
+    for (const char* name :
+         {"dard.moves_accepted", "dard.moves_rejected", "dard.control_msgs",
+          "dard.monitor_queries", "dard.query_timeouts"}) {
+      const double va = a.metric_value(name);
+      const double vb = b.metric_value(name);
+      if (va != 0 || vb != 0) add(name, va, vb);
+    }
+  }
+
+  // Per-flow completion-time comparison, matched by flow id.
+  std::unordered_map<std::uint32_t, double> a_transfer;
+  for (const FlowTimeline& t : build_timelines(a.trace))
+    if (t.transfer_s() >= 0) a_transfer[t.flow] = t.transfer_s();
+  std::vector<FlowRegression> regressions;
+  for (const FlowTimeline& t : build_timelines(b.trace)) {
+    if (t.transfer_s() < 0) continue;
+    const auto it = a_transfer.find(t.flow);
+    if (it == a_transfer.end()) continue;
+    ++d.matched_flows;
+    FlowRegression r;
+    r.flow = t.flow;
+    r.a_transfer_s = it->second;
+    r.b_transfer_s = t.transfer_s();
+    if (r.delta_s() > 1e-9) {
+      ++d.regressed_flows;
+      regressions.push_back(r);
+    } else if (r.delta_s() < -1e-9) {
+      ++d.improved_flows;
+    }
+  }
+  std::sort(regressions.begin(), regressions.end(),
+            [](const FlowRegression& x, const FlowRegression& y) {
+              return x.delta_s() > y.delta_s() ||
+                     (x.delta_s() == y.delta_s() && x.flow < y.flow);
+            });
+  if (regressions.size() > top_n) regressions.resize(top_n);
+  d.top_regressions = std::move(regressions);
+  return d;
+}
+
+}  // namespace dard::scope

@@ -1,0 +1,175 @@
+// Offline trace analyses (DESIGN.md §12): per-flow timelines, causal-link
+// validation, convergence diagnostics, churn / utilization / control
+// overhead summaries, and A/B run comparison.
+//
+// Everything here is a pure function of loaded RunData — no simulator
+// types, no side effects — so analyses compose and test in isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scope/run_loader.h"
+
+namespace dard::scope {
+
+// One path change of one flow, with its causal attribution.
+struct MoveStep {
+  double time = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double bonf_delta = 0;        // ground-truth gain at move time
+  std::uint64_t cause_id = 0;   // 0 = unattributed
+  // Index into the trace of the DardRound event this move resolved to, or
+  // -1 (unattributed / dangling). Resolution requires the round to appear
+  // strictly before the move in the trace.
+  std::ptrdiff_t cause_event = -1;
+};
+
+// Lifecycle of one flow reassembled from the event stream.
+struct FlowTimeline {
+  std::uint32_t flow = 0;
+  double arrive_time = -1;
+  double elephant_time = -1;  // -1 = never promoted
+  double complete_time = -1;  // -1 = still active at end of trace
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double size = 0;
+  std::uint32_t first_path = 0;
+  std::vector<MoveStep> moves;
+
+  [[nodiscard]] double transfer_s() const {
+    return complete_time >= 0 && arrive_time >= 0
+               ? complete_time - arrive_time
+               : -1;
+  }
+};
+
+// Builds per-flow timelines in flow-id order. Trace order is event order;
+// flows appearing mid-trace (ring-buffer truncation) get arrive_time -1.
+[[nodiscard]] std::vector<FlowTimeline> build_timelines(
+    const std::vector<obs::TraceEvent>& trace);
+
+// Causal-link audit over every FlowMove in the trace.
+struct CauseAudit {
+  std::size_t moves = 0;        // all FlowMove events
+  std::size_t attributed = 0;   // cause_id != 0
+  std::size_t resolved = 0;     // cause resolves to a prior accepted DardRound
+  std::size_t dangling = 0;     // cause_id != 0 but no such prior round
+  [[nodiscard]] bool clean() const { return dangling == 0; }
+};
+
+[[nodiscard]] CauseAudit audit_causes(
+    const std::vector<obs::TraceEvent>& trace);
+
+// Convergence diagnostics. A "round" is one DardRound evaluation (each has
+// a unique round id); "scheduling instants" groups evaluations that fired
+// at the same simulated time (one host's round visits several monitors).
+struct Convergence {
+  std::size_t evaluations = 0;          // DardRound events
+  std::size_t scheduling_instants = 0;  // distinct DardRound timestamps
+  std::size_t moves = 0;                // accepted evaluations
+  // Evaluations (resp. instants) up to and including the last accepted
+  // move: how much scheduling work it took to reach quiescence. 0 when the
+  // trace has no accepted move.
+  std::size_t rounds_to_quiescence = 0;
+  std::size_t instants_to_quiescence = 0;
+  double last_move_time = -1;           // -1 = no moves
+  double quiescent_tail_s = 0;          // trace span after the last move
+  // Oscillation: a flow moving back to a path it left within the last
+  // `window` of its own moves (window measured in moves, i.e. A->B ...
+  // ->A with at most `window` intervening moves of that flow).
+  std::size_t oscillation_window = 0;
+  std::size_t oscillations = 0;
+  std::vector<std::uint32_t> oscillating_flows;  // unique, ascending
+};
+
+[[nodiscard]] Convergence analyze_convergence(
+    const std::vector<obs::TraceEvent>& trace, std::size_t window = 4);
+
+// Path-churn summary over the flow timelines.
+struct ChurnSummary {
+  std::size_t flows = 0;
+  std::size_t elephants = 0;
+  std::size_t flows_moved = 0;
+  std::size_t total_moves = 0;
+  std::size_t max_moves_per_flow = 0;
+  std::uint32_t max_moves_flow = 0;  // a flow achieving the max
+  [[nodiscard]] double moves_per_elephant() const {
+    return elephants == 0 ? 0
+                          : static_cast<double>(total_moves) /
+                                static_cast<double>(elephants);
+  }
+};
+
+[[nodiscard]] ChurnSummary summarize_churn(
+    const std::vector<FlowTimeline>& timelines);
+
+// Link-utilization summary from the link sampler CSV.
+struct UtilizationSummary {
+  bool recorded = false;  // false = run had no link samples
+  std::size_t links = 0;
+  std::size_t samples = 0;
+  double mean_utilization = 0;  // over all (link, time) samples
+  double peak_utilization = 0;
+  std::string peak_link;        // "src->dst" of the hottest sample
+  double peak_time = 0;
+};
+
+[[nodiscard]] UtilizationSummary summarize_utilization(
+    const std::vector<LinkSample>& samples);
+
+// Control-plane overhead from the dard.* counters (zeros when the run had
+// no metrics file or a non-DARD scheduler).
+struct ControlOverhead {
+  bool recorded = false;
+  double control_msgs = 0;
+  double monitor_queries = 0;
+  double query_timeouts = 0;
+  double query_retries = 0;
+  double moves_proposed = 0;
+  double moves_accepted = 0;
+  double moves_rejected = 0;
+  double delta_rejections = 0;
+  double fallback_rounds = 0;
+};
+
+[[nodiscard]] ControlOverhead summarize_control(const RunData& run);
+
+// A/B comparison. Metric deltas come from manifest results and counters;
+// per-flow regressions match completed flows by id across the two runs
+// (meaningful when both runs used the same workload seed — the diff says so
+// when seeds differ).
+struct MetricDelta {
+  std::string name;
+  double a = 0;
+  double b = 0;
+  [[nodiscard]] double delta() const { return b - a; }
+  [[nodiscard]] double percent() const {
+    return a == 0 ? 0 : (b - a) / a * 100.0;
+  }
+};
+
+struct FlowRegression {
+  std::uint32_t flow = 0;
+  double a_transfer_s = 0;
+  double b_transfer_s = 0;
+  [[nodiscard]] double delta_s() const { return b_transfer_s - a_transfer_s; }
+};
+
+struct RunDiff {
+  bool same_seed = true;
+  bool comparable = true;  // both runs have manifests
+  std::vector<MetricDelta> metrics;
+  std::size_t matched_flows = 0;
+  std::size_t regressed_flows = 0;  // completion time got worse in B
+  std::size_t improved_flows = 0;
+  // Worst regressions first, capped by the caller's request.
+  std::vector<FlowRegression> top_regressions;
+};
+
+[[nodiscard]] RunDiff diff_runs(const RunData& a, const RunData& b,
+                                std::size_t top_n = 10);
+
+}  // namespace dard::scope

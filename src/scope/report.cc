@@ -1,0 +1,281 @@
+#include "scope/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dard::scope {
+
+namespace {
+
+// Fixed-point helper: the reports print seconds with ms precision and
+// counts as integers; std::ostream default formatting drifts per value.
+std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_count(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+Report build_report(const RunData& run, std::size_t oscillation_window) {
+  Report r;
+  r.source = run.source;
+  r.scheduler = run.manifest_string("scheduler");
+  r.topology = run.manifest_string("topology");
+  r.substrate = run.manifest_string("substrate");
+  r.pattern = run.manifest_string("pattern");
+  r.seed = run.manifest_number("seed", -1);
+  r.trace_events = run.trace.size();
+  for (const auto& e : run.trace)
+    if (e.kind == obs::TraceEventKind::Fault) ++r.fault_events;
+  r.timelines = build_timelines(run.trace);
+  r.causes = audit_causes(run.trace);
+  r.convergence = analyze_convergence(run.trace, oscillation_window);
+  r.churn = summarize_churn(r.timelines);
+  r.utilization = summarize_utilization(run.link_samples);
+  r.control = summarize_control(run);
+  r.setup_s = run.manifest_path_number("timings.setup_s");
+  r.run_s = run.manifest_path_number("timings.run_s");
+  r.collect_s = run.manifest_path_number("timings.collect_s");
+  return r;
+}
+
+void write_text(std::ostream& os, const Report& r) {
+  os << "run: " << r.source << '\n';
+  if (!r.scheduler.empty()) {
+    os << "scenario: " << r.scheduler << " on " << r.topology << " ("
+       << r.substrate << " substrate), " << r.pattern << " pattern, seed "
+       << fmt_count(r.seed) << '\n';
+    os << "wall clock: setup " << fmt(r.setup_s) << " s, run " << fmt(r.run_s)
+       << " s, collect " << fmt(r.collect_s) << " s\n";
+  }
+  os << "trace: " << r.trace_events << " events, " << r.timelines.size()
+     << " flows";
+  if (r.fault_events > 0) os << ", " << r.fault_events << " fault transitions";
+  os << '\n';
+
+  os << "\ncausal links\n";
+  os << "  moves: " << r.causes.moves << " (" << r.causes.attributed
+     << " attributed to a DARD round)\n";
+  os << "  resolved to a prior round: " << r.causes.resolved << '\n';
+  os << "  dangling cause ids: " << r.causes.dangling
+     << (r.causes.clean() ? " (clean)" : " (BROKEN TRACE)") << '\n';
+
+  os << "\nconvergence\n";
+  os << "  evaluations: " << r.convergence.evaluations << " across "
+     << r.convergence.scheduling_instants << " scheduling instants\n";
+  os << "  accepted moves: " << r.convergence.moves << '\n';
+  if (r.convergence.moves > 0) {
+    os << "  quiescence: after " << r.convergence.rounds_to_quiescence
+       << " evaluations (" << r.convergence.instants_to_quiescence
+       << " instants), last move at t=" << fmt(r.convergence.last_move_time)
+       << " s, quiet for " << fmt(r.convergence.quiescent_tail_s)
+       << " s after\n";
+  } else {
+    os << "  quiescence: immediate (no moves)\n";
+  }
+  os << "  oscillations (window " << r.convergence.oscillation_window
+     << " moves): " << r.convergence.oscillations;
+  if (!r.convergence.oscillating_flows.empty()) {
+    os << " [flows";
+    for (const auto f : r.convergence.oscillating_flows) os << ' ' << f;
+    os << ']';
+  }
+  os << '\n';
+
+  os << "\npath churn\n";
+  os << "  flows: " << r.churn.flows << " (" << r.churn.elephants
+     << " elephants), moved: " << r.churn.flows_moved << '\n';
+  os << "  total moves: " << r.churn.total_moves << " ("
+     << fmt(r.churn.moves_per_elephant(), 2) << " per elephant)\n";
+  if (r.churn.max_moves_per_flow > 0)
+    os << "  most-moved flow: " << r.churn.max_moves_flow << " with "
+       << r.churn.max_moves_per_flow << " moves\n";
+
+  os << "\nlink utilization\n";
+  if (r.utilization.recorded) {
+    os << "  " << r.utilization.links << " links, " << r.utilization.samples
+       << " samples, mean " << fmt(r.utilization.mean_utilization) << '\n';
+    os << "  peak " << fmt(r.utilization.peak_utilization) << " on "
+       << r.utilization.peak_link << " at t=" << fmt(r.utilization.peak_time)
+       << " s\n";
+  } else {
+    os << "  not recorded (run without --samples / --run-dir)\n";
+  }
+
+  os << "\ncontrol overhead\n";
+  if (r.control.recorded) {
+    os << "  control messages: " << fmt_count(r.control.control_msgs)
+       << " (" << fmt_count(r.control.monitor_queries) << " monitor queries, "
+       << fmt_count(r.control.query_timeouts) << " timeouts, "
+       << fmt_count(r.control.query_retries) << " retries)\n";
+    os << "  moves: " << fmt_count(r.control.moves_proposed) << " proposed, "
+       << fmt_count(r.control.moves_accepted) << " accepted, "
+       << fmt_count(r.control.moves_rejected) << " rejected ("
+       << fmt_count(r.control.delta_rejections) << " delta rejections, "
+       << fmt_count(r.control.fallback_rounds) << " fallback rounds)\n";
+  } else {
+    os << "  not recorded (run without --metrics / --run-dir, or non-DARD "
+          "scheduler)\n";
+  }
+}
+
+void write_markdown(std::ostream& os, const Report& r) {
+  os << "# dardscope report\n\n";
+  os << "run: `" << r.source << "`\n\n";
+  if (!r.scheduler.empty()) {
+    os << "**" << r.scheduler << "** on " << r.topology << " ("
+       << r.substrate << " substrate), " << r.pattern << " pattern, seed "
+       << fmt_count(r.seed) << ". Wall clock: setup " << fmt(r.setup_s)
+       << " s, run " << fmt(r.run_s) << " s, collect " << fmt(r.collect_s)
+       << " s.\n\n";
+  }
+  os << "| metric | value |\n|---|---|\n";
+  os << "| trace events | " << r.trace_events << " |\n";
+  os << "| flows | " << r.timelines.size() << " |\n";
+  os << "| fault transitions | " << r.fault_events << " |\n";
+  os << "| moves | " << r.causes.moves << " |\n";
+  os << "| moves attributed | " << r.causes.attributed << " |\n";
+  os << "| moves resolved to a prior round | " << r.causes.resolved << " |\n";
+  os << "| dangling cause ids | " << r.causes.dangling << " |\n";
+  os << "| DARD evaluations | " << r.convergence.evaluations << " |\n";
+  os << "| scheduling instants | " << r.convergence.scheduling_instants
+     << " |\n";
+  os << "| evaluations to quiescence | " << r.convergence.rounds_to_quiescence
+     << " |\n";
+  if (r.convergence.moves > 0)
+    os << "| last move at | " << fmt(r.convergence.last_move_time)
+       << " s |\n";
+  os << "| oscillations (window " << r.convergence.oscillation_window
+     << ") | " << r.convergence.oscillations << " |\n";
+  os << "| elephants | " << r.churn.elephants << " |\n";
+  os << "| moves per elephant | " << fmt(r.churn.moves_per_elephant(), 2)
+     << " |\n";
+  if (r.utilization.recorded) {
+    os << "| mean link utilization | " << fmt(r.utilization.mean_utilization)
+       << " |\n";
+    os << "| peak link utilization | " << fmt(r.utilization.peak_utilization)
+       << " (`" << r.utilization.peak_link << "`) |\n";
+  }
+  if (r.control.recorded) {
+    os << "| control messages | " << fmt_count(r.control.control_msgs)
+       << " |\n";
+    os << "| moves accepted / rejected | "
+       << fmt_count(r.control.moves_accepted) << " / "
+       << fmt_count(r.control.moves_rejected) << " |\n";
+  }
+  os << '\n';
+}
+
+bool write_flow_text(std::ostream& os, const Report& r, std::uint32_t flow) {
+  const auto it =
+      std::find_if(r.timelines.begin(), r.timelines.end(),
+                   [&](const FlowTimeline& t) { return t.flow == flow; });
+  if (it == r.timelines.end()) return false;
+  const FlowTimeline& t = *it;
+  os << "flow " << t.flow << ": " << t.src << " -> " << t.dst << ", "
+     << fmt(t.size / 1048576.0, 1) << " MiB\n";
+  if (t.arrive_time >= 0)
+    os << "  t=" << fmt(t.arrive_time) << "  arrive on path " << t.first_path
+       << '\n';
+  if (t.elephant_time >= 0)
+    os << "  t=" << fmt(t.elephant_time) << "  becomes elephant\n";
+  for (const MoveStep& m : t.moves) {
+    os << "  t=" << fmt(m.time) << "  move " << m.from << " -> " << m.to
+       << " (bonf delta " << fmt(m.bonf_delta / 1e6, 1) << " Mbps, ";
+    if (m.cause_id == 0)
+      os << "unattributed";
+    else if (m.cause_event >= 0)
+      os << "round " << m.cause_id;
+    else
+      os << "DANGLING cause " << m.cause_id;
+    os << ")\n";
+  }
+  if (t.complete_time >= 0)
+    os << "  t=" << fmt(t.complete_time) << "  complete (transfer "
+       << fmt(t.transfer_s()) << " s)\n";
+  else
+    os << "  (still active at end of trace)\n";
+  return true;
+}
+
+namespace {
+
+void write_diff_header(std::ostream& os, const RunData& a, const RunData& b,
+                       const RunDiff& d, bool markdown) {
+  if (markdown) {
+    os << "# dardscope diff\n\n";
+    os << "A: `" << a.source << "` (" << a.manifest_string("scheduler", "?")
+       << ")\n";
+    os << "B: `" << b.source << "` (" << b.manifest_string("scheduler", "?")
+       << ")\n\n";
+  } else {
+    os << "A: " << a.source << " (" << a.manifest_string("scheduler", "?")
+       << ")\n";
+    os << "B: " << b.source << " (" << b.manifest_string("scheduler", "?")
+       << ")\n";
+  }
+  if (!d.comparable)
+    os << (markdown ? "\n> " : "")
+       << "note: at least one run has no manifest; metric deltas are "
+          "limited to counters\n";
+  if (!d.same_seed)
+    os << (markdown ? "\n> " : "")
+       << "note: runs used different workload seeds; per-flow comparison "
+          "matches different workloads\n";
+  os << '\n';
+}
+
+}  // namespace
+
+void write_diff_text(std::ostream& os, const RunData& a, const RunData& b,
+                     const RunDiff& d) {
+  write_diff_header(os, a, b, d, /*markdown=*/false);
+  os << "metric deltas (B - A)\n";
+  for (const MetricDelta& m : d.metrics) {
+    os << "  " << m.name << ": " << m.a << " -> " << m.b << " ("
+       << (m.delta() >= 0 ? "+" : "") << m.delta();
+    if (m.a != 0)
+      os << ", " << (m.percent() >= 0 ? "+" : "") << fmt(m.percent(), 1)
+         << '%';
+    os << ")\n";
+  }
+  os << "\nper-flow completion times (" << d.matched_flows
+     << " matched flows)\n";
+  os << "  regressed: " << d.regressed_flows
+     << ", improved: " << d.improved_flows << '\n';
+  for (const FlowRegression& f : d.top_regressions)
+    os << "  flow " << f.flow << ": " << fmt(f.a_transfer_s) << " s -> "
+       << fmt(f.b_transfer_s) << " s (+" << fmt(f.delta_s()) << " s)\n";
+}
+
+void write_diff_markdown(std::ostream& os, const RunData& a, const RunData& b,
+                         const RunDiff& d) {
+  write_diff_header(os, a, b, d, /*markdown=*/true);
+  os << "| metric | A | B | delta |\n|---|---|---|---|\n";
+  for (const MetricDelta& m : d.metrics) {
+    os << "| " << m.name << " | " << m.a << " | " << m.b << " | "
+       << (m.delta() >= 0 ? "+" : "") << m.delta();
+    if (m.a != 0)
+      os << " (" << (m.percent() >= 0 ? "+" : "") << fmt(m.percent(), 1)
+         << "%)";
+    os << " |\n";
+  }
+  os << "\n**Per-flow completion times** — " << d.matched_flows
+     << " matched, " << d.regressed_flows << " regressed, "
+     << d.improved_flows << " improved.\n";
+  if (!d.top_regressions.empty()) {
+    os << "\n| flow | A (s) | B (s) | delta (s) |\n|---|---|---|---|\n";
+    for (const FlowRegression& f : d.top_regressions)
+      os << "| " << f.flow << " | " << fmt(f.a_transfer_s) << " | "
+         << fmt(f.b_transfer_s) << " | +" << fmt(f.delta_s()) << " |\n";
+  }
+}
+
+}  // namespace dard::scope

@@ -1,0 +1,53 @@
+// Report rendering for dardscope: one Report struct per run assembling
+// every analysis, written as plain text (terminal) or markdown (CI
+// artifacts); plus the A/B diff report.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "scope/analysis.h"
+#include "scope/run_loader.h"
+
+namespace dard::scope {
+
+struct Report {
+  std::string source;
+  // Scenario line from the manifest; empty fields when analyzing a bare
+  // trace file.
+  std::string scheduler;
+  std::string topology;
+  std::string substrate;
+  std::string pattern;
+  double seed = -1;
+
+  std::size_t trace_events = 0;
+  std::size_t fault_events = 0;
+  std::vector<FlowTimeline> timelines;
+  CauseAudit causes;
+  Convergence convergence;
+  ChurnSummary churn;
+  UtilizationSummary utilization;
+  ControlOverhead control;
+  // Wall-clock phases from the manifest (all zero for a bare trace).
+  double setup_s = 0;
+  double run_s = 0;
+  double collect_s = 0;
+};
+
+[[nodiscard]] Report build_report(const RunData& run,
+                                  std::size_t oscillation_window = 4);
+
+void write_text(std::ostream& os, const Report& r);
+void write_markdown(std::ostream& os, const Report& r);
+
+// One flow's timeline in detail (the `dardscope flow` subcommand). Returns
+// false when the flow does not appear in the report's trace.
+bool write_flow_text(std::ostream& os, const Report& r, std::uint32_t flow);
+
+void write_diff_text(std::ostream& os, const RunData& a, const RunData& b,
+                     const RunDiff& d);
+void write_diff_markdown(std::ostream& os, const RunData& a, const RunData& b,
+                         const RunDiff& d);
+
+}  // namespace dard::scope

@@ -1,0 +1,242 @@
+#include "scope/run_loader.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/manifest.h"
+#include "scope/trace_load.h"
+
+namespace dard::scope {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Splits one CSV line on commas (the repo's CSV writers never quote — link
+// names and metric names contain no commas by construction).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+double to_number(const std::string& s) {
+  if (s.empty()) return 0;
+  try {
+    return std::stod(s);
+  } catch (...) {
+    return 0;
+  }
+}
+
+bool load_metrics_csv(const std::string& path,
+                      std::map<std::string, MetricRow>* out,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open metrics file: " + path;
+    return false;
+  }
+  std::string line;
+  std::getline(in, line);  // header: name,kind,count,value,mean,min,max
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    if (cells.size() < 4) {
+      *error = "malformed metrics row in " + path + ": " + line;
+      return false;
+    }
+    MetricRow row;
+    row.kind = cells[1];
+    row.count = to_number(cells[2]);
+    row.value = to_number(cells[3]);
+    if (cells.size() >= 7) {
+      row.mean = to_number(cells[4]);
+      row.min = to_number(cells[5]);
+      row.max = to_number(cells[6]);
+    }
+    (*out)[cells[0]] = row;
+  }
+  return true;
+}
+
+bool load_link_samples_csv(const std::string& path,
+                           std::vector<LinkSample>* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open link samples file: " + path;
+    return false;
+  }
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    if (cells.size() < 7) {
+      *error = "malformed link sample row in " + path + ": " + line;
+      return false;
+    }
+    LinkSample s;
+    s.time = to_number(cells[0]);
+    s.link = static_cast<std::uint32_t>(to_number(cells[1]));
+    s.src = cells[2];
+    s.dst = cells[3];
+    s.capacity_bps = to_number(cells[4]);
+    s.used_bps = to_number(cells[5]);
+    s.utilization = to_number(cells[6]);
+    out->push_back(std::move(s));
+  }
+  return true;
+}
+
+bool load_agg_samples_csv(const std::string& path, std::vector<AggSample>* out,
+                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open aggregate samples file: " + path;
+    return false;
+  }
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    if (cells.size() < 5) {
+      *error = "malformed aggregate sample row in " + path + ": " + line;
+      return false;
+    }
+    AggSample s;
+    s.time = to_number(cells[0]);
+    s.active_flows = to_number(cells[1]);
+    s.active_elephants = to_number(cells[2]);
+    s.throughput_bps = to_number(cells[3]);
+    s.max_utilization = to_number(cells[4]);
+    out->push_back(s);
+  }
+  return true;
+}
+
+// Artifact file name from the manifest's "files" object, else the canonical
+// name; empty when the manifest explicitly recorded no such artifact.
+std::string artifact_name(const json::Value* manifest, const char* key,
+                          const char* canonical) {
+  if (manifest == nullptr) return canonical;
+  std::string error;
+  bool ok = true;
+  const json::Value* files = json::get_object(*manifest, "files", &error, &ok);
+  if (files == nullptr) return canonical;
+  std::string name;
+  if (!json::get_string(*files, key, &name, &error)) return "";
+  return name;
+}
+
+const json::Value* find_path(const json::Value* v, const std::string& dotted) {
+  std::istringstream in(dotted);
+  std::string part;
+  while (v != nullptr && std::getline(in, part, '.')) {
+    if (v->kind != json::Value::Kind::Object) return nullptr;
+    const auto it = v->object.find(part);
+    v = it == v->object.end() ? nullptr : it->second.get();
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string RunData::manifest_string(const std::string& key,
+                                     std::string fallback) const {
+  const json::Value* v = find_path(manifest.get(), key);
+  return v != nullptr && v->kind == json::Value::Kind::String ? v->string
+                                                              : fallback;
+}
+
+double RunData::manifest_number(const std::string& key, double fallback) const {
+  return manifest_path_number(key, fallback);
+}
+
+double RunData::manifest_path_number(const std::string& dotted,
+                                     double fallback) const {
+  const json::Value* v = find_path(manifest.get(), dotted);
+  if (v == nullptr) return fallback;
+  if (v->kind == json::Value::Kind::Number) return v->number;
+  if (v->kind == json::Value::Kind::Bool) return v->boolean ? 1 : 0;
+  return fallback;
+}
+
+double RunData::metric_value(const std::string& name, double fallback) const {
+  const auto it = metrics.find(name);
+  return it == metrics.end() ? fallback : it->second.value;
+}
+
+bool load_run(const std::string& path, RunData* out, std::string* error) {
+  out->source = path;
+  std::error_code ec;
+  out->is_directory = fs::is_directory(path, ec);
+
+  if (!out->is_directory) {
+    // Bare trace file: trace-only analyses.
+    return load_trace_file(path, &out->trace, error);
+  }
+
+  const fs::path dir(path);
+  const fs::path manifest_path = dir / harness::kManifestFile;
+  if (fs::exists(manifest_path, ec)) {
+    std::ifstream in(manifest_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = json::parse(buf.str(), error);
+    if (!parsed) {
+      *error = manifest_path.string() + ": " + *error;
+      return false;
+    }
+    double version = 0;
+    if (!json::get_number(*parsed, "manifest_version", /*required=*/true, 0,
+                          &version, error)) {
+      *error = manifest_path.string() + ": " + *error;
+      return false;
+    }
+    if (static_cast<int>(version) > harness::kManifestVersion) {
+      std::ostringstream os;
+      os << manifest_path.string() << ": manifest version "
+         << static_cast<int>(version) << " is newer than this dardscope ("
+         << harness::kManifestVersion << ')';
+      *error = os.str();
+      return false;
+    }
+    out->manifest = std::move(parsed);
+  }
+
+  const auto resolve = [&](const char* key,
+                           const char* canonical) -> std::string {
+    const std::string name =
+        artifact_name(out->manifest.get(), key, canonical);
+    if (name.empty()) return "";
+    const fs::path p = dir / name;
+    std::error_code exists_ec;
+    return fs::exists(p, exists_ec) ? p.string() : "";
+  };
+
+  const std::string trace_path = resolve("trace", harness::kTraceFile);
+  if (trace_path.empty()) {
+    *error = "no trace file in run dir " + path + " (expected " +
+             harness::kTraceFile + ")";
+    return false;
+  }
+  if (!load_trace_file(trace_path, &out->trace, error)) return false;
+
+  if (const auto p = resolve("metrics", harness::kMetricsFile); !p.empty())
+    if (!load_metrics_csv(p, &out->metrics, error)) return false;
+  if (const auto p = resolve("link_samples", harness::kLinkSamplesFile);
+      !p.empty())
+    if (!load_link_samples_csv(p, &out->link_samples, error)) return false;
+  if (const auto p = resolve("agg_samples", harness::kAggSamplesFile);
+      !p.empty())
+    if (!load_agg_samples_csv(p, &out->agg_samples, error)) return false;
+  return true;
+}
+
+}  // namespace dard::scope

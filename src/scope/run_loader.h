@@ -1,0 +1,83 @@
+// Run-directory loader: dardscope's input side (DESIGN.md §12).
+//
+// A "run" is either a directory dardsim wrote with --run-dir (manifest +
+// trace + metrics + sampler CSVs) or a bare trace.jsonl (trace-only
+// analyses still work; everything fed by the other artifacts degrades to
+// "not recorded"). The manifest is kept as a generic parsed JSON value plus
+// typed accessors for the fields the reports use, so a newer manifest never
+// breaks an older dardscope.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/observer.h"
+
+namespace dard::scope {
+
+// One metrics.csv row (obs::MetricsRegistry::write_csv). Latency rows carry
+// mean/min/max; counters and gauges leave them at 0.
+struct MetricRow {
+  std::string kind;  // "counter" | "gauge" | "latency"
+  double count = 0;
+  double value = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+};
+
+// One link_samples.csv row.
+struct LinkSample {
+  double time = 0;
+  std::uint32_t link = 0;
+  std::string src;
+  std::string dst;
+  double capacity_bps = 0;
+  double used_bps = 0;
+  double utilization = 0;
+};
+
+// One agg_samples.csv row.
+struct AggSample {
+  double time = 0;
+  double active_flows = 0;
+  double active_elephants = 0;
+  double throughput_bps = 0;
+  double max_utilization = 0;
+};
+
+struct RunData {
+  std::string source;  // the path given on the command line
+  bool is_directory = false;
+
+  // Present only for a run directory with a manifest.json.
+  std::unique_ptr<json::Value> manifest;
+
+  std::vector<obs::TraceEvent> trace;
+  std::map<std::string, MetricRow> metrics;       // empty = not recorded
+  std::vector<LinkSample> link_samples;           // empty = not recorded
+  std::vector<AggSample> agg_samples;             // empty = not recorded
+
+  // Manifest lookups; fall back when the manifest (or the field) is absent.
+  [[nodiscard]] std::string manifest_string(const std::string& key,
+                                            std::string fallback = "") const;
+  [[nodiscard]] double manifest_number(const std::string& key,
+                                       double fallback = 0) const;
+  // Dotted path into a nested object, e.g. "results.avg_transfer_s".
+  [[nodiscard]] double manifest_path_number(const std::string& dotted,
+                                            double fallback = 0) const;
+  [[nodiscard]] double metric_value(const std::string& name,
+                                    double fallback = 0) const;
+};
+
+// Loads a run from `path`: a directory (manifest-directed artifact set,
+// falling back to canonical file names when manifest.json is missing) or a
+// single JSONL trace file. Returns false and fills *error on any
+// malformed/unreadable input.
+[[nodiscard]] bool load_run(const std::string& path, RunData* out,
+                            std::string* error);
+
+}  // namespace dard::scope

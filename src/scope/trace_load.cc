@@ -1,0 +1,192 @@
+#include "scope/trace_load.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace dard::scope {
+
+namespace {
+
+using obs::FaultAction;
+using obs::TraceEventKind;
+
+// Optional numeric field with a typed destination; absent fields keep the
+// TraceEvent default, mistyped fields fail the line.
+bool read_u64(const json::Value& obj, const char* key, std::uint64_t* out,
+              std::string* error) {
+  double d = -1;
+  if (!json::get_number(obj, key, /*required=*/false, -1, &d, error))
+    return false;
+  if (d >= 0) *out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+bool read_id(const json::Value& obj, const char* key, std::uint32_t* out,
+             std::string* error) {
+  double d = -1;
+  if (!json::get_number(obj, key, /*required=*/false, -1, &d, error))
+    return false;
+  if (d >= 0) *out = static_cast<std::uint32_t>(d);
+  return true;
+}
+
+template <class IdT>
+bool read_strong_id(const json::Value& obj, const char* key, IdT* out,
+                    std::string* error) {
+  double d = -1;
+  if (!json::get_number(obj, key, /*required=*/false, -1, &d, error))
+    return false;
+  if (d >= 0) *out = IdT(static_cast<typename IdT::value_type>(d));
+  return true;
+}
+
+bool read_double(const json::Value& obj, const char* key, double* out,
+                 std::string* error) {
+  return json::get_number(obj, key, /*required=*/false, *out, out, error);
+}
+
+}  // namespace
+
+bool kind_from_string(const std::string& s, TraceEventKind* out) {
+  if (s == "flow_arrive") *out = TraceEventKind::FlowArrive;
+  else if (s == "flow_elephant") *out = TraceEventKind::FlowElephant;
+  else if (s == "flow_move") *out = TraceEventKind::FlowMove;
+  else if (s == "flow_complete") *out = TraceEventKind::FlowComplete;
+  else if (s == "dard_round") *out = TraceEventKind::DardRound;
+  else if (s == "fault") *out = TraceEventKind::Fault;
+  else return false;
+  return true;
+}
+
+bool fault_action_from_string(const std::string& s, FaultAction* out) {
+  if (s == "none") *out = FaultAction::None;
+  else if (s == "cable_down") *out = FaultAction::CableDown;
+  else if (s == "cable_up") *out = FaultAction::CableUp;
+  else if (s == "control_window_start") *out = FaultAction::ControlWindowStart;
+  else if (s == "control_window_end") *out = FaultAction::ControlWindowEnd;
+  else return false;
+  return true;
+}
+
+bool parse_trace_line(const std::string& line, obs::TraceEvent* out,
+                      std::string* error) {
+  const auto root = json::parse(line, error);
+  if (!root) return false;
+  if (root->kind != json::Value::Kind::Object) {
+    *error = "trace line is not a JSON object";
+    return false;
+  }
+
+  double version = 0;
+  if (!json::get_number(*root, "v", /*required=*/true, 0, &version, error))
+    return false;
+  if (static_cast<int>(version) != obs::kTraceSchemaVersion) {
+    std::ostringstream os;
+    os << "unsupported trace schema version " << static_cast<int>(version)
+       << " (this dardscope reads version " << obs::kTraceSchemaVersion
+       << "; re-run dardsim to regenerate the trace)";
+    *error = os.str();
+    return false;
+  }
+
+  std::string kind_name;
+  if (!json::get_string(*root, "kind", &kind_name, error)) return false;
+  obs::TraceEvent e;
+  if (!kind_from_string(kind_name, &e.kind)) {
+    *error = "unknown trace event kind: " + kind_name;
+    return false;
+  }
+  if (!json::get_number(*root, "t", /*required=*/true, 0, &e.time, error))
+    return false;
+
+  bool ok = true;
+  switch (e.kind) {
+    case TraceEventKind::FlowArrive: {
+      double size = 0;
+      ok = read_strong_id(*root, "flow", &e.flow, error) &&
+           read_strong_id(*root, "src", &e.src_host, error) &&
+           read_strong_id(*root, "dst", &e.dst_host, error) &&
+           read_double(*root, "size", &size, error) &&
+           read_id(*root, "path", &e.path_to, error);
+      e.size = static_cast<Bytes>(size);
+      break;
+    }
+    case TraceEventKind::FlowElephant:
+      ok = read_strong_id(*root, "flow", &e.flow, error) &&
+           read_id(*root, "path", &e.path_to, error);
+      break;
+    case TraceEventKind::FlowMove:
+      ok = read_strong_id(*root, "flow", &e.flow, error) &&
+           read_id(*root, "from", &e.path_from, error) &&
+           read_id(*root, "to", &e.path_to, error) &&
+           read_double(*root, "bonf_from", &e.bonf_from, error) &&
+           read_double(*root, "bonf_to", &e.bonf_to, error) &&
+           read_double(*root, "bonf_delta", &e.gain, error) &&
+           read_u64(*root, "cause_id", &e.cause_id, error);
+      break;
+    case TraceEventKind::FlowComplete: {
+      double size = 0;
+      ok = read_strong_id(*root, "flow", &e.flow, error) &&
+           read_double(*root, "size", &size, error);
+      e.size = static_cast<Bytes>(size);
+      break;
+    }
+    case TraceEventKind::DardRound:
+      ok = read_strong_id(*root, "host", &e.src_host, error) &&
+           read_strong_id(*root, "dst_tor", &e.dst_host, error) &&
+           read_id(*root, "worst_path", &e.path_from, error) &&
+           read_id(*root, "best_path", &e.path_to, error) &&
+           read_double(*root, "worst_bonf", &e.bonf_from, error) &&
+           read_double(*root, "best_bonf", &e.bonf_to, error) &&
+           read_double(*root, "est_gain", &e.gain, error) &&
+           read_double(*root, "delta", &e.delta_threshold, error) &&
+           json::get_bool(*root, "accepted", false, &e.accepted, error) &&
+           read_u64(*root, "round_id", &e.cause_id, error);
+      break;
+    case TraceEventKind::Fault: {
+      std::string action;
+      if (!json::get_string(*root, "action", &action, error)) return false;
+      if (!fault_action_from_string(action, &e.fault_action) ||
+          e.fault_action == FaultAction::None) {
+        *error = "unknown fault action: " + action;
+        return false;
+      }
+      ok = read_strong_id(*root, "a", &e.src_host, error) &&
+           read_strong_id(*root, "b", &e.dst_host, error) &&
+           read_u64(*root, "fault_id", &e.cause_id, error);
+      break;
+    }
+  }
+  if (!ok) return false;
+  *out = e;
+  return true;
+}
+
+bool load_trace_file(const std::string& path,
+                     std::vector<obs::TraceEvent>* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open trace file: " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    obs::TraceEvent e;
+    std::string line_error;
+    if (!parse_trace_line(line, &e, &line_error)) {
+      std::ostringstream os;
+      os << path << ':' << line_no << ": " << line_error;
+      *error = os.str();
+      return false;
+    }
+    out->push_back(e);
+  }
+  return true;
+}
+
+}  // namespace dard::scope

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/samplers.h"
 #include "obs/trace.h"
+#include "scope/trace_load.h"
 #include "topology/builders.h"
 
 namespace dard::obs {
@@ -187,6 +188,126 @@ TEST(Trace, KindNamesAreStable) {
   EXPECT_STREQ(to_string(TraceEventKind::FlowMove), "flow_move");
   EXPECT_STREQ(to_string(TraceEventKind::FlowComplete), "flow_complete");
   EXPECT_STREQ(to_string(TraceEventKind::DardRound), "dard_round");
+  EXPECT_STREQ(to_string(TraceEventKind::Fault), "fault");
+}
+
+// One fully-populated event of each kind; the serializer only emits the
+// fields relevant to the kind, so the expectations below are per-kind.
+std::vector<TraceEvent> one_event_per_kind() {
+  TraceEvent arrive;
+  arrive.kind = TraceEventKind::FlowArrive;
+  arrive.time = 0.25;
+  arrive.flow = FlowId(3);
+  arrive.src_host = NodeId(8);
+  arrive.dst_host = NodeId(19);
+  arrive.size = 1u << 30;
+  arrive.path_to = 2;
+
+  TraceEvent elephant;
+  elephant.kind = TraceEventKind::FlowElephant;
+  elephant.time = 1.25;
+  elephant.flow = FlowId(3);
+  elephant.path_to = 2;
+
+  TraceEvent move;
+  move.kind = TraceEventKind::FlowMove;
+  move.time = 6.5;
+  move.flow = FlowId(3);
+  move.path_from = 2;
+  move.path_to = 0;
+  move.bonf_from = 1.25e8;
+  move.bonf_to = 5e8;
+  move.gain = 3.75e8;
+  move.cause_id = 17;
+
+  TraceEvent complete;
+  complete.kind = TraceEventKind::FlowComplete;
+  complete.time = 12.0;
+  complete.flow = FlowId(3);
+  complete.size = 1u << 30;
+
+  TraceEvent round;
+  round.kind = TraceEventKind::DardRound;
+  round.time = 6.5;
+  round.src_host = NodeId(8);
+  round.dst_host = NodeId(30);
+  round.path_from = 2;
+  round.path_to = 0;
+  round.bonf_from = 1.25e8;
+  round.bonf_to = 5e8;
+  round.gain = 1.875e8;
+  round.delta_threshold = 1e7;
+  round.accepted = true;
+  round.cause_id = 17;
+
+  TraceEvent fault;
+  fault.kind = TraceEventKind::Fault;
+  fault.time = 4.0;
+  fault.src_host = NodeId(20);
+  fault.dst_host = NodeId(24);
+  fault.fault_action = FaultAction::CableDown;
+  fault.cause_id = 9;
+
+  return {arrive, elephant, move, complete, round, fault};
+}
+
+TEST(Trace, JsonRoundTripsEveryKind) {
+  // Serialize one event of every kind and parse it back through the
+  // dardscope loader: every field the serializer emits must survive, and
+  // every line must carry the schema version.
+  for (const TraceEvent& e : one_event_per_kind()) {
+    const std::string line = to_json(e);
+    SCOPED_TRACE(line);
+    EXPECT_NE(line.find("\"v\":2"), std::string::npos);
+
+    TraceEvent back;
+    std::string error;
+    ASSERT_TRUE(scope::parse_trace_line(line, &back, &error)) << error;
+    EXPECT_EQ(back.kind, e.kind);
+    EXPECT_DOUBLE_EQ(back.time, e.time);
+    EXPECT_EQ(back.cause_id, e.cause_id);
+    switch (e.kind) {
+      case TraceEventKind::FlowArrive:
+        EXPECT_EQ(back.flow, e.flow);
+        EXPECT_EQ(back.src_host, e.src_host);
+        EXPECT_EQ(back.dst_host, e.dst_host);
+        EXPECT_EQ(back.size, e.size);
+        EXPECT_EQ(back.path_to, e.path_to);
+        break;
+      case TraceEventKind::FlowElephant:
+        EXPECT_EQ(back.flow, e.flow);
+        EXPECT_EQ(back.path_to, e.path_to);
+        break;
+      case TraceEventKind::FlowMove:
+        EXPECT_EQ(back.flow, e.flow);
+        EXPECT_EQ(back.path_from, e.path_from);
+        EXPECT_EQ(back.path_to, e.path_to);
+        EXPECT_DOUBLE_EQ(back.bonf_from, e.bonf_from);
+        EXPECT_DOUBLE_EQ(back.bonf_to, e.bonf_to);
+        EXPECT_DOUBLE_EQ(back.gain, e.gain);
+        break;
+      case TraceEventKind::FlowComplete:
+        EXPECT_EQ(back.flow, e.flow);
+        EXPECT_EQ(back.size, e.size);
+        break;
+      case TraceEventKind::DardRound:
+        EXPECT_EQ(back.src_host, e.src_host);
+        EXPECT_EQ(back.dst_host, e.dst_host);
+        EXPECT_EQ(back.path_from, e.path_from);
+        EXPECT_EQ(back.path_to, e.path_to);
+        EXPECT_DOUBLE_EQ(back.bonf_from, e.bonf_from);
+        EXPECT_DOUBLE_EQ(back.bonf_to, e.bonf_to);
+        EXPECT_DOUBLE_EQ(back.gain, e.gain);
+        EXPECT_DOUBLE_EQ(back.delta_threshold, e.delta_threshold);
+        EXPECT_EQ(back.accepted, e.accepted);
+        break;
+      case TraceEventKind::Fault:
+        EXPECT_EQ(back.fault_action, e.fault_action);
+        EXPECT_EQ(back.src_host, e.src_host);
+        EXPECT_EQ(back.dst_host, e.dst_host);
+        break;
+    }
+  }
 }
 
 // ------------------------------------------------- end-to-end experiments
