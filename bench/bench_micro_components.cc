@@ -12,6 +12,7 @@
 #include "flowsim/max_min.h"
 #include "flowsim/simulator.h"
 #include "micro_json_main.h"
+#include "obs/profiler.h"
 #include "realloc_workload.h"
 #include "topology/builders.h"
 #include "topology/paths.h"
@@ -90,6 +91,61 @@ void BM_ReallocEventScoped(benchmark::State& state) {
       static_cast<double>(touched), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_ReallocEventScoped)->Arg(512)->Arg(2048);
+
+// Profiler-overhead pair: the same scoped churn loop with a ProfileScope
+// around each event, first disabled (null profiler — the production default
+// when --profile is off) and then enabled. CI gates the disabled variant
+// against BM_ReallocEventScoped: wrapping a hot path in a dormant scope
+// must cost one branch, not a clock read.
+void BM_ReallocEventScopedProfiledOff(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 16});
+  bench::ReallocWorkload w(t, static_cast<std::size_t>(state.range(0)),
+                           /*full_only=*/false);
+  std::size_t touched = 0;
+  for (auto _ : state) {
+    const obs::ProfileScope timed(nullptr, obs::ProfileSection::MaxMinRealloc);
+    touched += w.churn_step();
+  }
+  benchmark::DoNotOptimize(touched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReallocEventScopedProfiledOff)->Arg(512);
+
+void BM_ReallocEventScopedProfiledOn(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = 16});
+  bench::ReallocWorkload w(t, static_cast<std::size_t>(state.range(0)),
+                           /*full_only=*/false);
+  obs::Profiler profiler;
+  std::size_t touched = 0;
+  for (auto _ : state) {
+    const obs::ProfileScope timed(&profiler,
+                                  obs::ProfileSection::MaxMinRealloc);
+    touched += w.churn_step();
+  }
+  benchmark::DoNotOptimize(touched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["profiled_events"] = benchmark::Counter(static_cast<double>(
+      profiler.section(obs::ProfileSection::MaxMinRealloc).count()));
+}
+BENCHMARK(BM_ReallocEventScopedProfiledOn)->Arg(512);
+
+// Raw cost of one dormant vs live ProfileScope, no workload underneath.
+void BM_ProfileScopeDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::ProfileScope timed(nullptr, obs::ProfileSection::DardRound);
+    benchmark::DoNotOptimize(&timed);
+  }
+}
+BENCHMARK(BM_ProfileScopeDisabled);
+
+void BM_ProfileScopeEnabled(benchmark::State& state) {
+  obs::Profiler profiler;
+  for (auto _ : state) {
+    const obs::ProfileScope timed(&profiler, obs::ProfileSection::DardRound);
+    benchmark::DoNotOptimize(&timed);
+  }
+}
+BENCHMARK(BM_ProfileScopeEnabled);
 
 void BM_ReallocEventFull(benchmark::State& state) {
   const auto t = topo::build_fat_tree({.p = 16});

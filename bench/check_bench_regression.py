@@ -5,9 +5,11 @@ Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 2.0]
                               [--prefix BM_MaxMinAllocation --prefix ...]
     check_bench_regression.py RUN_A.json RUN_B.json --all [--threshold 1.5]
+    check_bench_regression.py REPORT.json --pair BASE=VARIANT
+                              [--threshold 1.1]
 
 Both files are google-benchmark JSON reports (the format
-bench_micro_components writes to BENCH_micro.json). Two modes:
+bench_micro_components writes to BENCH_micro.json). Three modes:
 
   * Prefix mode (default): benchmarks whose name starts with one of the
     prefixes are compared by real_time against a checked-in baseline. The
@@ -17,11 +19,16 @@ bench_micro_components writes to BENCH_micro.json). Two modes:
   * --all: compare every benchmark in the two reports — the run-to-run
     diff CI uses on two back-to-back runs of the same build, where a much
     tighter threshold is meaningful because the machine is the same.
+  * --pair BASE=VARIANT: compare two benchmarks from the SAME report
+    (only one file argument). The overhead gate: VARIANT must not be more
+    than --threshold times slower than BASE. Repeatable.
 
 Exit 1 if any compared benchmark is more than --threshold times slower,
 or if a baseline benchmark disappeared; each offender is named in a
-per-benchmark FAIL line and recapped in the summary. Benchmarks only in
-CURRENT are reported (new benches are not an error).
+per-benchmark FAIL line and recapped in the summary. Every benchmark key
+present in only one of the two reports gets its own WARNING line —
+baseline-only keys additionally fail the gate, current-only keys do not
+(new benches are not an error).
 """
 
 import argparse
@@ -48,15 +55,59 @@ def load_times(path, prefixes):
     return times
 
 
+def check_pairs(path, pairs, threshold):
+    """Within-report mode: each BASE=VARIANT pair gates VARIANT <= threshold
+    x BASE in the same JSON (the profiler-overhead gate)."""
+    times = load_times(path, None)
+    failures = []
+    for spec in pairs:
+        base_name, sep, variant_name = spec.partition("=")
+        if not sep or not base_name or not variant_name:
+            print(f"FAIL: bad --pair '{spec}' (expected BASE=VARIANT)")
+            failures.append(spec)
+            continue
+        missing = [n for n in (base_name, variant_name) if n not in times]
+        if missing:
+            for name in missing:
+                print(f"FAIL: '{name}' not found in {path}")
+            failures.append(spec)
+            continue
+        ratio = times[variant_name] / times[base_name]
+        flag = "  REGRESSED" if ratio > threshold else ""
+        print(f"{variant_name} vs {base_name}: "
+              f"{times[base_name]:.0f}ns -> {times[variant_name]:.0f}ns  "
+              f"{ratio:5.2f}x{flag}")
+        if ratio > threshold:
+            failures.append(spec)
+    if failures:
+        print(f"\nFAIL: {len(failures)} pair(s) exceeded "
+              f"{threshold:.2f}x overhead")
+        return 1
+    print(f"\nOK: all pairs within {threshold:.2f}x")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--threshold", type=float, default=2.0)
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--threshold", type=float, default=None)
     ap.add_argument("--prefix", action="append", dest="prefixes")
     ap.add_argument("--all", action="store_true",
                     help="compare every benchmark, ignoring prefixes")
+    ap.add_argument("--pair", action="append", dest="pairs",
+                    metavar="BASE=VARIANT",
+                    help="within-report comparison; only one file argument")
     args = ap.parse_args()
+
+    if args.pairs:
+        if args.current is not None:
+            ap.error("--pair takes a single report file")
+        return check_pairs(args.baseline, args.pairs,
+                           args.threshold if args.threshold else 1.1)
+    if args.current is None:
+        ap.error("two report files required (or use --pair)")
+    threshold = args.threshold if args.threshold else 2.0
     prefixes = None if args.all else (args.prefixes or DEFAULT_PREFIXES)
 
     base = load_times(args.baseline, prefixes)
@@ -67,34 +118,40 @@ def main():
         return 1
 
     regressed = []
-    missing = []
+    missing = sorted(set(base) - set(cur))
+    new = sorted(set(cur) - set(base))
+    # One warning per one-sided key, up front, so a truncated or mismatched
+    # report reads as exactly that rather than as a shorter comparison.
+    for name in missing:
+        print(f"WARNING: '{name}' present only in {args.baseline} "
+              f"— missing from {args.current}, gate will fail")
+    for name in new:
+        print(f"WARNING: '{name}' present only in {args.current} "
+              f"— no baseline, not compared")
+    if missing or new:
+        print()
+
     width = max(len(n) for n in base)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
     for name in sorted(base):
         if name not in cur:
-            print(f"{name:<{width}}  MISSING from {args.current}")
-            missing.append(name)
             continue
         ratio = cur[name] / base[name]
-        flag = "  REGRESSED" if ratio > args.threshold else ""
+        flag = "  REGRESSED" if ratio > threshold else ""
         print(f"{name:<{width}}  {base[name]:>10.0f}ns  {cur[name]:>10.0f}ns"
               f"  {ratio:5.2f}x{flag}")
-        if ratio > args.threshold:
+        if ratio > threshold:
             regressed.append((name, ratio))
-
-    new = sorted(set(cur) - set(base))
-    if new:
-        print(f"\nnew in {args.current} (not compared): " + ", ".join(new))
 
     if regressed or missing:
         print()
         for name, ratio in regressed:
             print(f"FAIL: {name} regressed {ratio:.2f}x "
-                  f"(threshold {args.threshold:.1f}x)")
+                  f"(threshold {threshold:.1f}x)")
         for name in missing:
             print(f"FAIL: {name} missing from {args.current}")
         return 1
-    print(f"\nOK: all within {args.threshold:.1f}x of baseline")
+    print(f"\nOK: all within {threshold:.1f}x of baseline")
     return 0
 
 

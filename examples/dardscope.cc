@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "scope/live.h"
 #include "scope/report.h"
 
 using namespace dard;
@@ -34,6 +37,9 @@ void print_usage(std::FILE* out) {
       "                        annotated with the round that caused it\n"
       "  diff RUN_A RUN_B      A/B comparison: metric deltas and per-flow\n"
       "                        completion-time regressions\n"
+      "  live RUN              tail a run that is still being written and\n"
+      "                        refresh the report metrics incrementally;\n"
+      "                        exits when the run's manifest.json lands\n"
       "\n"
       "RUN is a directory written by dardsim --run-dir (preferred; all\n"
       "analyses available) or a bare trace.jsonl (trace-only analyses).\n"
@@ -42,6 +48,12 @@ void print_usage(std::FILE* out) {
       "  --md=FILE             additionally write the report as markdown\n"
       "  --window=K            oscillation window in moves (default 4)\n"
       "  --top=N               regressions to list in diff (default 10)\n"
+      "\n"
+      "live options:\n"
+      "  --once                one pass over what exists now, then exit 0\n"
+      "  --interval=S          poll/refresh period in wall seconds "
+      "(default 1)\n"
+      "  --summary-out=FILE    append one summary JSON line per refresh\n"
       "  --help                show this message\n");
 }
 
@@ -61,6 +73,9 @@ struct Options {
   std::string md_path;
   std::size_t window = 4;
   std::size_t top = 10;
+  bool once = false;
+  double interval = 1.0;
+  std::string summary_out;
   bool help = false;
 };
 
@@ -88,6 +103,20 @@ bool parse(int argc, char** argv, Options* opt) {
                      v);
         return false;
       }
+    } else if (const char* v = value("--interval=")) {
+      char* end = nullptr;
+      errno = 0;
+      opt->interval = std::strtod(v, &end);
+      if (errno != 0 || end == nullptr || *end != '\0' ||
+          opt->interval <= 0) {
+        std::fprintf(stderr,
+                     "invalid --interval: %s (valid: a number > 0)\n", v);
+        return false;
+      }
+    } else if (const char* v = value("--summary-out=")) {
+      opt->summary_out = v;
+    } else if (arg == "--once") {
+      opt->once = true;
     } else if (arg == "--help" || arg == "-h") {
       opt->help = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -191,7 +220,26 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::fprintf(stderr, "unknown subcommand: %s (valid: report, flow, diff)\n",
+  if (opt.subcommand == "live") {
+    if (opt.positional.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: dardscope live RUN [--once] [--interval=S] "
+                   "[--summary-out=FILE] [--window=K]\n");
+      return 2;
+    }
+    scope::LiveOptions live;
+    live.path = opt.positional[0];
+    live.once = opt.once;
+    live.interval_s = opt.interval;
+    live.window = opt.window;
+    live.summary_out = opt.summary_out;
+    // Clear-and-redraw only when a human is watching and the view refreshes.
+    live.ansi = !opt.once && isatty(fileno(stdout)) != 0;
+    return scope::run_live(live, std::cout);
+  }
+
+  std::fprintf(stderr,
+               "unknown subcommand: %s (valid: report, flow, diff, live)\n",
                opt.subcommand.c_str());
   return 2;
 }

@@ -145,6 +145,18 @@ void print_usage(std::FILE* out) {
                "  --sample-period=S    sampling period in seconds (default "
                "0.5; used by --samples\n"
                "                       and --agg-samples)\n"
+               "  --profile            enable the in-sim profiler: scoped "
+               "timers on max-min\n"
+               "                       reallocation, path enumeration, DARD "
+               "rounds and packet\n"
+               "                       dispatch; prints a summary and, with "
+               "--run-dir, writes\n"
+               "                       profile.csv\n"
+               "  --snapshot-period=S  emit a run-health snapshot trace event "
+               "every S simulated\n"
+               "                       seconds (requires --trace or "
+               "--run-dir; powers\n"
+               "                       `dardscope live`)\n"
                "  --help               show this message\n",
                kTopos, kPatterns, kSchedulers, kSubstrates, kFaultPresets);
 }
@@ -175,6 +187,8 @@ struct Options {
   std::string samples_path;
   std::string agg_samples_path;
   double sample_period = 0.5;
+  bool profile = false;
+  double snapshot_period = 0.0;  // 0 = no snapshot events
   bool help = false;
 };
 
@@ -293,6 +307,16 @@ bool parse(int argc, char** argv, Options* opt) {
                      v);
         return false;
       }
+    } else if (const char* v = value("--snapshot-period=")) {
+      if (!parse_double(v, &opt->snapshot_period) ||
+          opt->snapshot_period <= 0) {
+        std::fprintf(stderr,
+                     "invalid --snapshot-period: %s (valid: a number > 0)\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--profile") {
+      opt->profile = true;
     } else if (arg == "--csv") {
       opt->csv = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -444,10 +468,10 @@ int main(int argc, char** argv) {
     // a thread pool. Per-replica results are identical for any --jobs.
     if (!opt.trace_path.empty() || !opt.metrics_path.empty() ||
         !opt.samples_path.empty() || !opt.agg_samples_path.empty() ||
-        !opt.run_dir.empty()) {
+        !opt.run_dir.empty() || opt.profile || opt.snapshot_period > 0) {
       std::fprintf(stderr,
-                   "--trace/--metrics/--samples/--run-dir need "
-                   "--replicas=1\n");
+                   "--trace/--metrics/--samples/--run-dir/--profile/"
+                   "--snapshot-period need --replicas=1\n");
       return 2;
     }
     std::vector<harness::ExperimentCell> cells(opt.replicas);
@@ -511,6 +535,17 @@ int main(int argc, char** argv) {
   if (!opt.metrics_path.empty()) cfg.telemetry.metrics = &metrics;
   if (!opt.samples_path.empty() || !opt.agg_samples_path.empty())
     cfg.telemetry.sample_period = opt.sample_period;
+  obs::Profiler profiler;
+  if (opt.profile) cfg.telemetry.profiler = &profiler;
+  if (opt.snapshot_period > 0) {
+    if (cfg.telemetry.observer == nullptr) {
+      std::fprintf(stderr,
+                   "--snapshot-period needs a trace to land in; add --trace "
+                   "or --run-dir\n");
+      return 2;
+    }
+    cfg.telemetry.snapshot_period = opt.snapshot_period;
+  }
 
   const auto result = harness::run_experiment(network, cfg);
 
@@ -546,6 +581,18 @@ int main(int argc, char** argv) {
     }
     result.series->write_aggregate_csv(out);
   }
+  std::string profile_path;
+  if (opt.profile && !opt.run_dir.empty()) {
+    profile_path =
+        (std::filesystem::path(opt.run_dir) / harness::kProfileFile).string();
+    std::ofstream out(profile_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open profile file: %s\n",
+                   profile_path.c_str());
+      return 2;
+    }
+    profiler.write_csv(out);
+  }
 
   if (!opt.run_dir.empty()) {
     auto manifest = harness::build_manifest(network, cfg, result);
@@ -562,6 +609,7 @@ int main(int argc, char** argv) {
     };
     manifest.trace_file = relative_name(opt.trace_path);
     manifest.metrics_file = relative_name(opt.metrics_path);
+    manifest.profile_file = relative_name(profile_path);
     if (result.series != nullptr) {
       manifest.link_samples_file = relative_name(opt.samples_path);
       manifest.agg_samples_file = relative_name(opt.agg_samples_path);
@@ -687,6 +735,7 @@ int main(int argc, char** argv) {
                 result.timings.run_s, result.timings.collect_s);
     if (!opt.metrics_path.empty())
       std::printf("  metrics:            %s\n", metrics.summary().c_str());
+    if (opt.profile) std::printf("  profile:\n%s", profiler.summary().c_str());
     if (!opt.run_dir.empty())
       std::printf("  run dir:            %s\n", opt.run_dir.c_str());
   }

@@ -101,14 +101,23 @@ void DardHostDaemon::ensure_round_scheduled() {
 void DardHostDaemon::query_tick() {
   query_ticking_ = false;
   if (monitors_.empty()) return;
-  for (auto& [dst_tor, monitor] : monitors_)
-    account_refresh(monitor.refresh(net_->now(), *service_, *cfg_));
+  {
+    const obs::ProfileScope timed(net_->profiler(),
+                                  obs::ProfileSection::MonitorRefresh);
+    for (auto& [dst_tor, monitor] : monitors_)
+      account_refresh(monitor.refresh(net_->now(), *service_, *cfg_));
+  }
   ensure_query_ticking();
 }
 
 void DardHostDaemon::run_round() {
   round_scheduled_ = false;
   if (monitors_.empty()) return;
+  // Times the whole round — propose scan, trace emission, and the winning
+  // move's application — into the shared per-run profiler (null when
+  // profiling is off; the scope then never reads the clock).
+  const obs::ProfileScope timed(net_->profiler(),
+                                obs::ProfileSection::DardRound);
   // Paper Algorithm 1: the scan runs over every monitor on the end host,
   // but the host shifts at most ONE elephant per round — the move with the
   // best estimated gain. (Letting each monitor move independently makes

@@ -30,6 +30,7 @@
 #include "flowsim/event_queue.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "topology/paths.h"
 
 namespace dard::fabric {
@@ -102,6 +103,10 @@ class DataPlane {
   [[nodiscard]] virtual obs::MetricsRegistry* metrics() const {
     return nullptr;
   }
+  // The in-sim profiler (DESIGN.md §13); null when profiling is disabled.
+  // Shared through the data plane so agents (DARD host daemons) time their
+  // rounds into the same per-run histograms as the substrate's hot paths.
+  [[nodiscard]] virtual obs::Profiler* profiler() const { return nullptr; }
 
   // --- Causal tracing (DESIGN.md §12; inert unless an observer is set). ---
   // One per-run id space shared by everything that can cause a path move:

@@ -1,0 +1,65 @@
+#include "fabric/snapshot.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dard::fabric {
+
+SnapshotEmitter::SnapshotEmitter(DataPlane& net, Seconds period,
+                                 Enricher enrich)
+    : net_(&net), period_(period), enrich_(std::move(enrich)) {
+  DCN_CHECK_MSG(period > 0, "snapshot period must be positive");
+}
+
+void SnapshotEmitter::start() {
+  net_->events().schedule(net_->now(), [this] { tick(); });
+}
+
+void SnapshotEmitter::emit_now() {
+  obs::SimObserver* const observer = net_->observer();
+  if (observer == nullptr) return;  // nowhere to put the snapshot
+
+  auto stats = std::make_shared<obs::SnapshotStats>();
+  stats->seq = seq_++;
+  stats->active_flows = net_->active_flows().size();
+  stats->event_queue_depth = net_->events().pending();
+  stats->rss_bytes = obs::Profiler::current_rss_bytes();
+
+  if (const obs::MetricsRegistry* metrics = net_->metrics()) {
+    for (const auto& [name, c] : metrics->counters())
+      stats->counters.emplace_back(name, static_cast<double>(c.value));
+    for (const auto& [name, g] : metrics->gauges())
+      stats->counters.emplace_back(name, g.value);
+  }
+  if (obs::Profiler* profiler = net_->profiler()) {
+    // Keep the profiler's own gauges current at snapshot cadence; the
+    // enricher may refine LiveFlows/PathStoreBytes with substrate detail.
+    profiler->set_gauge(obs::ProfileGauge::EventQueueDepth,
+                        static_cast<double>(stats->event_queue_depth));
+    profiler->set_gauge(obs::ProfileGauge::LiveFlows,
+                        static_cast<double>(stats->active_flows));
+    profiler->set_gauge(obs::ProfileGauge::RssBytes, stats->rss_bytes);
+    stats->profile = profiler->summaries();
+  }
+  if (enrich_) enrich_(stats.get());
+  if (obs::Profiler* profiler = net_->profiler();
+      profiler != nullptr && stats->path_store_bytes > 0) {
+    profiler->set_gauge(obs::ProfileGauge::PathStoreBytes,
+                        stats->path_store_bytes);
+  }
+
+  obs::TraceEvent e;
+  e.kind = obs::TraceEventKind::Snapshot;
+  e.time = net_->now();
+  e.snapshot = std::move(stats);
+  observer->on_snapshot(e);
+}
+
+void SnapshotEmitter::tick() {
+  emit_now();
+  net_->events().schedule(net_->now() + period_, [this] { tick(); });
+}
+
+}  // namespace dard::fabric

@@ -1,0 +1,51 @@
+// Periodic run-health snapshots over any fabric::DataPlane (DESIGN.md §13).
+//
+// A SnapshotEmitter schedules itself on the substrate's own event queue —
+// the TimeSeriesSampler pattern — and, each tick, assembles a
+// obs::SnapshotStats from what the DataPlane interface exposes (live flow
+// count, event-queue depth), the installed metrics registry (counters and
+// gauges, so dard.* control overhead streams out before the end-of-run
+// metrics.csv exists), and the installed profiler (per-section latency
+// summaries plus RSS). A substrate-specific enricher closure fills what the
+// generic interface cannot see (elephant counts, fluid throughput and link
+// utilization, PathStore footprint). Emission is read-only: it draws
+// nothing from any RNG and mutates no simulator state, so enabling
+// snapshots never changes results — only the trace grows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fabric/data_plane.h"
+#include "obs/profiler.h"
+
+namespace dard::fabric {
+
+class SnapshotEmitter {
+ public:
+  using Enricher = std::function<void(obs::SnapshotStats*)>;
+
+  // Emits every `period` seconds starting at the data plane's current time.
+  // `net` must outlive the emitter's scheduled ticks; `enrich` (optional)
+  // runs after the generic fields are filled.
+  SnapshotEmitter(DataPlane& net, Seconds period, Enricher enrich = {});
+
+  // Schedules the first snapshot (at the current simulation time).
+  void start();
+
+  // Emits one snapshot immediately, outside the periodic schedule (the
+  // harness calls this once after the run so the tail is covered).
+  void emit_now();
+
+  [[nodiscard]] std::uint64_t emitted() const { return seq_; }
+
+ private:
+  void tick();
+
+  DataPlane* net_;
+  Seconds period_;
+  Enricher enrich_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dard::fabric

@@ -322,9 +322,20 @@ void FlowSimulator::reallocate() {
   const std::vector<std::uint32_t>* touched_ptr;
   {
     obs::ScopedLatencyTimer timer(m_maxmin_wall_);
+    const obs::ProfileScope timed(profiler_,
+                                  obs::ProfileSection::MaxMinRealloc);
     touched_ptr = &allocator_.recompute();
   }
   const std::vector<std::uint32_t>& touched = *touched_ptr;
+
+  if (profiler_ != nullptr) {
+    profiler_->set_gauge(obs::ProfileGauge::EventQueueDepth,
+                         static_cast<double>(events_.pending()));
+    profiler_->set_gauge(obs::ProfileGauge::LiveFlows,
+                         static_cast<double>(active_.size()));
+    profiler_->set_gauge(obs::ProfileGauge::PathStoreBytes,
+                         static_cast<double>(path_store_bytes()));
+  }
 
   if (m_realloc_full_ != nullptr) {
     (allocator_.last_recompute_was_full() ? m_realloc_full_

@@ -126,6 +126,22 @@ class FlowSimulator : public fabric::DataPlane {
     return metrics_;
   }
 
+  // Installs the in-sim profiler (DESIGN.md §13): times max-min recomputes
+  // and path enumerations, and keeps queue-depth / live-flow / path-store
+  // gauges current. Null (the default) disables profiling; the hot path then
+  // pays one null check per reallocation and never reads the clock.
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    paths_.set_profiler(profiler);
+  }
+  [[nodiscard]] obs::Profiler* profiler() const override { return profiler_; }
+
+  // Approximate heap footprint of the pooled path store, for the
+  // PathStoreBytes gauge and snapshot events.
+  [[nodiscard]] std::size_t path_store_bytes() const {
+    return store_.pool_links() * sizeof(LinkId);
+  }
+
   // Ground-truth BoNF of one path of `f`'s equal-cost set: min over the
   // path's switch-switch links of effective capacity / elephant count.
   // Mirrors what a DARD monitor would assemble from fresh switch state.
@@ -210,6 +226,7 @@ class FlowSimulator : public fabric::DataPlane {
   // Telemetry; all null when observability is disabled.
   obs::SimObserver* observer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   obs::Counter* m_reallocs_ = nullptr;
   obs::Counter* m_realloc_full_ = nullptr;
   obs::Counter* m_realloc_scoped_ = nullptr;

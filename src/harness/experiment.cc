@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "fabric/snapshot.h"
 #include "pktsim/agent_router.h"
 
 namespace dard::harness {
@@ -78,11 +79,39 @@ ExperimentResult run_fluid(const topo::Topology& t,
   // registry in start().
   sim.set_observer(cfg.telemetry.observer);
   sim.set_metrics(cfg.telemetry.metrics);
+  sim.set_profiler(cfg.telemetry.profiler);
   std::unique_ptr<obs::TimeSeriesSampler> sampler;
   if (cfg.telemetry.sample_period > 0) {
     sampler =
         std::make_unique<obs::TimeSeriesSampler>(sim, cfg.telemetry.sample_period);
     sampler->start();
+  }
+  // Run-health snapshots (schema v3): periodic Snapshot trace events with
+  // counters, gauges and profiler summaries. The enricher adds what only
+  // the fluid substrate knows — elephants, throughput, peak utilization,
+  // path-store footprint.
+  std::unique_ptr<fabric::SnapshotEmitter> snapshots;
+  if (cfg.telemetry.observer != nullptr && cfg.telemetry.snapshot_period > 0) {
+    snapshots = std::make_unique<fabric::SnapshotEmitter>(
+        sim, cfg.telemetry.snapshot_period,
+        [&sim, scratch = std::vector<double>{}](obs::SnapshotStats* s) mutable {
+          s->active_elephants = sim.active_elephants();
+          s->path_store_bytes = static_cast<double>(sim.path_store_bytes());
+          sim.link_loads(&scratch);
+          double max_util = 0;
+          for (std::size_t l = 0; l < scratch.size(); ++l) {
+            const Bps cap = sim.link_state().capacity(
+                LinkId(static_cast<LinkId::value_type>(l)));
+            if (cap > 0)
+              max_util = std::max(max_util, std::min(scratch[l] / cap, 1.0));
+          }
+          s->max_utilization = max_util;
+          double throughput = 0;
+          for (const FlowId id : sim.active_flows())
+            throughput += sim.flow(id).rate;
+          s->throughput_bps = throughput;
+        });
+    snapshots->start();
   }
 
   // Fault injection, when configured: the degradation model must be on the
@@ -155,6 +184,8 @@ ExperimentResult run_fluid(const topo::Topology& t,
     sampler->sample_now();
     result.series = std::make_shared<obs::TimeSeries>(sampler->take());
   }
+  // Likewise, one final health snapshot covering the end-of-run state.
+  if (snapshots != nullptr) snapshots->emit_now();
   result.timings.collect_s = seconds_since(wall_collect);
   return result;
 }
@@ -180,6 +211,7 @@ ExperimentResult run_packet(const topo::Topology& t,
                                                     cfg.elephant_threshold);
     ar->set_observer(cfg.telemetry.observer);
     ar->set_metrics(cfg.telemetry.metrics);
+    ar->set_profiler(cfg.telemetry.profiler);
     adapter = ar.get();
     router = std::move(ar);
   }
@@ -202,6 +234,21 @@ ExperimentResult run_packet(const topo::Topology& t,
   result.scheduler = router->name();
   pktsim::PktSession session(t, std::move(router), cfg.tcp, cfg.queue_bytes);
   session.set_metrics(cfg.telemetry.metrics);
+  session.set_profiler(cfg.telemetry.profiler);
+
+  // Run-health snapshots ride the adapter's DataPlane view; they need the
+  // session constructed first (attach hands the adapter its event queue).
+  // TeXCP has no adapter, hence no snapshot source.
+  std::unique_ptr<fabric::SnapshotEmitter> snapshots;
+  if (adapter != nullptr && cfg.telemetry.observer != nullptr &&
+      cfg.telemetry.snapshot_period > 0) {
+    snapshots = std::make_unique<fabric::SnapshotEmitter>(
+        *adapter, cfg.telemetry.snapshot_period,
+        [adapter](obs::SnapshotStats* s) {
+          s->active_elephants = adapter->active_elephants();
+        });
+    snapshots->start();
+  }
 
   if (injector != nullptr) {
     injector->install();
@@ -266,6 +313,7 @@ ExperimentResult run_packet(const topo::Topology& t,
     result.recovery = tracker->finalize();
     result.faults_injected = injector->injected();
   }
+  if (snapshots != nullptr) snapshots->emit_now();
   result.timings.collect_s = seconds_since(wall_collect);
   return result;
 }

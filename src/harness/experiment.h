@@ -26,6 +26,7 @@
 #include "faults/injector.h"
 #include "faults/recovery.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/observer.h"
 #include "obs/samplers.h"
 #include "pktsim/session.h"
@@ -52,6 +53,14 @@ struct TelemetryConfig {
   obs::SimObserver* observer = nullptr;    // e.g. an obs::TraceObserver
   obs::MetricsRegistry* metrics = nullptr;
   Seconds sample_period = 0;               // > 0 enables time-series sampling
+  // In-sim profiler (DESIGN.md §13): scoped timers on the hot paths plus
+  // queue/flow/memory gauges. Borrowed; null (the default) disables
+  // profiling entirely — the instrumented paths then pay one null check
+  // each and never read the clock.
+  obs::Profiler* profiler = nullptr;
+  // > 0 emits periodic run-health Snapshot trace events (schema v3) through
+  // `observer`; requires an observer to land anywhere. 0 disables.
+  Seconds snapshot_period = 0;
 };
 
 struct ExperimentConfig {

@@ -100,6 +100,7 @@ void write_manifest_json(std::ostream& os, const RunManifest& m) {
   file("metrics", m.metrics_file);
   file("link_samples", m.link_samples_file);
   file("agg_samples", m.agg_samples_file);
+  file("profile", m.profile_file);
   os << (first ? "" : "\n") << "  }\n";
   os << "}\n";
 }

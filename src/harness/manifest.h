@@ -31,6 +31,7 @@ inline constexpr const char* kTraceFile = "trace.jsonl";
 inline constexpr const char* kMetricsFile = "metrics.csv";
 inline constexpr const char* kLinkSamplesFile = "link_samples.csv";
 inline constexpr const char* kAggSamplesFile = "agg_samples.csv";
+inline constexpr const char* kProfileFile = "profile.csv";
 
 struct RunManifest {
   std::string tool = "dardsim";
@@ -79,6 +80,7 @@ struct RunManifest {
   std::string metrics_file;
   std::string link_samples_file;
   std::string agg_samples_file;
+  std::string profile_file;
 };
 
 // Fills the scenario/result fields from a finished experiment. The caller

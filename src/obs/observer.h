@@ -9,6 +9,11 @@
 // installed, tracing costs one branch per lifecycle event.
 #pragma once
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/types.h"
 #include "common/units.h"
 
@@ -21,6 +26,7 @@ enum class TraceEventKind : std::uint8_t {
   FlowComplete,  // flow drained its last byte
   DardRound,     // one monitor's evaluation within a DARD scheduling round
   Fault,         // a fault-plan transition was applied to the network
+  Snapshot,      // periodic run-health snapshot (schema v3, DESIGN.md §13)
 };
 
 // What a Fault event did to the network (TraceEvent::fault_action).
@@ -34,8 +40,45 @@ enum class FaultAction : std::uint8_t {
 
 // Version of the JSONL trace schema, emitted as "v" on every line so
 // offline tooling (dardscope) can refuse input it would misread. Bump on
-// any field change; v1 was the PR-1 schema without cause ids.
-inline constexpr int kTraceSchemaVersion = 2;
+// any field change; v1 was the PR-1 schema without cause ids, v2 added
+// them, v3 added periodic snapshot events. Readers accept anything in
+// [kMinReadableTraceSchemaVersion, kTraceSchemaVersion]: a v2 trace is a
+// valid v3 trace that happens to contain no snapshot lines.
+inline constexpr int kTraceSchemaVersion = 3;
+inline constexpr int kMinReadableTraceSchemaVersion = 2;
+
+// One profiled section's distribution summary, carried inside snapshots.
+struct ProfileSummary {
+  std::string section;
+  std::uint64_t count = 0;
+  double total_s = 0;
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+  double max_s = 0;
+};
+
+// Payload of a Snapshot event: the run's health at one instant. Heap-backed
+// and shared (TraceEvent stays a cheap flat value for the five per-flow
+// kinds; only snapshots — emitted at human cadence, not event cadence —
+// carry the pointer).
+struct SnapshotStats {
+  std::uint64_t seq = 0;               // 0-based snapshot index
+  std::size_t active_flows = 0;
+  std::size_t active_elephants = 0;
+  std::size_t event_queue_depth = 0;
+  double throughput_bps = 0;           // fluid substrate: sum of flow rates
+  double max_utilization = 0;          // fluid substrate: hottest link
+  double rss_bytes = 0;                // process RSS (0 where unreadable)
+  double path_store_bytes = 0;         // CSR path-store pool footprint
+  // Counters and gauges mirrored out of the metrics registry (sorted by
+  // name; gauges carry their current value). Lets a live reader compute
+  // control overhead (dard.*) before the end-of-run metrics.csv exists.
+  std::vector<std::pair<std::string, double>> counters;
+  // Per-section profiler summaries; empty when profiling is disabled.
+  std::vector<ProfileSummary> profile;
+};
 
 [[nodiscard]] const char* to_string(TraceEventKind kind);
 [[nodiscard]] const char* to_string(FaultAction action);
@@ -85,6 +128,9 @@ struct TraceEvent {
 
   // Fault events only: what the transition did.
   FaultAction fault_action = FaultAction::None;
+
+  // Snapshot events only; null for every other kind.
+  std::shared_ptr<const SnapshotStats> snapshot;
 };
 
 // Hook interface the simulators emit into. Hooks fire synchronously at
@@ -100,6 +146,7 @@ class SimObserver {
   virtual void on_flow_complete(const TraceEvent& /*e*/) {}
   virtual void on_dard_round(const TraceEvent& /*e*/) {}
   virtual void on_fault(const TraceEvent& /*e*/) {}
+  virtual void on_snapshot(const TraceEvent& /*e*/) {}
 };
 
 inline const char* to_string(TraceEventKind kind) {
@@ -116,6 +163,8 @@ inline const char* to_string(TraceEventKind kind) {
       return "dard_round";
     case TraceEventKind::Fault:
       return "fault";
+    case TraceEventKind::Snapshot:
+      return "snapshot";
   }
   return "?";
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/json.h"
 
 namespace dard::obs {
 
@@ -66,6 +67,41 @@ std::string to_json(const TraceEvent& e) {
       if (e.dst_host.valid()) field_id(os, "b", e.dst_host.value());
       os << ",\"fault_id\":" << e.cause_id;
       break;
+    case TraceEventKind::Snapshot: {
+      // Snapshots without a payload are meaningless; emit an empty one
+      // rather than crash if a caller forgets to attach it.
+      static const SnapshotStats kEmpty;
+      const SnapshotStats& s = e.snapshot != nullptr ? *e.snapshot : kEmpty;
+      os << ",\"seq\":" << s.seq;
+      os << ",\"flows\":" << s.active_flows;
+      os << ",\"elephants\":" << s.active_elephants;
+      os << ",\"queue_depth\":" << s.event_queue_depth;
+      field_double(os, "throughput_bps", s.throughput_bps);
+      field_double(os, "max_utilization", s.max_utilization);
+      field_double(os, "rss_bytes", s.rss_bytes);
+      field_double(os, "path_store_bytes", s.path_store_bytes);
+      os << ",\"counters\":{";
+      for (std::size_t i = 0; i < s.counters.size(); ++i) {
+        os << (i > 0 ? "," : "") << '"' << json::escape(s.counters[i].first)
+           << "\":" << s.counters[i].second;
+      }
+      os << '}';
+      os << ",\"profile\":[";
+      for (std::size_t i = 0; i < s.profile.size(); ++i) {
+        const ProfileSummary& p = s.profile[i];
+        os << (i > 0 ? "," : "") << "{\"section\":\""
+           << json::escape(p.section) << "\",\"count\":" << p.count;
+        field_double(os, "total_s", p.total_s);
+        field_double(os, "mean_s", p.mean_s);
+        field_double(os, "p50_s", p.p50_s);
+        field_double(os, "p95_s", p.p95_s);
+        field_double(os, "p99_s", p.p99_s);
+        field_double(os, "max_s", p.max_s);
+        os << '}';
+      }
+      os << ']';
+      break;
+    }
   }
   os << '}';
   return os.str();

@@ -75,6 +75,7 @@ class TraceObserver : public SimObserver {
   void on_flow_complete(const TraceEvent& e) override { sink_->write(e); }
   void on_dard_round(const TraceEvent& e) override { sink_->write(e); }
   void on_fault(const TraceEvent& e) override { sink_->write(e); }
+  void on_snapshot(const TraceEvent& e) override { sink_->write(e); }
 
  private:
   TraceSink* sink_;

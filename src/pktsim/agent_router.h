@@ -50,6 +50,10 @@ class AgentRouter : public PathSetRouter, public fabric::DataPlane {
   // — and with it agent->start() — runs in the session's constructor).
   void set_observer(obs::SimObserver* observer) { observer_ = observer; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    repo_.set_profiler(profiler);
+  }
 
   // --- fabric::DataPlane ---
   [[nodiscard]] const topo::Topology& topology() const override {
@@ -82,6 +86,7 @@ class AgentRouter : public PathSetRouter, public fabric::DataPlane {
   [[nodiscard]] obs::MetricsRegistry* metrics() const override {
     return metrics_;
   }
+  [[nodiscard]] obs::Profiler* profiler() const override { return profiler_; }
 
   [[nodiscard]] std::uint64_t total_moves() const { return moves_; }
   [[nodiscard]] std::size_t active_elephants() const {
@@ -115,6 +120,7 @@ class AgentRouter : public PathSetRouter, public fabric::DataPlane {
 
   obs::SimObserver* observer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   fabric::ControlPlaneModel* model_ = nullptr;
 };
 

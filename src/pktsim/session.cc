@@ -48,8 +48,11 @@ Bytes PktSession::total_acked_bytes() const {
 }
 
 bool PktSession::run(Seconds max_time) {
-  while (!all_done() && !events_.empty() && events_.now() <= max_time)
+  while (!all_done() && !events_.empty() && events_.now() <= max_time) {
+    const obs::ProfileScope timed(profiler_,
+                                  obs::ProfileSection::PktDispatch);
     events_.run_next();
+  }
   if (metrics_ != nullptr) {
     metrics_->counter("pktsim.drops").add(net_.drops());
     metrics_->counter("pktsim.forwarded").add(net_.forwarded());

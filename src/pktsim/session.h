@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "pktsim/tcp.h"
 
 namespace dard::pktsim {
@@ -45,6 +46,11 @@ class PktSession {
   // default) costs nothing.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  // Times every event dispatch into the PktDispatch histogram (DESIGN.md
+  // §13). Null (the default) disables it; the run loop then pays one null
+  // check per event and never reads the clock.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
   [[nodiscard]] std::uint64_t total_retransmissions() const;
   // Payload bytes cumulatively acknowledged across all flows (acked
   // segments x MSS); the packet substrate's goodput integral.
@@ -58,6 +64,7 @@ class PktSession {
   TcpConfig tcp_;
   std::vector<std::unique_ptr<TcpFlow>> flows_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace dard::pktsim

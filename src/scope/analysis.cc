@@ -62,6 +62,7 @@ std::vector<FlowTimeline> build_timelines(const std::vector<TraceEvent>& trace) 
           rounds_seen[e.cause_id] = static_cast<std::ptrdiff_t>(i);
         break;
       case TraceEventKind::Fault:
+      case TraceEventKind::Snapshot:
         break;
     }
   }
@@ -228,15 +229,26 @@ RunDiff diff_runs(const RunData& a, const RunData& b, std::size_t top_n) {
     }
   }
 
-  // Per-flow completion-time comparison, matched by flow id.
+  // Per-flow completion-time comparison, matched by flow id. Flows that
+  // completed in only one run cannot be compared, but silently skipping
+  // them hides population changes — report them as appeared/disappeared.
   std::unordered_map<std::uint32_t, double> a_transfer;
-  for (const FlowTimeline& t : build_timelines(a.trace))
-    if (t.transfer_s() >= 0) a_transfer[t.flow] = t.transfer_s();
+  std::set<std::uint32_t> a_unmatched;
+  for (const FlowTimeline& t : build_timelines(a.trace)) {
+    if (t.transfer_s() < 0) continue;
+    a_transfer[t.flow] = t.transfer_s();
+    a_unmatched.insert(t.flow);
+  }
   std::vector<FlowRegression> regressions;
   for (const FlowTimeline& t : build_timelines(b.trace)) {
     if (t.transfer_s() < 0) continue;
     const auto it = a_transfer.find(t.flow);
-    if (it == a_transfer.end()) continue;
+    if (it == a_transfer.end()) {
+      ++d.appeared_flows;
+      if (d.appeared_ids.size() < top_n) d.appeared_ids.push_back(t.flow);
+      continue;
+    }
+    a_unmatched.erase(t.flow);
     ++d.matched_flows;
     FlowRegression r;
     r.flow = t.flow;
@@ -256,6 +268,11 @@ RunDiff diff_runs(const RunData& a, const RunData& b, std::size_t top_n) {
             });
   if (regressions.size() > top_n) regressions.resize(top_n);
   d.top_regressions = std::move(regressions);
+  d.disappeared_flows = a_unmatched.size();
+  for (const std::uint32_t flow : a_unmatched) {
+    if (d.disappeared_ids.size() >= top_n) break;
+    d.disappeared_ids.push_back(flow);
+  }
   return d;
 }
 

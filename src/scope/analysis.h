@@ -165,6 +165,13 @@ struct RunDiff {
   std::size_t matched_flows = 0;
   std::size_t regressed_flows = 0;  // completion time got worse in B
   std::size_t improved_flows = 0;
+  // Flows that completed in only one of the runs: a diff that hides them
+  // would call two runs with different flow populations "no regressions".
+  std::size_t disappeared_flows = 0;  // completed in A only
+  std::size_t appeared_flows = 0;     // completed in B only
+  // Ascending flow ids, each capped by the caller's top_n.
+  std::vector<std::uint32_t> disappeared_ids;
+  std::vector<std::uint32_t> appeared_ids;
   // Worst regressions first, capped by the caller's request.
   std::vector<FlowRegression> top_regressions;
 };

@@ -1,0 +1,73 @@
+// `dardscope live`: incremental analysis of a run that is still being
+// written (DESIGN.md §13).
+//
+// A LineTailer follows one growing text file with bounded state (a byte
+// offset plus at most one buffered partial line); the live driver tails the
+// run's trace.jsonl and link_samples.csv, feeds every complete line to a
+// StreamingAnalyzer, and periodically refreshes a status view with the same
+// headline metrics the offline report prints. When the run directory gains
+// its manifest.json — dardsim writes it last, so its existence means the
+// run is over — the driver drains the remaining lines, folds in the final
+// metrics.csv (control overhead), renders once more and exits 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "scope/streaming.h"
+
+namespace dard::scope {
+
+// Follows appends to one text file. poll() reads everything new since the
+// previous call and hands each *complete* line (newline-terminated, or
+// final at end-of-stream when `flush` is set) to the callback; a trailing
+// partial line stays buffered until its newline arrives. Works whether or
+// not the file exists yet — a missing file is simply zero new lines.
+class LineTailer {
+ public:
+  explicit LineTailer(std::string path) : path_(std::move(path)) {}
+
+  // Returns the number of complete lines delivered this poll. With
+  // `flush`, a trailing unterminated line is delivered too (final drain of
+  // a finished file).
+  std::size_t poll(const std::function<void(const std::string&)>& fn,
+                   bool flush = false);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::string partial_;
+};
+
+struct LiveOptions {
+  std::string path;          // run directory or bare trace.jsonl
+  double interval_s = 1.0;   // poll / refresh period (wall clock)
+  bool once = false;         // single pass over what exists now, then exit
+  std::size_t window = 4;    // oscillation window (as in `report`)
+  std::string summary_out;   // append one summary JSON line per refresh
+  bool ansi = false;         // clear the screen between refreshes
+  // Bare traces have no manifest to signal completion: stop after this many
+  // consecutive polls without growth (run dirs stop on manifest instead).
+  std::size_t idle_polls_limit = 5;
+};
+
+// Runs the live loop; blocks until the run completes (or, with `once`,
+// after a single pass). Returns a process exit code (0 = ok, 2 = bad
+// input). Status view goes to `out`; warnings to stderr.
+int run_live(const LiveOptions& opt, std::ostream& out);
+
+// One refresh of the status view (exposed for tests; run_live calls it).
+void write_live_status(std::ostream& os, const StreamingAnalyzer& a,
+                       const ControlOverhead& control, bool finished,
+                       const std::string& source, std::size_t parse_errors);
+
+// One machine-readable summary line (JSON object, no trailing newline).
+[[nodiscard]] std::string live_summary_json(const StreamingAnalyzer& a,
+                                            bool finished);
+
+}  // namespace dard::scope

@@ -253,6 +253,23 @@ void write_diff_text(std::ostream& os, const RunData& a, const RunData& b,
   for (const FlowRegression& f : d.top_regressions)
     os << "  flow " << f.flow << ": " << fmt(f.a_transfer_s) << " s -> "
        << fmt(f.b_transfer_s) << " s (+" << fmt(f.delta_s()) << " s)\n";
+  if (d.disappeared_flows > 0 || d.appeared_flows > 0) {
+    os << "\nflow population changed between the runs\n";
+    if (d.disappeared_flows > 0) {
+      os << "  disappeared (completed in A only): " << d.disappeared_flows
+         << " [flows";
+      for (const auto f : d.disappeared_ids) os << ' ' << f;
+      if (d.disappeared_ids.size() < d.disappeared_flows) os << " ...";
+      os << "]\n";
+    }
+    if (d.appeared_flows > 0) {
+      os << "  appeared (completed in B only): " << d.appeared_flows
+         << " [flows";
+      for (const auto f : d.appeared_ids) os << ' ' << f;
+      if (d.appeared_ids.size() < d.appeared_flows) os << " ...";
+      os << "]\n";
+    }
+  }
 }
 
 void write_diff_markdown(std::ostream& os, const RunData& a, const RunData& b,
@@ -275,6 +292,22 @@ void write_diff_markdown(std::ostream& os, const RunData& a, const RunData& b,
     for (const FlowRegression& f : d.top_regressions)
       os << "| " << f.flow << " | " << fmt(f.a_transfer_s) << " | "
          << fmt(f.b_transfer_s) << " | +" << fmt(f.delta_s()) << " |\n";
+  }
+  if (d.disappeared_flows > 0 || d.appeared_flows > 0) {
+    os << "\n**Flow population changed** — " << d.disappeared_flows
+       << " disappeared (completed in A only), " << d.appeared_flows
+       << " appeared (completed in B only).\n";
+    const auto list = [&os](const char* label,
+                            const std::vector<std::uint32_t>& ids,
+                            std::size_t total) {
+      if (ids.empty()) return;
+      os << "- " << label << ":";
+      for (const auto f : ids) os << ' ' << f;
+      if (ids.size() < total) os << " ...";
+      os << '\n';
+    };
+    list("disappeared", d.disappeared_ids, d.disappeared_flows);
+    list("appeared", d.appeared_ids, d.appeared_flows);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "scope/run_loader.h"
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -33,9 +34,11 @@ double to_number(const std::string& s) {
   }
 }
 
-bool load_metrics_csv(const std::string& path,
-                      std::map<std::string, MetricRow>* out,
-                      std::string* error) {
+}  // namespace
+
+bool load_metrics_file(const std::string& path,
+                       std::map<std::string, MetricRow>* out,
+                       std::string* error) {
   std::ifstream in(path);
   if (!in) {
     *error = "cannot open metrics file: " + path;
@@ -64,6 +67,27 @@ bool load_metrics_csv(const std::string& path,
   return true;
 }
 
+bool parse_link_sample_row(const std::string& line, LinkSample* out) {
+  const auto cells = split_csv(line);
+  if (cells.size() < 7) return false;
+  // The header row ("time,link,...") parses as zeros; reject it by the
+  // non-numeric first cell instead of silently folding it in.
+  if (cells[0].empty() ||
+      (!std::isdigit(static_cast<unsigned char>(cells[0][0])) &&
+       cells[0][0] != '-' && cells[0][0] != '.'))
+    return false;
+  out->time = to_number(cells[0]);
+  out->link = static_cast<std::uint32_t>(to_number(cells[1]));
+  out->src = cells[2];
+  out->dst = cells[3];
+  out->capacity_bps = to_number(cells[4]);
+  out->used_bps = to_number(cells[5]);
+  out->utilization = to_number(cells[6]);
+  return true;
+}
+
+namespace {
+
 bool load_link_samples_csv(const std::string& path,
                            std::vector<LinkSample>* out, std::string* error) {
   std::ifstream in(path);
@@ -75,19 +99,11 @@ bool load_link_samples_csv(const std::string& path,
   std::getline(in, line);  // header
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const auto cells = split_csv(line);
-    if (cells.size() < 7) {
+    LinkSample s;
+    if (!parse_link_sample_row(line, &s)) {
       *error = "malformed link sample row in " + path + ": " + line;
       return false;
     }
-    LinkSample s;
-    s.time = to_number(cells[0]);
-    s.link = static_cast<std::uint32_t>(to_number(cells[1]));
-    s.src = cells[2];
-    s.dst = cells[3];
-    s.capacity_bps = to_number(cells[4]);
-    s.used_bps = to_number(cells[5]);
-    s.utilization = to_number(cells[6]);
     out->push_back(std::move(s));
   }
   return true;
@@ -229,7 +245,7 @@ bool load_run(const std::string& path, RunData* out, std::string* error) {
   if (!load_trace_file(trace_path, &out->trace, error)) return false;
 
   if (const auto p = resolve("metrics", harness::kMetricsFile); !p.empty())
-    if (!load_metrics_csv(p, &out->metrics, error)) return false;
+    if (!load_metrics_file(p, &out->metrics, error)) return false;
   if (const auto p = resolve("link_samples", harness::kLinkSamplesFile);
       !p.empty())
     if (!load_link_samples_csv(p, &out->link_samples, error)) return false;

@@ -80,4 +80,14 @@ struct RunData {
 [[nodiscard]] bool load_run(const std::string& path, RunData* out,
                             std::string* error);
 
+// Standalone artifact readers, shared with the live tailer (which reads
+// artifacts piecemeal while dardsim is still writing them).
+[[nodiscard]] bool load_metrics_file(const std::string& path,
+                                     std::map<std::string, MetricRow>* out,
+                                     std::string* error);
+// One link_samples.csv data row -> LinkSample. Returns false on malformed
+// rows (and on the header row, which starts with a non-numeric cell).
+[[nodiscard]] bool parse_link_sample_row(const std::string& line,
+                                         LinkSample* out);
+
 }  // namespace dard::scope

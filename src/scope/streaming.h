@@ -1,0 +1,135 @@
+// Incremental (streaming) trace analysis: the engine behind
+// `dardscope live` (DESIGN.md §13).
+//
+// StreamingAnalyzer consumes trace events and link samples one at a time —
+// in trace order, which the simulator's single event queue guarantees is
+// non-decreasing in time — and maintains the same headline metrics the
+// offline report computes from a fully-loaded trace: convergence
+// (evaluations, scheduling instants, accepted moves, oscillations), path
+// churn, the causal-link audit, and link utilization. Its contract, pinned
+// by tests/streaming_test.cc: after feeding a complete trace, convergence()
+// / churn() / causes() / utilization() equal analyze_convergence() /
+// summarize_churn() / audit_causes() / summarize_utilization() on the same
+// data, field for field.
+//
+// Memory is bounded by the *live* state of the run, not the trace length:
+//  * per-flow state (move count, elephant flag, the oscillation window of
+//    recently-left paths) exists only while the flow is active and is
+//    folded into scalar aggregates on FlowComplete — a completed flow never
+//    moves again, so nothing is lost;
+//  * accepted DARD round ids are kept in a bounded ring (kRoundIdWindow)
+//    for resolving each move's cause id — in every trace the simulator
+//    writes, a move cites a round from the same scheduling instant, so the
+//    window is effectively infinite; a pathological trace citing a round
+//    more than kRoundIdWindow accepted rounds back would count the move as
+//    dangling where the offline audit resolves it;
+//  * distinct scheduling instants are counted with one comparison against
+//    the previous DardRound timestamp (times are non-decreasing), not a
+//    set of timestamps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "scope/analysis.h"
+
+namespace dard::scope {
+
+class StreamingAnalyzer {
+ public:
+  // Accepted-round-id ring capacity (see header comment).
+  static constexpr std::size_t kRoundIdWindow = 65536;
+
+  explicit StreamingAnalyzer(std::size_t oscillation_window = 4)
+      : window_(oscillation_window) {}
+
+  // Feed one trace event (in trace order).
+  void on_event(const obs::TraceEvent& e);
+  // Feed one link-utilization sample (any order; only aggregates are kept).
+  void on_link_sample(const LinkSample& s);
+
+  // Stream totals, updated on every event.
+  struct Totals {
+    std::size_t trace_events = 0;
+    std::size_t fault_events = 0;
+    std::size_t snapshot_events = 0;
+    std::size_t flows_seen = 0;  // distinct flow ids
+    std::size_t live_flows = 0;  // seen but not yet completed
+    std::size_t completed_flows = 0;
+    double last_event_time = 0;
+  };
+  [[nodiscard]] const Totals& totals() const { return totals_; }
+
+  // The most recent Snapshot event's payload (null until one streams past).
+  [[nodiscard]] const std::shared_ptr<const obs::SnapshotStats>&
+  last_snapshot() const {
+    return last_snapshot_;
+  }
+
+  // Current summaries. Each call assembles a value from the aggregates plus
+  // the still-live flows, so they are valid mid-stream and final once the
+  // trace is exhausted.
+  [[nodiscard]] const CauseAudit& causes() const { return causes_; }
+  [[nodiscard]] Convergence convergence() const;
+  [[nodiscard]] ChurnSummary churn() const;
+  [[nodiscard]] UtilizationSummary utilization() const;
+
+ private:
+  struct LiveFlow {
+    std::uint32_t moves = 0;
+    bool elephant = false;
+    // The last `window_` paths this flow left, oldest first (the offline
+    // analyzer's per-flow history, kept only while the flow lives).
+    std::vector<std::uint32_t> left_paths;
+  };
+
+  void fold_flow(std::uint32_t id, const LiveFlow& f);
+  void note_accepted_round(std::uint64_t id);
+
+  std::size_t window_;
+  Totals totals_;
+  CauseAudit causes_;
+  std::shared_ptr<const obs::SnapshotStats> last_snapshot_;
+
+  // Live flows by id; std::map so finalizing folds in ascending-id order.
+  std::map<std::uint32_t, LiveFlow> live_;
+
+  // Churn aggregates over completed flows (live flows folded on demand).
+  std::size_t folded_elephants_ = 0;
+  std::size_t folded_flows_moved_ = 0;
+  std::size_t folded_total_moves_ = 0;
+  std::size_t folded_max_moves_ = 0;
+  std::uint32_t folded_max_flow_ = 0;
+
+  // Convergence aggregates.
+  std::size_t evaluations_ = 0;
+  std::size_t instants_ = 0;
+  bool any_round_ = false;
+  double last_round_time_ = 0;
+  std::size_t moves_ = 0;
+  double last_move_time_ = -1;
+  std::size_t evals_at_last_move_ = 0;
+  std::size_t instants_at_last_move_ = 0;
+  double trace_end_ = 0;
+  std::size_t oscillations_ = 0;
+  std::set<std::uint32_t> oscillating_;
+
+  // Causal audit: bounded ring of recently-accepted round ids.
+  std::unordered_set<std::uint64_t> round_ids_;
+  std::deque<std::uint64_t> round_order_;
+
+  // Utilization aggregates.
+  std::size_t util_samples_ = 0;
+  double util_total_ = 0;
+  double util_peak_ = 0;
+  std::string util_peak_link_;
+  double util_peak_time_ = 0;
+  std::set<std::uint32_t> util_links_;
+};
+
+}  // namespace dard::scope

@@ -56,6 +56,7 @@ bool kind_from_string(const std::string& s, TraceEventKind* out) {
   else if (s == "flow_complete") *out = TraceEventKind::FlowComplete;
   else if (s == "dard_round") *out = TraceEventKind::DardRound;
   else if (s == "fault") *out = TraceEventKind::Fault;
+  else if (s == "snapshot") *out = TraceEventKind::Snapshot;
   else return false;
   return true;
 }
@@ -82,11 +83,16 @@ bool parse_trace_line(const std::string& line, obs::TraceEvent* out,
   double version = 0;
   if (!json::get_number(*root, "v", /*required=*/true, 0, &version, error))
     return false;
-  if (static_cast<int>(version) != obs::kTraceSchemaVersion) {
+  // Backward-compatible window: a v2 line is a valid v3 line (v3 only adds
+  // the snapshot kind). Older or newer schemas are refused outright.
+  if (static_cast<int>(version) < obs::kMinReadableTraceSchemaVersion ||
+      static_cast<int>(version) > obs::kTraceSchemaVersion) {
     std::ostringstream os;
     os << "unsupported trace schema version " << static_cast<int>(version)
-       << " (this dardscope reads version " << obs::kTraceSchemaVersion
-       << "; re-run dardsim to regenerate the trace)";
+       << " (this dardscope reads versions "
+       << obs::kMinReadableTraceSchemaVersion << ".."
+       << obs::kTraceSchemaVersion << "; re-run dardsim to regenerate the "
+       << "trace)";
     *error = os.str();
     return false;
   }
@@ -156,6 +162,62 @@ bool parse_trace_line(const std::string& line, obs::TraceEvent* out,
       ok = read_strong_id(*root, "a", &e.src_host, error) &&
            read_strong_id(*root, "b", &e.dst_host, error) &&
            read_u64(*root, "fault_id", &e.cause_id, error);
+      break;
+    }
+    case TraceEventKind::Snapshot: {
+      auto stats = std::make_shared<obs::SnapshotStats>();
+      double flows = 0;
+      double elephants = 0;
+      double depth = 0;
+      ok = read_u64(*root, "seq", &stats->seq, error) &&
+           read_double(*root, "flows", &flows, error) &&
+           read_double(*root, "elephants", &elephants, error) &&
+           read_double(*root, "queue_depth", &depth, error) &&
+           read_double(*root, "throughput_bps", &stats->throughput_bps,
+                       error) &&
+           read_double(*root, "max_utilization", &stats->max_utilization,
+                       error) &&
+           read_double(*root, "rss_bytes", &stats->rss_bytes, error) &&
+           read_double(*root, "path_store_bytes", &stats->path_store_bytes,
+                       error);
+      if (!ok) break;
+      stats->active_flows = static_cast<std::size_t>(flows);
+      stats->active_elephants = static_cast<std::size_t>(elephants);
+      stats->event_queue_depth = static_cast<std::size_t>(depth);
+      bool section_ok = true;
+      if (const json::Value* counters =
+              json::get_object(*root, "counters", error, &section_ok)) {
+        for (const auto& [name, value] : counters->object) {
+          if (value->kind != json::Value::Kind::Number) {
+            *error = "snapshot counter " + name + " is not a number";
+            return false;
+          }
+          stats->counters.emplace_back(name, value->number);
+        }
+      }
+      if (!section_ok) return false;
+      if (const json::Value* profile =
+              json::get_array(*root, "profile", error, &section_ok)) {
+        for (const auto& entry : profile->array) {
+          if (entry->kind != json::Value::Kind::Object) {
+            *error = "snapshot profile entry is not an object";
+            return false;
+          }
+          obs::ProfileSummary p;
+          if (!json::get_string(*entry, "section", &p.section, error) ||
+              !read_u64(*entry, "count", &p.count, error) ||
+              !read_double(*entry, "total_s", &p.total_s, error) ||
+              !read_double(*entry, "mean_s", &p.mean_s, error) ||
+              !read_double(*entry, "p50_s", &p.p50_s, error) ||
+              !read_double(*entry, "p95_s", &p.p95_s, error) ||
+              !read_double(*entry, "p99_s", &p.p99_s, error) ||
+              !read_double(*entry, "max_s", &p.max_s, error))
+            return false;
+          stats->profile.push_back(std::move(p));
+        }
+      }
+      if (!section_ok) return false;
+      e.snapshot = std::move(stats);
       break;
     }
   }

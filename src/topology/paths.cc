@@ -108,6 +108,8 @@ const std::vector<Path>& PathRepository::tor_paths(NodeId src_tor,
   const auto key = std::make_pair(src_tor, dst_tor);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    const obs::ProfileScope timed(profiler_,
+                                  obs::ProfileSection::PathEnumeration);
     it = cache_.emplace(key, enumerate_tor_paths(*topo_, src_tor, dst_tor))
              .first;
   }

@@ -10,6 +10,9 @@
 #include <map>
 #include <vector>
 
+// Header-only (like obs/metrics.h), so instrumenting the repository adds no
+// link-time dependency on the obs library.
+#include "obs/profiler.h"
 #include "topology/topology.h"
 
 namespace dard::topo {
@@ -41,9 +44,15 @@ class PathRepository {
 
   [[nodiscard]] const Topology& topology() const { return *topo_; }
 
+  // Times cache-miss enumerations into the profiler's PathEnumeration
+  // section (cache hits stay untimed — they are a map lookup). Null (the
+  // default) disables timing; the miss path then pays one branch.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   const Topology* topo_;
   std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache_;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace dard::topo

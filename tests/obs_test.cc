@@ -189,6 +189,7 @@ TEST(Trace, KindNamesAreStable) {
   EXPECT_STREQ(to_string(TraceEventKind::FlowComplete), "flow_complete");
   EXPECT_STREQ(to_string(TraceEventKind::DardRound), "dard_round");
   EXPECT_STREQ(to_string(TraceEventKind::Fault), "fault");
+  EXPECT_STREQ(to_string(TraceEventKind::Snapshot), "snapshot");
 }
 
 // One fully-populated event of each kind; the serializer only emits the
@@ -248,7 +249,37 @@ std::vector<TraceEvent> one_event_per_kind() {
   fault.fault_action = FaultAction::CableDown;
   fault.cause_id = 9;
 
-  return {arrive, elephant, move, complete, round, fault};
+  TraceEvent snapshot;
+  snapshot.kind = TraceEventKind::Snapshot;
+  snapshot.time = 5.0;
+  {
+    auto stats = std::make_shared<obs::SnapshotStats>();
+    stats->seq = 7;
+    stats->active_flows = 12;
+    stats->active_elephants = 3;
+    stats->event_queue_depth = 40;
+    stats->throughput_bps = 2.5e9;
+    stats->max_utilization = 0.875;
+    stats->rss_bytes = 1.5e7;
+    stats->path_store_bytes = 4096;
+    stats->counters.emplace_back("dard.moves_accepted", 5.0);
+    stats->counters.emplace_back("flowsim.reallocations", 220.0);
+    obs::ProfileSummary p;
+    p.section = "maxmin_realloc";
+    p.count = 220;
+    // Values exactly representable at the writer's 6 significant digits,
+    // so the round trip is bit-exact.
+    p.total_s = 0.0125;
+    p.mean_s = 5.75e-5;
+    p.p50_s = 4.5e-5;
+    p.p95_s = 9e-5;
+    p.p99_s = 1.25e-4;
+    p.max_s = 3e-4;
+    stats->profile.push_back(p);
+    snapshot.snapshot = std::move(stats);
+  }
+
+  return {arrive, elephant, move, complete, round, fault, snapshot};
 }
 
 TEST(Trace, JsonRoundTripsEveryKind) {
@@ -258,7 +289,7 @@ TEST(Trace, JsonRoundTripsEveryKind) {
   for (const TraceEvent& e : one_event_per_kind()) {
     const std::string line = to_json(e);
     SCOPED_TRACE(line);
-    EXPECT_NE(line.find("\"v\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"v\":3"), std::string::npos);
 
     TraceEvent back;
     std::string error;
@@ -306,6 +337,36 @@ TEST(Trace, JsonRoundTripsEveryKind) {
         EXPECT_EQ(back.src_host, e.src_host);
         EXPECT_EQ(back.dst_host, e.dst_host);
         break;
+      case TraceEventKind::Snapshot: {
+        ASSERT_NE(back.snapshot, nullptr);
+        const obs::SnapshotStats& a = *e.snapshot;
+        const obs::SnapshotStats& b = *back.snapshot;
+        EXPECT_EQ(b.seq, a.seq);
+        EXPECT_EQ(b.active_flows, a.active_flows);
+        EXPECT_EQ(b.active_elephants, a.active_elephants);
+        EXPECT_EQ(b.event_queue_depth, a.event_queue_depth);
+        EXPECT_DOUBLE_EQ(b.throughput_bps, a.throughput_bps);
+        EXPECT_DOUBLE_EQ(b.max_utilization, a.max_utilization);
+        EXPECT_DOUBLE_EQ(b.rss_bytes, a.rss_bytes);
+        EXPECT_DOUBLE_EQ(b.path_store_bytes, a.path_store_bytes);
+        ASSERT_EQ(b.counters.size(), a.counters.size());
+        for (std::size_t i = 0; i < a.counters.size(); ++i) {
+          EXPECT_EQ(b.counters[i].first, a.counters[i].first);
+          EXPECT_DOUBLE_EQ(b.counters[i].second, a.counters[i].second);
+        }
+        ASSERT_EQ(b.profile.size(), a.profile.size());
+        for (std::size_t i = 0; i < a.profile.size(); ++i) {
+          EXPECT_EQ(b.profile[i].section, a.profile[i].section);
+          EXPECT_EQ(b.profile[i].count, a.profile[i].count);
+          EXPECT_DOUBLE_EQ(b.profile[i].total_s, a.profile[i].total_s);
+          EXPECT_DOUBLE_EQ(b.profile[i].mean_s, a.profile[i].mean_s);
+          EXPECT_DOUBLE_EQ(b.profile[i].p50_s, a.profile[i].p50_s);
+          EXPECT_DOUBLE_EQ(b.profile[i].p95_s, a.profile[i].p95_s);
+          EXPECT_DOUBLE_EQ(b.profile[i].p99_s, a.profile[i].p99_s);
+          EXPECT_DOUBLE_EQ(b.profile[i].max_s, a.profile[i].max_s);
+        }
+        break;
+      }
     }
   }
 }
@@ -359,6 +420,10 @@ TEST(ObsIntegration, TracedRunIsCausallyConsistentPerFlow) {
       EXPECT_GT(e.delta_threshold, 0.0);
       continue;
     }
+    // Faults and snapshots are not flow-lifecycle events.
+    if (e.kind == TraceEventKind::Fault ||
+        e.kind == TraceEventKind::Snapshot)
+      continue;
     FlowTrail& trail = trails[e.flow];
     EXPECT_FALSE(trail.complete_seen) << "no events after flow_complete";
     switch (e.kind) {
@@ -384,6 +449,8 @@ TEST(ObsIntegration, TracedRunIsCausallyConsistentPerFlow) {
         trail.complete_seen = true;
         break;
       case TraceEventKind::DardRound:
+      case TraceEventKind::Fault:
+      case TraceEventKind::Snapshot:
         break;
     }
     trail.last_time = e.time;

@@ -451,9 +451,65 @@ TEST(Diff, ComputesDeltasAndPerFlowRegressions) {
   std::ostringstream text;
   write_diff_text(text, a, b, d);
   EXPECT_NE(text.str().find("regressed: 1"), std::string::npos);
+  // Same populations: no appeared/disappeared section at all.
+  EXPECT_EQ(d.appeared_flows, 0u);
+  EXPECT_EQ(d.disappeared_flows, 0u);
+  EXPECT_EQ(text.str().find("appeared"), std::string::npos);
   std::ostringstream md;
   write_diff_markdown(md, a, b, d);
   EXPECT_NE(md.str().find("1 regressed"), std::string::npos);
+}
+
+TEST(Diff, ReportsFlowsCompletedInOnlyOneRun) {
+  const auto mk_run = [](std::initializer_list<std::uint32_t> flows) {
+    RunData run;
+    for (const std::uint32_t f : flows) {
+      TraceEvent arrive;
+      arrive.kind = TraceEventKind::FlowArrive;
+      arrive.time = 0;
+      arrive.flow = FlowId(f);
+      TraceEvent complete;
+      complete.kind = TraceEventKind::FlowComplete;
+      complete.time = 1.0;
+      complete.flow = FlowId(f);
+      run.trace.push_back(arrive);
+      run.trace.push_back(complete);
+    }
+    return run;
+  };
+  // Flows 2 and 3 finished only in A; flow 9 only in B; 0 and 1 match.
+  RunData a = mk_run({0, 1, 2, 3});
+  RunData b = mk_run({0, 1, 9});
+
+  const RunDiff d = diff_runs(a, b, /*top_n=*/10);
+  EXPECT_EQ(d.matched_flows, 2u);
+  EXPECT_EQ(d.disappeared_flows, 2u);
+  EXPECT_EQ(d.appeared_flows, 1u);
+  ASSERT_EQ(d.disappeared_ids.size(), 2u);
+  EXPECT_EQ(d.disappeared_ids[0], 2u);
+  EXPECT_EQ(d.disappeared_ids[1], 3u);
+  ASSERT_EQ(d.appeared_ids.size(), 1u);
+  EXPECT_EQ(d.appeared_ids[0], 9u);
+
+  std::ostringstream text;
+  write_diff_text(text, a, b, d);
+  EXPECT_NE(text.str().find("disappeared (completed in A only): 2"),
+            std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("appeared (completed in B only): 1"),
+            std::string::npos);
+  std::ostringstream md;
+  write_diff_markdown(md, a, b, d);
+  EXPECT_NE(md.str().find("2 disappeared"), std::string::npos) << md.str();
+  EXPECT_NE(md.str().find("1 appeared"), std::string::npos);
+
+  // The id lists cap at top_n but the counts stay exact.
+  const RunDiff capped = diff_runs(a, b, /*top_n=*/1);
+  EXPECT_EQ(capped.disappeared_flows, 2u);
+  EXPECT_EQ(capped.disappeared_ids.size(), 1u);
+  std::ostringstream capped_text;
+  write_diff_text(capped_text, a, b, capped);
+  EXPECT_NE(capped_text.str().find("..."), std::string::npos);
 }
 
 }  // namespace
