@@ -15,6 +15,7 @@
 #include "obs/profiler.h"
 #include "realloc_workload.h"
 #include "topology/builders.h"
+#include "topology/path_gen.h"
 #include "topology/paths.h"
 
 namespace {
@@ -170,6 +171,43 @@ void BM_PathEnumeration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathEnumeration)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// The lazy generator materializing the same full (k/2)^2 path set the
+// enumerator produces. BM_PathGenerateAll/32 vs BM_PathEnumeration/32 is
+// the headline tentpole ratio (acceptance: >= 100x at k=32).
+void BM_PathGenerateAll(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = static_cast<int>(state.range(0))});
+  const topo::PathGenerator gen(t);
+  const NodeId src = t.tors().front();
+  const NodeId dst = t.tors().back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.all(src, dst));
+  }
+}
+BENCHMARK(BM_PathGenerateAll)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Amortized per-pair access through the bounded LRU: a scheduler touching
+// a working set that fits in cache pays a flat-hash hit, not a rebuild.
+void BM_PathRepositoryLookup(benchmark::State& state) {
+  const auto t = topo::build_fat_tree({.p = static_cast<int>(state.range(0))});
+  topo::PathRepository repo(t);
+  // A hot working set of ToR pairs well inside the LRU capacity.
+  const auto& tors = t.tors();
+  constexpr std::size_t kPairs = 64;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Rng rng(7);
+  while (pairs.size() < kPairs) {
+    const NodeId s = tors[rng.next_below(tors.size())];
+    const NodeId d = tors[rng.next_below(tors.size())];
+    if (s != d) pairs.emplace_back(s, d);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, d] = pairs[i++ % kPairs];
+    benchmark::DoNotOptimize(repo.tor_paths(s, d));
+  }
+}
+BENCHMARK(BM_PathRepositoryLookup)->Arg(8)->Arg(32);
 
 void BM_EncodePath(benchmark::State& state) {
   const auto t = topo::build_fat_tree({.p = 8});

@@ -96,6 +96,11 @@ void print_usage(std::FILE* out) {
                "(default 1,\n"
                "                       0 = all cores; results are identical "
                "for any J)\n"
+               "  --realloc-threads=T  worker threads for the sharded "
+               "max-min solve\n"
+               "                       (default 1 = serial; results are "
+               "bit-identical\n"
+               "                       for any T; fluid substrate only)\n"
                "\n"
                "fault injection options:\n"
                "  --faults=SPEC        inject a fault plan: a preset (%s)\n"
@@ -173,6 +178,7 @@ struct Options {
   std::uint64_t seed = 1;
   unsigned replicas = 1;
   unsigned jobs = 1;
+  unsigned realloc_threads = 1;
   std::string faults;  // preset name or JSON plan path; empty = no faults
   std::uint64_t fault_seed = 1234;
   double query_loss = 0.0;
@@ -257,6 +263,14 @@ bool parse(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->jobs = static_cast<unsigned>(n);
+    } else if (const char* v = value("--realloc-threads=")) {
+      if (!parse_long(v, &n) || n < 1) {
+        std::fprintf(
+            stderr,
+            "invalid --realloc-threads: %s (valid: an integer >= 1)\n", v);
+        return false;
+      }
+      opt->realloc_threads = static_cast<unsigned>(n);
     } else if (const char* v = value("--faults=")) {
       opt->faults = v;
     } else if (const char* v = value("--fault-seed=")) {
@@ -355,6 +369,7 @@ int main(int argc, char** argv) {
   }
 
   harness::ExperimentConfig cfg;
+  cfg.realloc_threads = opt.realloc_threads;
   if (opt.pattern == "random") {
     cfg.workload.pattern.kind = traffic::PatternKind::Random;
   } else if (opt.pattern == "staggered") {

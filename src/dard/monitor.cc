@@ -10,7 +10,8 @@ PathMonitor::PathMonitor(fabric::DataPlane& net, NodeId src_tor,
                          NodeId dst_tor)
     : src_tor_(src_tor),
       dst_tor_(dst_tor),
-      paths_(&net.paths().tor_paths(src_tor, dst_tor)),
+      paths_pin_(net.paths().pinned(src_tor, dst_tor)),
+      paths_(paths_pin_.get()),
       pv_(paths_->size()),
       fv_(paths_->size()),
       blacklisted_(paths_->size(), 0),

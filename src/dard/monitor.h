@@ -144,6 +144,10 @@ class PathMonitor {
  private:
   NodeId src_tor_;
   NodeId dst_tor_;
+  // A monitor outlives any LRU residency guarantee, so it pins its path
+  // set: paths_pin_ keeps the materialized set alive across cache eviction,
+  // paths_ is just the dereferenced view the hot paths index into.
+  topo::PathRepository::PathSetPtr paths_pin_;
   const std::vector<topo::Path>* paths_;
   std::vector<NodeId> query_set_;
 

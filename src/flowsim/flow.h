@@ -35,19 +35,16 @@ struct Flow {
   // Only active flows have a path; a finished flow's list is released.
   PathIndex path_index = 0;
 
-  // Fluid progress. `remaining` is exact as of `last_update`; the current
-  // value is remaining - rate * (now - last_update).
-  Bytes remaining = 0;
-  Bps rate = 0;
-  Seconds last_update = 0;
-
   Seconds finish_time = 0;     // set when state becomes Finished
   std::uint32_t path_switches = 0;
   bool is_elephant = false;
 
-  // Bumped on every rate or path change; pending completion events carry
-  // the version they were computed under and no-op when stale.
-  std::uint64_t version = 0;
+  // The *hot* per-flow scalars — remaining bytes, current rate, last
+  // settlement time, completion-event version — live in flat SoA lanes on
+  // the simulator (rate via FlowSimulator::rate_of()), not here: the
+  // reallocation inner loop touches every dirty flow's hot state and
+  // nothing else, so packing those lanes densely is what keeps a k=32
+  // realloc inside the cache.
 };
 
 // Immutable summary of a finished flow, kept for statistics.

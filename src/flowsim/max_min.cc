@@ -134,7 +134,7 @@ void MaxMinAllocator::add_flow(std::uint32_t fid) {
   in_system_[fid] = 1;
   member_pos_[fid] = static_cast<std::uint32_t>(members_.size());
   members_.push_back(fid);
-  for (const LinkId l : path) inc_flows_on_[l.value()].push_back(fid);
+  for (const LinkId l : path) inc_flows_on_.push(l.value(), fid);
   mark_dirty_flow(fid);
 }
 
@@ -150,13 +150,9 @@ void MaxMinAllocator::remove_flow(std::uint32_t fid) {
   members_.pop_back();
 
   for (const LinkId l : store_->span(fid)) {
-    auto& on = inc_flows_on_[l.value()];
     // Swap-erase; lists are short (flows sharing one link), the scan is a
-    // contiguous sweep.
-    const auto it = std::find(on.begin(), on.end(), fid);
-    DCN_CHECK(it != on.end());
-    *it = on.back();
-    on.pop_back();
+    // contiguous sweep within the arena.
+    inc_flows_on_.swap_erase(l.value(), fid);
     mark_dirty_link(l.value());
   }
 }
@@ -172,7 +168,7 @@ bool MaxMinAllocator::collect_component(std::size_t limit) {
     comp_flows_.push_back(fid);
   }
   for (const LinkId::value_type lv : dirty_links_) {
-    for (const std::uint32_t fid : inc_flows_on_[lv]) {
+    for (const std::uint32_t fid : inc_flows_on_.items(lv)) {
       if (flow_visit_[fid] == visit_stamp_) continue;
       flow_visit_[fid] = visit_stamp_;
       comp_flows_.push_back(fid);
@@ -187,7 +183,7 @@ bool MaxMinAllocator::collect_component(std::size_t limit) {
       if (link_visit_[lv] == visit_stamp_) continue;
       link_visit_[lv] = visit_stamp_;
       comp_links_.push_back(lv);
-      for (const std::uint32_t g : inc_flows_on_[lv]) {
+      for (const std::uint32_t g : inc_flows_on_.items(lv)) {
         if (flow_visit_[g] == visit_stamp_) continue;
         flow_visit_[g] = visit_stamp_;
         comp_flows_.push_back(g);
@@ -209,12 +205,20 @@ void MaxMinAllocator::collect_everything() {
   }
 }
 
-void MaxMinAllocator::water_fill() {
-  ++frozen_stamp_;
-  for (const auto lv : comp_links_) {
+// One shard's progressive filling. Serial solves pass the whole scope.
+// Shards touch disjoint flows and links (they are distinct connected
+// components of the sharing graph), so concurrent calls write disjoint
+// entries of the shared per-flow / per-link arrays, and the heap ordering
+// within a shard — including the (share, link id) tie-break — is exactly
+// what the serial global heap would have produced for those links: rates
+// come out bit-identical either way.
+void MaxMinAllocator::water_fill_range(
+    std::span<const std::uint32_t> flows,
+    std::span<const LinkId::value_type> links) {
+  for (const auto lv : links) {
     inc_remaining_[lv] = capacity_of(LinkId(lv));
     inc_unfrozen_[lv] =
-        static_cast<std::uint32_t>(inc_flows_on_[lv].size());
+        static_cast<std::uint32_t>(inc_flows_on_.size(lv));
     inc_saturated_[lv] = 0;
   }
 
@@ -223,10 +227,10 @@ void MaxMinAllocator::water_fill() {
   auto share_of = [&](LinkId::value_type lv) {
     return inc_remaining_[lv] / static_cast<double>(inc_unfrozen_[lv]);
   };
-  for (const auto lv : comp_links_) heap.emplace(share_of(lv), lv);
+  for (const auto lv : links) heap.emplace(share_of(lv), lv);
 
   std::size_t frozen_count = 0;
-  const std::size_t target = comp_flows_.size();
+  const std::size_t target = flows.size();
   while (frozen_count < target) {
     DCN_CHECK_MSG(!heap.empty(), "no bottleneck but unfrozen flows remain");
     const auto [key, lv] = heap.top();
@@ -239,7 +243,7 @@ void MaxMinAllocator::water_fill() {
     }
     const double share = std::max(actual, 0.0);
 
-    for (const std::uint32_t fid : inc_flows_on_[lv]) {
+    for (const std::uint32_t fid : inc_flows_on_.items(lv)) {
       if (frozen_mark_[fid] == frozen_stamp_) continue;
       frozen_mark_[fid] = frozen_stamp_;
       ++frozen_count;
@@ -251,6 +255,92 @@ void MaxMinAllocator::water_fill() {
     }
     inc_saturated_[lv] = 1;
   }
+}
+
+bool MaxMinAllocator::parallel_water_fill() {
+  last_shards_ = 0;
+  if (pool_ == nullptr || pool_->size() < 2 ||
+      comp_flows_.size() < min_parallel_flows_)
+    return false;
+
+  const std::size_t n = comp_flows_.size();
+  flow_local_.resize(in_system_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    flow_local_[comp_flows_[i]] = static_cast<std::uint32_t>(i);
+
+  // Union-find (path halving) over local indices: flows sharing a link
+  // land in one set.
+  uf_parent_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    uf_parent_[i] = static_cast<std::uint32_t>(i);
+  auto find = [&](std::uint32_t x) {
+    while (uf_parent_[x] != x) {
+      uf_parent_[x] = uf_parent_[uf_parent_[x]];
+      x = uf_parent_[x];
+    }
+    return x;
+  };
+  for (const auto lv : comp_links_) {
+    const auto items = inc_flows_on_.items(lv);
+    if (items.empty()) continue;
+    const std::uint32_t a = find(flow_local_[items[0]]);
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      const std::uint32_t b = find(flow_local_[items[i]]);
+      if (a != b) uf_parent_[b] = a;
+    }
+  }
+
+  // Shard ids in first-encounter (comp_flows_) order — deterministic.
+  constexpr std::uint32_t kNoShard = 0xffffffffu;
+  root_shard_.assign(n, kNoShard);
+  std::uint32_t shards = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = find(static_cast<std::uint32_t>(i));
+    if (root_shard_[r] == kNoShard) root_shard_[r] = shards++;
+  }
+  if (shards < 2) return false;
+
+  // Bucket flows and links by shard, preserving relative order (a stable
+  // counting sort), then fill every shard concurrently.
+  shard_flow_begin_.assign(shards + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    ++shard_flow_begin_[root_shard_[find(static_cast<std::uint32_t>(i))] + 1];
+  for (std::uint32_t s = 0; s < shards; ++s)
+    shard_flow_begin_[s + 1] += shard_flow_begin_[s];
+  shard_flows_.resize(n);
+  {
+    std::vector<std::uint32_t> cursor(shard_flow_begin_.begin(),
+                                      shard_flow_begin_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t s = root_shard_[find(static_cast<std::uint32_t>(i))];
+      shard_flows_[cursor[s]++] = comp_flows_[i];
+    }
+  }
+  shard_link_begin_.assign(shards + 1, 0);
+  auto shard_of_link = [&](LinkId::value_type lv) {
+    return root_shard_[find(flow_local_[inc_flows_on_.items(lv)[0]])];
+  };
+  for (const auto lv : comp_links_) ++shard_link_begin_[shard_of_link(lv) + 1];
+  for (std::uint32_t s = 0; s < shards; ++s)
+    shard_link_begin_[s + 1] += shard_link_begin_[s];
+  shard_links_.resize(comp_links_.size());
+  {
+    std::vector<std::uint32_t> cursor(shard_link_begin_.begin(),
+                                      shard_link_begin_.end() - 1);
+    for (const auto lv : comp_links_) shard_links_[cursor[shard_of_link(lv)]++] = lv;
+  }
+
+  last_shards_ = shards;
+  pool_->run_indexed(shards, [this](std::size_t s) {
+    water_fill_range(
+        std::span<const std::uint32_t>(shard_flows_)
+            .subspan(shard_flow_begin_[s],
+                     shard_flow_begin_[s + 1] - shard_flow_begin_[s]),
+        std::span<const LinkId::value_type>(shard_links_)
+            .subspan(shard_link_begin_[s],
+                     shard_link_begin_[s + 1] - shard_link_begin_[s]));
+  });
+  return true;
 }
 
 const std::vector<std::uint32_t>& MaxMinAllocator::recompute() {
@@ -281,7 +371,8 @@ const std::vector<std::uint32_t>& MaxMinAllocator::recompute() {
   dirty_links_.clear();
   ++dirty_stamp_;
 
-  water_fill();
+  ++frozen_stamp_;
+  if (!parallel_water_fill()) water_fill_range(comp_flows_, comp_links_);
   return comp_flows_;
 }
 

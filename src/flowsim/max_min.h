@@ -25,6 +25,8 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "fabric/switch_state.h"
@@ -66,6 +68,24 @@ class MaxMinAllocator {
   // Forces every recompute() to take the full path (A/B benching, debug).
   void set_full_only(bool v) { full_only_ = v; }
 
+  // Opt-in sharded-parallel solving: with a pool installed, water-filling
+  // splits the collected scope into its connected components (union-find
+  // over the link-sharing graph) and solves them concurrently whenever the
+  // scope holds at least `min_parallel_flows` flows. Components are
+  // independent by definition of max-min, shards write disjoint per-flow /
+  // per-link state, and the within-component freeze order is untouched, so
+  // rates are bit-identical to the serial solve and recompute()'s returned
+  // order is unchanged (pinned by tests/lazy_paths_test.cc). Null disables
+  // (the default).
+  void set_parallel(common::ThreadPool* pool,
+                    std::size_t min_parallel_flows = 1024) {
+    pool_ = pool;
+    min_parallel_flows_ = min_parallel_flows;
+  }
+
+  // Shards solved concurrently by the last recompute (0 = serial).
+  [[nodiscard]] std::size_t last_shard_count() const { return last_shards_; }
+
   // Re-solves the dirty component (or everything, on fallback) and returns
   // the flows whose rate may have changed. Rates of returned flows are
   // read back through rate_of(); all other registered flows kept their
@@ -96,8 +116,14 @@ class MaxMinAllocator {
   // (caller then takes the full path).
   bool collect_component(std::size_t limit);
   void collect_everything();
-  // Progressive filling over comp_flows_ / comp_links_ into inc_rate_.
-  void water_fill();
+  // Progressive filling over one shard's flows/links into inc_rate_.
+  // Serial solves pass the whole comp_flows_ / comp_links_ scope.
+  void water_fill_range(std::span<const std::uint32_t> flows,
+                        std::span<const LinkId::value_type> links);
+  // Splits the scope into connected components and fills them on pool_.
+  // False when sharding is off, the scope is too small, or it turned out
+  // to be one component (caller then fills serially).
+  bool parallel_water_fill();
 
   const topo::Topology* topo_;
   const fabric::LinkStateBoard* board_;
@@ -121,7 +147,9 @@ class MaxMinAllocator {
   std::vector<std::uint32_t> member_pos_;  // fid -> index in members_
   std::vector<std::uint8_t> in_system_;    // by fid
   std::vector<Bps> inc_rate_;              // by fid
-  std::vector<std::vector<std::uint32_t>> inc_flows_on_;  // by link
+  // Per-link flow lists in one slab arena (see common/arena.h) instead of
+  // a vector-of-vectors: the BFS and water-fill inner loops walk these.
+  common::PooledLists<std::uint32_t> inc_flows_on_;  // by link
 
   std::uint64_t dirty_stamp_ = 1;
   std::vector<std::uint64_t> dirty_flow_mark_;  // by fid
@@ -140,6 +168,20 @@ class MaxMinAllocator {
   std::vector<double> inc_remaining_;         // by link
   std::vector<std::uint32_t> inc_unfrozen_;   // by link
   std::vector<std::uint8_t> inc_saturated_;   // by link
+
+  // Sharded-parallel solve (set_parallel). Scratch is by *local* index
+  // (position in comp_flows_), so its size tracks the scope, not the fid
+  // space.
+  common::ThreadPool* pool_ = nullptr;
+  std::size_t min_parallel_flows_ = 1024;
+  std::size_t last_shards_ = 0;
+  std::vector<std::uint32_t> flow_local_;        // by fid
+  std::vector<std::uint32_t> uf_parent_;         // by local index
+  std::vector<std::uint32_t> root_shard_;        // by local index
+  std::vector<std::uint32_t> shard_flows_;       // comp_flows_ grouped
+  std::vector<LinkId::value_type> shard_links_;  // comp_links_ grouped
+  std::vector<std::uint32_t> shard_flow_begin_;  // per shard + sentinel
+  std::vector<std::uint32_t> shard_link_begin_;  // per shard + sentinel
 };
 
 }  // namespace dard::flowsim

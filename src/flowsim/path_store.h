@@ -9,6 +9,7 @@
 // callers must re-resolve through span() rather than caching iterators.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -20,10 +21,17 @@ namespace dard::flowsim {
 
 class PathStore {
  public:
-  // (Re)assigns `fid`'s path. Appends to the pool; the previous span, if
-  // any, becomes garbage until the next compact().
+  // (Re)assigns `fid`'s path. A same-length replacement — the common
+  // path-switch case, since equal-cost paths have equal length — overwrites
+  // the existing span in place and creates no garbage. Otherwise appends to
+  // the pool and the previous span, if any, becomes garbage until the next
+  // compact().
   void set(std::uint32_t fid, std::span<const LinkId> links) {
     if (fid >= spans_.size()) spans_.resize(fid + 1);
+    if (spans_[fid].len == links.size() && !links.empty()) {
+      std::copy(links.begin(), links.end(), pool_.begin() + spans_[fid].off);
+      return;
+    }
     live_ -= spans_[fid].len;
     spans_[fid].off = static_cast<std::uint32_t>(pool_.size());
     spans_[fid].len = static_cast<std::uint32_t>(links.size());

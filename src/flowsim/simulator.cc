@@ -26,6 +26,10 @@ FlowSimulator::FlowSimulator(const topo::Topology& t, SimConfig cfg)
     : topo_(&t), cfg_(cfg), paths_(t), board_(t), allocator_(t, &board_) {
   allocator_.attach(store_);
   allocator_.set_full_only(cfg_.full_realloc);
+  if (cfg_.realloc_threads > 1) {
+    realloc_pool_ = std::make_unique<common::ThreadPool>(cfg_.realloc_threads);
+    allocator_.set_parallel(realloc_pool_.get());
+  }
 }
 
 void FlowSimulator::set_metrics(obs::MetricsRegistry* metrics) {
@@ -64,7 +68,7 @@ void FlowSimulator::link_loads(std::vector<double>* out) const {
   out->assign(topo_->link_count(), 0.0);
   for (const FlowId id : active_) {
     const Flow& f = flows_[id.value()];
-    for (const LinkId l : links_of(f)) (*out)[l.value()] += f.rate;
+    for (const LinkId l : links_of(f)) (*out)[l.value()] += rate_[id.value()];
   }
 }
 
@@ -75,26 +79,47 @@ FlowId FlowSimulator::submit(const FlowSpec& spec) {
   DCN_CHECK(spec.size > 0);
   DCN_CHECK(spec.arrival >= events_.now());
 
-  const FlowId id(static_cast<FlowId::value_type>(flows_.size()));
-  Flow f;
-  f.id = id;
-  f.spec = spec;
-  f.src_tor = topo_->tor_of_host(spec.src_host);
-  f.dst_tor = topo_->tor_of_host(spec.dst_host);
-  f.remaining = spec.size;
-  f.last_update = spec.arrival;
-  flows_.push_back(std::move(f));
-  remaining_.push_back(static_cast<double>(spec.size));
-  active_pos_.push_back(0);
+  FlowId id;
+  if (cfg_.recycle_flow_ids && !free_fids_.empty()) {
+    id = FlowId(free_fids_.back());
+    free_fids_.pop_back();
+    Flow f;
+    f.id = id;
+    f.spec = spec;
+    f.src_tor = topo_->tor_of_host(spec.src_host);
+    f.dst_tor = topo_->tor_of_host(spec.dst_host);
+    flows_[id.value()] = std::move(f);
+    remaining_[id.value()] = static_cast<double>(spec.size);
+    rate_[id.value()] = 0;
+    last_update_[id.value()] = spec.arrival;
+    // version_ deliberately keeps counting: stale completion events of the
+    // slot's previous flow must stay stale.
+    ++incarnation_[id.value()];
+  } else {
+    id = FlowId(static_cast<FlowId::value_type>(flows_.size()));
+    Flow f;
+    f.id = id;
+    f.spec = spec;
+    f.src_tor = topo_->tor_of_host(spec.src_host);
+    f.dst_tor = topo_->tor_of_host(spec.dst_host);
+    flows_.push_back(std::move(f));
+    remaining_.push_back(static_cast<double>(spec.size));
+    rate_.push_back(0);
+    last_update_.push_back(spec.arrival);
+    version_.push_back(0);
+    incarnation_.push_back(0);
+    active_pos_.push_back(0);
+  }
+  ++submitted_;
 
   events_.schedule(spec.arrival, [this, id] { arrive(id); });
   return id;
 }
 
 void FlowSimulator::run_until_flows_done() {
-  while (records_.size() < flows_.size() && events_.run_next()) {
+  while (finished_ < submitted_ && events_.run_next()) {
   }
-  DCN_CHECK_MSG(records_.size() == flows_.size(),
+  DCN_CHECK_MSG(finished_ == submitted_,
                 "event queue drained before all flows finished");
 }
 
@@ -126,7 +151,7 @@ void FlowSimulator::arrive(FlowId id) {
   const PathIndex initial = agent_->place(*this, flow_view(id));
   set_path_links(f, initial);
   allocator_.add_flow(id.value());
-  f.last_update = events_.now();
+  last_update_[id.value()] = events_.now();
 
   active_pos_[id.value()] = static_cast<std::uint32_t>(active_.size());
   active_.push_back(id);
@@ -134,11 +159,18 @@ void FlowSimulator::arrive(FlowId id) {
   if (cfg_.elephant_threshold <= 0) {
     promote_elephant(id);
   } else {
-    events_.schedule(events_.now() + cfg_.elephant_threshold, [this, id] {
-      const Flow& flow = flows_[id.value()];
-      if (flow.state == FlowState::Active && !flow.is_elephant)
-        promote_elephant(id);
-    });
+    const std::uint32_t inc = incarnation_[id.value()];
+    events_.schedule(events_.now() + cfg_.elephant_threshold,
+                     [this, id, inc] {
+                       // The incarnation check keeps a timer armed for a
+                       // finished flow from promoting whatever later flow
+                       // recycled its id.
+                       const Flow& flow = flows_[id.value()];
+                       if (incarnation_[id.value()] == inc &&
+                           flow.state == FlowState::Active &&
+                           !flow.is_elephant)
+                         promote_elephant(id);
+                     });
   }
   if (observer_ != nullptr) {
     obs::TraceEvent e;
@@ -175,18 +207,17 @@ void FlowSimulator::promote_elephant(FlowId id) {
 
 void FlowSimulator::complete(FlowId id, std::uint64_t version) {
   Flow& f = flows_[id.value()];
-  if (f.state != FlowState::Active || f.version != version) return;
+  if (f.state != FlowState::Active || version_[id.value()] != version) return;
 
   const Seconds now = events_.now();
-  remaining_[id.value()] -= f.rate / 8.0 * (now - f.last_update);
-  f.last_update = now;
+  remaining_[id.value()] -= rate_[id.value()] / 8.0 * (now - last_update_[id.value()]);
+  last_update_[id.value()] = now;
   DCN_CHECK_MSG(remaining_[id.value()] < kRemainingEps,
                 "completion fired with bytes left");
   remaining_[id.value()] = 0;
-  f.remaining = 0;
   f.state = FlowState::Finished;
   f.finish_time = now;
-  f.rate = 0;
+  rate_[id.value()] = 0;
 
   // Swap-erase from the active list.
   const std::uint32_t pos = active_pos_[id.value()];
@@ -201,20 +232,23 @@ void FlowSimulator::complete(FlowId id, std::uint64_t version) {
   allocator_.remove_flow(id.value());
   store_.release(id.value());
   if (store_.should_compact()) store_.compact(active_);
+  ++finished_;
 
-  FlowRecord rec;
-  rec.id = f.id;
-  rec.src_host = f.spec.src_host;
-  rec.dst_host = f.spec.dst_host;
-  rec.size = f.spec.size;
-  rec.arrival = f.spec.arrival;
-  rec.finish = now;
-  rec.path_switches = f.path_switches;
-  rec.was_elephant = f.is_elephant;
-  rec.intra_tor = f.src_tor == f.dst_tor;
-  rec.intra_pod = topo_->node(f.spec.src_host).pod ==
-                  topo_->node(f.spec.dst_host).pod;
-  records_.push_back(rec);
+  if (cfg_.keep_records) {
+    FlowRecord rec;
+    rec.id = f.id;
+    rec.src_host = f.spec.src_host;
+    rec.dst_host = f.spec.dst_host;
+    rec.size = f.spec.size;
+    rec.arrival = f.spec.arrival;
+    rec.finish = now;
+    rec.path_switches = f.path_switches;
+    rec.was_elephant = f.is_elephant;
+    rec.intra_tor = f.src_tor == f.dst_tor;
+    rec.intra_pod = topo_->node(f.spec.src_host).pod ==
+                    topo_->node(f.spec.dst_host).pod;
+    records_.push_back(rec);
+  }
 
   if (observer_ != nullptr) {
     obs::TraceEvent e;
@@ -228,6 +262,9 @@ void FlowSimulator::complete(FlowId id, std::uint64_t version) {
     observer_->on_flow_complete(e);
   }
   agent_->on_finished(*this, flow_view(id));
+  // Only after every observer/agent callback saw the finished flow may its
+  // id return to the pool.
+  if (cfg_.recycle_flow_ids) free_fids_.push_back(id.value());
   request_reallocate();
 }
 
@@ -346,23 +383,21 @@ void FlowSimulator::reallocate() {
   if (cfg_.validate_incremental) validate_rates();
 
   for (const std::uint32_t fid : touched) {
-    Flow& f = flows_[fid];
     const Bps new_rate = allocator_.rate_of(fid);
-    if (!rate_changed(f.rate, new_rate)) continue;
+    if (!rate_changed(rate_[fid], new_rate)) continue;
 
     // Settle progress under the old rate, then switch to the new one and
-    // reschedule completion under a fresh version.
-    remaining_[fid] -= f.rate / 8.0 * (now - f.last_update);
+    // reschedule completion under a fresh version. Pure SoA-lane traffic:
+    // the cold Flow struct is never touched here.
+    remaining_[fid] -= rate_[fid] / 8.0 * (now - last_update_[fid]);
     remaining_[fid] = std::max(remaining_[fid], 0.0);
-    f.remaining = static_cast<Bytes>(remaining_[fid]);
-    f.last_update = now;
-    f.rate = new_rate;
-    ++f.version;
+    last_update_[fid] = now;
+    rate_[fid] = new_rate;
+    const std::uint64_t version = ++version_[fid];
 
     if (new_rate > 0) {
-      const FlowId id = f.id;
+      const FlowId id(fid);
       const Seconds finish = now + remaining_[fid] * 8.0 / new_rate;
-      const std::uint64_t version = f.version;
       events_.schedule(finish, [this, id, version] { complete(id, version); });
     }
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "fabric/accounting.h"
 #include "fabric/data_plane.h"
 #include "fabric/switch_state.h"
@@ -48,6 +49,24 @@ struct SimConfig {
   // computation and aborts on divergence beyond 1e-9 relative. Test-only:
   // it makes every event as expensive as a full recompute.
   bool validate_incremental = false;
+
+  // Worker threads for sharded-parallel max-min (see
+  // MaxMinAllocator::set_parallel). 0 or 1 solves serially; results are
+  // bit-identical either way, so this is purely a wall-clock knob.
+  unsigned realloc_threads = 0;
+
+  // Hyperscale-run options (bench_hyperscale, DESIGN.md §14). With
+  // recycle_flow_ids, a finished flow's dense id returns to a free list and
+  // is handed to a later submit(), so every per-flow array is bounded by
+  // the peak *concurrent* flow count instead of total arrivals. Pending
+  // events for the old flow are neutralized by the per-slot incarnation
+  // counter (elephant promotion) and the never-reset version lane
+  // (completion). Flow handles and records of recycled flows are
+  // invalidated, so this stays off outside open-ended soak runs.
+  bool recycle_flow_ids = false;
+  // When false, finished flows append no FlowRecord (records() stays
+  // empty) — the other monotone buffer an unbounded run cannot afford.
+  bool keep_records = true;
 };
 
 // The fluid-substrate adapter: FlowSimulator *is* a fabric::DataPlane, so
@@ -87,6 +106,11 @@ class FlowSimulator : public fabric::DataPlane {
   [[nodiscard]] const Flow& flow(FlowId id) const {
     DCN_CHECK(id.value() < flows_.size());
     return flows_[id.value()];
+  }
+  // Current allocated rate (bps). Hot state lives in SoA lanes, not Flow.
+  [[nodiscard]] Bps rate_of(FlowId id) const {
+    DCN_CHECK(id.value() < rate_.size());
+    return rate_[id.value()];
   }
   [[nodiscard]] const std::vector<FlowId>& active_flows() const override {
     return active_;
@@ -173,6 +197,8 @@ class FlowSimulator : public fabric::DataPlane {
   [[nodiscard]] const std::vector<FlowRecord>& records() const {
     return records_;
   }
+  [[nodiscard]] std::size_t submitted_flows() const { return submitted_; }
+  [[nodiscard]] std::size_t finished_flows() const { return finished_; }
   [[nodiscard]] std::size_t active_elephants() const {
     return active_elephants_;
   }
@@ -206,12 +232,27 @@ class FlowSimulator : public fabric::DataPlane {
   fabric::ControlAgent* agent_ = nullptr;
   fabric::ControlPlaneModel* model_ = nullptr;
 
-  std::vector<Flow> flows_;            // by FlowId; grows monotonically
-  std::vector<double> remaining_;      // fractional bytes, by FlowId
+  std::vector<Flow> flows_;  // by FlowId (cold per-flow state)
+  // Hot per-flow SoA lanes, by FlowId. `remaining_` is exact as of
+  // `last_update_`; the live value is remaining - rate/8 * (now - last).
+  // `version_` is bumped on every rate/path change and *never* reset (not
+  // even across id recycling): pending completion events carry the version
+  // they were computed under and no-op when stale.
+  std::vector<double> remaining_;      // fractional bytes
+  std::vector<Bps> rate_;
+  std::vector<Seconds> last_update_;
+  std::vector<std::uint64_t> version_;
+  // Bumped each time a recycled id is handed out again; guards the
+  // elephant-promotion timer against firing on a successor flow.
+  std::vector<std::uint32_t> incarnation_;
+  std::vector<FlowId::value_type> free_fids_;  // recycle_flow_ids pool
+  std::size_t submitted_ = 0;
+  std::size_t finished_ = 0;
   std::vector<FlowId> active_;
   std::vector<std::uint32_t> active_pos_;  // FlowId -> index in active_
   std::vector<FlowRecord> records_;
   PathStore store_;  // active flows' link lists, CSR-pooled
+  std::unique_ptr<common::ThreadPool> realloc_pool_;
   MaxMinAllocator allocator_;
   // validate_incremental scratch: a second, stateless allocator recomputes
   // everything from scratch for comparison.

@@ -1,10 +1,10 @@
 #include "harness/experiment.h"
 
-#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <thread>
 
+#include "common/thread_pool.h"
 #include "fabric/snapshot.h"
 #include "pktsim/agent_router.h"
 
@@ -73,6 +73,7 @@ ExperimentResult run_fluid(const topo::Topology& t,
   flowsim::SimConfig sim_cfg;
   sim_cfg.elephant_threshold = cfg.elephant_threshold;
   sim_cfg.realloc_interval = cfg.realloc_interval;
+  sim_cfg.realloc_threads = cfg.realloc_threads;
   flowsim::FlowSimulator sim(t, sim_cfg);
 
   // Telemetry installs before the agent starts so agents can pick up the
@@ -108,7 +109,7 @@ ExperimentResult run_fluid(const topo::Topology& t,
           s->max_utilization = max_util;
           double throughput = 0;
           for (const FlowId id : sim.active_flows())
-            throughput += sim.flow(id).rate;
+            throughput += sim.rate_of(id);
           s->throughput_bps = throughput;
         });
     snapshots->start();
@@ -134,7 +135,7 @@ ExperimentResult run_fluid(const topo::Topology& t,
         sim.events(),
         [&sim] {
           double bps = 0;
-          for (const FlowId id : sim.active_flows()) bps += sim.flow(id).rate;
+          for (const FlowId id : sim.active_flows()) bps += sim.rate_of(id);
           return bps;
         },
         cfg.faults, cfg.faults.plan.first_fault_time());
@@ -342,33 +343,21 @@ std::vector<ExperimentResult> run_experiments_parallel(
   if (jobs == 0) jobs = std::thread::hardware_concurrency();
   jobs = std::max(1u, std::min<unsigned>(jobs, cells.size()));
 
-  // Work-stealing by atomic cursor: workers pull the next unclaimed cell.
-  // Which thread runs a cell never affects its result — every cell builds
-  // its own simulator, RNGs and agent from the config alone.
-  std::atomic<std::size_t> next{0};
+  // Cells are distributed over the shared fork-join pool (the same
+  // primitive the sharded max-min solve uses). Which thread runs a cell
+  // never affects its result — every cell builds its own simulator, RNGs
+  // and agent from the config alone.
+  common::ThreadPool pool(jobs);
   std::mutex done_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= cells.size()) return;
-      DCN_CHECK_MSG(cells[i].topology != nullptr, "cell without topology");
-      ExperimentResult r = run_experiment(*cells[i].topology, cells[i].config);
-      if (on_done) {
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        on_done(i, r);
-      }
-      results[i] = std::move(r);
+  pool.run_indexed(cells.size(), [&](std::size_t i) {
+    DCN_CHECK_MSG(cells[i].topology != nullptr, "cell without topology");
+    ExperimentResult r = run_experiment(*cells[i].topology, cells[i].config);
+    if (on_done) {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      on_done(i, r);
     }
-  };
-
-  if (jobs == 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(jobs);
-  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+    results[i] = std::move(r);
+  });
   return results;
 }
 

@@ -73,6 +73,7 @@ enum class ProfileGauge : std::uint8_t {
   LiveFlows,            // flows currently in the network
   PathStoreBytes,       // CSR path-store pool footprint
   RssBytes,             // process resident set (0 where unreadable)
+  PathCacheEntries,     // live entries in the path repository's LRU
   kCount,
 };
 
@@ -89,6 +90,8 @@ inline const char* to_string(ProfileGauge g) {
       return "path_store_bytes";
     case ProfileGauge::RssBytes:
       return "rss_bytes";
+    case ProfileGauge::PathCacheEntries:
+      return "path_cache_entries";
     case ProfileGauge::kCount:
       break;
   }

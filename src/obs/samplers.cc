@@ -70,7 +70,7 @@ void TimeSeriesSampler::sample_now() {
     max_util = std::max(max_util, util);
   }
   for (const FlowId id : sim_->active_flows())
-    throughput += sim_->flow(id).rate;
+    throughput += sim_->rate_of(id);
 
   AggregateSample agg;
   agg.time = now;

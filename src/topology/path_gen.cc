@@ -1,0 +1,122 @@
+#include "topology/path_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dard::topo {
+
+PathGenerator::PathGenerator(const Topology& t)
+    : topo_(&t), up_(t.node_count()), down_(t.node_count()) {
+  for (const Node& n : t.nodes()) {
+    if (n.kind == NodeKind::Host) continue;
+    const int layer = layer_of(n.kind);
+    auto& up = up_[n.id.value()];
+    auto& down = down_[n.id.value()];
+    for (const LinkId l : t.out_links(n.id)) {
+      const Node& peer = t.node(t.link(l).dst);
+      if (peer.kind == NodeKind::Host) continue;
+      const int peer_layer = layer_of(peer.kind);
+      if (peer_layer == layer + 1)
+        up.push_back(Edge{peer.id, l});
+      else if (peer_layer == layer - 1)
+        down.push_back(Edge{peer.id, l});
+    }
+    // Sorted by neighbour id so nested iteration yields candidates in
+    // exactly the enumerator's post-sort (lexicographic) order.
+    const auto by_id = [](const Edge& a, const Edge& b) {
+      return a.node < b.node;
+    };
+    std::sort(up.begin(), up.end(), by_id);
+    std::sort(down.begin(), down.end(), by_id);
+  }
+}
+
+// Candidates are generated shortest-shape-first and lexicographically
+// within a shape, so no sort is ever needed: 2-hop turn switches ascend by
+// id, then 4-hop (a, c, a') triples ascend in nested order. Each candidate
+// costs O(1) (one hash probe for the final hop's existence); materializing
+// an accepted path is O(path length).
+template <class Visit>
+void PathGenerator::for_each(NodeId s, NodeId d, Visit&& visit) const {
+  const auto& su = up_[s.value()];
+  for (const Edge& m : su) {
+    const LinkId last = topo_->find_link(m.node, d);
+    if (!last.valid()) continue;
+    const NodeId nodes[3] = {s, m.node, d};
+    const LinkId links[2] = {m.link, last};
+    if (!visit(nodes, links, 2)) return;
+  }
+  for (const Edge& a : su) {
+    for (const Edge& c : up_[a.node.value()]) {
+      for (const Edge& ap : down_[c.node.value()]) {
+        // Descending back through the up-switch would make the walk
+        // non-simple (the enumerator's `contains` check); everything else
+        // is layer-separated from the prefix by construction.
+        if (ap.node == a.node) continue;
+        const LinkId last = topo_->find_link(ap.node, d);
+        if (!last.valid()) continue;
+        const NodeId nodes[5] = {s, a.node, c.node, ap.node, d};
+        const LinkId links[4] = {a.link, c.link, ap.link, last};
+        if (!visit(nodes, links, 4)) return;
+      }
+    }
+  }
+}
+
+std::size_t PathGenerator::count(NodeId src_tor, NodeId dst_tor) const {
+  DCN_CHECK(topo_->node(src_tor).kind == NodeKind::Tor);
+  DCN_CHECK(topo_->node(dst_tor).kind == NodeKind::Tor);
+  if (src_tor == dst_tor) return 1;
+  std::size_t n = 0;
+  for_each(src_tor, dst_tor, [&](const NodeId*, const LinkId*, int) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+Path PathGenerator::path(NodeId src_tor, NodeId dst_tor,
+                         std::size_t index) const {
+  DCN_CHECK(topo_->node(src_tor).kind == NodeKind::Tor);
+  DCN_CHECK(topo_->node(dst_tor).kind == NodeKind::Tor);
+  Path out;
+  if (src_tor == dst_tor) {
+    DCN_CHECK_MSG(index == 0, "path index out of range");
+    out.nodes.push_back(src_tor);
+    return out;
+  }
+  std::size_t i = 0;
+  for_each(src_tor, dst_tor,
+           [&](const NodeId* nodes, const LinkId* links, int hops) {
+             if (i++ != index) return true;
+             out.nodes.assign(nodes, nodes + hops + 1);
+             out.links.assign(links, links + hops);
+             return false;
+           });
+  DCN_CHECK_MSG(!out.nodes.empty(), "path index out of range");
+  return out;
+}
+
+std::vector<Path> PathGenerator::all(NodeId src_tor, NodeId dst_tor) const {
+  DCN_CHECK(topo_->node(src_tor).kind == NodeKind::Tor);
+  DCN_CHECK(topo_->node(dst_tor).kind == NodeKind::Tor);
+  std::vector<Path> out;
+  if (src_tor == dst_tor) {
+    Path p;
+    p.nodes.push_back(src_tor);
+    out.push_back(std::move(p));
+    return out;
+  }
+  for_each(src_tor, dst_tor,
+           [&](const NodeId* nodes, const LinkId* links, int hops) {
+             Path p;
+             p.nodes.assign(nodes, nodes + hops + 1);
+             p.links.assign(links, links + hops);
+             out.push_back(std::move(p));
+             return true;
+           });
+  return out;
+}
+
+}  // namespace dard::topo

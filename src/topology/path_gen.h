@@ -1,0 +1,65 @@
+// Lazy, index-addressed valley-free path materialization.
+//
+// The hierarchical structure the paper's addressing scheme encodes (§3)
+// means a ToR-to-ToR path never needs to be *stored*: it can be computed
+// from the (src, dst) pair and a path index. In the layered topologies here
+// (hosts below ToRs below aggregation below core — see layer_of) every
+// valley-free simple ToR path has one of exactly three shapes:
+//
+//   0 hops   [s]                     src == dst
+//   2 hops   [s, m, d]              via a common one-layer-up switch m
+//   4 hops   [s, a, c, a', d]       up twice, down twice, a' != a
+//
+// (A strictly-up-then-strictly-down walk of any other length cannot start
+// and end on the ToR layer, and a 4-hop walk revisiting its up-switch is
+// excluded by the enumerator's simplicity check.) PathGenerator precomputes
+// id-sorted one-layer adjacency once per topology and then materializes
+// "path i of (s, d)" in O(path length) — no per-pair state at all. The
+// generation order is *identical* to enumerate_tor_paths (shortest first,
+// then lexicographic by node ids), which tests/lazy_paths_test.cc pins, so
+// schedulers, traces and md5-pinned results are unaffected by who produced
+// the path set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/paths.h"
+#include "topology/topology.h"
+
+namespace dard::topo {
+
+class PathGenerator {
+ public:
+  explicit PathGenerator(const Topology& t);
+
+  // Number of valley-free paths between two ToRs (1 when s == d).
+  [[nodiscard]] std::size_t count(NodeId src_tor, NodeId dst_tor) const;
+
+  // The i-th path in enumeration order; i must be < count(s, d).
+  [[nodiscard]] Path path(NodeId src_tor, NodeId dst_tor,
+                          std::size_t index) const;
+
+  // All paths, identical (order and contents) to enumerate_tor_paths.
+  [[nodiscard]] std::vector<Path> all(NodeId src_tor, NodeId dst_tor) const;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+ private:
+  struct Edge {
+    NodeId node;  // neighbour exactly one layer away
+    LinkId link;  // directed link towards it
+  };
+
+  // Shared walker: calls visit(nodes, links) for every path in order until
+  // it returns false. The arrays exclude the trailing (m->d / a'->d) hop,
+  // which visit receives separately.
+  template <class Visit>
+  void for_each(NodeId s, NodeId d, Visit&& visit) const;
+
+  const Topology* topo_;
+  std::vector<std::vector<Edge>> up_;    // by node id, sorted by node id
+  std::vector<std::vector<Edge>> down_;  // switch neighbours only
+};
+
+}  // namespace dard::topo

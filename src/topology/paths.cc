@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "topology/path_gen.h"
+
 namespace dard::topo {
 
 namespace {
@@ -103,17 +105,147 @@ Path host_path(const Topology& t, NodeId src_host, NodeId dst_host,
   return full;
 }
 
-const std::vector<Path>& PathRepository::tor_paths(NodeId src_tor,
-                                                   NodeId dst_tor) {
-  const auto key = std::make_pair(src_tor, dst_tor);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
+namespace {
+
+std::uint64_t pack_pair(NodeId s, NodeId d) {
+  return (static_cast<std::uint64_t>(s.value()) << 32) | d.value();
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+PathRepository::PathRepository(const Topology& t, std::size_t capacity)
+    : topo_(&t),
+      gen_(std::make_unique<PathGenerator>(t)),
+      capacity_(capacity) {
+  DCN_CHECK_MSG(capacity_ >= 1, "path cache capacity must be positive");
+  // Load factor <= 0.5 keeps linear-probe runs short.
+  const std::size_t slots = next_pow2(capacity_ * 2);
+  table_.assign(slots, kNil);
+  table_mask_ = slots - 1;
+  entries_.reserve(capacity_);
+}
+
+PathRepository::~PathRepository() = default;
+
+const PathGenerator& PathRepository::generator() const { return *gen_; }
+
+std::size_t PathRepository::ideal_slot(std::uint64_t key) const {
+  std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h) & table_mask_;
+}
+
+void PathRepository::lru_unlink(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  if (e.prev != kNil)
+    entries_[e.prev].next = e.next;
+  else
+    lru_head_ = e.next;
+  if (e.next != kNil)
+    entries_[e.next].prev = e.prev;
+  else
+    lru_tail_ = e.prev;
+  e.prev = e.next = kNil;
+}
+
+void PathRepository::lru_push_front(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  e.prev = kNil;
+  e.next = lru_head_;
+  if (lru_head_ != kNil) entries_[lru_head_].prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNil) lru_tail_ = idx;
+}
+
+// Backward-shift deletion: close the hole at `slot` by moving up any later
+// probe-chain entry whose ideal slot lies at or before the hole, so lookups
+// never need tombstones.
+void PathRepository::table_erase(std::size_t slot) {
+  std::size_t hole = slot;
+  for (std::size_t k = (hole + 1) & table_mask_; table_[k] != kNil;
+       k = (k + 1) & table_mask_) {
+    const std::size_t home = ideal_slot(entries_[table_[k]].key);
+    if (((k - home) & table_mask_) >= ((k - hole) & table_mask_)) {
+      table_[hole] = table_[k];
+      hole = k;
+    }
+  }
+  table_[hole] = kNil;
+}
+
+void PathRepository::evict_lru() {
+  const std::uint32_t idx = lru_tail_;
+  DCN_CHECK(idx != kNil);
+  std::size_t slot = ideal_slot(entries_[idx].key);
+  while (table_[slot] != idx) slot = (slot + 1) & table_mask_;
+  table_erase(slot);
+  lru_unlink(idx);
+  entries_[idx].set.reset();  // pinned() holders keep the set alive
+  free_.push_back(idx);
+  --entry_count_;
+}
+
+PathRepository::Entry& PathRepository::lookup(NodeId src_tor, NodeId dst_tor) {
+  const std::uint64_t key = pack_pair(src_tor, dst_tor);
+  std::size_t slot = ideal_slot(key);
+  while (table_[slot] != kNil) {
+    const std::uint32_t idx = table_[slot];
+    if (entries_[idx].key == key) {
+      if (lru_head_ != idx) {
+        lru_unlink(idx);
+        lru_push_front(idx);
+      }
+      return entries_[idx];
+    }
+    slot = (slot + 1) & table_mask_;
+  }
+
+  PathSetPtr set;
+  {
     const obs::ProfileScope timed(profiler_,
                                   obs::ProfileSection::PathEnumeration);
-    it = cache_.emplace(key, enumerate_tor_paths(*topo_, src_tor, dst_tor))
-             .first;
+    set = std::make_shared<const PathSet>(gen_->all(src_tor, dst_tor));
   }
-  return it->second;
+  if (entry_count_ == capacity_) {
+    evict_lru();
+    // The shift may have moved entries into our probe position; re-probe.
+    slot = ideal_slot(key);
+    while (table_[slot] != kNil) slot = (slot + 1) & table_mask_;
+  }
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[idx];
+  e.key = key;
+  e.set = std::move(set);
+  table_[slot] = idx;
+  lru_push_front(idx);
+  ++entry_count_;
+  if (profiler_ != nullptr)
+    profiler_->set_gauge(obs::ProfileGauge::PathCacheEntries,
+                         static_cast<double>(entry_count_));
+  return e;
+}
+
+const std::vector<Path>& PathRepository::tor_paths(NodeId src_tor,
+                                                   NodeId dst_tor) {
+  return *lookup(src_tor, dst_tor).set;
+}
+
+PathRepository::PathSetPtr PathRepository::pinned(NodeId src_tor,
+                                                  NodeId dst_tor) {
+  return lookup(src_tor, dst_tor).set;
 }
 
 }  // namespace dard::topo

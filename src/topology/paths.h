@@ -3,11 +3,14 @@
 // DARD schedules among the valley-free (strictly up, then strictly down)
 // paths between a source and destination ToR. Enumeration is generic over
 // any Topology whose node kinds form layers, so the same code serves
-// fat-tree, Clos and the 3-tier topology. A PathRepository memoizes the
-// per-ToR-pair path sets, which every scheduler queries constantly.
+// fat-tree, Clos and the 3-tier topology. A PathRepository memoizes hot
+// per-ToR-pair path sets behind a bounded LRU; sets are materialized on
+// demand by the lazy PathGenerator (path_gen.h) instead of being stored
+// for every pair, so repository memory is O(capacity), not O(#ToR pairs).
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 // Header-only (like obs/metrics.h), so instrumenting the repository adds no
@@ -26,7 +29,10 @@ struct Path {
 
 // All valley-free paths from src_tor to dst_tor, deterministic order
 // (lexicographic in node ids, so "path i" is stable across runs). For
-// src_tor == dst_tor returns one trivial path with no links.
+// src_tor == dst_tor returns one trivial path with no links. This is the
+// reference recursive enumeration; production lookups go through
+// PathRepository / PathGenerator, whose output is pinned identical to this
+// by tests/lazy_paths_test.cc.
 [[nodiscard]] std::vector<Path> enumerate_tor_paths(const Topology& t,
                                                     NodeId src_tor,
                                                     NodeId dst_tor);
@@ -35,23 +41,81 @@ struct Path {
 [[nodiscard]] Path host_path(const Topology& t, NodeId src_host,
                              NodeId dst_host, const Path& tor_path);
 
+class PathGenerator;
+
+// Bounded LRU cache of materialized path sets, keyed by (src, dst) ToR
+// pair. The table is a flat open-addressed hash (packed 64-bit key, linear
+// probing, backward-shift deletion) — the hit path is a couple of cache
+// lines, no tree walk, no allocation.
+//
+// Reference validity: the const reference returned by tor_paths() stays
+// valid until `capacity()` *other* distinct pairs have been looked up (only
+// then can the entry be evicted). That covers every bounded scope in the
+// schedulers; anything that holds a path set across simulated time (e.g. a
+// DARD PathMonitor) must hold the shared_ptr from pinned() instead, which
+// keeps the set alive across eviction.
 class PathRepository {
  public:
-  explicit PathRepository(const Topology& t) : topo_(&t) {}
+  // Default capacity covers every ordered ToR pair of a k=8 fat tree
+  // (32 x 32 = 1024), so small/medium fabrics never evict — which also
+  // keeps md5-pinned results byte-stable — while a k=32 fabric (262k
+  // pairs) stays bounded at ~capacity path sets.
+  static constexpr std::size_t kDefaultCapacity = 1024;
 
-  // Memoized enumerate_tor_paths.
+  using PathSet = std::vector<Path>;
+  using PathSetPtr = std::shared_ptr<const PathSet>;
+
+  explicit PathRepository(const Topology& t,
+                          std::size_t capacity = kDefaultCapacity);
+  ~PathRepository();
+  PathRepository(PathRepository&&) noexcept = default;
+  PathRepository& operator=(PathRepository&&) noexcept = default;
+
+  // Memoized path-set lookup (see the reference-validity contract above).
   const std::vector<Path>& tor_paths(NodeId src_tor, NodeId dst_tor);
 
-  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  // Eviction-safe handle for long-lived holders: the set stays alive as
+  // long as the pointer does, even after the cache entry is recycled.
+  PathSetPtr pinned(NodeId src_tor, NodeId dst_tor);
 
-  // Times cache-miss enumerations into the profiler's PathEnumeration
-  // section (cache hits stay untimed — they are a map lookup). Null (the
-  // default) disables timing; the miss path then pays one branch.
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const PathGenerator& generator() const;
+
+  [[nodiscard]] std::size_t cache_entries() const { return entry_count_; }
+  [[nodiscard]] std::size_t cache_capacity() const { return capacity_; }
+
+  // Times cache-miss materializations into the profiler's PathEnumeration
+  // section and keeps the PathCacheEntries gauge current. Null (the
+  // default) disables both; the miss path then pays one branch.
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Entry {
+    std::uint64_t key = 0;
+    PathSetPtr set;
+    std::uint32_t prev = kNil;  // LRU list towards most-recent
+    std::uint32_t next = kNil;  // LRU list towards least-recent
+  };
+
+  [[nodiscard]] std::size_t ideal_slot(std::uint64_t key) const;
+  Entry& lookup(NodeId src_tor, NodeId dst_tor);
+  void lru_unlink(std::uint32_t idx);
+  void lru_push_front(std::uint32_t idx);
+  void table_erase(std::size_t slot);
+  void evict_lru();
+
   const Topology* topo_;
-  std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache_;
+  std::unique_ptr<PathGenerator> gen_;
+  std::size_t capacity_;
+  std::vector<std::uint32_t> table_;  // slot -> entry index or kNil
+  std::size_t table_mask_ = 0;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_;   // recycled entry indices
+  std::size_t entry_count_ = 0;
+  std::uint32_t lru_head_ = kNil;     // most recently used
+  std::uint32_t lru_tail_ = kNil;     // least recently used
   obs::Profiler* profiler_ = nullptr;
 };
 

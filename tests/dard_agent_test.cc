@@ -109,8 +109,8 @@ TEST_F(DardAgentTest, CollidingElephantsGetSeparated) {
       << "DARD left both elephants on the same path";
   EXPECT_GE(agent_->total_moves(), 1u);
   // After separation both should be at (or near) line rate.
-  EXPECT_NEAR(sim_.flow(f1).rate, 1 * kGbps, 5e7);
-  EXPECT_NEAR(sim_.flow(f2).rate, 1 * kGbps, 5e7);
+  EXPECT_NEAR(sim_.rate_of(f1), 1 * kGbps, 5e7);
+  EXPECT_NEAR(sim_.rate_of(f2), 1 * kGbps, 5e7);
   sim_.run_until_flows_done();
 }
 

@@ -47,18 +47,18 @@ TEST(Failure, StaticFlowStarvesAndRepairRestores) {
       sim.submit(long_flow(t.hosts().front(), t.hosts().back(), 1));
   sim.run_until(0.5);
   const Flow& f = sim.flow(id);
-  EXPECT_NEAR(f.rate, 1 * kGbps, 1e6);
+  EXPECT_NEAR(sim.rate_of(id), 1 * kGbps, 1e6);
 
   // Fail the first switch-switch hop of the flow's own path.
   const LinkId hop = sim.links_of(f)[1];
   ASSERT_TRUE(t.is_switch_switch(hop));
   sim.set_cable_failed(t.link(hop).src, t.link(hop).dst, true);
   sim.run_until(1.0);
-  EXPECT_LT(f.rate, 1e3) << "ECMP flow should starve across a failed link";
+  EXPECT_LT(sim.rate_of(id), 1e3) << "ECMP flow should starve across a failed link";
 
   sim.set_cable_failed(t.link(hop).src, t.link(hop).dst, false);
   sim.run_until(1.5);
-  EXPECT_NEAR(f.rate, 1 * kGbps, 1e6);
+  EXPECT_NEAR(sim.rate_of(id), 1 * kGbps, 1e6);
   sim.run_until_flows_done();
 }
 
@@ -87,7 +87,7 @@ TEST(Failure, DardRoutesAroundFailure) {
       << "DARD never moved off the failed path";
   for (const LinkId l : sim.links_of(sim.flow(id)))
     EXPECT_FALSE(sim.link_state().failed(l));
-  EXPECT_NEAR(sim.flow(id).rate, 1 * kGbps, 5e7);
+  EXPECT_NEAR(sim.rate_of(id), 1 * kGbps, 5e7);
   sim.run_until_flows_done();
 }
 

@@ -102,7 +102,7 @@ TEST(HederaAgentTest, SeparatesForcedCollision) {
   // Distinct destination hosts get independent selectors; annealing should
   // have found the collision-free assignment by now.
   EXPECT_NE(sim.flow(f1).path_index, sim.flow(f2).path_index);
-  EXPECT_NEAR(sim.flow(f1).rate, 1 * kGbps, 5e7);
+  EXPECT_NEAR(sim.rate_of(f1), 1 * kGbps, 5e7);
   sim.run_until(10000.0);
 }
 
@@ -162,7 +162,7 @@ TEST(HederaAgentTest, ManyFlowsReachNearOptimalAssignment) {
   }
   sim.run_until(12.0);
   double total_rate = 0;
-  for (const FlowId id : ids) total_rate += sim.flow(id).rate;
+  for (const FlowId id : ids) total_rate += sim.rate_of(id);
   // Perfect spread = 4 Gbps aggregate; require at least 3 (one residual
   // collision at most).
   EXPECT_GE(total_rate, 3 * kGbps);

@@ -1,0 +1,163 @@
+// Pins the lazy-path tentpole contracts (DESIGN.md §14):
+//  * PathGenerator emits exactly the reference enumeration — same count,
+//    same order, same nodes and links, for every path index of every ToR
+//    pair, on all three evaluation topologies;
+//  * PathRepository's bounded LRU evicts only least-recently-used pairs,
+//    keeps serving correct sets across eviction, reports its size through
+//    the PathCacheEntries gauge, and pinned() handles outlive eviction.
+#include <gtest/gtest.h>
+
+#include "obs/profiler.h"
+#include "topology/builders.h"
+#include "topology/path_gen.h"
+#include "topology/paths.h"
+
+namespace dard::topo {
+namespace {
+
+void expect_same_path(const Path& want, const Path& got, NodeId s, NodeId d,
+                      std::size_t i) {
+  ASSERT_EQ(want.nodes.size(), got.nodes.size())
+      << "pair (" << s.value() << "," << d.value() << ") path " << i;
+  for (std::size_t h = 0; h < want.nodes.size(); ++h)
+    EXPECT_EQ(want.nodes[h].value(), got.nodes[h].value())
+        << "pair (" << s.value() << "," << d.value() << ") path " << i
+        << " hop " << h;
+  ASSERT_EQ(want.links.size(), got.links.size());
+  for (std::size_t h = 0; h < want.links.size(); ++h)
+    EXPECT_EQ(want.links[h].value(), got.links[h].value())
+        << "pair (" << s.value() << "," << d.value() << ") path " << i
+        << " link " << h;
+}
+
+// Every ordered ToR pair — inter-pod, intra-pod and s == d alike — must
+// produce the identical set via count()/path(i)/all().
+void check_generator_matches_enumeration(const Topology& t) {
+  const PathGenerator gen(t);
+  for (const NodeId s : t.tors()) {
+    for (const NodeId d : t.tors()) {
+      const std::vector<Path> want = enumerate_tor_paths(t, s, d);
+      ASSERT_EQ(want.size(), gen.count(s, d))
+          << "pair (" << s.value() << "," << d.value() << ")";
+      for (std::size_t i = 0; i < want.size(); ++i)
+        expect_same_path(want[i], gen.path(s, d, i), s, d, i);
+      const std::vector<Path> got = gen.all(s, d);
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < want.size(); ++i)
+        expect_same_path(want[i], got[i], s, d, i);
+    }
+  }
+}
+
+TEST(LazyPaths, MatchesEnumerationFatTree4) {
+  check_generator_matches_enumeration(build_fat_tree({.p = 4}));
+}
+
+TEST(LazyPaths, MatchesEnumerationFatTree8) {
+  check_generator_matches_enumeration(build_fat_tree({.p = 8}));
+}
+
+TEST(LazyPaths, MatchesEnumerationClos) {
+  check_generator_matches_enumeration(build_clos({.d_i = 4, .d_a = 4}));
+}
+
+TEST(LazyPaths, MatchesEnumerationThreeTier) {
+  check_generator_matches_enumeration(build_three_tier({}));
+}
+
+TEST(LazyPaths, PathCountsMatchPaperFormulas) {
+  const Topology ft = build_fat_tree({.p = 8});
+  const PathGenerator gen(ft);
+  EXPECT_EQ(gen.count(ft.tors().front(), ft.tors().back()),
+            static_cast<std::size_t>(fat_tree_inter_pod_paths(8)));
+  const Topology clos = build_clos({.d_i = 4, .d_a = 4});
+  const PathGenerator cgen(clos);
+  EXPECT_EQ(cgen.count(clos.tors().front(), clos.tors().back()),
+            static_cast<std::size_t>(clos_inter_pod_paths(4)));
+}
+
+TEST(LazyPaths, RepositoryCapsEntriesAndEvictsLru) {
+  const Topology t = build_fat_tree({.p = 4});
+  const auto& tors = t.tors();  // 8 ToRs
+  PathRepository repo(t, /*capacity=*/4);
+  EXPECT_EQ(repo.cache_capacity(), 4u);
+
+  const NodeId d = tors.back();
+  // Six distinct pairs through a capacity-4 cache: entries cap at 4.
+  for (std::size_t i = 0; i + 1 < tors.size(); ++i) {
+    const auto& set = repo.tor_paths(tors[i], d);
+    EXPECT_FALSE(set.empty());
+    EXPECT_LE(repo.cache_entries(), 4u);
+  }
+  EXPECT_EQ(repo.cache_entries(), 4u);
+
+  // Every pair — evicted or resident — still resolves to the reference set.
+  for (std::size_t i = 0; i + 1 < tors.size(); ++i) {
+    const std::vector<Path> want = enumerate_tor_paths(t, tors[i], d);
+    const auto& got = repo.tor_paths(tors[i], d);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t p = 0; p < want.size(); ++p)
+      expect_same_path(want[p], got[p], tors[i], d, p);
+  }
+}
+
+TEST(LazyPaths, RepositoryLruKeepsHotPairResident) {
+  const Topology t = build_fat_tree({.p = 4});
+  const auto& tors = t.tors();
+  PathRepository repo(t, /*capacity=*/2);
+
+  const auto* hot = &repo.tor_paths(tors[0], tors[7]);
+  for (std::size_t i = 1; i < 7; ++i) {
+    // Touch the hot pair between cold lookups: it must never be evicted,
+    // so its reference stays stable (same materialized set object).
+    EXPECT_EQ(hot, &repo.tor_paths(tors[0], tors[7]));
+    repo.tor_paths(tors[i], tors[0]);
+  }
+  EXPECT_EQ(hot, &repo.tor_paths(tors[0], tors[7]));
+}
+
+TEST(LazyPaths, PinnedSurvivesEviction) {
+  const Topology t = build_fat_tree({.p = 4});
+  const auto& tors = t.tors();
+  PathRepository repo(t, /*capacity=*/2);
+
+  const PathRepository::PathSetPtr pin = repo.pinned(tors[0], tors[7]);
+  const std::vector<Path> want = enumerate_tor_paths(t, tors[0], tors[7]);
+  ASSERT_EQ(pin->size(), want.size());
+
+  // Blow the pinned pair out of the cache many times over.
+  for (const NodeId s : tors)
+    for (const NodeId d : tors) repo.tor_paths(s, d);
+
+  // The pinned set is untouched by eviction and still correct.
+  ASSERT_EQ(pin->size(), want.size());
+  for (std::size_t p = 0; p < want.size(); ++p)
+    expect_same_path(want[p], (*pin)[p], tors[0], tors[7], p);
+}
+
+TEST(LazyPaths, RepositoryReportsCacheGaugeAndProfilesMisses) {
+  const Topology t = build_fat_tree({.p = 4});
+  const auto& tors = t.tors();
+  PathRepository repo(t, /*capacity=*/8);
+  obs::Profiler profiler;
+  repo.set_profiler(&profiler);
+
+  repo.tor_paths(tors[0], tors[1]);
+  repo.tor_paths(tors[0], tors[2]);
+  repo.tor_paths(tors[0], tors[1]);  // hit: no new entry, no new sample
+  EXPECT_DOUBLE_EQ(
+      profiler.gauge(obs::ProfileGauge::PathCacheEntries).value, 2.0);
+  EXPECT_EQ(profiler.section(obs::ProfileSection::PathEnumeration).count(),
+            2u);
+}
+
+TEST(LazyPaths, DefaultCapacityCoversK8WithoutEviction) {
+  // The md5-pinned k<=8 experiments rely on the default capacity holding
+  // every ordered ToR pair of a k=8 fat tree (32 x 32).
+  const Topology t = build_fat_tree({.p = 8});
+  const std::size_t pairs = t.tors().size() * t.tors().size();
+  EXPECT_LE(pairs, PathRepository::kDefaultCapacity);
+}
+
+}  // namespace
+}  // namespace dard::topo

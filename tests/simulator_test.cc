@@ -206,13 +206,13 @@ TEST_F(SimulatorTest, MovingOffSharedLinkSpeedsBothUp) {
   sim_.move_flow(f2, 0);
   sim_.run_until(0.2);
   // Shared: both at ~0.5 Gbps.
-  EXPECT_NEAR(sim_.flow(f1).rate, 0.5 * kGbps, 1e6);
+  EXPECT_NEAR(sim_.rate_of(f1), 0.5 * kGbps, 1e6);
   // Paths 0 and 1 share the ToR->agg0 uplink (they differ only in core);
   // path 2 climbs via agg1 and is fully disjoint above the ToR.
   sim_.move_flow(f2, 2);
   // Disjoint paths: both at line rate.
-  EXPECT_NEAR(sim_.flow(f1).rate, 1.0 * kGbps, 1e6);
-  EXPECT_NEAR(sim_.flow(f2).rate, 1.0 * kGbps, 1e6);
+  EXPECT_NEAR(sim_.rate_of(f1), 1.0 * kGbps, 1e6);
+  EXPECT_NEAR(sim_.rate_of(f2), 1.0 * kGbps, 1e6);
   sim_.run_until_flows_done();
 }
 
