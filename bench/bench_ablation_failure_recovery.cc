@@ -10,7 +10,7 @@ using namespace dard::bench;
 
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
-  const topo::Topology t = topo::build_fat_tree({.p = 4});
+  const topo::Topology t = ns2_fat_tree(4);
 
   AsciiTable table({"scheduler", "avg transfer (s)", "p99 (s)",
                     "flows > 30s", "reroutes"});

@@ -1,0 +1,187 @@
+// Asymmetry sweep (DESIGN.md §15): DARD vs ECMP vs WCMP on an
+// oversubscribed, speed-skewed p=8 fat-tree. Core uplink capacities
+// alternate 1G / skew*1G across core columns (skew in {1, 2, 4}) with the
+// aggregation tier stripped to 2 of 4 uplinks (2:1 oversubscription), so
+// a capacity-oblivious hash lands half its flows on links with a fraction
+// of the capacity.
+//
+// Expected shape: at skew=1 the three schedulers are close (WCMP's
+// selector detects the uniform fabric and degenerates to the ECMP hash —
+// bit-identical by construction). As skew grows, plain ECMP overloads the
+// slow columns and its mean transfer time inflates; capacity-aware DARD
+// (weighted placement + BoNF moves) beats it, and the gap widens. The
+// binary asserts both properties and exits non-zero when they fail, so CI
+// catches a capacity-awareness regression as a hard error, not a drifting
+// number.
+//
+// Emits a google-benchmark-shaped JSON report (BENCH_asymmetry.json):
+// real_time is the *simulated* mean transfer time in ms — deterministic
+// for a given seed, so bench/check_bench_regression.py can gate it against
+// the checked-in bench/BENCH_asymmetry_baseline.json with a tight
+// threshold on any machine.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+namespace {
+
+constexpr int kSkews[] = {1, 2, 4};
+constexpr int kOversub = 2;  // 2 of the p/2 = 4 agg uplinks survive
+
+struct Sched {
+  const char* label;
+  harness::SchedulerKind kind;
+  bool weighted;
+};
+
+constexpr Sched kScheds[] = {
+    {"ecmp", harness::SchedulerKind::Ecmp, false},
+    {"wcmp", harness::SchedulerKind::Ecmp, true},
+    {"dard", harness::SchedulerKind::Dard, true},
+};
+
+topo::Topology skewed_fat_tree(int skew) {
+  topo::FatTreeParams params{.p = 8};
+  params.uplinks_per_agg = (params.p / 2) / kOversub;
+  // Hosts stay at 1G but the ToR->agg tier is widened to 4G so the core
+  // columns are the true inter-pod bottleneck. Leaving it at 1G would make
+  // every path bottleneck at the same ToR->agg hop, the capacity weights
+  // would normalize to uniform, and weighting could never matter.
+  params.tor_agg_capacity = 4 * params.link_capacity;
+  if (skew > 1)
+    params.core_capacities = {params.link_capacity,
+                              static_cast<double>(skew) * params.link_capacity};
+  return topo::build_fat_tree(params);
+}
+
+harness::ExperimentConfig sweep_config(double rate, double duration,
+                                       std::uint64_t seed) {
+  auto cfg = ns2_config(traffic::PatternKind::Staggered, rate, duration, seed);
+  // Tilt the staggered pattern inter-pod (70% of flows cross the core) so
+  // the skewed columns actually carry load; the paper's (.5, .3) keeps 80%
+  // of traffic inside the pod and the core barely notices the skew.
+  cfg.workload.pattern.tor_p = 0.1;
+  cfg.workload.pattern.pod_p = 0.2;
+  // Runs last seconds, not the testbed's minutes: promote elephants after
+  // 0.25 s and run DARD rounds at 0.5 s + U[0,0.5] s (the paper's 5 s +
+  // U[0,5] s round would never fire inside a 4 s run).
+  cfg.elephant_threshold = 0.25;
+  cfg.dard.query_interval = 0.25;
+  cfg.dard.schedule_base = 0.5;
+  cfg.dard.schedule_jitter = 0.5;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const double rate = flags.rate > 0 ? flags.rate : 0.5;
+  const double duration =
+      flags.duration > 0 ? flags.duration : (flags.full ? 10.0 : 4.0);
+
+  std::vector<topo::Topology> topos;
+  topos.reserve(std::size(kSkews));
+  for (const int skew : kSkews) topos.push_back(skewed_fat_tree(skew));
+
+  std::vector<Cell> cells;
+  for (std::size_t i = 0; i < std::size(kSkews); ++i) {
+    for (const Sched& sched : kScheds) {
+      Cell cell;
+      cell.label = std::string("skew=") + std::to_string(kSkews[i]) + "/" +
+                   sched.label;
+      cell.topology = &topos[i];
+      cell.config = sweep_config(rate, duration, flags.seed);
+      cell.config.scheduler = sched.kind;
+      cell.config.weighted_paths = sched.weighted;
+      cells.push_back(std::move(cell));
+    }
+  }
+  const auto results = run_cells(cells, flags.jobs);
+
+  // avg transfer per (skew, scheduler), in cell order.
+  const auto avg = [&](std::size_t skew_idx, std::size_t sched_idx) {
+    return results[skew_idx * std::size(kScheds) + sched_idx].avg_transfer_time;
+  };
+  AsciiTable table({"skew", "oversub", "ECMP avg (s)", "WCMP avg (s)",
+                    "DARD avg (s)", "DARD gain vs ECMP"});
+  std::vector<double> gains;  // (ecmp - dard) / ecmp per skew
+  for (std::size_t i = 0; i < std::size(kSkews); ++i) {
+    const double ecmp = avg(i, 0), wcmp = avg(i, 1), dard = avg(i, 2);
+    const double gain = ecmp > 0 ? (ecmp - dard) / ecmp : 0;
+    gains.push_back(gain);
+    table.add_row({std::to_string(kSkews[i]), std::to_string(kOversub) + ":1",
+                   AsciiTable::fmt(ecmp), AsciiTable::fmt(wcmp),
+                   AsciiTable::fmt(dard),
+                   AsciiTable::fmt(gain * 100.0, 1) + "%"});
+  }
+  std::printf("Asymmetry sweep — p=8 fat-tree, %d:1 oversubscription, "
+              "staggered(0.1, 0.2) pattern:\n%s\n",
+              kOversub, table.to_string().c_str());
+
+  const char* out = "BENCH_asymmetry.json";
+  std::FILE* f = std::fopen(out, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"context\": {\"executable\": \"bench_asymmetry\", "
+               "\"oversub\": %d, \"rate\": %g,\n"
+               "    \"duration\": %g, \"seed\": %llu},\n"
+               "  \"benchmarks\": [\n",
+               kOversub, rate, duration,
+               static_cast<unsigned long long>(flags.seed));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Simulated mean transfer time as real_time: deterministic, so the
+    // regression gate compares physics, not machine speed.
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"BM_Asymmetry/%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": 1,\n"
+                 "      \"real_time\": %.6f,\n"
+                 "      \"cpu_time\": %.6f,\n"
+                 "      \"time_unit\": \"ms\",\n"
+                 "      \"flows\": %zu\n"
+                 "    }%s\n",
+                 cells[i].label.c_str(), results[i].avg_transfer_time * 1e3,
+                 results[i].avg_transfer_time * 1e3, results[i].flows,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out);
+
+  // The two properties this bench exists to pin.
+  bool ok = true;
+  for (std::size_t i = 0; i < std::size(kSkews); ++i) {
+    if (kSkews[i] > 1 && avg(i, 2) >= avg(i, 0)) {
+      std::fprintf(stderr,
+                   "FAIL: at skew=%d DARD (%.4f s) did not beat ECMP "
+                   "(%.4f s)\n",
+                   kSkews[i], avg(i, 2), avg(i, 0));
+      ok = false;
+    }
+  }
+  if (gains.back() <= gains.front()) {
+    std::fprintf(stderr,
+                 "FAIL: DARD's gain over ECMP did not grow with skew "
+                 "(%.1f%% at skew=%d vs %.1f%% at skew=%d)\n",
+                 gains.front() * 100, kSkews[0], gains.back() * 100,
+                 kSkews[std::size(kSkews) - 1]);
+    ok = false;
+  }
+  if (ok)
+    std::fprintf(stderr,
+                 "OK: DARD beats ECMP at every skew > 1 and the gap grows "
+                 "(%.1f%% -> %.1f%%)\n",
+                 gains.front() * 100, gains.back() * 100);
+  return ok ? 0 : 1;
+}

@@ -11,8 +11,7 @@ using namespace dard::bench;
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
   const int d = 16;
-  const topo::Topology t =
-      topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+  const topo::Topology t = ns2_clos(d);
   const double rate = flags.rate > 0 ? flags.rate : 1.2;
   const double duration = flags.duration > 0 ? flags.duration : 10.0;
 

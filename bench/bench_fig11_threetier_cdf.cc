@@ -12,7 +12,7 @@ using namespace dard::bench;
 
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
-  const topo::Topology t = topo::build_three_tier({});
+  const topo::Topology t = ns2_three_tier();
   // The access layer is oversubscribed 2.5:1 — drive it gently or every
   // scheduler drowns at the edge.
   const double rate = flags.rate > 0 ? flags.rate : 0.3;

@@ -9,7 +9,7 @@ using namespace dard::bench;
 
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
-  const topo::Topology t = topo::build_three_tier({});
+  const topo::Topology t = ns2_three_tier();
   const double rate = flags.rate > 0 ? flags.rate : 0.3;
   const double duration = flags.duration > 0 ? flags.duration : 10.0;
 

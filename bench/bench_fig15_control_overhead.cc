@@ -15,7 +15,7 @@ using namespace dard::bench;
 
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
-  const topo::Topology t = topo::build_fat_tree({.p = 8});
+  const topo::Topology t = ns2_fat_tree(8);
   const double duration = flags.duration > 0 ? flags.duration
                           : flags.full       ? 60.0
                                              : 20.0;

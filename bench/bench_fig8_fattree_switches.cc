@@ -12,7 +12,7 @@ using namespace dard::bench;
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
   const int p = flags.full ? 32 : 16;
-  const topo::Topology t = topo::build_fat_tree({.p = p});
+  const topo::Topology t = ns2_fat_tree(p);
   const double rate = flags.rate > 0 ? flags.rate : 1.2;
   const double duration = flags.duration > 0 ? flags.duration : 10.0;
 

@@ -17,7 +17,7 @@ using namespace dard::bench;
 
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
-  const topo::Topology t = topo::build_fat_tree({.p = 4});
+  const topo::Topology t = ns2_fat_tree(4);
   const int trials = flags.full ? 50 : 15;
 
   AsciiTable table({"flows", "trials", "mean Nash/OPT", "min Nash/OPT",

@@ -93,6 +93,14 @@ topo::Topology testbed_fat_tree() {
                                .link_delay = 0.0001});
 }
 
+topo::Topology ns2_fat_tree(int p) { return topo::build_fat_tree({.p = p}); }
+
+topo::Topology ns2_clos(int d) {
+  return topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+}
+
+topo::Topology ns2_three_tier() { return topo::build_three_tier({}); }
+
 void print_cdf(const std::string& title,
                const std::vector<std::pair<std::string, const Cdf*>>& series,
                std::size_t points) {

@@ -49,6 +49,13 @@ harness::ExperimentConfig packet_stride_config(double rate, double duration,
 // The paper's testbed fat-tree: p=4 at 100 Mbps.
 topo::Topology testbed_fat_tree();
 
+// The paper's ns2 topologies: 1 Gbps links at simulator scale. One
+// definition here keeps every figure/table binary building the identical
+// fabric (and gives asymmetric sweeps one place to start from).
+topo::Topology ns2_fat_tree(int p);
+topo::Topology ns2_clos(int d);        // d_i = d_a = d, 4 hosts per ToR
+topo::Topology ns2_three_tier();
+
 inline constexpr traffic::PatternKind kAllPatterns[] = {
     traffic::PatternKind::Random, traffic::PatternKind::Staggered,
     traffic::PatternKind::Stride};

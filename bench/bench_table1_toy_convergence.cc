@@ -27,7 +27,7 @@ analysis::GameFlow make_flow(const topo::Topology& t,
 int main(int argc, char** argv) {
   const auto flags = bench::parse_flags(argc, argv);
 
-  const topo::Topology t = topo::build_fat_tree({.p = 4});
+  const topo::Topology t = bench::ns2_fat_tree(4);
   topo::PathRepository repo(t);
 
   std::vector<analysis::GameFlow> flows;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"p", "pattern", "ECMP", "pVLB", "DARD", "SimAnneal"});
   for (const int p : sizes) {
-    const topo::Topology t = topo::build_fat_tree({.p = p});
+    const topo::Topology t = ns2_fat_tree(p);
     const double rate = flags.rate > 0 ? flags.rate : 1.2;
     const double duration = flags.duration > 0 ? flags.duration
                             : p == 32          ? 4.0

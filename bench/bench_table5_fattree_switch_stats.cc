@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"p", "pattern", "90%-ile", "max", "paths available"});
   for (const int p : sizes) {
-    const topo::Topology t = topo::build_fat_tree({.p = p});
+    const topo::Topology t = ns2_fat_tree(p);
     const double rate = flags.rate > 0 ? flags.rate : 1.2;
     const double duration = flags.duration > 0 ? flags.duration : 10.0;
     for (const auto pattern : kAllPatterns) {

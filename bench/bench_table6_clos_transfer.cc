@@ -17,8 +17,7 @@ int main(int argc, char** argv) {
   for (const int d : {4, 8, 16}) {
     // hosts_per_tor trades scale for wall clock; VL2 racks 20 servers, the
     // shape survives with 4.
-    const topo::Topology t =
-        topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+    const topo::Topology t = ns2_clos(d);
     const double rate = flags.rate > 0 ? flags.rate : 1.2;
     const double duration = flags.duration > 0 ? flags.duration
                             : flags.full       ? 60.0

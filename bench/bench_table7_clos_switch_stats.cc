@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
   AsciiTable table({"D_I=D_A", "pattern", "90%-ile", "max",
                     "paths available"});
   for (const int d : {4, 8, 16}) {
-    const topo::Topology t =
-        topo::build_clos({.d_i = d, .d_a = d, .hosts_per_tor = 4});
+    const topo::Topology t = ns2_clos(d);
     const double rate = flags.rate > 0 ? flags.rate : 1.2;
     const double duration = flags.duration > 0 ? flags.duration : 10.0;
     for (const auto pattern : kAllPatterns) {

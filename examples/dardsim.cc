@@ -4,6 +4,7 @@
 // stream a structured JSONL event trace, a metrics CSV and link-utilization
 // / aggregate time series for offline plotting (see DESIGN.md
 // "Observability").
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -24,9 +25,9 @@ using namespace dard;
 
 namespace {
 
-constexpr const char* kTopos = "fattree, clos, threetier";
+constexpr const char* kTopos = "fattree, clos, threetier, leafspine";
 constexpr const char* kPatterns = "random, staggered, stride";
-constexpr const char* kSchedulers = "ecmp, pvlb, dard, hedera, texcp";
+constexpr const char* kSchedulers = "ecmp, wcmp, pvlb, dard, hedera, texcp";
 constexpr const char* kSubstrates = "fluid, packet";
 constexpr const char* kFaultPresets =
     "link-flap, switch-outage, lossy-control, chaos";
@@ -65,6 +66,25 @@ bool parse_long(const char* v, long* out) {
   return true;
 }
 
+// Comma-separated positive Gbps values ("10,40,40") -> capacities in bps.
+bool parse_gbps_list(const char* v, std::vector<Bps>* out) {
+  if (v == nullptr || *v == '\0') return false;
+  out->clear();
+  const std::string s(v);
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item =
+        s.substr(start, comma == std::string::npos ? comma : comma - start);
+    double gbps = 0;
+    if (!parse_double(item.c_str(), &gbps) || gbps <= 0) return false;
+    out->push_back(gbps * kGbps);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: dardsim [options]\n"
@@ -101,6 +121,30 @@ void print_usage(std::FILE* out) {
                "                       (default 1 = serial; results are "
                "bit-identical\n"
                "                       for any T; fluid substrate only)\n"
+               "\n"
+               "asymmetric-fabric options (fattree and leafspine):\n"
+               "  --weighted           capacity-aware path choice for any "
+               "scheduler\n"
+               "                       (ecmp becomes wcmp; a no-op on "
+               "uniform fabrics)\n"
+               "  --oversub=F          fat-tree aggregation oversubscription "
+               "F:1 — each agg\n"
+               "                       switch keeps round((p/2)/F) of its "
+               "p/2 uplinks\n"
+               "  --speed-skew=F       alternate fast uplink columns at F x "
+               "the base\n"
+               "                       capacity (fat-tree cores / leaf-spine "
+               "spines)\n"
+               "  --stripped-pods=N    first N pods (fat-tree) / leaves "
+               "(leafspine) keep\n"
+               "                       only --stripped-uplinks of their "
+               "uplinks\n"
+               "  --stripped-uplinks=M uplinks a stripped pod/leaf keeps "
+               "(default 1)\n"
+               "  --spine-mix=LIST     leaf-spine per-spine capacities as "
+               "comma-separated\n"
+               "                       Gbps values, cycled over spines "
+               "(e.g. 10,40)\n"
                "\n"
                "fault injection options:\n"
                "  --faults=SPEC        inject a fault plan: a preset (%s)\n"
@@ -179,6 +223,13 @@ struct Options {
   unsigned replicas = 1;
   unsigned jobs = 1;
   unsigned realloc_threads = 1;
+  // Asymmetric-fabric axes; defaults build the classic symmetric fabrics.
+  bool weighted = false;
+  double oversub = 0.0;     // 0 = 1:1 (full uplinks)
+  double speed_skew = 0.0;  // 0 = uniform capacity
+  int stripped_pods = 0;
+  int stripped_uplinks = 1;
+  std::vector<Bps> spine_mix;  // leafspine only; empty = builder default
   std::string faults;  // preset name or JSON plan path; empty = no faults
   std::uint64_t fault_seed = 1234;
   double query_loss = 0.0;
@@ -271,6 +322,44 @@ bool parse(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->realloc_threads = static_cast<unsigned>(n);
+    } else if (const char* v = value("--oversub=")) {
+      if (!parse_double(v, &opt->oversub) || opt->oversub < 1) {
+        std::fprintf(stderr,
+                     "invalid --oversub: %s (valid: a ratio >= 1)\n", v);
+        return false;
+      }
+    } else if (const char* v = value("--speed-skew=")) {
+      if (!parse_double(v, &opt->speed_skew) || opt->speed_skew < 1) {
+        std::fprintf(stderr,
+                     "invalid --speed-skew: %s (valid: a factor >= 1)\n", v);
+        return false;
+      }
+    } else if (const char* v = value("--stripped-pods=")) {
+      if (!parse_long(v, &n) || n < 0) {
+        std::fprintf(
+            stderr,
+            "invalid --stripped-pods: %s (valid: an integer >= 0)\n", v);
+        return false;
+      }
+      opt->stripped_pods = static_cast<int>(n);
+    } else if (const char* v = value("--stripped-uplinks=")) {
+      if (!parse_long(v, &n) || n < 1) {
+        std::fprintf(
+            stderr,
+            "invalid --stripped-uplinks: %s (valid: an integer >= 1)\n", v);
+        return false;
+      }
+      opt->stripped_uplinks = static_cast<int>(n);
+    } else if (const char* v = value("--spine-mix=")) {
+      if (!parse_gbps_list(v, &opt->spine_mix)) {
+        std::fprintf(stderr,
+                     "invalid --spine-mix: %s (valid: comma-separated Gbps "
+                     "values > 0, e.g. 10,40)\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--weighted") {
+      opt->weighted = true;
     } else if (const char* v = value("--faults=")) {
       opt->faults = v;
     } else if (const char* v = value("--fault-seed=")) {
@@ -354,13 +443,80 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const bool asymmetric_flags = opt.oversub > 0 || opt.speed_skew > 0 ||
+                                opt.stripped_pods > 0 ||
+                                !opt.spine_mix.empty();
   topo::Topology network;
   if (opt.topo == "fattree") {
-    network = topo::build_fat_tree({.p = opt.size});
+    topo::FatTreeParams params{.p = opt.size};
+    if (!opt.spine_mix.empty()) {
+      std::fprintf(stderr,
+                   "--spine-mix applies to leafspine only; for fattree use "
+                   "--speed-skew\n");
+      return 2;
+    }
+    if (opt.oversub > 0) {
+      const int half = opt.size / 2;
+      const int uplinks =
+          std::max(1, static_cast<int>(half / opt.oversub + 0.5));
+      params.uplinks_per_agg = std::min(uplinks, half);
+    }
+    if (opt.speed_skew > 1)
+      params.core_capacities = {params.link_capacity,
+                                opt.speed_skew * params.link_capacity};
+    if (opt.stripped_pods > 0) {
+      params.stripped_pods = opt.stripped_pods;
+      params.stripped_pod_uplinks = opt.stripped_uplinks;
+    }
+    const std::string err = topo::validate_fat_tree(params);
+    if (!err.empty()) {
+      std::fprintf(stderr, "invalid fat-tree parameters: %s\n", err.c_str());
+      return 2;
+    }
+    network = topo::build_fat_tree(params);
+  } else if (opt.topo == "leafspine") {
+    // --size=N: N leaves over N/2 spines with N/2 hosts per leaf, so the
+    // flag scales this fabric the way p scales a fat-tree.
+    topo::LeafSpineParams params;
+    params.leaves = opt.size;
+    params.spines = std::max(1, opt.size / 2);
+    params.hosts_per_leaf = std::max(1, opt.size / 2);
+    if (!opt.spine_mix.empty()) params.spine_capacities = opt.spine_mix;
+    if (opt.speed_skew > 1 && opt.spine_mix.empty())
+      params.spine_capacities = {4 * kGbps, opt.speed_skew * 4 * kGbps};
+    if (opt.oversub > 0) {
+      std::fprintf(stderr,
+                   "--oversub applies to fattree only; strip leafspine "
+                   "uplinks with --stripped-pods/--stripped-uplinks\n");
+      return 2;
+    }
+    if (opt.stripped_pods > 0) {
+      params.stripped_leaves = opt.stripped_pods;
+      params.stripped_leaf_uplinks = opt.stripped_uplinks;
+    }
+    const std::string err = topo::validate_leaf_spine(params);
+    if (!err.empty()) {
+      std::fprintf(stderr, "invalid leaf-spine parameters: %s\n",
+                   err.c_str());
+      return 2;
+    }
+    network = topo::build_leaf_spine(params);
   } else if (opt.topo == "clos") {
+    if (asymmetric_flags) {
+      std::fprintf(stderr,
+                   "asymmetric-fabric flags need --topo=fattree or "
+                   "--topo=leafspine\n");
+      return 2;
+    }
     network = topo::build_clos(
         {.d_i = opt.size, .d_a = opt.size, .hosts_per_tor = 4});
   } else if (opt.topo == "threetier") {
+    if (asymmetric_flags) {
+      std::fprintf(stderr,
+                   "asymmetric-fabric flags need --topo=fattree or "
+                   "--topo=leafspine\n");
+      return 2;
+    }
     network = topo::build_three_tier({});
   } else {
     std::fprintf(stderr, "unknown topology: %s (valid: %s)\n",
@@ -383,6 +539,9 @@ int main(int argc, char** argv) {
   }
   if (opt.scheduler == "ecmp") {
     cfg.scheduler = harness::SchedulerKind::Ecmp;
+  } else if (opt.scheduler == "wcmp") {
+    cfg.scheduler = harness::SchedulerKind::Ecmp;
+    opt.weighted = true;
   } else if (opt.scheduler == "pvlb") {
     cfg.scheduler = harness::SchedulerKind::Pvlb;
   } else if (opt.scheduler == "dard") {
@@ -426,6 +585,7 @@ int main(int argc, char** argv) {
     cfg.dard.schedule_base = opt.schedule_interval;
     cfg.dard.schedule_jitter = opt.schedule_interval;
   }
+  cfg.weighted_paths = opt.weighted;
   cfg.workload.flow_size = static_cast<Bytes>(opt.flow_mb * kMiB);
   cfg.workload.mean_interarrival = 1.0 / opt.rate;
   cfg.workload.duration = opt.duration;

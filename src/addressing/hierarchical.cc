@@ -50,35 +50,44 @@ AddressingPlan::AddressingPlan(const Topology& t)
         static_cast<std::uint16_t>(t.node(root).index + 1);
     Prefix root_prefix(Address(root_group, 0, 0, 0), 1);
     std::vector<NodeId> path_stack{root};
-    allocate(root, root_prefix, path_stack);
+    allocate(root, root_prefix, /*bottleneck=*/0, path_stack);
   }
   build_ordinary_tables();
 }
 
-void AddressingPlan::allocate(NodeId n, const Prefix& p,
+void AddressingPlan::allocate(NodeId n, const Prefix& p, Bps bottleneck,
                               std::vector<NodeId>& path_stack) {
   const Topology& t = *topo_;
   if (t.node(n).kind == NodeKind::Host) {
-    DCN_CHECK_MSG(p.groups() == Address::kGroups,
-                  "tree depth must match the address group count");
-    host_records_[n.value()].push_back(HostAddressRecord{p.base(), path_stack});
+    // A tree may be shallower than the address has groups (leaf-spine:
+    // root -> leaf -> host is three levels for four groups); the unused
+    // trailing groups stay zero. Deeper than kGroups cannot be encoded.
+    DCN_CHECK_MSG(p.groups() <= Address::kGroups,
+                  "tree depth exceeds the address group count");
+    host_records_[n.value()].push_back(
+        HostAddressRecord{p.base(), path_stack, bottleneck});
     host_by_address_.emplace(p.base().raw(), n);
     return;
   }
   // Port numbers start at 1; ordinal position among this node's downlinks.
+  // A child is any neighbour on a strictly lower layer, so layer-skipping
+  // cables (leaf-spine core -> ToR) subdivide like one-layer hops.
   std::uint16_t port = 0;
   const int layer = topo::layer_of(t.node(n).kind);
   for (const LinkId l : t.out_links(n)) {
     const NodeId child = t.link(l).dst;
-    if (topo::layer_of(t.node(child).kind) != layer - 1) continue;
+    if (topo::layer_of(t.node(child).kind) >= layer) continue;
     ++port;
     const Prefix child_prefix = p.extend(port);
     downhill_[n.value()].insert(child_prefix, l);
     const LinkId up = t.find_link(child, n);
     DCN_CHECK(up.valid());
     uphill_[child.value()].insert(child_prefix, up);
+    const Bps cap = t.link(l).capacity;
+    const Bps child_bottleneck =
+        bottleneck == 0 ? cap : std::min(bottleneck, cap);
     path_stack.push_back(child);
-    allocate(child, child_prefix, path_stack);
+    allocate(child, child_prefix, child_bottleneck, path_stack);
     path_stack.pop_back();
   }
 }

@@ -3,12 +3,16 @@
 //
 // For every tree root (core switch; intermediate switch in a Clos), the
 // root's one-group prefix is recursively subdivided down the tree: a node
-// holding prefix P allocates P.port to the child reached through `port`.
+// holding prefix P allocates P.port to the child reached through `port` —
+// a child being any neighbour on a strictly lower layer, so leaf-spine
+// cables that skip the aggregation layer subdivide just the same (their
+// trees are simply one level shallower than the address has groups).
 // Nodes reachable through several parents (Clos ToRs, 3-tier access
 // switches) receive one prefix per parent per root, so every full host
 // address spells out exactly one downhill path root -> host, and an
 // (src, dst) address pair under a common root encodes exactly one
-// valley-free host-to-host path.
+// valley-free host-to-host path. Each record also carries its downhill
+// path's bottleneck capacity (alloc_capacity), computed during allocation.
 //
 // Each switch gets the paper's two tables:
 //   downhill: prefixes the switch allocated to children  -> child link
@@ -32,6 +36,11 @@ namespace dard::addr {
 struct HostAddressRecord {
   Address address;
   std::vector<NodeId> alloc_path;  // root, ..., ToR, host
+  // Capacity of the most constrained link along alloc_path: the bandwidth
+  // this address's downhill path can actually carry. On symmetric fabrics
+  // every record agrees; on heterogeneous ones this is what makes
+  // address-indexed path state (DARD's BoNF) capacity-normalizable.
+  Bps alloc_capacity = 0;
 };
 
 // Routing table with per-prefix-length exact-match maps; longest match wins.
@@ -89,7 +98,8 @@ class AddressingPlan {
   [[nodiscard]] std::size_t total_table_entries() const;
 
  private:
-  void allocate(NodeId n, const Prefix& p, std::vector<NodeId>& path_stack);
+  void allocate(NodeId n, const Prefix& p, Bps bottleneck,
+                std::vector<NodeId>& path_stack);
   void build_ordinary_tables();
 
   const topo::Topology* topo_;

@@ -7,24 +7,50 @@ namespace dard::baselines {
 using fabric::DataPlane;
 using fabric::FlowView;
 
+void EcmpAgent::start(DataPlane& net) {
+  if (weighted_) selector_.attach(net.topology());
+}
+
 PathIndex EcmpAgent::place(DataPlane& net, const FlowView& flow) {
   const auto& paths = net.path_set(flow);
+  if (weighted_)
+    return selector_.pick(flow.src_host, flow.dst_host, flow.src_port,
+                          flow.dst_port, paths);
   return ecmp_path_index(flow.src_host, flow.dst_host, flow.src_port,
                          flow.dst_port, paths.size());
 }
 
 void PvlbAgent::start(DataPlane& net) {
   rng_ = std::make_unique<Rng>(seed_);
+  if (weighted_) selector_.attach(net.topology());
   live_.clear();
   net.events().schedule(net.now() + repick_interval_, [this, &net] {
     tick(net);
   });
 }
 
+// Uniform fabrics (and the unweighted agent) draw next_below(paths.size())
+// exactly as before — same RNG consumption, same result — so weighted mode
+// perturbs nothing unless capacities actually differ.
+PathIndex PvlbAgent::random_pick(const FlowView& flow,
+                                 const std::vector<topo::Path>& paths) {
+  if (!weighted_ || selector_.uniform_capacity() || paths.size() < 2)
+    return static_cast<PathIndex>(rng_->next_below(paths.size()));
+  const auto& w = selector_.weights(flow.src_tor, flow.dst_tor, paths);
+  std::uint64_t total = 0;
+  for (const std::uint64_t wi : w) total += wi;
+  std::uint64_t slot = rng_->next_below(total);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (slot < w[i]) return static_cast<PathIndex>(i);
+    slot -= w[i];
+  }
+  return static_cast<PathIndex>(w.size() - 1);  // unreachable
+}
+
 PathIndex PvlbAgent::place(DataPlane& net, const FlowView& flow) {
   const auto& paths = net.path_set(flow);
   live_.insert(flow.id);
-  return static_cast<PathIndex>(rng_->next_below(paths.size()));
+  return random_pick(flow, paths);
 }
 
 void PvlbAgent::on_finished(DataPlane& /*net*/, const FlowView& flow) {
@@ -38,8 +64,7 @@ void PvlbAgent::tick(DataPlane& net) {
   for (const FlowId id : live_) {
     const fabric::FlowView f = net.flow_view(id);
     const auto& paths = net.path_set(f);
-    moves.emplace_back(id,
-                       static_cast<PathIndex>(rng_->next_below(paths.size())));
+    moves.emplace_back(id, random_pick(f, paths));
   }
   net.move_flows(moves);
   net.events().schedule(net.now() + repick_interval_, [this, &net] {

@@ -100,6 +100,7 @@ std::vector<double> estimate_demands(const std::vector<std::uint32_t>& srcs,
 
 void HederaAgent::start(DataPlane& net) {
   rng_ = std::make_unique<Rng>(cfg_.seed);
+  if (cfg_.weighted_default_routing) wcmp_.attach(net.topology());
   selector_.clear();
   rounds_ = 0;
   reassignments_ = 0;
@@ -109,6 +110,9 @@ void HederaAgent::start(DataPlane& net) {
 
 PathIndex HederaAgent::place(DataPlane& net, const FlowView& flow) {
   const auto& paths = net.path_set(flow);
+  if (cfg_.weighted_default_routing)
+    return wcmp_.pick(flow.src_host, flow.dst_host, flow.src_port,
+                      flow.dst_port, paths);
   return ecmp_path_index(flow.src_host, flow.dst_host, flow.src_port,
                          flow.dst_port, paths.size());
 }

@@ -25,6 +25,7 @@
 
 #include "common/rng.h"
 #include "fabric/data_plane.h"
+#include "topology/paths.h"
 
 namespace dard::baselines {
 
@@ -37,6 +38,13 @@ struct HederaConfig {
   double initial_temperature = 1.0;  // relative to one link capacity
   double cooling = 0.999;            // geometric temperature decay per step
   std::uint64_t seed = 99;
+  // Route flows between control rounds with capacity-weighted (WCMP)
+  // hashing instead of plain ECMP. The annealer itself is already
+  // capacity-aware (its energy is summed over-capacity against real link
+  // capacities); this fixes the default routing on asymmetric fabrics.
+  // On a uniform fabric WCMP degenerates to ECMP exactly, so enabling it
+  // on symmetric topologies is bit-identical.
+  bool weighted_default_routing = false;
 };
 
 // Hedera's demand estimation: the natural (TCP max-min) demand of each flow
@@ -67,6 +75,7 @@ class HederaAgent : public fabric::ControlAgent {
 
   HederaConfig cfg_;
   std::unique_ptr<Rng> rng_;
+  topo::WeightedPathSelector wcmp_;  // default routing, weighted mode only
   // Persistent per-destination-host selector; annealing starts from the
   // previous round's assignment (Hedera seeds each search with the last
   // solution).

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 
@@ -50,6 +51,35 @@ class Fnv1a {
   return static_cast<PathIndex>(
       five_tuple_hash(src_host.value(), dst_host.value(), src_port, dst_port) %
       path_count);
+}
+
+// WCMP's decision: the same five-tuple hash, reduced over integer path
+// weights instead of a uniform count — a path with weight w owns w slots of
+// the hash space. When every weight is equal this MUST degenerate to
+// exactly ecmp_path_index (same modulus, same slot -> path mapping), so a
+// weighted policy on a symmetric fabric is bit-identical to ECMP; the
+// explicit short-circuit below guarantees that regardless of the weights'
+// common magnitude.
+[[nodiscard]] inline PathIndex weighted_path_index(
+    NodeId src_host, NodeId dst_host, std::uint16_t src_port,
+    std::uint16_t dst_port, const std::vector<std::uint64_t>& weights) {
+  bool all_equal = true;
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weights) {
+    if (w != weights.front()) all_equal = false;
+    total += w;
+  }
+  if (all_equal || total == 0)
+    return ecmp_path_index(src_host, dst_host, src_port, dst_port,
+                           weights.size());
+  std::uint64_t slot =
+      five_tuple_hash(src_host.value(), dst_host.value(), src_port, dst_port) %
+      total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (slot < weights[i]) return static_cast<PathIndex>(i);
+    slot -= weights[i];
+  }
+  return static_cast<PathIndex>(weights.size() - 1);  // unreachable
 }
 
 }  // namespace dard

@@ -29,6 +29,15 @@ struct DardConfig {
 
   std::uint64_t seed = 42;
 
+  // Initial placement with capacity-weighted (WCMP) hashing instead of
+  // plain ECMP. Algorithm 1 is already capacity-aware once a flow becomes
+  // an elephant (BoNF is measured against real link capacities); this knob
+  // stops mice — and elephants before their first scheduling round — from
+  // hashing uniformly onto the slow columns of an asymmetric fabric. On a
+  // uniform fabric WCMP is exactly ECMP, so symmetric results are
+  // bit-identical either way.
+  bool weighted_placement = false;
+
   // --- Recovery hardening (fault experiments; inert on a healthy network,
   // see DESIGN.md §11). ---
 

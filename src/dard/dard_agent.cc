@@ -9,6 +9,7 @@ using fabric::FlowView;
 
 void DardAgent::start(DataPlane& net) {
   rng_ = std::make_unique<Rng>(cfg_.seed);
+  if (cfg_.weighted_placement) wcmp_.attach(net.topology());
   service_ = std::make_unique<fabric::StateQueryService>(net.link_state(),
                                                          &net.accountant());
   // The fault subsystem (if any) installed its degradation model on the
@@ -34,6 +35,9 @@ void DardAgent::start(DataPlane& net) {
 
 PathIndex DardAgent::place(DataPlane& net, const FlowView& flow) {
   const auto& paths = net.path_set(flow);
+  if (cfg_.weighted_placement)
+    return wcmp_.pick(flow.src_host, flow.dst_host, flow.src_port,
+                      flow.dst_port, paths);
   return ecmp_path_index(flow.src_host, flow.dst_host, flow.src_port,
                          flow.dst_port, paths.size());
 }

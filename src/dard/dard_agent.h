@@ -1,8 +1,9 @@
 // DARD as a substrate-neutral control agent (see fabric/data_plane.h).
 //
-// Initial placement is the paper's default routing, ECMP (five-tuple hash);
-// once a flow is detected as an elephant its source host's daemon monitors
-// and selfishly re-schedules it. Host daemons are created lazily on the
+// Initial placement is the paper's default routing, ECMP (five-tuple hash),
+// or its capacity-weighted WCMP variant on asymmetric fabrics
+// (DardConfig::weighted_placement); once a flow is detected as an elephant
+// its source host's daemon monitors and selfishly re-schedules it. Host daemons are created lazily on the
 // first elephant a host sources. The same agent — daemons, monitors,
 // Algorithm 1 — runs over the fluid simulator and the packet substrate.
 #pragma once
@@ -12,6 +13,7 @@
 
 #include "dard/host_daemon.h"
 #include "fabric/data_plane.h"
+#include "topology/paths.h"
 
 namespace dard::core {
 
@@ -45,6 +47,7 @@ class DardAgent : public fabric::ControlAgent {
 
   DardConfig cfg_;
   std::unique_ptr<Rng> rng_;
+  topo::WeightedPathSelector wcmp_;  // initial placement, weighted mode only
   std::unique_ptr<fabric::StateQueryService> service_;
   std::vector<std::unique_ptr<DardHostDaemon>> daemons_;  // by node id value
   DardCounters counters_;  // shared by all daemons; null fields = disabled

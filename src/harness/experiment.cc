@@ -50,14 +50,21 @@ std::unique_ptr<fabric::ControlAgent> make_agent(
     const ExperimentConfig& cfg) {
   switch (cfg.scheduler) {
     case SchedulerKind::Ecmp:
-      return std::make_unique<baselines::EcmpAgent>();
+      return std::make_unique<baselines::EcmpAgent>(cfg.weighted_paths);
     case SchedulerKind::Pvlb:
       return std::make_unique<baselines::PvlbAgent>(
-          cfg.pvlb_repick_interval, cfg.workload.seed ^ 0x5f5f5f5f);
-    case SchedulerKind::Dard:
-      return std::make_unique<core::DardAgent>(cfg.dard);
-    case SchedulerKind::Hedera:
-      return std::make_unique<baselines::HederaAgent>(cfg.hedera);
+          cfg.pvlb_repick_interval, cfg.workload.seed ^ 0x5f5f5f5f,
+          cfg.weighted_paths);
+    case SchedulerKind::Dard: {
+      core::DardConfig dard = cfg.dard;
+      dard.weighted_placement |= cfg.weighted_paths;
+      return std::make_unique<core::DardAgent>(dard);
+    }
+    case SchedulerKind::Hedera: {
+      baselines::HederaConfig hedera = cfg.hedera;
+      hedera.weighted_default_routing |= cfg.weighted_paths;
+      return std::make_unique<baselines::HederaAgent>(hedera);
+    }
     case SchedulerKind::Texcp:
       DCN_CHECK_MSG(false, "TeXCP has no flow-level agent (packet-only)");
   }

@@ -79,6 +79,12 @@ struct ExperimentConfig {
   core::DardConfig dard;
   baselines::HederaConfig hedera;
   Seconds pvlb_repick_interval = 10.0;
+  // Capacity-aware path choice for whichever scheduler runs: ECMP becomes
+  // WCMP, pVLB re-picks capacity-proportionally, Hedera's and DARD's
+  // default routing hashes by weight. A no-op (bit-identical results) on
+  // uniform-capacity fabrics — the selector detects symmetry and collapses
+  // to the plain five-tuple hash.
+  bool weighted_paths = false;
   TelemetryConfig telemetry;
 
   // Fault injection (inactive by default: an empty plan leaves the run

@@ -1,6 +1,7 @@
 #include "harness/manifest.h"
 
 #include "common/json.h"
+#include "harness/topology_spec.h"
 #include "obs/observer.h"
 
 namespace dard::harness {
@@ -14,6 +15,8 @@ RunManifest build_manifest(const topo::Topology& t,
   m.switches = t.nodes().size() - t.hosts().size();
   m.scheduler = result.scheduler;
   m.substrate = to_string(cfg.substrate);
+  m.topology_params = shape_fields(describe_topology(t));
+  m.weighted_paths = cfg.weighted_paths;
   m.seed = cfg.workload.seed;
   m.fault_seed = cfg.faults.seed;
   m.elephant_threshold_s = cfg.elephant_threshold;
@@ -60,6 +63,14 @@ void write_manifest_json(std::ostream& os, const RunManifest& m) {
   os << "  \"pattern\": " << str(m.pattern) << ",\n";
   os << "  \"scheduler\": " << str(m.scheduler) << ",\n";
   os << "  \"substrate\": " << str(m.substrate) << ",\n";
+  os << "  \"weighted_paths\": " << (m.weighted_paths ? "true" : "false")
+     << ",\n";
+  os << "  \"topology_params\": {\n";
+  for (std::size_t i = 0; i < m.topology_params.size(); ++i)
+    os << "    \"" << m.topology_params[i].first
+       << "\": " << m.topology_params[i].second
+       << (i + 1 < m.topology_params.size() ? ",\n" : "\n");
+  os << "  },\n";
   os << "  \"seed\": " << m.seed << ",\n";
   os << "  \"fault_seed\": " << m.fault_seed << ",\n";
   os << "  \"elephant_threshold_s\": " << m.elephant_threshold_s << ",\n";

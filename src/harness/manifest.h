@@ -12,6 +12,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -45,6 +46,13 @@ struct RunManifest {
   std::string pattern;
   std::string scheduler;  // result name ("DARD", "ECMP", ...)
   std::string substrate;  // "fluid" | "packet"
+
+  // Fabric shape (topology_spec.h): per-tier capacity ranges,
+  // oversubscription, uplink striping, delays — the axes counts alone
+  // cannot distinguish once fabrics are asymmetric. Flat (key, value)
+  // pairs, written as the "topology_params" JSON object.
+  std::vector<std::pair<std::string, double>> topology_params;
+  bool weighted_paths = false;
 
   // Seeds and the control-loop knobs that shape a trace.
   std::uint64_t seed = 0;

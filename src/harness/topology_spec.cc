@@ -1,0 +1,90 @@
+#include "harness/topology_spec.h"
+
+#include <algorithm>
+
+namespace dard::harness {
+
+using topo::layer_of;
+using topo::Link;
+using topo::Node;
+using topo::NodeKind;
+using topo::Topology;
+
+namespace {
+
+void fold_range(double v, double* lo, double* hi) {
+  if (*lo == 0 || v < *lo) *lo = v;
+  if (v > *hi) *hi = v;
+}
+
+void fold_range(std::size_t v, std::size_t* lo, std::size_t* hi) {
+  if (*lo == 0 || v < *lo) *lo = v;
+  if (v > *hi) *hi = v;
+}
+
+}  // namespace
+
+TopologyShape describe_topology(const Topology& t) {
+  TopologyShape s;
+  for (const Link& l : t.links()) {
+    fold_range(l.delay, &s.delay_min_s, &s.delay_max_s);
+    const int src_layer = layer_of(t.node(l.src).kind);
+    const int dst_layer = layer_of(t.node(l.dst).kind);
+    if (src_layer >= dst_layer) continue;  // classify each cable once, upward
+    const NodeKind lower = t.node(l.src).kind;
+    if (lower == NodeKind::Host)
+      fold_range(l.capacity, &s.host_cap_min, &s.host_cap_max);
+    else if (lower == NodeKind::Tor)
+      fold_range(l.capacity, &s.tor_up_cap_min, &s.tor_up_cap_max);
+    else if (lower == NodeKind::Agg)
+      fold_range(l.capacity, &s.agg_up_cap_min, &s.agg_up_cap_max);
+  }
+
+  for (const Node& n : t.nodes()) {
+    if (n.kind != NodeKind::Tor && n.kind != NodeKind::Agg) continue;
+    const int layer = layer_of(n.kind);
+    double down = 0, up = 0;
+    std::size_t uplinks = 0;
+    for (const LinkId l : t.out_links(n.id)) {
+      const int peer = layer_of(t.node(t.link(l).dst).kind);
+      if (peer > layer) {
+        up += t.link(l).capacity;
+        ++uplinks;
+      } else if (peer < layer) {
+        down += t.link(l).capacity;
+      }
+    }
+    if (up <= 0) continue;  // top tier of this fabric
+    const double oversub = down / up;
+    if (n.kind == NodeKind::Tor) {
+      s.tor_oversub_max = std::max(s.tor_oversub_max, oversub);
+      fold_range(uplinks, &s.tor_uplinks_min, &s.tor_uplinks_max);
+    } else {
+      s.agg_oversub_max = std::max(s.agg_oversub_max, oversub);
+      fold_range(uplinks, &s.agg_uplinks_min, &s.agg_uplinks_max);
+    }
+  }
+  return s;
+}
+
+std::vector<std::pair<std::string, double>> shape_fields(
+    const TopologyShape& s) {
+  return {
+      {"host_cap_min_bps", s.host_cap_min},
+      {"host_cap_max_bps", s.host_cap_max},
+      {"tor_up_cap_min_bps", s.tor_up_cap_min},
+      {"tor_up_cap_max_bps", s.tor_up_cap_max},
+      {"agg_up_cap_min_bps", s.agg_up_cap_min},
+      {"agg_up_cap_max_bps", s.agg_up_cap_max},
+      {"tor_oversub_max", s.tor_oversub_max},
+      {"agg_oversub_max", s.agg_oversub_max},
+      {"tor_uplinks_min", static_cast<double>(s.tor_uplinks_min)},
+      {"tor_uplinks_max", static_cast<double>(s.tor_uplinks_max)},
+      {"agg_uplinks_min", static_cast<double>(s.agg_uplinks_min)},
+      {"agg_uplinks_max", static_cast<double>(s.agg_uplinks_max)},
+      {"delay_min_s", s.delay_min_s},
+      {"delay_max_s", s.delay_max_s},
+  };
+}
+
+}  // namespace dard::harness

@@ -1,0 +1,59 @@
+// Fabric-shape summary for run provenance (DESIGN.md §15).
+//
+// Asymmetric fabrics make "which topology was this?" a real question: two
+// runs can agree on host/switch/link counts and still disagree on per-tier
+// capacities, oversubscription or uplink striping — quantities that change
+// every transfer-time number. TopologyShape is the flat numeric summary of
+// those axes, computed from the built Topology itself (not the builder
+// params), so whatever a front end cabled is what the manifest records.
+// shape_fields() flattens it into (key, value) pairs; dardsim writes them
+// under manifest.json's "topology_params" object, `dardscope report` prints
+// them in the header, and `dardscope diff` warns when two runs' shapes
+// differ.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace dard::harness {
+
+struct TopologyShape {
+  // Per-tier directed-capacity ranges (bps, min == max on uniform tiers).
+  // "tor_up" covers every ToR uplink regardless of how many layers the
+  // cable skips, so leaf-spine ToR <-> core links land here too; "agg_up"
+  // is zero-valued when the fabric has no aggregation tier.
+  double host_cap_min = 0, host_cap_max = 0;    // host <-> ToR
+  double tor_up_cap_min = 0, tor_up_cap_max = 0;
+  double agg_up_cap_min = 0, agg_up_cap_max = 0;
+
+  // Worst (largest) per-switch oversubscription: summed downlink capacity
+  // over summed uplink capacity. 1.0 on a rearrangeably non-blocking tier.
+  double tor_oversub_max = 0;
+  double agg_oversub_max = 0;
+
+  // Uplink striping: unequal counts mean unequal path width per pair.
+  std::size_t tor_uplinks_min = 0, tor_uplinks_max = 0;
+  std::size_t agg_uplinks_min = 0, agg_uplinks_max = 0;
+
+  double delay_min_s = 0, delay_max_s = 0;  // over all links
+
+  // True when every switch-switch link has one capacity and every switch of
+  // a tier has the same uplink count — the regime all md5 pins live in.
+  [[nodiscard]] bool uniform() const {
+    return tor_up_cap_min == tor_up_cap_max &&
+           agg_up_cap_min == agg_up_cap_max &&
+           tor_uplinks_min == tor_uplinks_max &&
+           agg_uplinks_min == agg_uplinks_max;
+  }
+};
+
+[[nodiscard]] TopologyShape describe_topology(const topo::Topology& t);
+
+// Flat (key, value) view in a fixed order, for the manifest and reports.
+[[nodiscard]] std::vector<std::pair<std::string, double>> shape_fields(
+    const TopologyShape& shape);
+
+}  // namespace dard::harness

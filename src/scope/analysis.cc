@@ -199,6 +199,28 @@ RunDiff diff_runs(const RunData& a, const RunData& b, std::size_t top_n) {
   RunDiff d;
   d.comparable = a.manifest != nullptr && b.manifest != nullptr;
   d.same_seed = a.manifest_number("seed", -1) == b.manifest_number("seed", -2);
+  if (d.comparable) {
+    d.same_fabric =
+        a.manifest_string("topology") == b.manifest_string("topology") &&
+        a.manifest_number("hosts", -1) == b.manifest_number("hosts", -2) &&
+        a.manifest_number("switches", -1) ==
+            b.manifest_number("switches", -2) &&
+        a.manifest_number("links", -1) == b.manifest_number("links", -2);
+    // Counts can agree while capacities differ (a speed-skewed fat-tree has
+    // the same cabling as the uniform one); compare every shape field too.
+    static constexpr const char* kShapeKeys[] = {
+        "host_cap_min_bps",   "host_cap_max_bps",   "tor_up_cap_min_bps",
+        "tor_up_cap_max_bps", "agg_up_cap_min_bps", "agg_up_cap_max_bps",
+        "tor_oversub_max",    "agg_oversub_max",    "tor_uplinks_min",
+        "tor_uplinks_max",    "agg_uplinks_min",    "agg_uplinks_max",
+        "delay_min_s",        "delay_max_s"};
+    for (const char* key : kShapeKeys) {
+      const std::string dotted = std::string("topology_params.") + key;
+      if (a.manifest_path_number(dotted, -1) !=
+          b.manifest_path_number(dotted, -1))
+        d.same_fabric = false;
+    }
+  }
 
   const auto add = [&](const char* name, double va, double vb) {
     d.metrics.push_back(MetricDelta{name, va, vb});

@@ -161,6 +161,10 @@ struct FlowRegression {
 struct RunDiff {
   bool same_seed = true;
   bool comparable = true;  // both runs have manifests
+  // Same fabric shape: topology name, node/link counts and every
+  // "topology_params" field agree. Transfer-time deltas between different
+  // fabrics measure the fabric, not the scheduler — the diff warns.
+  bool same_fabric = true;
   std::vector<MetricDelta> metrics;
   std::size_t matched_flows = 0;
   std::size_t regressed_flows = 0;  // completion time got worse in B

@@ -21,6 +21,34 @@ std::string fmt_count(double v) {
   return buf;
 }
 
+// "1" or "1-4" in Gbps, for the fabric-shape header line.
+std::string fmt_gbps_range(double min_bps, double max_bps) {
+  const auto one = [](double bps) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", bps / 1e9);
+    return std::string(buf);
+  };
+  if (min_bps == max_bps) return one(min_bps);
+  return one(min_bps) + "-" + one(max_bps);
+}
+
+std::string fabric_line(const Report& r) {
+  std::string s = "host " + fmt_gbps_range(r.host_cap_min_bps,
+                                           r.host_cap_max_bps) +
+                  " Gbps, tor-up " +
+                  fmt_gbps_range(r.tor_up_cap_min_bps, r.tor_up_cap_max_bps) +
+                  " Gbps";
+  if (r.agg_up_cap_max_bps > 0)
+    s += ", agg-up " +
+         fmt_gbps_range(r.agg_up_cap_min_bps, r.agg_up_cap_max_bps) + " Gbps";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", oversub %.2f:1",
+                std::max(r.tor_oversub_max, r.agg_oversub_max));
+  s += buf;
+  if (r.weighted_paths) s += ", weighted paths";
+  return s;
+}
+
 }  // namespace
 
 Report build_report(const RunData& run, std::size_t oscillation_window) {
@@ -31,6 +59,24 @@ Report build_report(const RunData& run, std::size_t oscillation_window) {
   r.substrate = run.manifest_string("substrate");
   r.pattern = run.manifest_string("pattern");
   r.seed = run.manifest_number("seed", -1);
+  r.weighted_paths = run.manifest_number("weighted_paths", 0) != 0;
+  r.host_cap_min_bps =
+      run.manifest_path_number("topology_params.host_cap_min_bps");
+  r.host_cap_max_bps =
+      run.manifest_path_number("topology_params.host_cap_max_bps");
+  r.tor_up_cap_min_bps =
+      run.manifest_path_number("topology_params.tor_up_cap_min_bps");
+  r.tor_up_cap_max_bps =
+      run.manifest_path_number("topology_params.tor_up_cap_max_bps");
+  r.agg_up_cap_min_bps =
+      run.manifest_path_number("topology_params.agg_up_cap_min_bps");
+  r.agg_up_cap_max_bps =
+      run.manifest_path_number("topology_params.agg_up_cap_max_bps");
+  r.tor_oversub_max =
+      run.manifest_path_number("topology_params.tor_oversub_max");
+  r.agg_oversub_max =
+      run.manifest_path_number("topology_params.agg_oversub_max");
+  r.has_shape = r.host_cap_max_bps > 0 || r.tor_up_cap_max_bps > 0;
   r.trace_events = run.trace.size();
   for (const auto& e : run.trace)
     if (e.kind == obs::TraceEventKind::Fault) ++r.fault_events;
@@ -52,6 +98,7 @@ void write_text(std::ostream& os, const Report& r) {
     os << "scenario: " << r.scheduler << " on " << r.topology << " ("
        << r.substrate << " substrate), " << r.pattern << " pattern, seed "
        << fmt_count(r.seed) << '\n';
+    if (r.has_shape) os << "fabric: " << fabric_line(r) << '\n';
     os << "wall clock: setup " << fmt(r.setup_s) << " s, run " << fmt(r.run_s)
        << " s, collect " << fmt(r.collect_s) << " s\n";
   }
@@ -135,6 +182,7 @@ void write_markdown(std::ostream& os, const Report& r) {
        << fmt_count(r.seed) << ". Wall clock: setup " << fmt(r.setup_s)
        << " s, run " << fmt(r.run_s) << " s, collect " << fmt(r.collect_s)
        << " s.\n\n";
+    if (r.has_shape) os << "Fabric: " << fabric_line(r) << ".\n\n";
   }
   os << "| metric | value |\n|---|---|\n";
   os << "| trace events | " << r.trace_events << " |\n";
@@ -229,6 +277,11 @@ void write_diff_header(std::ostream& os, const RunData& a, const RunData& b,
     os << (markdown ? "\n> " : "")
        << "note: runs used different workload seeds; per-flow comparison "
           "matches different workloads\n";
+  if (!d.same_fabric)
+    os << (markdown ? "\n> " : "")
+       << "note: runs used different fabric shapes (topology parameters "
+          "differ); transfer-time deltas measure the fabric, not the "
+          "scheduler\n";
   os << '\n';
 }
 

@@ -20,6 +20,19 @@ struct Report {
   std::string substrate;
   std::string pattern;
   double seed = -1;
+  // Fabric shape from manifest "topology_params" (all zero for a bare
+  // trace or a pre-shape manifest); printed in the scenario header so an
+  // asymmetric run is recognizable at a glance.
+  bool has_shape = false;
+  bool weighted_paths = false;
+  double host_cap_min_bps = 0;
+  double host_cap_max_bps = 0;
+  double tor_up_cap_min_bps = 0;
+  double tor_up_cap_max_bps = 0;
+  double agg_up_cap_min_bps = 0;
+  double agg_up_cap_max_bps = 0;
+  double tor_oversub_max = 0;
+  double agg_oversub_max = 0;
 
   std::size_t trace_events = 0;
   std::size_t fault_events = 0;

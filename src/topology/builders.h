@@ -1,15 +1,26 @@
-// Builders for the paper's three evaluation topologies.
+// Builders for the paper's three evaluation topologies, plus the
+// heterogeneity-first extensions (DESIGN.md §15).
 //
 // * fat-tree(p): Al-Fares et al.'s p-port commodity fat-tree — p pods of
 //   p/2 ToRs and p/2 aggregation switches, (p/2)^2 cores, p^3/4 hosts,
-//   oversubscription 1:1.
+//   oversubscription 1:1. FatTreeParams additionally expresses per-tier
+//   link-speed mixes, stripped uplinks (oversubscription) and stripped
+//   pods; every default reproduces the classic symmetric build byte for
+//   byte (same node and link creation order).
 // * Clos(D_I, D_A): VL2-style Clos — D_I aggregation switches with D_A
 //   ports each, D_A/2 intermediate ("core") switches with D_I ports each,
 //   D_I*D_A/4 ToRs, each ToR dual-homed to two aggregation switches;
 //   2*D_A equal-cost paths between ToRs in different pods.
 // * three-tier: the Cisco-reference 8-core 3-tier topology with access
 //   oversubscription 2.5:1 and aggregation oversubscription 1.5:1.
+// * leaf-spine: a two-tier fabric whose leaves (ToR layer) cable directly
+//   to a heterogeneous spine (core layer) — the links skip the aggregation
+//   layer entirely, which is what exercises the generalized (non-±1-layer)
+//   path walker in path_gen.h.
 #pragma once
+
+#include <string>
+#include <vector>
 
 #include "topology/topology.h"
 
@@ -20,6 +31,28 @@ struct FatTreeParams {
   int hosts_per_tor = -1;  // default p/2 (full fat-tree)
   Bps link_capacity = 1 * kGbps;
   Seconds link_delay = 0.0001;  // 0.1 ms, the paper's ns-2 setting
+
+  // --- Heterogeneity axes. Defaults (0 / empty / -1) reproduce the
+  // classic symmetric fat-tree exactly: same nodes, same cables, same
+  // creation order, so link and node ids — and every md5-pinned result
+  // downstream — are untouched. ---
+
+  Bps host_capacity = 0;     // host <-> ToR; 0 = link_capacity
+  Bps tor_agg_capacity = 0;  // ToR <-> Agg; 0 = link_capacity
+  // Agg <-> core capacity by uplink ordinal u (cycled), so a "speed skew"
+  // mix like {1G, 4G} alternates slow and fast core columns. Empty =
+  // link_capacity everywhere.
+  std::vector<Bps> core_capacities;
+  // Uplinks per aggregation switch, in [1, p/2]; -1 = p/2 (the full 1:1
+  // fat-tree). Fewer uplinks shrink the core to (p/2) * uplinks_per_agg
+  // switches and oversubscribe the aggregation tier by (p/2) / uplinks.
+  int uplinks_per_agg = -1;
+  // The first `stripped_pods` pods keep only `stripped_pod_uplinks` of
+  // their aggregation uplinks (a pod-local further strip: unequal uplink
+  // counts per switch, hence unequal path counts per ToR pair). Must leave
+  // at least one unstripped pod so every core stays reachable.
+  int stripped_pods = 0;
+  int stripped_pod_uplinks = -1;  // -1 = uplinks_per_agg (no extra strip)
 };
 
 struct ClosParams {
@@ -41,11 +74,40 @@ struct ThreeTierParams {
   Seconds link_delay = 0.0001;
 };
 
+struct LeafSpineParams {
+  int leaves = 8;
+  int spines = 4;
+  int hosts_per_leaf = 4;
+  Bps host_capacity = 1 * kGbps;  // host <-> leaf
+  // Leaf <-> spine capacity by spine index (cycled): a fast spine is fast
+  // for every leaf. Empty = 4 * kGbps (a modest 10/40G-style step-up).
+  std::vector<Bps> spine_capacities;
+  Seconds link_delay = 0.0001;
+  // The first `stripped_leaves` leaves cable only to the first
+  // `stripped_leaf_uplinks` spines — variable path width per leaf pair
+  // (stripped pairs share only the prefix of the spine set).
+  int stripped_leaves = 0;
+  int stripped_leaf_uplinks = -1;  // -1 = spines (no strip)
+};
+
+// Parameter validation: empty string when buildable, else a human-readable
+// reason (the message dardsim prints instead of a CHECK crash). Builders
+// abort on invalid params; front ends validate first.
+[[nodiscard]] std::string validate_fat_tree(const FatTreeParams& params);
+[[nodiscard]] std::string validate_leaf_spine(const LeafSpineParams& params);
+
 [[nodiscard]] Topology build_fat_tree(const FatTreeParams& params);
 [[nodiscard]] Topology build_clos(const ClosParams& params);
 [[nodiscard]] Topology build_three_tier(const ThreeTierParams& params);
+[[nodiscard]] Topology build_leaf_spine(const LeafSpineParams& params);
 
 // Number of equal-cost inter-pod ToR-to-ToR paths each topology provides.
 [[nodiscard]] int fat_tree_inter_pod_paths(int p);       // (p/2)^2
 [[nodiscard]] int clos_inter_pod_paths(int d_a);         // 2 * d_a
+
+// Advertised aggregation-tier oversubscription of an (unstripped-pod)
+// fat-tree aggregation switch: summed downlink capacity over summed uplink
+// capacity. 1.0 for the classic build; tests pin it against the capacities
+// actually cabled.
+[[nodiscard]] double fat_tree_agg_oversubscription(const FatTreeParams& p);
 }  // namespace dard::topo

@@ -17,10 +17,12 @@ PathGenerator::PathGenerator(const Topology& t)
       const Node& peer = t.node(t.link(l).dst);
       if (peer.kind == NodeKind::Host) continue;
       const int peer_layer = layer_of(peer.kind);
-      if (peer_layer == layer + 1)
+      if (peer_layer > layer)
         up.push_back(Edge{peer.id, l});
-      else if (peer_layer == layer - 1)
+      else if (peer_layer < layer)
         down.push_back(Edge{peer.id, l});
+      if (peer_layer != layer + 1 && peer_layer != layer - 1)
+        strict_ = false;  // layer-skipping cable: three-shape proof void
     }
     // Sorted by neighbour id so nested iteration yields candidates in
     // exactly the enumerator's post-sort (lexicographic) order.
@@ -39,6 +41,18 @@ PathGenerator::PathGenerator(const Topology& t)
 // an accepted path is O(path length).
 template <class Visit>
 void PathGenerator::for_each(NodeId s, NodeId d, Visit&& visit) const {
+  if (!strict_) {
+    // Layer-skipping cables admit path shapes beyond the three the fast
+    // walker generates (e.g. a 3-hop tor->agg->core->tor alongside 2- and
+    // 4-hop ones), so delegate to the reference enumerator — whose output
+    // order is this class's contract anyway.
+    for (const Path& p : enumerate_tor_paths(*topo_, s, d)) {
+      if (!visit(p.nodes.data(), p.links.data(),
+                 static_cast<int>(p.links.size())))
+        return;
+    }
+    return;
+  }
   const auto& su = up_[s.value()];
   for (const Edge& m : su) {
     const LinkId last = topo_->find_link(m.node, d);

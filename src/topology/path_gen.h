@@ -19,6 +19,14 @@
 // then lexicographic by node ids), which tests/lazy_paths_test.cc pins, so
 // schedulers, traces and md5-pinned results are unaffected by who produced
 // the path set.
+//
+// The three-shape argument holds only on *strict* fabrics, where every
+// switch-switch cable spans exactly one layer. The constructor checks that
+// property once; on a fabric with layer-skipping cables (leaf-spine's
+// ToR <-> core links) the generator transparently falls back to the
+// reference recursive enumeration, so count/path/all keep the exact same
+// contract — order and contents identical to enumerate_tor_paths — at
+// enumeration cost, which the PathRepository LRU amortizes per ToR pair.
 #pragma once
 
 #include <cstddef>
@@ -45,9 +53,13 @@ class PathGenerator {
 
   [[nodiscard]] const Topology& topology() const { return *topo_; }
 
+  // True when every switch-switch cable spans exactly one layer, enabling
+  // the O(path length) three-shape fast path.
+  [[nodiscard]] bool strict_layering() const { return strict_; }
+
  private:
   struct Edge {
-    NodeId node;  // neighbour exactly one layer away
+    NodeId node;  // neighbour strictly above (up_) or below (down_)
     LinkId link;  // directed link towards it
   };
 
@@ -58,6 +70,7 @@ class PathGenerator {
   void for_each(NodeId s, NodeId d, Visit&& visit) const;
 
   const Topology* topo_;
+  bool strict_ = true;                   // all switch cables span one layer
   std::vector<std::vector<Edge>> up_;    // by node id, sorted by node id
   std::vector<std::vector<Edge>> down_;  // switch neighbours only
 };

@@ -1,7 +1,9 @@
 #include "topology/paths.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "common/hash.h"
 #include "topology/path_gen.h"
 
 namespace dard::topo {
@@ -13,9 +15,11 @@ bool contains(const Path& p, NodeId n) {
 }
 
 // All strictly-descending *simple* paths from `from` to `target` (appended
-// to `out`, each prefixed with `prefix`). The simplicity constraint rules
-// out degenerate detours such as tor->agg->core->agg->tor inside one
-// fat-tree pod, which revisit the aggregation switch.
+// to `out`, each prefixed with `prefix`). A descending hop may drop any
+// number of layers (leaf-spine cables span core -> ToR directly); it only
+// has to land strictly lower. The simplicity constraint rules out
+// degenerate detours such as tor->agg->core->agg->tor inside one fat-tree
+// pod, which revisit the aggregation switch.
 void descend(const Topology& t, NodeId from, NodeId target, Path prefix,
              std::vector<Path>* out) {
   if (from == target) {
@@ -27,7 +31,7 @@ void descend(const Topology& t, NodeId from, NodeId target, Path prefix,
   if (from_layer <= target_layer) return;
   for (const LinkId l : t.out_links(from)) {
     const NodeId next = t.link(l).dst;
-    if (layer_of(t.node(next).kind) != from_layer - 1) continue;
+    if (layer_of(t.node(next).kind) >= from_layer) continue;
     if (contains(prefix, next)) continue;
     Path extended = prefix;
     extended.nodes.push_back(next);
@@ -37,14 +41,15 @@ void descend(const Topology& t, NodeId from, NodeId target, Path prefix,
 }
 
 // DFS upward from `from`; at every node (including `from` itself) attempt
-// to turn around and descend to `target`.
+// to turn around and descend to `target`. As with descend, an ascending
+// hop may climb several layers at once.
 void ascend(const Topology& t, NodeId from, NodeId target, Path prefix,
             std::vector<Path>* out) {
   descend(t, from, target, prefix, out);
   const int from_layer = layer_of(t.node(from).kind);
   for (const LinkId l : t.out_links(from)) {
     const NodeId next = t.link(l).dst;
-    if (layer_of(t.node(next).kind) != from_layer + 1) continue;
+    if (layer_of(t.node(next).kind) <= from_layer) continue;
     if (contains(prefix, next)) continue;
     Path extended = prefix;
     extended.nodes.push_back(next);
@@ -103,6 +108,77 @@ Path host_path(const Topology& t, NodeId src_host, NodeId dst_host,
   full.links.push_back(down);
   full.nodes.push_back(dst_host);
   return full;
+}
+
+Bps path_bottleneck_capacity(const Topology& t, const Path& p) {
+  Bps min_cap = 0;
+  for (const LinkId l : p.links) {
+    const Bps c = t.link(l).capacity;
+    if (min_cap == 0 || c < min_cap) min_cap = c;
+  }
+  return min_cap;
+}
+
+std::vector<std::uint64_t> capacity_weights(const Topology& t,
+                                            const std::vector<Path>& paths) {
+  std::vector<std::uint64_t> w;
+  w.reserve(paths.size());
+  std::uint64_t g = 0;
+  for (const Path& p : paths) {
+    // Bps is fractional only below 1 bps; truncation is exact for any real
+    // link speed, and max(1) keeps a degenerate path addressable.
+    const auto bps = static_cast<std::uint64_t>(path_bottleneck_capacity(t, p));
+    const std::uint64_t wi = bps > 0 ? bps : 1;
+    w.push_back(wi);
+    g = std::gcd(g, wi);
+  }
+  if (g > 1)
+    for (std::uint64_t& wi : w) wi /= g;
+  return w;
+}
+
+void WeightedPathSelector::attach(const Topology& t) {
+  topo_ = &t;
+  cache_.clear();
+  uniform_ = true;
+  Bps seen = 0;
+  for (std::size_t i = 0; i < t.link_count(); ++i) {
+    const LinkId l{static_cast<LinkId::value_type>(i)};
+    if (!t.is_switch_switch(l)) continue;
+    const Bps c = t.link(l).capacity;
+    if (seen == 0) {
+      seen = c;
+    } else if (c != seen) {
+      uniform_ = false;
+      break;
+    }
+  }
+}
+
+const std::vector<std::uint64_t>& WeightedPathSelector::weights(
+    NodeId src_tor, NodeId dst_tor, const std::vector<Path>& paths) {
+  DCN_CHECK(topo_ != nullptr);
+  const std::uint64_t key = (static_cast<std::uint64_t>(src_tor.value()) << 32) |
+                            dst_tor.value();
+  auto it = cache_.find(key);
+  if (it == cache_.end())
+    it = cache_.emplace(key, capacity_weights(*topo_, paths)).first;
+  return it->second;
+}
+
+PathIndex WeightedPathSelector::pick(NodeId src_host, NodeId dst_host,
+                                     std::uint16_t src_port,
+                                     std::uint16_t dst_port,
+                                     const std::vector<Path>& paths) {
+  DCN_CHECK(topo_ != nullptr);
+  DCN_CHECK(!paths.empty());
+  if (uniform_ || paths.size() < 2)
+    return ecmp_path_index(src_host, dst_host, src_port, dst_port,
+                           paths.size());
+  const NodeId src_tor = topo_->tor_of_host(src_host);
+  const NodeId dst_tor = topo_->tor_of_host(dst_host);
+  return weighted_path_index(src_host, dst_host, src_port, dst_port,
+                             weights(src_tor, dst_tor, paths));
 }
 
 namespace {

@@ -2,8 +2,11 @@
 //
 // DARD schedules among the valley-free (strictly up, then strictly down)
 // paths between a source and destination ToR. Enumeration is generic over
-// any Topology whose node kinds form layers, so the same code serves
-// fat-tree, Clos and the 3-tier topology. A PathRepository memoizes hot
+// any Topology whose node kinds form layers — each hop moves to a strictly
+// higher layer while ascending and a strictly lower one while descending,
+// without assuming adjacent layers — so the same code serves fat-tree,
+// Clos, the 3-tier topology and the leaf-spine fabric whose leaf <-> spine
+// cables skip the aggregation layer. A PathRepository memoizes hot
 // per-ToR-pair path sets behind a bounded LRU; sets are materialized on
 // demand by the lazy PathGenerator (path_gen.h) instead of being stored
 // for every pair, so repository memory is O(capacity), not O(#ToR pairs).
@@ -11,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 // Header-only (like obs/metrics.h), so instrumenting the repository adds no
@@ -40,6 +44,50 @@ struct Path {
 // Complete host-to-host path: src host uplink + tor_path + dst host downlink.
 [[nodiscard]] Path host_path(const Topology& t, NodeId src_host,
                              NodeId dst_host, const Path& tor_path);
+
+// Capacity of a path's most constrained link; 0 for a link-less (s == d)
+// path. On heterogeneous fabrics this is the quantity capacity-aware
+// selection weighs by — paths through a fast spine or core column are worth
+// proportionally more hash space than paths through a slow one.
+[[nodiscard]] Bps path_bottleneck_capacity(const Topology& t, const Path& p);
+
+// Integer ECMP weights proportional to each path's bottleneck capacity,
+// normalized by their gcd so an equal-capacity set collapses to all-ones —
+// the shape weighted_path_index special-cases back to the plain five-tuple
+// hash, keeping symmetric fabrics bit-identical.
+[[nodiscard]] std::vector<std::uint64_t> capacity_weights(
+    const Topology& t, const std::vector<Path>& paths);
+
+// Per-ToR-pair cache of capacity weights plus the uniform-capacity fast
+// path shared by every weighted-cost policy (WCMP, weighted pVLB/Hedera,
+// DARD's weighted initial placement). attach() scans the fabric once: on a
+// uniform-capacity fabric pick() is exactly ecmp_path_index — same hash,
+// same reduction, no weight computation — so enabling a weighted policy on
+// a symmetric topology changes nothing.
+class WeightedPathSelector {
+ public:
+  void attach(const Topology& t);
+
+  [[nodiscard]] bool attached() const { return topo_ != nullptr; }
+  // True when every switch-switch link has the same capacity (weights would
+  // all be equal, so weighted selection degenerates to ECMP).
+  [[nodiscard]] bool uniform_capacity() const { return uniform_; }
+
+  // Cached capacity weights for this ToR pair's path set (computed on first
+  // use; `paths` must be the pair's path set in enumeration order).
+  [[nodiscard]] const std::vector<std::uint64_t>& weights(
+      NodeId src_tor, NodeId dst_tor, const std::vector<Path>& paths);
+
+  // Capacity-weighted five-tuple path pick for a flow between two hosts.
+  [[nodiscard]] PathIndex pick(NodeId src_host, NodeId dst_host,
+                               std::uint16_t src_port, std::uint16_t dst_port,
+                               const std::vector<Path>& paths);
+
+ private:
+  const Topology* topo_ = nullptr;
+  bool uniform_ = true;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> cache_;
+};
 
 class PathGenerator;
 
