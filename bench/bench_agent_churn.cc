@@ -1,0 +1,199 @@
+// Agent-churn robustness bench (DESIGN.md §16): what daemon-level failures
+// cost on a p=8 fat-tree under staggered load.
+//
+// Four cells share one workload:
+//  * ecmp      — the static baseline.
+//  * dard      — the full adaptive fleet.
+//  * dard-50   — a mixed fleet: the plan's partial-deployment section pins
+//                a seeded 50% of hosts to the DARD daemon, the rest fall
+//                back to plain ECMP placement.
+//  * dard-churn— the full fleet under staggered daemon churn: four daemons
+//                (one per pod) crash 200 ms apart and each cold-start
+//                restarts 300 ms later.
+//
+// Expected shape, asserted as hard errors so CI catches a fault-tolerance
+// regression rather than a drifting number:
+//  * every cell completes every transfer (a crashed daemon must never
+//    strand a flow — the data plane keeps forwarding);
+//  * the churn run counts all 4 crashes + 4 restarts and reports a
+//    post-restart reconvergence time (the restarted daemons re-adopt their
+//    elephants and keep scheduling moves);
+//  * half a fleet is better than none: dard-50 beats all-ECMP on mean
+//    transfer time.
+//
+// Emits a google-benchmark-shaped JSON report (BENCH_agent_churn.json);
+// real_time is the *simulated* mean transfer time in ms, deterministic for
+// a given seed, gated by bench/check_bench_regression.py against the
+// checked-in bench/BENCH_agent_churn_baseline.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_lib.h"
+
+using namespace dard;
+using namespace dard::bench;
+
+namespace {
+
+// One daemon in each even-numbered pod of the p=8 fabric: crashes
+// staggered 200 ms apart from t=1, each restarting 300 ms later. The last
+// restart lands at t=1.9, well inside the 4 s workload window, so the
+// reconvergence clock has rounds to observe.
+constexpr const char* kVictims[] = {"host0_0", "host2_0", "host4_0",
+                                    "host6_0"};
+
+faults::FaultPlan staggered_churn() {
+  faults::FaultPlan plan;
+  double t = 1.0;
+  for (const char* host : kVictims) {
+    plan.crash_daemon(t, host, 0.3);
+    t += 0.2;
+  }
+  return plan;
+}
+
+harness::ExperimentConfig churn_config(double rate, double duration,
+                                       std::uint64_t seed) {
+  auto cfg = ns2_config(traffic::PatternKind::Staggered, rate, duration, seed);
+  // Sub-second control intervals (the paper's 5 s + U[0,5] s round would
+  // never fire inside a seconds-long run), same tilt rationale as the
+  // asymmetry sweep.
+  cfg.elephant_threshold = 0.25;
+  cfg.dard.query_interval = 0.25;
+  cfg.dard.schedule_base = 0.5;
+  cfg.dard.schedule_jitter = 0.5;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  const double rate = flags.rate > 0 ? flags.rate : 0.5;
+  const double duration =
+      flags.duration > 0 ? flags.duration : (flags.full ? 10.0 : 4.0);
+
+  const topo::Topology t = ns2_fat_tree(8);
+  std::vector<Cell> cells;
+  cells.reserve(4);
+  const auto add = [&](const char* label, harness::SchedulerKind kind) {
+    Cell cell;
+    cell.label = label;
+    cell.topology = &t;
+    cell.config = churn_config(rate, duration, flags.seed);
+    cell.config.scheduler = kind;
+    cells.push_back(std::move(cell));
+    return &cells.back().config;
+  };
+  add("ecmp", harness::SchedulerKind::Ecmp);
+  add("dard", harness::SchedulerKind::Dard);
+  // The mixed fleet goes through the FaultPlan partial-deployment section —
+  // the same path a {"partial": {...}} plan file takes.
+  add("dard-50", harness::SchedulerKind::Dard)
+      ->faults.plan.set_partial_deployment(0.5, flags.seed);
+  add("dard-churn", harness::SchedulerKind::Dard)->faults.plan =
+      staggered_churn();
+
+  const auto results = run_cells(cells, flags.jobs);
+  const auto& ecmp = results[0];
+  const auto& dard = results[1];
+  const auto& mixed = results[2];
+  const auto& churn = results[3];
+
+  AsciiTable table({"cell", "flows", "avg transfer (s)", "reroutes",
+                    "crashes", "restarts", "reconv (s)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({cells[i].label, std::to_string(r.flows),
+                   AsciiTable::fmt(r.avg_transfer_time),
+                   std::to_string(r.reroutes),
+                   std::to_string(r.recovery.agent_crashes),
+                   std::to_string(r.recovery.agent_restarts),
+                   r.recovery.reconvergence_s < 0
+                       ? std::string("-")
+                       : AsciiTable::fmt(r.recovery.reconvergence_s)});
+  }
+  std::printf("Agent churn — p=8 fat-tree, staggered pattern, rate %g:\n%s\n",
+              rate, table.to_string().c_str());
+
+  const char* out = "BENCH_agent_churn.json";
+  std::FILE* f = std::fopen(out, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"context\": {\"executable\": \"bench_agent_churn\", "
+               "\"rate\": %g, \"duration\": %g, \"seed\": %llu},\n"
+               "  \"benchmarks\": [\n",
+               rate, duration, static_cast<unsigned long long>(flags.seed));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"BM_AgentChurn/%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": 1,\n"
+                 "      \"real_time\": %.6f,\n"
+                 "      \"cpu_time\": %.6f,\n"
+                 "      \"time_unit\": \"ms\",\n"
+                 "      \"flows\": %zu\n"
+                 "    }%s\n",
+                 cells[i].label.c_str(), results[i].avg_transfer_time * 1e3,
+                 results[i].avg_transfer_time * 1e3, results[i].flows,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out);
+
+  // The properties this bench exists to pin.
+  bool ok = true;
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    if (results[i].flows != ecmp.flows) {
+      std::fprintf(stderr,
+                   "FAIL: %s completed %zu flows, ecmp completed %zu — a "
+                   "daemon fault stranded transfers\n",
+                   cells[i].label.c_str(), results[i].flows, ecmp.flows);
+      ok = false;
+    }
+  }
+  if (churn.recovery.agent_crashes != std::size(kVictims) ||
+      churn.recovery.agent_restarts != std::size(kVictims)) {
+    std::fprintf(stderr,
+                 "FAIL: churn cell saw %llu crashes / %llu restarts "
+                 "(expected %zu each)\n",
+                 static_cast<unsigned long long>(churn.recovery.agent_crashes),
+                 static_cast<unsigned long long>(churn.recovery.agent_restarts),
+                 std::size(kVictims));
+    ok = false;
+  }
+  if (churn.recovery.reconvergence_s < 0) {
+    std::fprintf(stderr,
+                 "FAIL: no accepted round after the last daemon restart — "
+                 "cold-start re-sync is not re-adopting elephants\n");
+    ok = false;
+  }
+  if (mixed.avg_transfer_time >= ecmp.avg_transfer_time) {
+    std::fprintf(stderr,
+                 "FAIL: 50%% deployment (%.4f s) did not beat all-ECMP "
+                 "(%.4f s)\n",
+                 mixed.avg_transfer_time, ecmp.avg_transfer_time);
+    ok = false;
+  }
+  if (dard.avg_transfer_time >= ecmp.avg_transfer_time) {
+    std::fprintf(stderr,
+                 "FAIL: full DARD (%.4f s) did not beat all-ECMP (%.4f s)\n",
+                 dard.avg_transfer_time, ecmp.avg_transfer_time);
+    ok = false;
+  }
+  if (ok)
+    std::fprintf(stderr,
+                 "OK: every fleet completed all %zu transfers; 50%% "
+                 "deployment beats ECMP (%.4f s vs %.4f s); churn run "
+                 "reconverged %.3f s after the last restart\n",
+                 ecmp.flows, mixed.avg_transfer_time, ecmp.avg_transfer_time,
+                 churn.recovery.reconvergence_s);
+  return ok ? 0 : 1;
+}

@@ -29,6 +29,10 @@ per-benchmark FAIL line and recapped in the summary. Every benchmark key
 present in only one of the two reports gets its own WARNING line —
 baseline-only keys additionally fail the gate, current-only keys do not
 (new benches are not an error).
+
+Exit 2 when a report file is missing or not a google-benchmark JSON
+report at all (e.g. a baseline that was never checked in, or a truncated
+write) — a usage/setup error, distinct from a genuine regression.
 """
 
 import argparse
@@ -41,17 +45,38 @@ UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_times(path, prefixes):
-    with open(path) as f:
-        report = json.load(f)
+    """Reads a google-benchmark JSON report; exits 2 with the offending
+    file named when it is missing or malformed, so CI logs say "fix the
+    baseline" instead of dumping a traceback."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        print(f"ERROR: cannot read report '{path}': {e.strerror or e}")
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"ERROR: '{path}' is not valid JSON "
+              f"(line {e.lineno}: {e.msg}); regenerate it with the bench "
+              f"binary")
+        sys.exit(2)
+    if not isinstance(report, dict):
+        print(f"ERROR: '{path}' is JSON but not a google-benchmark report "
+              f"(top level is {type(report).__name__}, expected an object)")
+        sys.exit(2)
     times = {}
     for b in report.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        name = b["name"]
-        if prefixes is not None and not any(
-                name.startswith(p) for p in prefixes):
-            continue
-        times[name] = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
+        try:
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+            if prefixes is not None and not any(
+                    name.startswith(p) for p in prefixes):
+                continue
+            times[name] = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
+        except (AttributeError, KeyError, TypeError) as e:
+            print(f"ERROR: '{path}' has a malformed benchmark entry "
+                  f"({b!r}): {e}")
+            sys.exit(2)
     return times
 
 

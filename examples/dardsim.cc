@@ -30,7 +30,7 @@ constexpr const char* kPatterns = "random, staggered, stride";
 constexpr const char* kSchedulers = "ecmp, wcmp, pvlb, dard, hedera, texcp";
 constexpr const char* kSubstrates = "fluid, packet";
 constexpr const char* kFaultPresets =
-    "link-flap, switch-outage, lossy-control, chaos";
+    "link-flap, switch-outage, lossy-control, chaos, agent-churn";
 
 // Numeric flag parsing in the valid-choice error style: the whole value
 // must parse (no trailing garbage, no empty string) and land in range, or
@@ -150,7 +150,18 @@ void print_usage(std::FILE* out) {
                "  --faults=SPEC        inject a fault plan: a preset (%s)\n"
                "                       or a path to a JSON plan file; adds "
                "recovery metrics\n"
-               "                       to the output (not with texcp)\n"
+               "                       to the output (not with texcp). "
+               "--faults=list prints\n"
+               "                       every preset with a one-line "
+               "description\n"
+               "  --audit              run the fabric::Auditor alongside the "
+               "simulation:\n"
+               "                       periodic read-only invariant checks "
+               "(byte\n"
+               "                       conservation, link refcounts, dead-"
+               "cable rates,\n"
+               "                       incarnation monotonicity); any "
+               "violation aborts\n"
                "  --fault-seed=N       seed for fault-model randomness "
                "(query loss draws;\n"
                "                       default 1234, independent of --seed)\n"
@@ -231,6 +242,7 @@ struct Options {
   int stripped_uplinks = 1;
   std::vector<Bps> spine_mix;  // leafspine only; empty = builder default
   std::string faults;  // preset name or JSON plan path; empty = no faults
+  bool audit = false;
   std::uint64_t fault_seed = 1234;
   double query_loss = 0.0;
   // DARD control-loop overrides; <= 0 keeps the substrate default. Fault
@@ -418,6 +430,8 @@ bool parse(int argc, char** argv, Options* opt) {
                      v);
         return false;
       }
+    } else if (arg == "--audit") {
+      opt->audit = true;
     } else if (arg == "--profile") {
       opt->profile = true;
     } else if (arg == "--csv") {
@@ -440,6 +454,12 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, &opt)) return 2;
   if (opt.help) {
     print_usage(stdout);
+    return 0;
+  }
+  if (opt.faults == "list") {
+    std::printf("fault presets (--faults=NAME):\n");
+    for (const auto& p : faults::FaultPlan::presets())
+      std::printf("  %-14s %s\n", p.name, p.summary);
     return 0;
   }
 
@@ -586,6 +606,7 @@ int main(int argc, char** argv) {
     cfg.dard.schedule_jitter = opt.schedule_interval;
   }
   cfg.weighted_paths = opt.weighted;
+  cfg.audit = opt.audit;
   cfg.workload.flow_size = static_cast<Bytes>(opt.flow_mb * kMiB);
   cfg.workload.mean_interarrival = 1.0 / opt.rate;
   cfg.workload.duration = opt.duration;
@@ -847,6 +868,17 @@ int main(int argc, char** argv) {
                   result.recovery.time_to_recover);
       std::printf("starvation_s,%.4f\n",
                   result.recovery.starvation_seconds);
+      std::printf("agent_crashes,%llu\n",
+                  static_cast<unsigned long long>(
+                      result.recovery.agent_crashes));
+      std::printf("agent_restarts,%llu\n",
+                  static_cast<unsigned long long>(
+                      result.recovery.agent_restarts));
+      std::printf("reconvergence_s,%.4f\n",
+                  result.recovery.reconvergence_s);
+      std::printf("churn_window_moves,%llu\n",
+                  static_cast<unsigned long long>(
+                      result.recovery.churn_window_moves));
     }
   } else {
     std::printf("%s on %s (%zu hosts, %s substrate), %s pattern, "
@@ -900,6 +932,24 @@ int main(int argc, char** argv) {
         std::printf("  starvation:         %.2f s under %.0f%% of baseline\n",
                     result.recovery.starvation_seconds,
                     cfg.faults.starvation_fraction * 100.0);
+      }
+      if (result.recovery.agent_crashes > 0 ||
+          result.recovery.agent_restarts > 0) {
+        std::printf("  daemon churn:       %llu crashes, %llu restarts\n",
+                    static_cast<unsigned long long>(
+                        result.recovery.agent_crashes),
+                    static_cast<unsigned long long>(
+                        result.recovery.agent_restarts));
+        if (result.recovery.reconvergence_s >= 0)
+          std::printf("  reconvergence:      %.2f s to the first accepted "
+                      "round (%llu moves in the %.1f s churn window)\n",
+                      result.recovery.reconvergence_s,
+                      static_cast<unsigned long long>(
+                          result.recovery.churn_window_moves),
+                      cfg.faults.churn_window);
+        else if (result.recovery.agent_restarts > 0)
+          std::printf("  reconvergence:      no accepted round after the "
+                      "last restart (within this run)\n");
       }
     }
     // Wall-clock phase profile — host time, so only in the human-readable

@@ -67,6 +67,14 @@ struct DardConfig {
   // many consecutive healthy refreshes before it may receive flows again —
   // flapping links do not get their flows back on the first good reading.
   std::uint32_t probation_rounds = 2;
+
+  // --- Partial deployment (mixed-fleet rollout; plan key "partial"). ---
+  // Fraction of hosts running the adaptive daemon; the remainder place with
+  // the plain ECMP hash and never monitor or move flows. The host subset is
+  // drawn once from deploy_seed at start(). 1.0 = full deployment, which
+  // draws nothing from the RNG and is bit-identical to pre-knob behavior.
+  double deploy_fraction = 1.0;
+  std::uint64_t deploy_seed = 1;
 };
 
 }  // namespace dard::core

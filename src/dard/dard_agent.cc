@@ -18,6 +18,23 @@ void DardAgent::start(DataPlane& net) {
   daemons_.clear();
   daemons_.resize(net.topology().node_count());
 
+  // Partial deployment: draw the DARD-running host subset once from its own
+  // seed. Full deployment leaves the bitmap empty — no RNG draws, and
+  // deployed() short-circuits to true, keeping results bit-identical to a
+  // run without the knob.
+  deployed_.clear();
+  if (cfg_.deploy_fraction < 1.0) {
+    // Only host slots are meaningful; switch slots stay 0 and are never
+    // queried (deployed() takes host ids).
+    deployed_.assign(net.topology().node_count(), 0);
+    Rng deploy_rng(cfg_.deploy_seed);
+    for (const topo::Node& n : net.topology().nodes()) {
+      if (n.kind != topo::NodeKind::Host) continue;
+      deployed_[n.id.value()] =
+          deploy_rng.uniform() < cfg_.deploy_fraction ? 1 : 0;
+    }
+  }
+
   counters_ = DardCounters{};
   if (obs::MetricsRegistry* m = net.metrics()) {
     counters_.moves_proposed = &m->counter("dard.moves_proposed");
@@ -35,7 +52,9 @@ void DardAgent::start(DataPlane& net) {
 
 PathIndex DardAgent::place(DataPlane& net, const FlowView& flow) {
   const auto& paths = net.path_set(flow);
-  if (cfg_.weighted_placement)
+  // Non-deployed hosts run stock ECMP end to end — even the weighted
+  // placement is the DARD rollout's, not theirs.
+  if (cfg_.weighted_placement && deployed(flow.src_host))
     return wcmp_.pick(flow.src_host, flow.dst_host, flow.src_port,
                       flow.dst_port, paths);
   return ecmp_path_index(flow.src_host, flow.dst_host, flow.src_port,
@@ -53,12 +72,40 @@ DardHostDaemon& DardAgent::daemon_for(DataPlane& net, NodeId host) {
 }
 
 void DardAgent::on_elephant(DataPlane& net, const FlowView& flow) {
+  if (!deployed(flow.src_host)) return;
   daemon_for(net, flow.src_host).on_elephant(flow);
 }
 
 void DardAgent::on_finished(DataPlane& net, const FlowView& flow) {
-  if (!flow.is_elephant) return;
+  if (!flow.is_elephant || !deployed(flow.src_host)) return;
   daemon_for(net, flow.src_host).on_finished(flow);
+}
+
+void DardAgent::on_daemon_crash(DataPlane& net, NodeId host) {
+  (void)net;
+  // A host that never sourced an elephant has no daemon yet; nothing to
+  // lose. Non-deployed hosts have no daemon either.
+  DardHostDaemon* const d =
+      host.value() < daemons_.size() ? daemons_[host.value()].get() : nullptr;
+  if (d != nullptr && d->alive()) d->crash();
+}
+
+void DardAgent::on_daemon_restart(DataPlane& net, NodeId host) {
+  DardHostDaemon* const d =
+      host.value() < daemons_.size() ? daemons_[host.value()].get() : nullptr;
+  if (d != nullptr && !d->alive()) d->restart();
+  if (!deployed(host)) return;
+  // Cold-start re-sync: walk the substrate's live flows and re-adopt the
+  // elephants this host sources. Each lands in a freshly created monitor —
+  // built through the ordinary StateQueryService query/retry machinery — so
+  // no elephant registration is double-counted (the crashed incarnation's
+  // monitors are gone, and on_elephant's tracked-map emplace dedups any
+  // flow already re-adopted this incarnation).
+  for (const FlowId id : net.active_flows()) {
+    const FlowView view = net.flow_view(id);
+    if (view.src_host != host || !view.is_elephant) continue;
+    daemon_for(net, host).on_elephant(view);
+  }
 }
 
 const DardHostDaemon* DardAgent::daemon(NodeId host) const {
@@ -105,6 +152,13 @@ std::size_t DardAgent::blacklisted_paths() const {
   std::size_t n = 0;
   for (const auto& d : daemons_)
     if (d) n += d->blacklisted_paths();
+  return n;
+}
+
+std::size_t DardAgent::deployed_hosts() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < deployed_.size(); ++i)
+    if (deployed_[i] != 0) ++n;
   return n;
 }
 

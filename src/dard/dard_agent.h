@@ -31,10 +31,25 @@ class DardAgent : public fabric::ControlAgent {
   void on_finished(fabric::DataPlane& net,
                    const fabric::FlowView& flow) override;
 
+  // Agent-fault hooks (faults/injector.h): crash wipes the host's daemon
+  // soft state; restart cold-starts it and re-adopts still-live elephants
+  // sourced at the host (fresh monitors rebuild path state through the
+  // ordinary StateQueryService retry machinery, so nothing double-counts).
+  void on_daemon_crash(fabric::DataPlane& net, NodeId host) override;
+  void on_daemon_restart(fabric::DataPlane& net, NodeId host) override;
+
   [[nodiscard]] const DardConfig& config() const { return cfg_; }
   [[nodiscard]] const DardHostDaemon* daemon(NodeId host) const;
   [[nodiscard]] std::size_t total_moves() const;
   [[nodiscard]] std::size_t live_monitor_count() const;
+
+  // Partial deployment (DardConfig::deploy_fraction): whether `host` runs
+  // the adaptive daemon, and how many hosts do. Full deployment when the
+  // fraction is 1.0 (the default).
+  [[nodiscard]] bool deployed(NodeId host) const {
+    return deployed_.empty() || deployed_[host.value()] != 0;
+  }
+  [[nodiscard]] std::size_t deployed_hosts() const;
 
   // Recovery-hardening aggregates across all daemons (DESIGN.md §11).
   [[nodiscard]] std::size_t total_query_timeouts() const;
@@ -50,6 +65,9 @@ class DardAgent : public fabric::ControlAgent {
   topo::WeightedPathSelector wcmp_;  // initial placement, weighted mode only
   std::unique_ptr<fabric::StateQueryService> service_;
   std::vector<std::unique_ptr<DardHostDaemon>> daemons_;  // by node id value
+  // Per-node deployment bitmap (by node id value); empty = everyone runs
+  // DARD. Non-deployed hosts keep the plain ECMP hash for their lifetime.
+  std::vector<char> deployed_;
   DardCounters counters_;  // shared by all daemons; null fields = disabled
 };
 

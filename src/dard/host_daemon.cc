@@ -1,5 +1,7 @@
 #include "dard/host_daemon.h"
 
+#include "fabric/auditor.h"
+
 namespace dard::core {
 
 using fabric::FlowView;
@@ -43,6 +45,9 @@ std::size_t DardHostDaemon::blacklisted_paths() const {
 
 void DardHostDaemon::on_elephant(const FlowView& flow) {
   DCN_CHECK(flow.src_host == host_);
+  // A dead daemon hears nothing; the flow keeps its current path until a
+  // restarted incarnation re-adopts it.
+  if (!alive_) return;
   // Intra-ToR elephants have a single trivial path; nothing to monitor.
   if (flow.dst_tor == src_tor_) return;
 
@@ -81,11 +86,51 @@ void DardHostDaemon::on_finished(const FlowView& flow) {
   tracked_.erase(tracked);
 }
 
+void DardHostDaemon::crash() {
+  // Stale-decision guard: pending query/round closures on the EventQueue
+  // hold raw `this` plus the incarnation that scheduled them; bumping it
+  // here turns every one of them into a no-op at fire time. The restart
+  // does NOT bump — the reborn daemon IS this incarnation.
+  ++incarnation_;
+  alive_ = false;
+  // The process's soft state dies with it. Its blacklisted paths leave the
+  // fleet-wide gauge, same as a monitor being released.
+  if (counters_ != nullptr && counters_->blacklisted_paths != nullptr) {
+    const std::size_t black = blacklisted_paths();
+    if (black > 0) {
+      obs::Gauge& g = *counters_->blacklisted_paths;
+      g.set(g.value - static_cast<double>(black));
+    }
+  }
+  // The monitors carry the selfish-moves history and blacklist; clearing
+  // them loses both. total_moves_ survives — it is experiment telemetry
+  // (the RecoveryTracker samples it as a cumulative counter), not daemon
+  // soft state.
+  monitors_.clear();
+  tracked_.clear();
+  query_ticking_ = false;
+  round_scheduled_ = false;
+  report_incarnation();
+}
+
+void DardHostDaemon::restart() {
+  DCN_CHECK_MSG(!alive_, "restarting a daemon that never crashed");
+  alive_ = true;
+  report_incarnation();
+}
+
+void DardHostDaemon::report_incarnation() const {
+  if (fabric::Auditor* a = net_->auditor()) a->note_incarnation(host_, incarnation_);
+}
+
 void DardHostDaemon::ensure_query_ticking() {
   if (query_ticking_) return;
   query_ticking_ = true;
   net_->events().schedule(net_->now() + cfg_->query_interval,
-                          [this] { query_tick(); });
+                          [this, inc = incarnation_] {
+                            if (inc != incarnation_) return;
+                            query_tick();
+                          });
 }
 
 void DardHostDaemon::ensure_round_scheduled() {
@@ -95,7 +140,10 @@ void DardHostDaemon::ensure_round_scheduled() {
       cfg_->schedule_base + (cfg_->schedule_jitter > 0
                                  ? rng_.uniform(0.0, cfg_->schedule_jitter)
                                  : 0.0);
-  net_->events().schedule(net_->now() + wait, [this] { run_round(); });
+  net_->events().schedule(net_->now() + wait, [this, inc = incarnation_] {
+    if (inc != incarnation_) return;
+    run_round();
+  });
 }
 
 void DardHostDaemon::query_tick() {

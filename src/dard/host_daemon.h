@@ -51,6 +51,19 @@ class DardHostDaemon {
   void on_elephant(const fabric::FlowView& flow);
   void on_finished(const fabric::FlowView& flow);
 
+  // Agent-fault lifecycle (faults/injector.h via DardAgent). crash() models
+  // the daemon process dying: every monitor, the tracked-elephant map, the
+  // blacklist, and any pending query/round ticks are lost, and the
+  // incarnation number is bumped so closures scheduled by the dead
+  // incarnation no-op when they fire (the daemon object itself must outlive
+  // them — the EventQueue holds raw `this`). Flows keep their last-installed
+  // paths. restart() brings the daemon back with cold, empty state; the
+  // agent then re-feeds still-live elephants through on_elephant.
+  void crash();
+  void restart();
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+
   [[nodiscard]] NodeId host() const { return host_; }
   [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
   [[nodiscard]] std::size_t total_moves() const { return total_moves_; }
@@ -69,6 +82,9 @@ class DardHostDaemon {
   void ensure_round_scheduled();
   void query_tick();
   void run_round();
+  // Reports the current incarnation to the run's Auditor (if installed) for
+  // the monotonicity invariant; no-op otherwise.
+  void report_incarnation() const;
 
   // Folds one refresh's outcome into counters and daemon totals; emits
   // nothing when metrics are disabled.
@@ -86,6 +102,11 @@ class DardHostDaemon {
   std::map<FlowId, NodeId> tracked_;         // flow -> destination ToR
   bool query_ticking_ = false;
   bool round_scheduled_ = false;
+  bool alive_ = true;
+  // Bumped on every crash(); scheduled closures carry the incarnation that
+  // scheduled them and drop themselves on mismatch, so a decision in flight
+  // when the daemon died can never act on the reborn daemon's state.
+  std::uint64_t incarnation_ = 1;
   std::size_t total_moves_ = 0;
   std::size_t query_timeouts_ = 0;
   std::size_t query_retries_ = 0;

@@ -1,0 +1,59 @@
+#include "fabric/auditor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "fabric/data_plane.h"
+
+namespace dard::fabric {
+
+Auditor::Auditor(DataPlane& net, Seconds period, bool fail_fast)
+    : net_(net), period_(period), fail_fast_(fail_fast) {
+  DCN_CHECK_MSG(period_ > 0, "auditor period must be positive");
+}
+
+void Auditor::start() {
+  DCN_CHECK_MSG(!started_, "Auditor::start called twice");
+  started_ = true;
+  schedule_tick();
+}
+
+void Auditor::schedule_tick() {
+  // Read-only self-rescheduling tick (the RecoveryTracker pattern): extra
+  // queue entries never touch flow physics, and the run loop stops at flow
+  // completion regardless of ticks still pending.
+  net_.events().schedule(net_.events().now() + period_, [this] {
+    check_now();
+    schedule_tick();
+  });
+}
+
+void Auditor::check_now() {
+  ++passes_;
+  net_.audit(*this);
+}
+
+void Auditor::check(bool ok, const std::string& what) {
+  ++checks_run_;
+  if (ok) return;
+  if (fail_fast_) {
+    std::fprintf(stderr, "fabric::Auditor invariant violated at t=%.6f: %s\n",
+                 net_.now(), what.c_str());
+    std::abort();
+  }
+  violations_.push_back(Violation{net_.now(), what});
+}
+
+void Auditor::note_incarnation(NodeId host, std::uint64_t incarnation) {
+  auto& last = incarnations_[host];
+  check(incarnation >= last,
+        "agent incarnation moved backwards on host " +
+            std::to_string(host.value()) + " (" +
+            std::to_string(incarnation) + " after " + std::to_string(last) +
+            ")");
+  last = std::max(last, incarnation);
+}
+
+}  // namespace dard::fabric

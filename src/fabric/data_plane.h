@@ -35,6 +35,8 @@
 
 namespace dard::fabric {
 
+class Auditor;
+
 // One flow as the control plane sees it: endpoints, the five-tuple ports
 // ECMP hashes, the current path choice, and elephant status. Substrates own
 // the authoritative flow state; views are cheap value snapshots.
@@ -131,9 +133,22 @@ class DataPlane {
     return paths().tor_paths(v.src_tor, v.dst_tor);
   }
 
+  // --- Runtime invariant auditing (DESIGN.md §16; off by default). ---
+  // The harness installs an Auditor before the run; null means no auditing
+  // and the substrates' audit() is never called. Agents also use this to
+  // report incarnation bumps for the monotonicity invariant.
+  void set_auditor(Auditor* auditor) { auditor_ = auditor; }
+  [[nodiscard]] Auditor* auditor() const { return auditor_; }
+  // Substrate-side invariant walk: recount per-link elephant registrations
+  // against the LinkStateBoard, check byte conservation per live flow, and
+  // flag meaningful rates across failed cables. Default no-op for
+  // substrates that predate the auditor.
+  virtual void audit(Auditor& /*auditor*/) {}
+
  private:
   std::uint64_t last_cause_id_ = 0;
   std::uint64_t move_cause_ = 0;
+  Auditor* auditor_ = nullptr;
 };
 
 // A flow-scheduling policy — ECMP, pVLB, the DARD host-daemon stack, or the
@@ -153,6 +168,13 @@ class ControlAgent {
 
   virtual void on_elephant(DataPlane& /*net*/, const FlowView& /*flow*/) {}
   virtual void on_finished(DataPlane& /*net*/, const FlowView& /*flow*/) {}
+
+  // Agent-level fault hooks (faults/injector.h). A crash wipes the daemon's
+  // soft state on `host` — in-flight flows keep their last-installed paths;
+  // a restart cold-start re-syncs and re-adopts still-live elephants.
+  // Default no-ops: agents without per-host state (ECMP, pVLB) are immune.
+  virtual void on_daemon_crash(DataPlane& /*net*/, NodeId /*host*/) {}
+  virtual void on_daemon_restart(DataPlane& /*net*/, NodeId /*host*/) {}
 };
 
 }  // namespace dard::fabric

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 
 #include "common/check.h"
@@ -12,6 +13,7 @@ namespace dard::faults {
 using json::get_array;
 using json::get_bool;
 using json::get_number;
+using json::get_object;
 using json::get_string;
 using JsonValue = json::Value;
 
@@ -59,6 +61,32 @@ void FaultPlan::add_control_window(ControlWindow w) {
   control_.push_back(w);
 }
 
+void FaultPlan::crash_daemon(Seconds time, std::string host,
+                             Seconds restart_after) {
+  DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
+  DCN_CHECK_MSG(!host.empty(), "agent event without a host");
+  agents_.push_back(AgentEvent{time, std::move(host), restart_after});
+}
+
+void FaultPlan::fail_host(Seconds time, std::string host) {
+  DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
+  DCN_CHECK_MSG(!host.empty(), "host event without a host");
+  hosts_.push_back(HostEvent{time, std::move(host), true});
+}
+
+void FaultPlan::revive_host(Seconds time, std::string host) {
+  DCN_CHECK_MSG(time >= 0, "fault event scheduled before t=0");
+  DCN_CHECK_MSG(!host.empty(), "host event without a host");
+  hosts_.push_back(HostEvent{time, std::move(host), false});
+}
+
+void FaultPlan::set_partial_deployment(double dard_fraction,
+                                       std::uint64_t seed) {
+  DCN_CHECK_MSG(dard_fraction >= 0.0 && dard_fraction <= 1.0,
+                "deployment fraction must be in [0, 1]");
+  partial_ = PartialDeployment{dard_fraction, seed};
+}
+
 Seconds FaultPlan::first_fault_time() const {
   Seconds first = -1;
   const auto fold = [&first](Seconds t) {
@@ -69,6 +97,9 @@ Seconds FaultPlan::first_fault_time() const {
   for (const auto& e : switches_)
     if (e.fail) fold(e.time);
   for (const auto& w : control_) fold(w.start);
+  for (const auto& e : agents_) fold(e.time);
+  for (const auto& e : hosts_)
+    if (e.fail) fold(e.time);
   return first;
 }
 
@@ -77,6 +108,10 @@ Seconds FaultPlan::last_change_time() const {
   for (const auto& e : links_) last = std::max(last, e.time);
   for (const auto& e : switches_) last = std::max(last, e.time);
   for (const auto& w : control_) last = std::max(last, w.end);
+  for (const auto& e : agents_)
+    last = std::max(last, e.restart_after >= 0 ? e.time + e.restart_after
+                                               : e.time);
+  for (const auto& e : hosts_) last = std::max(last, e.time);
   return last;
 }
 
@@ -114,14 +149,88 @@ std::optional<FaultPlan> FaultPlan::preset(const std::string& name) {
     p.add_control_window(ControlWindow{1.0, 4.0, 0.3, 0.01, true});
     return p;
   }
+  if (name == "agent-churn") {
+    // Agent-level churn with the data plane otherwise healthy: one daemon
+    // crash that restarts 0.5 s later (cold-start re-sync, elephant
+    // re-adoption), one daemon that stays down (its flows ride their
+    // last-installed paths), and a whole host dropping off the fabric and
+    // coming back (orphaned flows starve, then revive).
+    p.crash_daemon(1.0, "host0_0", 0.5);
+    p.crash_daemon(1.5, "host1_0");
+    p.fail_host(2.0, "host2_0");
+    p.revive_host(2.75, "host2_0");
+    return p;
+  }
   return std::nullopt;
 }
 
+const std::vector<PresetInfo>& FaultPlan::presets() {
+  static const std::vector<PresetInfo> kPresets = {
+      {"link-flap",
+       "one agg->core uplink flaps: 3 cycles of 0.5 s down / 0.5 s up from "
+       "t=1"},
+      {"switch-outage", "aggregation switch agg0_0 fully down over t=1..3"},
+      {"lossy-control",
+       "50% monitor-query loss + 20 ms reply delay over t=1..5; data plane "
+       "untouched"},
+      {"chaos",
+       "flapping uplink + agg switch outage + lossy, stale control plane at "
+       "once"},
+      {"agent-churn",
+       "daemon crash+restart on host0_0, daemon down for good on host1_0, "
+       "host2_0 off the fabric over t=2..2.75"},
+  };
+  return kPresets;
+}
+
 const std::vector<std::string>& FaultPlan::preset_names() {
-  static const std::vector<std::string> kNames = {
-      "link-flap", "switch-outage", "lossy-control", "chaos"};
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& p : presets()) names.emplace_back(p.name);
+    return names;
+  }();
   return kNames;
 }
+
+namespace {
+
+// Label for the i-th entry of a plan section, used in error messages:
+// "links[2]", "agents[0]", ...
+std::string slot(const char* section, std::size_t i) {
+  return std::string(section) + "[" + std::to_string(i) + "]";
+}
+
+bool reject(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+// Strict-mode guard: every key in `obj` must be on the allowlist. A typo'd
+// or unsupported key is a hard error naming the key, not a silent no-op —
+// a plan that silently drops "swithces" would "pass" while testing nothing.
+bool check_keys(const JsonValue& obj, const std::string& context,
+                std::initializer_list<const char*> allowed,
+                std::string* error) {
+  for (const auto& [key, value] : obj.object) {
+    bool known = false;
+    for (const char* a : allowed)
+      if (key == a) {
+        known = true;
+        break;
+      }
+    if (!known)
+      return reject(error, "unknown key '" + key + "' in " + context);
+  }
+  return true;
+}
+
+bool require_object(const JsonValue& v, const std::string& context,
+                    std::string* error) {
+  if (v.kind == JsonValue::Kind::Object) return true;
+  return reject(error, context + " must be an object");
+}
+
+}  // namespace
 
 std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
                                                std::string* error) {
@@ -131,22 +240,34 @@ std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
     if (error != nullptr) *error = "plan root must be an object";
     return std::nullopt;
   }
+  if (!check_keys(*root, "plan root",
+                  {"links", "flaps", "switches", "control", "agents", "hosts",
+                   "partial"},
+                  error))
+    return std::nullopt;
 
   FaultPlan plan;
   bool ok = true;
 
   if (const JsonValue* links = get_array(*root, "links", error, &ok)) {
-    for (const auto& e : links->array) {
+    for (std::size_t i = 0; i < links->array.size(); ++i) {
+      const JsonValue& e = *links->array[i];
+      const std::string at = slot("links", i);
       double time = 0;
       std::string a, b;
       bool fail = true;
-      if (e->kind != JsonValue::Kind::Object ||
-          !get_number(*e, "time", true, 0, &time, error) ||
-          !get_string(*e, "a", &a, error) || !get_string(*e, "b", &b, error) ||
-          !get_bool(*e, "fail", true, &fail, error))
+      if (!require_object(e, at, error) ||
+          !check_keys(e, at, {"time", "a", "b", "fail"}, error) ||
+          !get_number(e, "time", true, 0, &time, error) ||
+          !get_string(e, "a", &a, error) || !get_string(e, "b", &b, error) ||
+          !get_bool(e, "fail", true, &fail, error))
         return std::nullopt;
-      if (time < 0 || a.empty() || b.empty() || a == b) {
-        if (error != nullptr) *error = "malformed link event";
+      if (time < 0) {
+        reject(error, at + ".time must be >= 0");
+        return std::nullopt;
+      }
+      if (a.empty() || b.empty() || a == b) {
+        reject(error, at + " needs distinct, non-empty 'a' and 'b'");
         return std::nullopt;
       }
       if (fail)
@@ -158,19 +279,34 @@ std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
   if (!ok) return std::nullopt;
 
   if (const JsonValue* flaps = get_array(*root, "flaps", error, &ok)) {
-    for (const auto& e : flaps->array) {
+    for (std::size_t i = 0; i < flaps->array.size(); ++i) {
+      const JsonValue& e = *flaps->array[i];
+      const std::string at = slot("flaps", i);
       double first = 0, cycles = 0, down = 0, up = 0;
       std::string a, b;
-      if (e->kind != JsonValue::Kind::Object ||
-          !get_string(*e, "a", &a, error) || !get_string(*e, "b", &b, error) ||
-          !get_number(*e, "first", true, 0, &first, error) ||
-          !get_number(*e, "cycles", false, 1, &cycles, error) ||
-          !get_number(*e, "down", true, 0, &down, error) ||
-          !get_number(*e, "up", true, 0, &up, error))
+      if (!require_object(e, at, error) ||
+          !check_keys(e, at, {"a", "b", "first", "cycles", "down", "up"},
+                      error) ||
+          !get_string(e, "a", &a, error) || !get_string(e, "b", &b, error) ||
+          !get_number(e, "first", true, 0, &first, error) ||
+          !get_number(e, "cycles", false, 1, &cycles, error) ||
+          !get_number(e, "down", true, 0, &down, error) ||
+          !get_number(e, "up", true, 0, &up, error))
         return std::nullopt;
-      if (first < 0 || cycles < 1 || down <= 0 || up <= 0 || a.empty() ||
-          b.empty() || a == b) {
-        if (error != nullptr) *error = "malformed flap entry";
+      if (first < 0) {
+        reject(error, at + ".first must be >= 0");
+        return std::nullopt;
+      }
+      if (cycles < 1) {
+        reject(error, at + ".cycles must be >= 1");
+        return std::nullopt;
+      }
+      if (down <= 0 || up <= 0) {
+        reject(error, at + ".down and .up must be > 0");
+        return std::nullopt;
+      }
+      if (a.empty() || b.empty() || a == b) {
+        reject(error, at + " needs distinct, non-empty 'a' and 'b'");
         return std::nullopt;
       }
       plan.add_link_flap(std::move(a), std::move(b), first,
@@ -180,17 +316,24 @@ std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
   if (!ok) return std::nullopt;
 
   if (const JsonValue* switches = get_array(*root, "switches", error, &ok)) {
-    for (const auto& e : switches->array) {
+    for (std::size_t i = 0; i < switches->array.size(); ++i) {
+      const JsonValue& e = *switches->array[i];
+      const std::string at = slot("switches", i);
       double time = 0;
       std::string node;
       bool fail = true;
-      if (e->kind != JsonValue::Kind::Object ||
-          !get_number(*e, "time", true, 0, &time, error) ||
-          !get_string(*e, "node", &node, error) ||
-          !get_bool(*e, "fail", true, &fail, error))
+      if (!require_object(e, at, error) ||
+          !check_keys(e, at, {"time", "node", "fail"}, error) ||
+          !get_number(e, "time", true, 0, &time, error) ||
+          !get_string(e, "node", &node, error) ||
+          !get_bool(e, "fail", true, &fail, error))
         return std::nullopt;
-      if (time < 0 || node.empty()) {
-        if (error != nullptr) *error = "malformed switch event";
+      if (time < 0) {
+        reject(error, at + ".time must be >= 0");
+        return std::nullopt;
+      }
+      if (node.empty()) {
+        reject(error, at + ".node must be non-empty");
         return std::nullopt;
       }
       if (fail)
@@ -202,20 +345,35 @@ std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
   if (!ok) return std::nullopt;
 
   if (const JsonValue* control = get_array(*root, "control", error, &ok)) {
-    for (const auto& e : control->array) {
+    for (std::size_t i = 0; i < control->array.size(); ++i) {
+      const JsonValue& e = *control->array[i];
+      const std::string at = slot("control", i);
       ControlWindow w;
       bool stale = false;
-      if (e->kind != JsonValue::Kind::Object ||
-          !get_number(*e, "start", true, 0, &w.start, error) ||
-          !get_number(*e, "end", true, 0, &w.end, error) ||
-          !get_number(*e, "loss", false, 0, &w.query_loss, error) ||
-          !get_number(*e, "delay", false, 0, &w.reply_delay, error) ||
-          !get_bool(*e, "stale", false, &stale, error))
+      if (!require_object(e, at, error) ||
+          !check_keys(e, at, {"start", "end", "loss", "delay", "stale"},
+                      error) ||
+          !get_number(e, "start", true, 0, &w.start, error) ||
+          !get_number(e, "end", true, 0, &w.end, error) ||
+          !get_number(e, "loss", false, 0, &w.query_loss, error) ||
+          !get_number(e, "delay", false, 0, &w.reply_delay, error) ||
+          !get_bool(e, "stale", false, &stale, error))
         return std::nullopt;
       w.stale = stale;
-      if (w.start < 0 || w.end <= w.start || w.query_loss < 0 ||
-          w.query_loss > 1 || w.reply_delay < 0) {
-        if (error != nullptr) *error = "malformed control window";
+      if (w.start < 0) {
+        reject(error, at + ".start must be >= 0");
+        return std::nullopt;
+      }
+      if (w.end <= w.start) {
+        reject(error, at + ".end must be > .start");
+        return std::nullopt;
+      }
+      if (w.query_loss < 0 || w.query_loss > 1) {
+        reject(error, at + ".loss must be in [0, 1]");
+        return std::nullopt;
+      }
+      if (w.reply_delay < 0) {
+        reject(error, at + ".delay must be >= 0");
         return std::nullopt;
       }
       plan.add_control_window(w);
@@ -223,9 +381,87 @@ std::optional<FaultPlan> FaultPlan::parse_json(const std::string& text,
   }
   if (!ok) return std::nullopt;
 
+  if (const JsonValue* agents = get_array(*root, "agents", error, &ok)) {
+    for (std::size_t i = 0; i < agents->array.size(); ++i) {
+      const JsonValue& e = *agents->array[i];
+      const std::string at = slot("agents", i);
+      double time = 0, restart = -1;
+      std::string host;
+      if (!require_object(e, at, error) ||
+          !check_keys(e, at, {"time", "host", "restart"}, error) ||
+          !get_number(e, "time", true, 0, &time, error) ||
+          !get_string(e, "host", &host, error) ||
+          !get_number(e, "restart", false, -1, &restart, error))
+        return std::nullopt;
+      if (time < 0) {
+        reject(error, at + ".time must be >= 0");
+        return std::nullopt;
+      }
+      if (host.empty()) {
+        reject(error, at + ".host must be non-empty");
+        return std::nullopt;
+      }
+      if (e.object.count("restart") != 0 && restart < 0) {
+        reject(error, at + ".restart must be >= 0 (omit it for no restart)");
+        return std::nullopt;
+      }
+      plan.crash_daemon(time, std::move(host), restart);
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  if (const JsonValue* hosts = get_array(*root, "hosts", error, &ok)) {
+    for (std::size_t i = 0; i < hosts->array.size(); ++i) {
+      const JsonValue& e = *hosts->array[i];
+      const std::string at = slot("hosts", i);
+      double time = 0;
+      std::string host;
+      bool fail = true;
+      if (!require_object(e, at, error) ||
+          !check_keys(e, at, {"time", "host", "fail"}, error) ||
+          !get_number(e, "time", true, 0, &time, error) ||
+          !get_string(e, "host", &host, error) ||
+          !get_bool(e, "fail", true, &fail, error))
+        return std::nullopt;
+      if (time < 0) {
+        reject(error, at + ".time must be >= 0");
+        return std::nullopt;
+      }
+      if (host.empty()) {
+        reject(error, at + ".host must be non-empty");
+        return std::nullopt;
+      }
+      if (fail)
+        plan.fail_host(time, std::move(host));
+      else
+        plan.revive_host(time, std::move(host));
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  if (const JsonValue* partial = get_object(*root, "partial", error, &ok)) {
+    double fraction = 1.0, seed = 1;
+    if (!check_keys(*partial, "partial", {"dard_fraction", "seed"}, error) ||
+        !get_number(*partial, "dard_fraction", true, 1, &fraction, error) ||
+        !get_number(*partial, "seed", false, 1, &seed, error))
+      return std::nullopt;
+    if (fraction < 0 || fraction > 1) {
+      reject(error, "partial.dard_fraction must be in [0, 1]");
+      return std::nullopt;
+    }
+    if (seed < 0) {
+      reject(error, "partial.seed must be >= 0");
+      return std::nullopt;
+    }
+    plan.set_partial_deployment(fraction, static_cast<std::uint64_t>(seed));
+  }
+  if (!ok) return std::nullopt;
+
   if (plan.empty()) {
     if (error != nullptr)
-      *error = "plan has no events (expected links/flaps/switches/control)";
+      *error =
+          "plan has no events (expected links/flaps/switches/control/"
+          "agents/hosts/partial)";
     return std::nullopt;
   }
   return plan;

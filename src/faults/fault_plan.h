@@ -1,15 +1,17 @@
 // Deterministic fault timelines (fault-injection subsystem, DESIGN.md §11).
 //
 // A FaultPlan is data, not behavior: an ordered set of scheduled link
-// failures/repairs, whole-switch outages, and control-plane degradation
-// windows, with nodes referenced by topology name ("agg0_0", "core1") so the
-// identical plan runs against any topology providing those nodes — and, via
-// the substrate-neutral DataPlane, identically on the fluid and packet
-// simulators. Plans come from code (tests), from presets (CLI smoke runs),
-// or from a small JSON file; FaultInjector (injector.h) turns a plan into
-// EventQueue callbacks.
+// failures/repairs, whole-switch outages, control-plane degradation
+// windows, agent-level faults (daemon crash/restart, host churn), and an
+// optional partial-deployment mix, with nodes referenced by topology name
+// ("agg0_0", "core1", "host0_0") so the identical plan runs against any
+// topology providing those nodes — and, via the substrate-neutral
+// DataPlane, identically on the fluid and packet simulators. Plans come
+// from code (tests), from presets (CLI smoke runs), or from a small JSON
+// file; FaultInjector (injector.h) turns a plan into EventQueue callbacks.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +49,40 @@ struct ControlWindow {
   bool stale = false;
 };
 
+// Daemon process crash on `host` at `time`: the agent loses all soft state
+// (PathMonitor cache, move history, blacklist) but the host keeps forwarding
+// — in-flight flows continue on their last-installed paths. With
+// `restart_after` >= 0 the daemon restarts that many seconds later and
+// cold-start re-syncs; < 0 means it stays down for the rest of the run.
+struct AgentEvent {
+  Seconds time = 0;
+  std::string host;
+  Seconds restart_after = -1;
+};
+
+// Whole-host transition: at `time` the host's NIC cables fail (or repair),
+// taking its daemon down (or restarting it) with them. Downed hosts orphan
+// their in-flight flows — the substrate starves them until revival.
+struct HostEvent {
+  Seconds time = 0;
+  std::string host;
+  bool fail = true;
+};
+
+// Mixed-fleet rollout: a seeded `dard_fraction` of hosts run the adaptive
+// daemon, the rest permanently fall back to plain ECMP placement. This is a
+// configuration, not a scheduled event — it holds for the whole run.
+struct PartialDeployment {
+  double dard_fraction = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// Name + one-line summary for --faults=list style output.
+struct PresetInfo {
+  const char* name;
+  const char* summary;
+};
+
 class FaultPlan {
  public:
   // Builder interface. Times must be >= 0; windows need end > start and a
@@ -61,6 +97,10 @@ class FaultPlan {
   void fail_switch(Seconds time, std::string node);
   void repair_switch(Seconds time, std::string node);
   void add_control_window(ControlWindow w);
+  void crash_daemon(Seconds time, std::string host, Seconds restart_after = -1);
+  void fail_host(Seconds time, std::string host);
+  void revive_host(Seconds time, std::string host);
+  void set_partial_deployment(double dard_fraction, std::uint64_t seed = 1);
 
   [[nodiscard]] const std::vector<LinkEvent>& link_events() const {
     return links_;
@@ -71,22 +111,37 @@ class FaultPlan {
   [[nodiscard]] const std::vector<ControlWindow>& control_windows() const {
     return control_;
   }
+  [[nodiscard]] const std::vector<AgentEvent>& agent_events() const {
+    return agents_;
+  }
+  [[nodiscard]] const std::vector<HostEvent>& host_events() const {
+    return hosts_;
+  }
+  [[nodiscard]] const std::optional<PartialDeployment>& partial_deployment()
+      const {
+    return partial_;
+  }
 
   [[nodiscard]] bool empty() const {
-    return links_.empty() && switches_.empty() && control_.empty();
+    return links_.empty() && switches_.empty() && control_.empty() &&
+           agents_.empty() && hosts_.empty() && !partial_.has_value();
   }
   // Time of the first injected change; -1 on an empty plan. Recovery metrics
   // use this as the onset the pre-fault baseline is measured against.
+  // Partial deployment is a standing configuration, not a change — it does
+  // not contribute an onset.
   [[nodiscard]] Seconds first_fault_time() const;
-  // Time of the last scheduled change (including repairs and window ends);
-  // -1 on an empty plan.
+  // Time of the last scheduled change (including repairs, window ends,
+  // daemon restarts, and host revivals); -1 on an empty plan.
   [[nodiscard]] Seconds last_change_time() const;
 
   // Named presets, written against fat-tree node names (any topology with
-  // those nodes works): "link-flap", "switch-outage", "lossy-control",
-  // "chaos". Unknown names return nullopt.
+  // those nodes works): see presets() for the list with descriptions.
+  // Unknown names return nullopt.
   [[nodiscard]] static std::optional<FaultPlan> preset(const std::string& name);
   [[nodiscard]] static const std::vector<std::string>& preset_names();
+  // Presets plus their one-line summaries, for --faults=list.
+  [[nodiscard]] static const std::vector<PresetInfo>& presets();
 
   // Parses the JSON plan format (see DESIGN.md §11):
   //   {"links":    [{"time":2, "a":"agg0_0", "b":"core0", "fail":true}],
@@ -94,8 +149,12 @@ class FaultPlan {
   //                  "down":0.5,"up":0.5}],
   //    "switches": [{"time":2, "node":"agg0_0", "fail":true}],
   //    "control":  [{"start":1,"end":6,"loss":0.5,"delay":0.02,
-  //                  "stale":false}]}
-  // Returns nullopt and fills *error on malformed input.
+  //                  "stale":false}],
+  //    "agents":   [{"time":2, "host":"host0_0", "restart":0.5}],
+  //    "hosts":    [{"time":2, "host":"host0_0", "fail":true}],
+  //    "partial":  {"dard_fraction":0.5, "seed":7}}
+  // Unknown keys and out-of-range values are hard errors naming the
+  // offending key. Returns nullopt and fills *error on malformed input.
   [[nodiscard]] static std::optional<FaultPlan> parse_json(
       const std::string& text, std::string* error);
 
@@ -107,6 +166,9 @@ class FaultPlan {
   std::vector<LinkEvent> links_;
   std::vector<SwitchEvent> switches_;
   std::vector<ControlWindow> control_;
+  std::vector<AgentEvent> agents_;
+  std::vector<HostEvent> hosts_;
+  std::optional<PartialDeployment> partial_;
 };
 
 }  // namespace dard::faults

@@ -25,6 +25,22 @@ FaultInjector::FaultInjector(fabric::DataPlane& net, const FaultPlan& plan,
     switch_events_.push_back(std::move(r));
   }
   windows_ = plan.control_windows();
+  for (const AgentEvent& e : plan.agent_events()) {
+    const NodeId host = resolve(e.host);
+    DCN_CHECK_MSG(net_->topology().node(host).kind == topo::NodeKind::Host,
+                  "agent fault targets a non-host node");
+    agent_events_.push_back(ResolvedAgentEvent{e.time, host, e.restart_after});
+  }
+  for (const HostEvent& e : plan.host_events()) {
+    const NodeId host = resolve(e.host);
+    DCN_CHECK_MSG(net_->topology().node(host).kind == topo::NodeKind::Host,
+                  "host fault targets a non-host node");
+    ResolvedHostEvent r{e.time, host, {}, e.fail};
+    for (const LinkId l : net_->topology().out_links(host))
+      r.tors.push_back(net_->topology().link(l).dst);
+    DCN_CHECK_MSG(!r.tors.empty(), "host with no attached cables");
+    host_events_.push_back(std::move(r));
+  }
 }
 
 NodeId FaultInjector::resolve(const std::string& name) const {
@@ -76,8 +92,26 @@ void FaultInjector::apply_cable(NodeId a, NodeId b, bool fail) {
   }
 }
 
+void FaultInjector::apply_daemon_crash(NodeId host) {
+  ++agent_crashes_;
+  count_injection();
+  agent_->on_daemon_crash(*net_, host);
+  emit_fault(obs::FaultAction::AgentCrash, host);
+}
+
+void FaultInjector::apply_daemon_restart(NodeId host) {
+  ++agent_restarts_;
+  count_injection();
+  agent_->on_daemon_restart(*net_, host);
+  emit_fault(obs::FaultAction::AgentRestart, host);
+  if (restart_listener_) restart_listener_(net_->events().now(), host);
+}
+
 void FaultInjector::install() {
   DCN_CHECK_MSG(!installed_, "fault plan installed twice");
+  DCN_CHECK_MSG(
+      (agent_events_.empty() && host_events_.empty()) || agent_ != nullptr,
+      "agent-level faults require set_agent() before install()");
   installed_ = true;
   if (obs::MetricsRegistry* m = net_->metrics())
     m_injected_ = &m->counter("faults.injected");
@@ -111,6 +145,30 @@ void FaultInjector::install() {
       emit_fault(obs::FaultAction::ControlWindowEnd);
     });
   }
+
+  for (const ResolvedAgentEvent& e : agent_events_) {
+    events.schedule(at(e.time), [this, e] { apply_daemon_crash(e.host); });
+    if (e.restart_after >= 0)
+      events.schedule(at(e.time) + e.restart_after,
+                      [this, e] { apply_daemon_restart(e.host); });
+  }
+
+  for (const ResolvedHostEvent& e : host_events_)
+    events.schedule(at(e.time), [this, &e] {
+      if (e.fail) {
+        // Daemon dies with its host; the NIC cables fail after, so the
+        // crash hook observes the pre-outage network one last time.
+        apply_daemon_crash(e.host);
+        for (const NodeId tor : e.tors) apply_cable(e.host, tor, true);
+        emit_fault(obs::FaultAction::HostDown, e.host);
+      } else {
+        // Cables first: the restarting daemon's cold-start queries must see
+        // the revived fabric, not the outage.
+        for (const NodeId tor : e.tors) apply_cable(e.host, tor, false);
+        apply_daemon_restart(e.host);
+        emit_fault(obs::FaultAction::HostUp, e.host);
+      }
+    });
 }
 
 std::size_t FaultInjector::cables_down() const {

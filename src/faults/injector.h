@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -37,6 +38,21 @@ class FaultInjector {
   FaultInjector(fabric::DataPlane& net, const FaultPlan& plan,
                 std::uint64_t seed);
 
+  // Agent-level faults (daemon crash/restart, host churn) are delivered to
+  // this agent's on_daemon_crash/on_daemon_restart hooks. Set it after the
+  // agent exists and before install(); a plan with agent or host events and
+  // no agent installed aborts at install() — the plan would silently test
+  // nothing.
+  void set_agent(fabric::ControlAgent* agent) { agent_ = agent; }
+
+  // Invoked at every daemon-restart instant (after the agent's hook ran),
+  // with the fire time and host. The harness points this at the
+  // RecoveryTracker so reconvergence windows start at the restart edge. May
+  // be set before or after install(); callbacks read it at fire time.
+  void set_restart_listener(std::function<void(Seconds, NodeId)> listener) {
+    restart_listener_ = std::move(listener);
+  }
+
   // Schedules every plan transition on net.events(). Call once, after the
   // substrate exists and before (or at) t = first event time.
   void install();
@@ -51,6 +67,12 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
   // Cables currently down (distinct cables, not causes).
   [[nodiscard]] std::size_t cables_down() const;
+  // Daemon crashes applied so far (including the crash half of host-down
+  // transitions) and restarts completed (including host revivals).
+  [[nodiscard]] std::uint64_t agent_crashes() const { return agent_crashes_; }
+  [[nodiscard]] std::uint64_t agent_restarts() const {
+    return agent_restarts_;
+  }
 
  private:
   // A resolved undirected cable, keyed by normalized endpoint pair.
@@ -59,6 +81,8 @@ class FaultInjector {
 
   [[nodiscard]] NodeId resolve(const std::string& name) const;
   void apply_cable(NodeId a, NodeId b, bool fail);
+  void apply_daemon_crash(NodeId host);
+  void apply_daemon_restart(NodeId host);
   void count_injection();
   // Emits a Fault trace event (no-op without an observer). Cable
   // transitions pass the endpoints; control windows leave them invalid.
@@ -79,13 +103,30 @@ class FaultInjector {
     std::vector<NodeId> neighbors;  // every cable peer of the switch
     bool fail;
   };
+  struct ResolvedAgentEvent {
+    Seconds time;
+    NodeId host;
+    Seconds restart_after;  // < 0: stays down
+  };
+  struct ResolvedHostEvent {
+    Seconds time;
+    NodeId host;
+    std::vector<NodeId> tors;  // NIC cable peers (the host's ToRs)
+    bool fail;
+  };
   std::vector<ResolvedLinkEvent> link_events_;
   std::vector<ResolvedSwitchEvent> switch_events_;
   std::vector<ControlWindow> windows_;
+  std::vector<ResolvedAgentEvent> agent_events_;
+  std::vector<ResolvedHostEvent> host_events_;
 
   std::map<CableKey, int> down_causes_;  // cable -> live failure causes
   std::uint64_t injected_ = 0;
+  std::uint64_t agent_crashes_ = 0;
+  std::uint64_t agent_restarts_ = 0;
   obs::Counter* m_injected_ = nullptr;
+  fabric::ControlAgent* agent_ = nullptr;
+  std::function<void(Seconds, NodeId)> restart_listener_;
 };
 
 }  // namespace dard::faults

@@ -14,6 +14,7 @@ RecoveryTracker::RecoveryTracker(flowsim::EventQueue& events,
       period_(cfg.sample_period),
       recovery_fraction_(cfg.recovery_fraction),
       starvation_fraction_(cfg.starvation_fraction),
+      churn_window_(cfg.churn_window),
       onset_(fault_onset) {
   DCN_CHECK_MSG(period_ > 0, "recovery sampling needs a positive period");
   DCN_CHECK_MSG(probe_ != nullptr, "recovery tracker without a probe");
@@ -24,8 +25,13 @@ void RecoveryTracker::start() {
 }
 
 void RecoveryTracker::tick() {
-  samples_.push_back(Sample{events_->now(), probe_()});
+  samples_.push_back(Sample{events_->now(), probe_(),
+                            moves_probe_ ? moves_probe_() : 0});
   events_->schedule(events_->now() + period_, [this] { tick(); });
+}
+
+void RecoveryTracker::on_agent_restart(Seconds time) {
+  restarts_.push_back(RestartMark{time, moves_probe_ ? moves_probe_() : 0});
 }
 
 RecoveryMetrics RecoveryTracker::finalize() const {
@@ -34,6 +40,26 @@ RecoveryMetrics RecoveryTracker::finalize() const {
     m.queries_attempted = model_->attempts();
     m.queries_lost = model_->lost();
   }
+
+  // Post-restart reconvergence is independent of the goodput baseline: a
+  // fault at t=0 has no pre-onset window, but a restarted daemon's
+  // time-to-first-accepted-round is still well-defined.
+  if (!restarts_.empty()) {
+    const RestartMark& last = restarts_.back();
+    for (const Sample& s : samples_) {
+      if (s.time < last.time) continue;
+      if (s.moves > last.moves) {
+        m.reconvergence_s = s.time - last.time;
+        break;
+      }
+    }
+    for (const Sample& s : samples_) {
+      if (s.time < last.time || s.time > last.time + churn_window_) continue;
+      m.churn_window_moves =
+          std::max(m.churn_window_moves, s.moves - last.moves);
+    }
+  }
+
   if (samples_.empty() || onset_ < 0) return m;
 
   // Baseline: mean goodput over the tail of the pre-fault window (up to the

@@ -36,6 +36,9 @@ struct FaultConfig {
   // A sample below this fraction of the pre-fault level counts as
   // starvation time.
   double starvation_fraction = 0.10;
+  // Width of the post-restart window over which moves-churn is counted
+  // (how much path shuffling a daemon's cold-start re-sync causes).
+  Seconds churn_window = 1.0;
 
   [[nodiscard]] bool active() const { return !plan.empty(); }
 };
@@ -49,6 +52,16 @@ struct RecoveryMetrics {
   Seconds starvation_seconds = 0;
   std::uint64_t queries_attempted = 0;  // control-plane exchanges modeled
   std::uint64_t queries_lost = 0;
+  // Agent-level fault counts (filled by the harness from the injector).
+  std::uint64_t agent_crashes = 0;
+  std::uint64_t agent_restarts = 0;
+  // Post-restart reconvergence: last daemon restart -> first accepted move
+  // after it (time-to-first-accepted-round); -1 = no restart, or the run
+  // ended before the cold-started daemon accepted a move.
+  Seconds reconvergence_s = -1;
+  // Accepted moves within churn_window after the last restart — how much
+  // path shuffling the cold-start re-sync caused.
+  std::uint64_t churn_window_moves = 0;
 };
 
 class RecoveryTracker {
@@ -67,6 +80,19 @@ class RecoveryTracker {
   // Reduces the samples collected so far (and, when a model is attached,
   // its query counters) into metrics.
   void set_model(const fabric::ControlPlaneModel* model) { model_ = model; }
+
+  // Optional cumulative accepted-moves probe (DARD's total_moves). Sampled
+  // alongside goodput; powers the post-restart reconvergence and
+  // moves-churn metrics. Without it those metrics stay at their defaults.
+  void set_moves_probe(std::function<std::uint64_t()> probe) {
+    moves_probe_ = std::move(probe);
+  }
+
+  // Marks a daemon-restart instant (the injector's restart listener calls
+  // this). Reconvergence is measured from the LAST restart — the fleet is
+  // only reconverged once its final cold start has caught up.
+  void on_agent_restart(Seconds time);
+
   [[nodiscard]] RecoveryMetrics finalize() const;
 
   [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
@@ -77,16 +103,24 @@ class RecoveryTracker {
   struct Sample {
     Seconds time;
     double goodput;
+    std::uint64_t moves;
+  };
+  struct RestartMark {
+    Seconds time;
+    std::uint64_t moves;  // cumulative accepted moves when the restart fired
   };
 
   flowsim::EventQueue* events_;
   std::function<double()> probe_;
+  std::function<std::uint64_t()> moves_probe_;
   Seconds period_;
   double recovery_fraction_;
   double starvation_fraction_;
+  Seconds churn_window_;
   Seconds onset_;
   const fabric::ControlPlaneModel* model_ = nullptr;
   std::vector<Sample> samples_;
+  std::vector<RestartMark> restarts_;
 };
 
 }  // namespace dard::faults

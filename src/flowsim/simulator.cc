@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
+
+#include "fabric/auditor.h"
 
 namespace dard::flowsim {
 
@@ -311,6 +314,52 @@ void FlowSimulator::set_cable_failed(NodeId a, NodeId b, bool failed) {
   allocator_.touch_link(ab);
   allocator_.touch_link(ba);
   request_reallocate();
+}
+
+void FlowSimulator::audit(fabric::Auditor& auditor) {
+  const Seconds t = events_.now();
+  std::vector<std::uint32_t> counts(topo_->link_count(), 0);
+  for (const FlowId id : active_) {
+    const Flow& f = flows_[id.value()];
+    const double rate = rate_[id.value()];
+    // Byte conservation: the live remaining-byte projection must stay in
+    // [0, size] (1 byte of slack for the fractional-byte settle epsilon). A
+    // flow below zero transferred bytes it never had; above size it
+    // un-transferred bytes.
+    const double live =
+        remaining_[id.value()] - rate / 8.0 * (t - last_update_[id.value()]);
+    auditor.check(rate >= 0, "flow " + std::to_string(id.value()) +
+                                 " has a negative rate");
+    auditor.check(
+        live >= -1.0 && live <= static_cast<double>(f.spec.size) + 1.0,
+        "flow " + std::to_string(id.value()) +
+            " violates byte conservation (live remaining " +
+            std::to_string(live) + " of " + std::to_string(f.spec.size) + ")");
+    bool crosses_failed = false;
+    for (const LinkId l : links_of(f)) {
+      if (board_.failed(l)) crosses_failed = true;
+      if (f.is_elephant) ++counts[l.value()];
+    }
+    // A failed cable's effective capacity is 1 bps, so any flow pinned
+    // across one may hold at most that. Skipped while a batched
+    // reallocation is pending — rates are then stale by design for up to
+    // realloc_interval.
+    if (crosses_failed && !realloc_pending_)
+      auditor.check(rate <= 1.0 + 1e-6,
+                    "flow " + std::to_string(id.value()) +
+                        " carries rate " + std::to_string(rate) +
+                        " bps across a failed cable");
+  }
+  // Refcount consistency: the LinkStateBoard's per-link elephant counts
+  // must equal a from-scratch recount over the active flows — a mismatch
+  // means a board registration leaked (or double-decremented) somewhere in
+  // the arrive/promote/move/finish lifecycle.
+  for (std::uint32_t l = 0; l < counts.size(); ++l)
+    auditor.check(counts[l] == board_.elephants(LinkId{l}),
+                  "link " + std::to_string(l) + " elephant refcount drift (" +
+                      std::to_string(board_.elephants(LinkId{l})) +
+                      " on the board, " + std::to_string(counts[l]) +
+                      " recounted)");
 }
 
 void FlowSimulator::move_flow(FlowId id, PathIndex new_path) {

@@ -180,6 +180,11 @@ class FlowSimulator : public fabric::DataPlane {
   // schedulers observe the near-zero BoNF and route around it.
   void set_cable_failed(NodeId a, NodeId b, bool failed) override;
 
+  // Invariant walk for fabric::Auditor (DESIGN.md §16): byte conservation
+  // per live flow, per-link elephant refcounts vs the board, and no
+  // meaningful rate across a failed cable. Read-only.
+  void audit(fabric::Auditor& auditor) override;
+
   // Installs the control-plane degradation model (fault experiments only;
   // see faults/injector.h). Must be set before the agent starts.
   void set_control_model(fabric::ControlPlaneModel* model) { model_ = model; }

@@ -1,10 +1,12 @@
 #include "harness/experiment.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "fabric/auditor.h"
 #include "fabric/snapshot.h"
 #include "pktsim/agent_router.h"
 
@@ -16,6 +18,38 @@ using WallClock = std::chrono::steady_clock;
 
 double seconds_since(WallClock::time_point start) {
   return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+bool audit_enabled(const ExperimentConfig& cfg) {
+  return cfg.audit || std::getenv("DARD_AUDIT") != nullptr;
+}
+
+// When the fault plan declares a partial DARD rollout, the fraction/seed
+// ride into the agent config; a directly-set DardConfig::deploy_fraction
+// still wins when the plan is silent (its default fraction is 1.0).
+void apply_partial_deployment(const ExperimentConfig& cfg,
+                              core::DardConfig* dard) {
+  const auto& pd = cfg.faults.plan.partial_deployment();
+  if (pd.has_value() && pd->dard_fraction < 1.0) {
+    dard->deploy_fraction = pd->dard_fraction;
+    dard->deploy_seed = pd->seed;
+  }
+}
+
+// Reconvergence plumbing shared by both substrates: the tracker samples
+// DARD's cumulative accepted-move counter, and the injector tells it when a
+// daemon restart fires so time-to-first-accepted-round and the churn window
+// measure from the right origin.
+void wire_agent_recovery(faults::FaultInjector* injector,
+                         faults::RecoveryTracker* tracker,
+                         fabric::ControlAgent* agent) {
+  if (injector == nullptr || tracker == nullptr) return;
+  if (auto* dard = dynamic_cast<core::DardAgent*>(agent))
+    tracker->set_moves_probe([dard] {
+      return static_cast<std::uint64_t>(dard->total_moves());
+    });
+  injector->set_restart_listener(
+      [tracker](Seconds time, NodeId) { tracker->on_agent_restart(time); });
 }
 
 }  // namespace
@@ -58,6 +92,7 @@ std::unique_ptr<fabric::ControlAgent> make_agent(
     case SchedulerKind::Dard: {
       core::DardConfig dard = cfg.dard;
       dard.weighted_placement |= cfg.weighted_paths;
+      apply_partial_deployment(cfg, &dard);
       return std::make_unique<core::DardAgent>(dard);
     }
     case SchedulerKind::Hedera: {
@@ -133,10 +168,21 @@ ExperimentResult run_fluid(const topo::Topology& t,
     sim.set_control_model(&injector->model());
   }
 
+  // The invariant auditor installs before the agent starts so daemon
+  // incarnations report from the first crash onward; its periodic pass and
+  // the final check_now() below are read-only.
+  std::unique_ptr<fabric::Auditor> auditor;
+  if (audit_enabled(cfg)) {
+    auditor = std::make_unique<fabric::Auditor>(sim);
+    sim.set_auditor(auditor.get());
+    auditor->start();
+  }
+
   const auto agent = make_agent(cfg);
   sim.set_agent(agent.get());
 
   if (injector != nullptr) {
+    injector->set_agent(agent.get());
     injector->install();
     tracker = std::make_unique<faults::RecoveryTracker>(
         sim.events(),
@@ -147,6 +193,7 @@ ExperimentResult run_fluid(const topo::Topology& t,
         },
         cfg.faults, cfg.faults.plan.first_fault_time());
     tracker->set_model(&injector->model());
+    wire_agent_recovery(injector.get(), tracker.get(), agent.get());
     tracker->start();
   }
 
@@ -183,8 +230,11 @@ ExperimentResult run_fluid(const topo::Topology& t,
   if (const auto* hedera =
           dynamic_cast<const baselines::HederaAgent*>(agent.get()))
     result.reroutes = hedera->total_reassignments();
+  if (auditor != nullptr) auditor->check_now();
   if (tracker != nullptr) {
     result.recovery = tracker->finalize();
+    result.recovery.agent_crashes = injector->agent_crashes();
+    result.recovery.agent_restarts = injector->agent_restarts();
     result.faults_injected = injector->injected();
   }
   if (sampler != nullptr) {
@@ -236,6 +286,16 @@ ExperimentResult run_packet(const topo::Topology& t,
     injector = std::make_unique<faults::FaultInjector>(
         *adapter, cfg.faults.plan, cfg.faults.seed);
     adapter->set_control_model(&injector->model());
+    injector->set_agent(agent.get());
+  }
+
+  // The auditor installs on the adapter before the session constructor runs
+  // (attach starts the agent); its ticking waits until the adapter has an
+  // event queue. TeXCP has no adapter and is never audited.
+  std::unique_ptr<fabric::Auditor> auditor;
+  if (adapter != nullptr && audit_enabled(cfg)) {
+    auditor = std::make_unique<fabric::Auditor>(*adapter);
+    adapter->set_auditor(auditor.get());
   }
 
   ExperimentResult result;
@@ -258,6 +318,8 @@ ExperimentResult run_packet(const topo::Topology& t,
     snapshots->start();
   }
 
+  if (auditor != nullptr) auditor->start();
+
   if (injector != nullptr) {
     injector->install();
     // Packet goodput probe: the derivative of cumulatively acked bytes over
@@ -273,6 +335,7 @@ ExperimentResult run_packet(const topo::Topology& t,
         },
         cfg.faults, cfg.faults.plan.first_fault_time());
     tracker->set_model(&injector->model());
+    wire_agent_recovery(injector.get(), tracker.get(), agent.get());
     tracker->start();
   }
 
@@ -317,8 +380,11 @@ ExperimentResult run_packet(const topo::Topology& t,
   if (const auto* hedera =
           dynamic_cast<const baselines::HederaAgent*>(agent.get()))
     result.reroutes = hedera->total_reassignments();
+  if (auditor != nullptr) auditor->check_now();
   if (tracker != nullptr) {
     result.recovery = tracker->finalize();
+    result.recovery.agent_crashes = injector->agent_crashes();
+    result.recovery.agent_restarts = injector->agent_restarts();
     result.faults_injected = injector->injected();
   }
   if (snapshots != nullptr) snapshots->emit_now();

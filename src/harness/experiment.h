@@ -92,6 +92,15 @@ struct ExperimentConfig {
   // fault-injection adapter; an active plan with Texcp aborts.
   faults::FaultConfig faults;
 
+  // Runtime invariant auditing (fabric::Auditor, DESIGN.md §16): periodic
+  // read-only walks checking byte conservation, link refcounts, dead-cable
+  // rates and agent-incarnation monotonicity, plus one final pass at
+  // collect. Any violation aborts (fail-fast). Also switched on by the
+  // DARD_AUDIT environment variable — how ctest and the CI smokes enable it
+  // globally without threading a flag through every call site. TeXCP is not
+  // a fabric::DataPlane and is never audited.
+  bool audit = false;
+
   // Packet-substrate knobs (ignored on Fluid).
   pktsim::TcpConfig tcp;
   Bytes queue_bytes = 0;           // 0 = PacketNetwork default

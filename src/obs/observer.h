@@ -36,15 +36,21 @@ enum class FaultAction : std::uint8_t {
   CableUp,             // cable src_host--dst_host repaired
   ControlWindowStart,  // a control-plane degradation window opened
   ControlWindowEnd,    // ... and closed
+  AgentCrash,          // daemon on src_host crashed (soft state lost)
+  AgentRestart,        // daemon on src_host restarted and cold-start re-synced
+  HostDown,            // host src_host (NIC cables + daemon) went down
+  HostUp,              // ... and came back
 };
 
 // Version of the JSONL trace schema, emitted as "v" on every line so
 // offline tooling (dardscope) can refuse input it would misread. Bump on
 // any field change; v1 was the PR-1 schema without cause ids, v2 added
-// them, v3 added periodic snapshot events. Readers accept anything in
-// [kMinReadableTraceSchemaVersion, kTraceSchemaVersion]: a v2 trace is a
-// valid v3 trace that happens to contain no snapshot lines.
-inline constexpr int kTraceSchemaVersion = 3;
+// them, v3 added periodic snapshot events, v4 added agent-level fault
+// actions (agent_crash/agent_restart/host_down/host_up). Readers accept
+// anything in [kMinReadableTraceSchemaVersion, kTraceSchemaVersion]: a v2
+// trace is a valid v4 trace that happens to contain no snapshot or
+// agent-fault lines.
+inline constexpr int kTraceSchemaVersion = 4;
 inline constexpr int kMinReadableTraceSchemaVersion = 2;
 
 // One profiled section's distribution summary, carried inside snapshots.
@@ -181,6 +187,14 @@ inline const char* to_string(FaultAction action) {
       return "control_window_start";
     case FaultAction::ControlWindowEnd:
       return "control_window_end";
+    case FaultAction::AgentCrash:
+      return "agent_crash";
+    case FaultAction::AgentRestart:
+      return "agent_restart";
+    case FaultAction::HostDown:
+      return "host_down";
+    case FaultAction::HostUp:
+      return "host_up";
   }
   return "?";
 }

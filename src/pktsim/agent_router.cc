@@ -1,6 +1,9 @@
 #include "pktsim/agent_router.h"
 
 #include <algorithm>
+#include <string>
+
+#include "fabric/auditor.h"
 
 namespace dard::pktsim {
 
@@ -96,6 +99,38 @@ void AgentRouter::set_cable_failed(NodeId a, NodeId b, bool failed) {
   DCN_CHECK_MSG(net_ != nullptr, "router not attached to a network");
   net_->set_link_failed(ab, failed);
   net_->set_link_failed(ba, failed);
+}
+
+void AgentRouter::audit(fabric::Auditor& auditor) {
+  std::vector<std::uint32_t> counts(topo_->link_count(), 0);
+  for (const FlowId id : active_) {
+    const auto it = flows_.find(id);
+    auditor.check(it != flows_.end(),
+                  "active flow " + std::to_string(id.value()) +
+                      " has no route state");
+    if (it == flows_.end()) continue;
+    const FlowPaths& fp = it->second;
+    auditor.check(fp.current < fp.routes.size(),
+                  "flow " + std::to_string(id.value()) +
+                      " points at a path index outside its route set");
+    if (fp.current >= fp.routes.size() || !fp.is_elephant) continue;
+    for (const LinkId l : fp.routes[fp.current]) ++counts[l.value()];
+  }
+  // Refcount consistency: recount per-link elephants from the flows'
+  // current routes against the board the daemons query.
+  for (std::uint32_t l = 0; l < counts.size(); ++l)
+    auditor.check(counts[l] == board_.elephants(LinkId{l}),
+                  "link " + std::to_string(l) + " elephant refcount drift (" +
+                      std::to_string(board_.elephants(LinkId{l})) +
+                      " on the board, " + std::to_string(counts[l]) +
+                      " recounted)");
+  // Failure-state agreement: the board the control plane reads and the
+  // network packets traverse must name the same failed links.
+  if (net_ != nullptr)
+    for (std::uint32_t l = 0; l < counts.size(); ++l)
+      auditor.check(board_.failed(LinkId{l}) == net_->link_failed(LinkId{l}),
+                    "link " + std::to_string(l) +
+                        " failure state differs between board and network");
 }
 
 void AgentRouter::move_flow(FlowId id, PathIndex new_path) {

@@ -69,6 +69,10 @@ class AgentRouter : public PathSetRouter, public fabric::DataPlane {
   // Fails the cable on the board (so the shared daemons observe it through
   // their queries) AND in the packet network (so packets crossing it drop).
   void set_cable_failed(NodeId a, NodeId b, bool failed) override;
+  // Invariant walk for fabric::Auditor (DESIGN.md §16): per-link elephant
+  // refcounts recounted from the active flows' current routes, and
+  // board/network agreement on which links are failed. Read-only.
+  void audit(fabric::Auditor& auditor) override;
   void set_control_model(fabric::ControlPlaneModel* model) { model_ = model; }
   [[nodiscard]] fabric::ControlPlaneModel* control_model() const override {
     return model_;

@@ -78,8 +78,35 @@ Report build_report(const RunData& run, std::size_t oscillation_window) {
       run.manifest_path_number("topology_params.agg_oversub_max");
   r.has_shape = r.host_cap_max_bps > 0 || r.tor_up_cap_max_bps > 0;
   r.trace_events = run.trace.size();
-  for (const auto& e : run.trace)
-    if (e.kind == obs::TraceEventKind::Fault) ++r.fault_events;
+  double last_restart = -1;
+  for (const auto& e : run.trace) {
+    if (e.kind != obs::TraceEventKind::Fault) continue;
+    ++r.fault_events;
+    switch (e.fault_action) {
+      case obs::FaultAction::AgentCrash:
+        ++r.agent_crashes;
+        break;
+      case obs::FaultAction::AgentRestart:
+        ++r.agent_restarts;
+        last_restart = e.time;
+        break;
+      case obs::FaultAction::HostDown:
+      case obs::FaultAction::HostUp:
+        // The daemon transition rides along as its own agent_crash /
+        // agent_restart event, so host events only count here.
+        ++r.host_events;
+        break;
+      default:
+        break;
+    }
+  }
+  if (last_restart >= 0)
+    for (const auto& e : run.trace)
+      if (e.kind == obs::TraceEventKind::DardRound && e.accepted &&
+          e.time >= last_restart) {
+        r.reconvergence_s = e.time - last_restart;
+        break;
+      }
   r.timelines = build_timelines(run.trace);
   r.causes = audit_causes(run.trace);
   r.convergence = analyze_convergence(run.trace, oscillation_window);
@@ -106,6 +133,18 @@ void write_text(std::ostream& os, const Report& r) {
      << " flows";
   if (r.fault_events > 0) os << ", " << r.fault_events << " fault transitions";
   os << '\n';
+
+  if (r.agent_crashes > 0 || r.agent_restarts > 0 || r.host_events > 0) {
+    os << "\nagent churn\n";
+    os << "  daemon crashes: " << r.agent_crashes << ", restarts: "
+       << r.agent_restarts << ", host down/up transitions: " << r.host_events
+       << '\n';
+    if (r.reconvergence_s >= 0)
+      os << "  reconvergence: " << fmt(r.reconvergence_s)
+         << " s from the last restart to the first accepted round\n";
+    else if (r.agent_restarts > 0)
+      os << "  reconvergence: no accepted round after the last restart\n";
+  }
 
   os << "\ncausal links\n";
   os << "  moves: " << r.causes.moves << " (" << r.causes.attributed
@@ -188,6 +227,13 @@ void write_markdown(std::ostream& os, const Report& r) {
   os << "| trace events | " << r.trace_events << " |\n";
   os << "| flows | " << r.timelines.size() << " |\n";
   os << "| fault transitions | " << r.fault_events << " |\n";
+  if (r.agent_crashes > 0 || r.agent_restarts > 0) {
+    os << "| daemon crashes / restarts | " << r.agent_crashes << " / "
+       << r.agent_restarts << " |\n";
+    if (r.reconvergence_s >= 0)
+      os << "| reconvergence after restart | " << fmt(r.reconvergence_s)
+         << " s |\n";
+  }
   os << "| moves | " << r.causes.moves << " |\n";
   os << "| moves attributed | " << r.causes.attributed << " |\n";
   os << "| moves resolved to a prior round | " << r.causes.resolved << " |\n";

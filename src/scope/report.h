@@ -36,6 +36,14 @@ struct Report {
 
   std::size_t trace_events = 0;
   std::size_t fault_events = 0;
+  // Agent-level churn (DESIGN.md §16): daemon crash/restart transitions
+  // seen in the trace, and the reconvergence time from the last restart
+  // (agent_restart or host_up) to the first accepted DARD round after it;
+  // -1 when there was no restart or no round accepted afterwards.
+  std::size_t agent_crashes = 0;
+  std::size_t agent_restarts = 0;
+  std::size_t host_events = 0;
+  double reconvergence_s = -1;
   std::vector<FlowTimeline> timelines;
   CauseAudit causes;
   Convergence convergence;

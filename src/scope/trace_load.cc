@@ -67,6 +67,10 @@ bool fault_action_from_string(const std::string& s, FaultAction* out) {
   else if (s == "cable_up") *out = FaultAction::CableUp;
   else if (s == "control_window_start") *out = FaultAction::ControlWindowStart;
   else if (s == "control_window_end") *out = FaultAction::ControlWindowEnd;
+  else if (s == "agent_crash") *out = FaultAction::AgentCrash;
+  else if (s == "agent_restart") *out = FaultAction::AgentRestart;
+  else if (s == "host_down") *out = FaultAction::HostDown;
+  else if (s == "host_up") *out = FaultAction::HostUp;
   else return false;
   return true;
 }

@@ -9,6 +9,8 @@
 
 #include <limits>
 
+#include "faults/recovery.h"
+#include "flowsim/event_queue.h"
 #include "harness/experiment.h"
 #include "obs/metrics.h"
 #include "topology/builders.h"
@@ -126,6 +128,87 @@ TEST(FaultRecoveryTest, PacketSubstrateRunsTheSamePlan) {
   ASSERT_GT(r.flows, 0u);
   EXPECT_GE(r.faults_injected, 1u);
   EXPECT_GT(r.recovery.baseline_goodput, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// RecoveryTracker edge cases, driven on a bare event queue with synthetic
+// probes so each reduction rule is pinned in isolation: a fault at t=0 (no
+// pre-onset window), overlapping restarts (measure from the last), and a
+// fault scheduled beyond the end of the run.
+
+struct TrackerHarness {
+  flowsim::EventQueue events;
+  double goodput = 5e9;
+  std::uint64_t moves = 0;
+  faults::FaultConfig cfg;
+
+  TrackerHarness() { cfg.sample_period = 0.1; }
+
+  faults::RecoveryTracker make(Seconds onset) {
+    return faults::RecoveryTracker(
+        events, [this] { return goodput; }, cfg, onset);
+  }
+};
+
+TEST(RecoveryTrackerEdge, FaultAtTimeZeroStillMeasuresReconvergence) {
+  // Onset at t=0 leaves no pre-fault window, so the goodput baseline is
+  // undefined — but time-to-first-accepted-round after the restart is not.
+  TrackerHarness h;
+  faults::RecoveryTracker tracker = h.make(/*onset=*/0.0);
+  tracker.set_moves_probe([&h] { return h.moves; });
+  tracker.start();
+  tracker.on_agent_restart(0.0);
+  h.events.schedule(0.35, [&h] { h.moves = 3; });
+  h.events.run_until(1.0);
+
+  const faults::RecoveryMetrics m = tracker.finalize();
+  EXPECT_EQ(m.baseline_goodput, 0.0);
+  EXPECT_EQ(m.time_to_recover, -1);
+  EXPECT_NEAR(m.reconvergence_s, 0.4, 1e-9);  // first sample seeing moves>0
+  EXPECT_EQ(m.churn_window_moves, 3u);
+}
+
+TEST(RecoveryTrackerEdge, OverlappingRestartsMeasureFromTheLast) {
+  // Two restarts before the fleet settles: the reconvergence window anchors
+  // on the LAST restart, and the moves it saw at that instant are the
+  // churn baseline — moves accepted between the restarts don't count.
+  TrackerHarness h;
+  faults::RecoveryTracker tracker = h.make(/*onset=*/0.1);
+  tracker.set_moves_probe([&h] { return h.moves; });
+  tracker.start();
+  h.events.schedule(0.2, [&tracker] { tracker.on_agent_restart(0.2); });
+  h.events.schedule(0.33, [&h] { h.moves = 2; });
+  h.events.schedule(0.5, [&tracker] { tracker.on_agent_restart(0.5); });
+  h.events.schedule(0.63, [&h] { h.moves = 5; });
+  h.events.run_until(1.0);
+
+  const faults::RecoveryMetrics m = tracker.finalize();
+  // Had the first restart anchored the window, the t=0.4 sample (moves=2)
+  // would have closed it at 0.2 s; the second restart resets the baseline
+  // to moves=2, so the first qualifying sample is t=0.7 (moves=5).
+  EXPECT_NEAR(m.reconvergence_s, 0.2, 1e-9);
+  EXPECT_EQ(m.churn_window_moves, 3u);  // 5 - 2, within the 1 s window
+}
+
+TEST(RecoveryTrackerEdge, FaultOutlivingTheRunYieldsNoRecovery) {
+  // The plan's first fault lands after the last flow finishes: every sample
+  // is pre-onset, so there is a baseline but no dip, no starvation, and no
+  // recovery claim. A restart with no accepted move afterwards likewise
+  // reports "did not reconverge within this run", not zero.
+  TrackerHarness h;
+  faults::RecoveryTracker tracker = h.make(/*onset=*/10.0);
+  tracker.set_moves_probe([&h] { return h.moves; });
+  tracker.start();
+  h.events.schedule(0.8, [&tracker] { tracker.on_agent_restart(0.8); });
+  h.events.run_until(1.0);
+
+  const faults::RecoveryMetrics m = tracker.finalize();
+  EXPECT_EQ(m.baseline_goodput, 5e9);
+  EXPECT_EQ(m.time_to_recover, -1);
+  EXPECT_EQ(m.dip_fraction, 0.0);
+  EXPECT_EQ(m.starvation_seconds, 0.0);
+  EXPECT_EQ(m.reconvergence_s, -1);
+  EXPECT_EQ(m.churn_window_moves, 0u);
 }
 
 }  // namespace

@@ -77,6 +77,11 @@ TEST(FaultPlanTest, EveryPresetExistsAndEventuallyRepairsEverything) {
     down = 0;
     for (const auto& e : p->switch_events()) down += e.fail ? 1 : -1;
     EXPECT_EQ(down, 0) << name << ": unrepaired switch failure";
+    // Host outages fail NIC cables, so they must balance too. (A daemon
+    // left down for good is fine — the data plane keeps forwarding.)
+    down = 0;
+    for (const auto& e : p->host_events()) down += e.fail ? 1 : -1;
+    EXPECT_EQ(down, 0) << name << ": unrevived host";
   }
   EXPECT_FALSE(FaultPlan::preset("no-such-preset").has_value());
 }
@@ -128,6 +133,85 @@ TEST(FaultPlanTest, MalformedJsonReportsAnErrorInsteadOfAborting) {
                    R"({"links": [{"time": 1, "a": "x", "b": "x"}]})", &error)
                    .has_value());
   EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultPlanTest, ParsesAgentHostAndPartialSections) {
+  const std::string text = R"({
+    "agents":  [{"time": 1, "host": "host0_0", "restart": 0.5},
+                {"time": 2, "host": "host1_0"}],
+    "hosts":   [{"time": 2.5, "host": "host2_0"},
+                {"time": 3, "host": "host2_0", "fail": false}],
+    "partial": {"dard_fraction": 0.5, "seed": 11}
+  })";
+  std::string error;
+  const auto p = FaultPlan::parse_json(text, &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  ASSERT_EQ(p->agent_events().size(), 2u);
+  EXPECT_DOUBLE_EQ(p->agent_events()[0].restart_after, 0.5);
+  EXPECT_LT(p->agent_events()[1].restart_after, 0.0);  // down for good
+  ASSERT_EQ(p->host_events().size(), 2u);
+  EXPECT_TRUE(p->host_events()[0].fail);
+  EXPECT_FALSE(p->host_events()[1].fail);
+  ASSERT_TRUE(p->partial_deployment().has_value());
+  EXPECT_DOUBLE_EQ(p->partial_deployment()->dard_fraction, 0.5);
+  EXPECT_EQ(p->partial_deployment()->seed, 11u);
+  EXPECT_DOUBLE_EQ(p->first_fault_time(), 1.0);
+}
+
+TEST(FaultPlanTest, UnknownKeysAreRejectedNamingTheKey) {
+  // A typo'd key must fail the plan naming the key and where it sits — a
+  // plan that silently ignores "faill" tests nothing.
+  std::string error;
+  EXPECT_FALSE(
+      FaultPlan::parse_json(
+          R"({"links": [{"time": 1, "a": "x", "b": "y", "bogus": 3}]})",
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+  EXPECT_NE(error.find("links[0]"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultPlan::parse_json(R"({"wibble": []})", &error).has_value());
+  EXPECT_NE(error.find("wibble"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultPlan::parse_json(
+                   R"({"agents": [{"time": 1, "host": "h", "retsart": 2}]})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("retsart"), std::string::npos) << error;
+  EXPECT_NE(error.find("agents[0]"), std::string::npos) << error;
+}
+
+TEST(FaultPlanTest, OutOfRangeValuesNameTheOffendingKey) {
+  std::string error;
+  EXPECT_FALSE(
+      FaultPlan::parse_json(
+          R"({"links": [{"time": 1, "a": "x", "b": "y"},
+                        {"time": -2, "a": "x", "b": "y"}]})",
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("links[1].time"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultPlan::parse_json(
+                   R"({"control": [{"start": 3, "end": 2, "loss": 0.5}]})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("control[0].end"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(
+      FaultPlan::parse_json(
+          R"({"agents": [{"time": 1, "host": "h", "restart": -0.5}]})", &error)
+          .has_value());
+  EXPECT_NE(error.find("agents[0].restart"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultPlan::parse_json(R"({"partial": {"dard_fraction": 1.5}})",
+                                     &error)
+                   .has_value());
+  EXPECT_NE(error.find("partial.dard_fraction"), std::string::npos) << error;
 }
 
 TEST(FaultPlanTest, LoadResolvesPresetsAndRejectsUnknownSpecs) {

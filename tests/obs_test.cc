@@ -289,7 +289,7 @@ TEST(Trace, JsonRoundTripsEveryKind) {
   for (const TraceEvent& e : one_event_per_kind()) {
     const std::string line = to_json(e);
     SCOPED_TRACE(line);
-    EXPECT_NE(line.find("\"v\":3"), std::string::npos);
+    EXPECT_NE(line.find("\"v\":4"), std::string::npos);
 
     TraceEvent back;
     std::string error;
@@ -368,6 +368,28 @@ TEST(Trace, JsonRoundTripsEveryKind) {
         break;
       }
     }
+  }
+}
+
+TEST(Trace, JsonRoundTripsAgentFaultActions) {
+  // The v4 additions: agent-level fault transitions survive the loader.
+  for (const FaultAction a :
+       {FaultAction::AgentCrash, FaultAction::AgentRestart,
+        FaultAction::HostDown, FaultAction::HostUp}) {
+    TraceEvent e;
+    e.kind = TraceEventKind::Fault;
+    e.time = 1.5;
+    e.src_host = NodeId(3);
+    e.cause_id = 11;
+    e.fault_action = a;
+    const std::string line = to_json(e);
+    SCOPED_TRACE(line);
+    TraceEvent back;
+    std::string error;
+    ASSERT_TRUE(scope::parse_trace_line(line, &back, &error)) << error;
+    EXPECT_EQ(back.fault_action, a);
+    EXPECT_EQ(back.src_host, e.src_host);
+    EXPECT_EQ(back.cause_id, e.cause_id);
   }
 }
 
