@@ -172,11 +172,11 @@ def main():
         print()
         for name, ratio in regressed:
             print(f"FAIL: {name} regressed {ratio:.2f}x "
-                  f"(threshold {threshold:.1f}x)")
+                  f"(threshold {threshold:.2f}x)")
         for name in missing:
             print(f"FAIL: {name} missing from {args.current}")
         return 1
-    print(f"\nOK: all within {threshold:.1f}x of baseline")
+    print(f"\nOK: all within {threshold:.2f}x of baseline")
     return 0
 
 

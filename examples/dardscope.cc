@@ -37,6 +37,10 @@ void print_usage(std::FILE* out) {
       "                        annotated with the round that caused it\n"
       "  diff RUN_A RUN_B      A/B comparison: metric deltas and per-flow\n"
       "                        completion-time regressions\n"
+      "  spans RUN             control-plane span report (dardsim --spans):\n"
+      "                        per-daemon span activity, slowest\n"
+      "                        refresh->move chains, control-byte hotlinks;\n"
+      "                        exits 1 on any dangling span id\n"
       "  live RUN              tail a run that is still being written and\n"
       "                        refresh the report metrics incrementally;\n"
       "                        exits when the run's manifest.json lands\n"
@@ -220,6 +224,26 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (opt.subcommand == "spans") {
+    if (opt.positional.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: dardscope spans RUN [--md=FILE] [--top=N]\n");
+      return 2;
+    }
+    scope::RunData run;
+    if (!load_or_die(opt.positional[0], &run)) return 1;
+    const auto spans = scope::build_spans_report(run, opt.top);
+    scope::write_spans_text(std::cout, spans);
+    if (!opt.md_path.empty() &&
+        !write_md(opt.md_path, [&](std::ostream& os) {
+          scope::write_spans_markdown(os, spans);
+        }))
+      return 1;
+    // A dangling span id means the causal chain contradicts itself; fail
+    // loudly so CI catches a broken emitter.
+    return spans.audit.clean() ? 0 : 1;
+  }
+
   if (opt.subcommand == "live") {
     if (opt.positional.size() != 1) {
       std::fprintf(stderr,
@@ -239,7 +263,8 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "unknown subcommand: %s (valid: report, flow, diff, live)\n",
+               "unknown subcommand: %s (valid: report, flow, diff, spans, "
+               "live)\n",
                opt.subcommand.c_str());
   return 2;
 }

@@ -16,8 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "fabric/wire.h"
 #include "harness/experiment.h"
 #include "harness/manifest.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "topology/builders.h"
 
@@ -217,6 +219,16 @@ void print_usage(std::FILE* out) {
                "                       seconds (requires --trace or "
                "--run-dir; powers\n"
                "                       `dardscope live`)\n"
+               "  --spans              record control-plane spans (schema "
+               "v5): per-query,\n"
+               "                       refresh, decision and move events "
+               "linked by cause\n"
+               "                       ids, plus per-link control-byte "
+               "attribution\n"
+               "                       (control_bytes.csv with --run-dir; "
+               "requires --trace\n"
+               "                       or --run-dir; powers `dardscope "
+               "spans`)\n"
                "  --help               show this message\n",
                kTopos, kPatterns, kSchedulers, kSubstrates, kFaultPresets);
 }
@@ -258,6 +270,7 @@ struct Options {
   double sample_period = 0.5;
   bool profile = false;
   double snapshot_period = 0.0;  // 0 = no snapshot events
+  bool spans = false;
   bool help = false;
 };
 
@@ -430,6 +443,8 @@ bool parse(int argc, char** argv, Options* opt) {
                      v);
         return false;
       }
+    } else if (arg == "--spans") {
+      opt->spans = true;
     } else if (arg == "--audit") {
       opt->audit = true;
     } else if (arg == "--profile") {
@@ -664,10 +679,11 @@ int main(int argc, char** argv) {
     // a thread pool. Per-replica results are identical for any --jobs.
     if (!opt.trace_path.empty() || !opt.metrics_path.empty() ||
         !opt.samples_path.empty() || !opt.agg_samples_path.empty() ||
-        !opt.run_dir.empty() || opt.profile || opt.snapshot_period > 0) {
+        !opt.run_dir.empty() || opt.profile || opt.snapshot_period > 0 ||
+        opt.spans) {
       std::fprintf(stderr,
                    "--trace/--metrics/--samples/--run-dir/--profile/"
-                   "--snapshot-period need --replicas=1\n");
+                   "--snapshot-period/--spans need --replicas=1\n");
       return 2;
     }
     std::vector<harness::ExperimentCell> cells(opt.replicas);
@@ -742,6 +758,19 @@ int main(int argc, char** argv) {
     }
     cfg.telemetry.snapshot_period = opt.snapshot_period;
   }
+  std::unique_ptr<obs::SpanRecorder> span_recorder;
+  if (opt.spans) {
+    if (cfg.telemetry.observer == nullptr) {
+      std::fprintf(stderr,
+                   "--spans needs a trace to land in; add --trace or "
+                   "--run-dir\n");
+      return 2;
+    }
+    span_recorder = std::make_unique<obs::SpanRecorder>(
+        cfg.telemetry.observer, &network, fabric::kDardQueryBytes,
+        fabric::kDardReplyBytes);
+    cfg.telemetry.spans = span_recorder.get();
+  }
 
   const auto result = harness::run_experiment(network, cfg);
 
@@ -790,6 +819,20 @@ int main(int argc, char** argv) {
     profiler.write_csv(out);
   }
 
+  std::string control_bytes_path;
+  if (span_recorder != nullptr && !opt.run_dir.empty()) {
+    control_bytes_path =
+        (std::filesystem::path(opt.run_dir) / harness::kControlBytesFile)
+            .string();
+    std::ofstream out(control_bytes_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open control-bytes file: %s\n",
+                   control_bytes_path.c_str());
+      return 2;
+    }
+    span_recorder->write_link_csv(out);
+  }
+
   if (!opt.run_dir.empty()) {
     auto manifest = harness::build_manifest(network, cfg, result);
     manifest.argv.assign(argv + 1, argv + argc);
@@ -806,6 +849,7 @@ int main(int argc, char** argv) {
     manifest.trace_file = relative_name(opt.trace_path);
     manifest.metrics_file = relative_name(opt.metrics_path);
     manifest.profile_file = relative_name(profile_path);
+    manifest.control_bytes_file = relative_name(control_bytes_path);
     if (result.series != nullptr) {
       manifest.link_samples_file = relative_name(opt.samples_path);
       manifest.agg_samples_file = relative_name(opt.agg_samples_path);
@@ -839,6 +883,20 @@ int main(int argc, char** argv) {
     std::printf("control_bytes,%llu\n",
                 static_cast<unsigned long long>(result.control_bytes));
     std::printf("reroutes,%zu\n", result.reroutes);
+    // Span rows only under --spans, so default CSV output stays
+    // byte-identical to a build without the recorder.
+    if (opt.spans) {
+      std::printf("span_count,%llu\n",
+                  static_cast<unsigned long long>(result.span_count));
+      std::printf("span_messages,%llu\n",
+                  static_cast<unsigned long long>(result.span_messages));
+      std::printf("span_bytes,%llu\n",
+                  static_cast<unsigned long long>(result.span_bytes));
+      std::printf("goodput_bytes,%llu\n",
+                  static_cast<unsigned long long>(result.goodput_bytes));
+      std::printf("control_overhead_ratio,%.8f\n",
+                  result.control_overhead_ratio());
+    }
     if (cfg.substrate == harness::Substrate::Packet) {
       std::printf("retransmissions,%llu\n",
                   static_cast<unsigned long long>(result.retransmissions));
@@ -901,6 +959,13 @@ int main(int argc, char** argv) {
                 result.control_mean_rate / 1000.0,
                 result.control_peak_rate / 1000.0);
     std::printf("  reroutes:           %zu\n", result.reroutes);
+    if (opt.spans)
+      std::printf("  control spans:      %llu spans, %llu messages, %llu "
+                  "bytes (%.4f%% of goodput)\n",
+                  static_cast<unsigned long long>(result.span_count),
+                  static_cast<unsigned long long>(result.span_messages),
+                  static_cast<unsigned long long>(result.span_bytes),
+                  result.control_overhead_ratio() * 100.0);
     if (cfg.substrate == harness::Substrate::Packet)
       std::printf("  retransmissions:    %llu (%llu drops, mean rate "
                   "%.4f)\n",

@@ -127,6 +127,20 @@ std::size_t DardAgent::live_monitor_count() const {
   return n;
 }
 
+std::size_t DardAgent::total_query_attempts() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->query_attempts();
+  return n;
+}
+
+std::size_t DardAgent::total_query_lost() const {
+  std::size_t n = 0;
+  for (const auto& d : daemons_)
+    if (d) n += d->query_lost();
+  return n;
+}
+
 std::size_t DardAgent::total_query_timeouts() const {
   std::size_t n = 0;
   for (const auto& d : daemons_)

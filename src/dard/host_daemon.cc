@@ -19,7 +19,9 @@ DardHostDaemon::DardHostDaemon(fabric::DataPlane& net,
       counters_(counters) {}
 
 void DardHostDaemon::account_refresh(const RefreshStats& stats) {
+  query_attempts_ += stats.queries;
   query_timeouts_ += stats.timeouts;
+  query_lost_ += stats.lost;
   query_retries_ += stats.retries;
   if (counters_ == nullptr) return;
   if (counters_->monitor_queries != nullptr)
@@ -35,6 +37,19 @@ void DardHostDaemon::account_refresh(const RefreshStats& stats) {
     obs::Gauge& g = *counters_->blacklisted_paths;
     g.set(g.value + stats.newly_blacklisted - stats.cleared);
   }
+}
+
+void DardHostDaemon::refresh_monitor(PathMonitor& monitor, NodeId dst_tor) {
+  obs::SpanRecorder* const spans = net_->spans();
+  if (spans == nullptr) {
+    // The disabled path is the pre-span code exactly: no scratch, no extra
+    // work beyond this one branch.
+    account_refresh(monitor.refresh(net_->now(), *service_, *cfg_));
+    return;
+  }
+  const Seconds now = net_->now();
+  account_refresh(monitor.refresh(now, *service_, *cfg_, &span_scratch_));
+  spans->record_refresh(now, host_, dst_tor, span_scratch_);
 }
 
 std::size_t DardHostDaemon::blacklisted_paths() const {
@@ -58,7 +73,7 @@ void DardHostDaemon::on_elephant(const FlowView& flow) {
              .first;
     // A fresh monitor assembles path state immediately so the next round
     // has something to act on.
-    account_refresh(it->second.refresh(net_->now(), *service_, *cfg_));
+    refresh_monitor(it->second, flow.dst_tor);
   }
   it->second.add_flow(flow.id, flow.path_index);
   tracked_.emplace(flow.id, flow.dst_tor);
@@ -153,7 +168,7 @@ void DardHostDaemon::query_tick() {
     const obs::ProfileScope timed(net_->profiler(),
                                   obs::ProfileSection::MonitorRefresh);
     for (auto& [dst_tor, monitor] : monitors_)
-      account_refresh(monitor.refresh(net_->now(), *service_, *cfg_));
+      refresh_monitor(monitor, dst_tor);
   }
   ensure_query_ticking();
 }
@@ -229,12 +244,26 @@ void DardHostDaemon::run_round() {
       observer->on_dard_round(e);
     }
   }
+  // Span tracing (DESIGN.md §17): the decision span records what the round
+  // scanned and parents to the refresh whose state the winner consumed; the
+  // move span (after the move applies, so the dard_round and flow_move it
+  // references precede it in the trace) closes the query→decision→move
+  // chain. One branch when no recorder is attached.
+  obs::SpanRecorder* const spans = net_->spans();
+  if (spans != nullptr)
+    spans->record_decision(net_->now(), host_, monitors_.size(),
+                           best.has_value(),
+                           best_monitor != nullptr ? best_monitor->dst_tor()
+                                                   : NodeId{});
   if (best) {
     if (accepted_cause != 0) net_->set_move_cause(accepted_cause);
     net_->move_flow(best->flow, best->to);
     net_->clear_move_cause();
     best_monitor->record_move(best->flow, best->from, best->to);
     ++total_moves_;
+    if (spans != nullptr)
+      spans->record_move(net_->now(), host_, best->flow,
+                         best_monitor->dst_tor(), accepted_cause);
   }
   if (count) {
     counters_->moves_proposed->add(proposed);

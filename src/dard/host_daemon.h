@@ -70,7 +70,9 @@ class DardHostDaemon {
   [[nodiscard]] const PathMonitor* monitor_for(NodeId dst_tor) const;
 
   // Recovery-hardening telemetry, daemon-lifetime totals.
+  [[nodiscard]] std::size_t query_attempts() const { return query_attempts_; }
   [[nodiscard]] std::size_t query_timeouts() const { return query_timeouts_; }
+  [[nodiscard]] std::size_t query_lost() const { return query_lost_; }
   [[nodiscard]] std::size_t query_retries() const { return query_retries_; }
   [[nodiscard]] std::size_t fallback_rounds() const {
     return fallback_rounds_;
@@ -89,6 +91,10 @@ class DardHostDaemon {
   // Folds one refresh's outcome into counters and daemon totals; emits
   // nothing when metrics are disabled.
   void account_refresh(const RefreshStats& stats);
+  // One monitor refresh with span tracing when a recorder is attached to
+  // the data plane: collects per-switch exchanges and reports them. With no
+  // recorder this is account_refresh(refresh(...)) exactly — one branch.
+  void refresh_monitor(PathMonitor& monitor, NodeId dst_tor);
 
   fabric::DataPlane* net_;
   const fabric::StateQueryService* service_;
@@ -108,9 +114,14 @@ class DardHostDaemon {
   // when the daemon died can never act on the reborn daemon's state.
   std::uint64_t incarnation_ = 1;
   std::size_t total_moves_ = 0;
+  std::size_t query_attempts_ = 0;
   std::size_t query_timeouts_ = 0;
+  std::size_t query_lost_ = 0;
   std::size_t query_retries_ = 0;
   std::size_t fallback_rounds_ = 0;
+  // Per-refresh scratch for span tracing; only populated (and only
+  // allocated) when a SpanRecorder is attached.
+  std::vector<obs::QueryExchange> span_scratch_;
 };
 
 }  // namespace dard::core

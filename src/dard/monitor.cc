@@ -51,24 +51,43 @@ PathMonitor::PathMonitor(fabric::DataPlane& net, NodeId src_tor,
 
 RefreshStats PathMonitor::refresh(Seconds now,
                                   const fabric::StateQueryService& service,
-                                  const DardConfig& cfg) {
+                                  const DardConfig& cfg,
+                                  std::vector<obs::QueryExchange>* exchanges) {
   RefreshStats stats;
+  if (exchanges != nullptr) {
+    exchanges->clear();
+    exchanges->reserve(query_set_.size());
+  }
 
   // One exchange per switch, retried on loss or a late reply. Every attempt
   // is bounded, so a round costs at most (1+retries) * |query set| messages
   // and never blocks — even at 100% loss the switch just stays failed.
   for (std::size_t i = 0; i < query_set_.size(); ++i) {
     switch_ok_[i] = 0;
+    obs::QueryExchange ex;
+    ex.sw = query_set_[i];
     for (std::uint32_t attempt = 0; attempt <= cfg.query_max_retries;
          ++attempt) {
       ++stats.queries;
+      ++ex.attempts;
       if (attempt > 0) ++stats.retries;
       const fabric::QueryAttempt qa = service.attempt_query(now);
+      if (!qa.delivered) {
+        ++stats.lost;
+        ++ex.lost;
+      }
       if (!qa.delivered || qa.reply_delay > cfg.query_timeout) {
         ++stats.timeouts;
+        ++ex.timeouts;
+        // A failed exchange costs the full timeout window plus the backoff
+        // before the next attempt (modeled, never the virtual clock).
+        ex.latency += cfg.query_timeout + cfg.retry_backoff;
         continue;
       }
       switch_ok_[i] = 1;
+      ex.delivered = true;
+      ex.reply_delay = qa.reply_delay;
+      ex.latency += qa.reply_delay;
       // The reply reflects switch state one delay ago; waiting out earlier
       // timeouts ages it further. (Perfect channel: fresh_at == now.)
       switch_fresh_[i] =
@@ -76,6 +95,7 @@ RefreshStats PathMonitor::refresh(Seconds now,
       break;
     }
     if (switch_ok_[i] == 0) ++stats.failed_switches;
+    if (exchanges != nullptr) exchanges->push_back(ex);
   }
 
   // Pull answered switches' port states into the slot cache; unanswered

@@ -26,6 +26,7 @@
 #include "dard/config.h"
 #include "fabric/data_plane.h"
 #include "fabric/switch_state.h"
+#include "obs/spans.h"
 
 namespace dard::core {
 
@@ -70,6 +71,8 @@ struct RoundEvaluation {
 struct RefreshStats {
   std::uint32_t queries = 0;         // exchanges attempted (all accounted)
   std::uint32_t timeouts = 0;        // lost exchanges or late replies
+  std::uint32_t lost = 0;            // never-delivered subset of timeouts:
+                                     // no reply message hit the wire
   std::uint32_t retries = 0;         // re-attempts after a timeout
   std::uint32_t failed_switches = 0; // switches that exhausted every retry
   std::uint32_t newly_blacklisted = 0;  // paths entering the blacklist
@@ -90,8 +93,12 @@ class PathMonitor {
   // exhausts its retries leaves its links on last-known-good state, and
   // links staler than cfg.state_staleness_cap make their paths sit this
   // round out. Also updates the path blacklist from the assembled BoNFs.
+  // `exchanges`, when non-null, is cleared and filled with one per-switch
+  // QueryExchange record for span tracing (telemetry only: filling it never
+  // changes the refresh outcome).
   RefreshStats refresh(Seconds now, const fabric::StateQueryService& service,
-                       const DardConfig& cfg);
+                       const DardConfig& cfg,
+                       std::vector<obs::QueryExchange>* exchanges = nullptr);
   // Perfect-channel convenience overload (tests, benches): default policy,
   // identical behavior to the pre-fault-subsystem refresh.
   void refresh(Seconds now, const fabric::StateQueryService& service);

@@ -33,6 +33,10 @@
 #include "obs/profiler.h"
 #include "topology/paths.h"
 
+namespace dard::obs {
+class SpanRecorder;
+}  // namespace dard::obs
+
 namespace dard::fabric {
 
 class Auditor;
@@ -128,6 +132,14 @@ class DataPlane {
     return id;
   }
 
+  // --- Control-plane span tracing (DESIGN.md §17; off by default). ---
+  // The harness installs the recorder alongside the other telemetry; null
+  // means spans are off and the instrumented daemon sites pay one branch —
+  // no clock read, no cause-id draw, bit-identical results (the same
+  // discipline as observer()/profiler()).
+  void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
+  [[nodiscard]] obs::SpanRecorder* spans() const { return spans_; }
+
   // The equal-cost path set `v` selects among.
   const std::vector<topo::Path>& path_set(const FlowView& v) {
     return paths().tor_paths(v.src_tor, v.dst_tor);
@@ -149,6 +161,7 @@ class DataPlane {
   std::uint64_t last_cause_id_ = 0;
   std::uint64_t move_cause_ = 0;
   Auditor* auditor_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
 };
 
 // A flow-scheduling policy — ECMP, pVLB, the DARD host-daemon stack, or the

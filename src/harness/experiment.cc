@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "fabric/auditor.h"
 #include "fabric/snapshot.h"
+#include "obs/spans.h"
 #include "pktsim/agent_router.h"
 
 namespace dard::harness {
@@ -40,6 +41,24 @@ void apply_partial_deployment(const ExperimentConfig& cfg,
 // DARD's cumulative accepted-move counter, and the injector tells it when a
 // daemon restart fires so time-to-first-accepted-round and the churn window
 // measure from the right origin.
+// Attaches the span recorder (if any) to a substrate's DataPlane and binds
+// its span-id allocator into the run's cause-id space, so span, round and
+// move ids interleave in one ordered sequence.
+void attach_spans(fabric::DataPlane& net, obs::SpanRecorder* spans) {
+  if (spans == nullptr) return;
+  net.set_spans(spans);
+  spans->set_id_allocator([&net] { return net.next_cause_id(); });
+}
+
+// Copies the recorder's whole-run tallies into the result.
+void collect_spans(const obs::SpanRecorder* spans, ExperimentResult* result) {
+  if (spans == nullptr) return;
+  const obs::SpanTotals& t = spans->totals();
+  result->span_count = t.spans;
+  result->span_messages = t.messages;
+  result->span_bytes = t.bytes;
+}
+
 void wire_agent_recovery(faults::FaultInjector* injector,
                          faults::RecoveryTracker* tracker,
                          fabric::ControlAgent* agent) {
@@ -123,6 +142,7 @@ ExperimentResult run_fluid(const topo::Topology& t,
   sim.set_observer(cfg.telemetry.observer);
   sim.set_metrics(cfg.telemetry.metrics);
   sim.set_profiler(cfg.telemetry.profiler);
+  attach_spans(sim, cfg.telemetry.spans);
   std::unique_ptr<obs::TimeSeriesSampler> sampler;
   if (cfg.telemetry.sample_period > 0) {
     sampler =
@@ -197,10 +217,11 @@ ExperimentResult run_fluid(const topo::Topology& t,
     tracker->start();
   }
 
-  for (const auto& spec : traffic::generate_workload(t, cfg.workload))
-    sim.submit(spec);
-
   ExperimentResult result;
+  for (const auto& spec : traffic::generate_workload(t, cfg.workload)) {
+    result.goodput_bytes += spec.size;
+    sim.submit(spec);
+  }
   result.timings.setup_s = seconds_since(wall_start);
   const auto wall_run = WallClock::now();
   sim.run_until_flows_done();
@@ -230,6 +251,7 @@ ExperimentResult run_fluid(const topo::Topology& t,
   if (const auto* hedera =
           dynamic_cast<const baselines::HederaAgent*>(agent.get()))
     result.reroutes = hedera->total_reassignments();
+  collect_spans(cfg.telemetry.spans, &result);
   if (auditor != nullptr) auditor->check_now();
   if (tracker != nullptr) {
     result.recovery = tracker->finalize();
@@ -270,6 +292,7 @@ ExperimentResult run_packet(const topo::Topology& t,
     ar->set_observer(cfg.telemetry.observer);
     ar->set_metrics(cfg.telemetry.metrics);
     ar->set_profiler(cfg.telemetry.profiler);
+    attach_spans(*ar, cfg.telemetry.spans);
     adapter = ar.get();
     router = std::move(ar);
   }
@@ -340,10 +363,12 @@ ExperimentResult run_packet(const topo::Topology& t,
   }
 
   std::vector<FlowId> ids;
-  for (const auto& spec : traffic::generate_workload(t, cfg.workload))
+  for (const auto& spec : traffic::generate_workload(t, cfg.workload)) {
+    result.goodput_bytes += spec.size;
     ids.push_back(session.add_flow({spec.src_host, spec.dst_host, spec.size,
                                     spec.arrival, spec.src_port,
                                     spec.dst_port}));
+  }
   result.timings.setup_s = seconds_since(wall_start);
   const auto wall_run = WallClock::now();
   DCN_CHECK_MSG(session.run(cfg.packet_max_time),
@@ -380,6 +405,7 @@ ExperimentResult run_packet(const topo::Topology& t,
   if (const auto* hedera =
           dynamic_cast<const baselines::HederaAgent*>(agent.get()))
     result.reroutes = hedera->total_reassignments();
+  collect_spans(cfg.telemetry.spans, &result);
   if (auditor != nullptr) auditor->check_now();
   if (tracker != nullptr) {
     result.recovery = tracker->finalize();

@@ -32,6 +32,10 @@
 #include "pktsim/session.h"
 #include "traffic/patterns.h"
 
+namespace dard::obs {
+class SpanRecorder;
+}  // namespace dard::obs
+
 namespace dard::harness {
 
 // Texcp is packet-only: it scatters individual packets, which has no fluid
@@ -61,6 +65,11 @@ struct TelemetryConfig {
   // > 0 emits periodic run-health Snapshot trace events (schema v3) through
   // `observer`; requires an observer to land anywhere. 0 disables.
   Seconds snapshot_period = 0;
+  // Control-plane span recorder (DESIGN.md §17). Borrowed; the harness
+  // attaches it to the substrate's DataPlane and binds its span-id
+  // allocator to the run's cause-id space. Null (the default) keeps every
+  // instrumented daemon site at one branch and the run bit-identical.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct ExperimentConfig {
@@ -133,6 +142,22 @@ struct ExperimentResult {
   double control_peak_rate = 0;  // bytes/s over the generation window
   double control_mean_rate = 0;
   std::size_t reroutes = 0;  // accepted moves (DARD) / reassignments (Hedera)
+
+  // Overhead-vs-goodput summary: payload bytes the workload delivered, and
+  // what fraction of that the control plane spent on the wire. Always
+  // computed (goodput is just the workload), near-zero for non-DARD runs.
+  Bytes goodput_bytes = 0;
+  [[nodiscard]] double control_overhead_ratio() const {
+    return goodput_bytes == 0
+               ? 0
+               : static_cast<double>(control_bytes) /
+                     static_cast<double>(goodput_bytes);
+  }
+
+  // Span-recorder totals (telemetry.spans attached; zeros otherwise).
+  std::uint64_t span_count = 0;
+  std::uint64_t span_messages = 0;  // control messages attributed to spans
+  std::uint64_t span_bytes = 0;     // wire bytes attributed to spans
 
   // Packet substrate only (all zero / empty on Fluid): what the rate
   // abstraction cannot see.

@@ -41,6 +41,11 @@ RunManifest build_manifest(const topo::Topology& t,
   m.control_bytes = result.control_bytes;
   m.peak_elephants = result.peak_elephants;
   m.faults_injected = result.faults_injected;
+  m.goodput_bytes = result.goodput_bytes;
+  m.control_overhead_ratio = result.control_overhead_ratio();
+  m.span_count = result.span_count;
+  m.span_messages = result.span_messages;
+  m.span_bytes = result.span_bytes;
   return m;
 }
 
@@ -98,7 +103,13 @@ void write_manifest_json(std::ostream& os, const RunManifest& m) {
   os << "    \"p99_transfer_s\": " << m.p99_transfer_s << ",\n";
   os << "    \"reroutes\": " << m.reroutes << ",\n";
   os << "    \"control_bytes\": " << m.control_bytes << ",\n";
-  os << "    \"peak_elephants\": " << m.peak_elephants << "\n";
+  os << "    \"peak_elephants\": " << m.peak_elephants << ",\n";
+  os << "    \"goodput_bytes\": " << m.goodput_bytes << ",\n";
+  os << "    \"control_overhead_ratio\": " << m.control_overhead_ratio
+     << ",\n";
+  os << "    \"span_count\": " << m.span_count << ",\n";
+  os << "    \"span_messages\": " << m.span_messages << ",\n";
+  os << "    \"span_bytes\": " << m.span_bytes << "\n";
   os << "  },\n";
   os << "  \"files\": {\n";
   bool first = true;
@@ -112,6 +123,7 @@ void write_manifest_json(std::ostream& os, const RunManifest& m) {
   file("link_samples", m.link_samples_file);
   file("agg_samples", m.agg_samples_file);
   file("profile", m.profile_file);
+  file("control_bytes", m.control_bytes_file);
   os << (first ? "" : "\n") << "  }\n";
   os << "}\n";
 }

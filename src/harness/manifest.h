@@ -33,6 +33,7 @@ inline constexpr const char* kMetricsFile = "metrics.csv";
 inline constexpr const char* kLinkSamplesFile = "link_samples.csv";
 inline constexpr const char* kAggSamplesFile = "agg_samples.csv";
 inline constexpr const char* kProfileFile = "profile.csv";
+inline constexpr const char* kControlBytesFile = "control_bytes.csv";
 
 struct RunManifest {
   std::string tool = "dardsim";
@@ -82,6 +83,14 @@ struct RunManifest {
   std::size_t peak_elephants = 0;
   std::uint64_t faults_injected = 0;
 
+  // Control-plane overhead summary (DESIGN.md §17); span_* are zero unless
+  // the run recorded spans.
+  std::uint64_t goodput_bytes = 0;
+  double control_overhead_ratio = 0;
+  std::uint64_t span_count = 0;
+  std::uint64_t span_messages = 0;
+  std::uint64_t span_bytes = 0;
+
   // Artifacts present in the run dir (file names relative to it; empty =
   // not written for this run).
   std::string trace_file;
@@ -89,6 +98,7 @@ struct RunManifest {
   std::string link_samples_file;
   std::string agg_samples_file;
   std::string profile_file;
+  std::string control_bytes_file;
 };
 
 // Fills the scenario/result fields from a finished experiment. The caller

@@ -27,6 +27,18 @@ enum class TraceEventKind : std::uint8_t {
   DardRound,     // one monitor's evaluation within a DARD scheduling round
   Fault,         // a fault-plan transition was applied to the network
   Snapshot,      // periodic run-health snapshot (schema v3, DESIGN.md §13)
+  Span,          // control-plane span (schema v5, DESIGN.md §17)
+};
+
+// What a Span event measured (TraceEvent::span_kind). Spans nest:
+// query spans hang off their monitor's refresh span, decision spans off the
+// freshest refresh they consumed, move spans off the dard_round that won.
+enum class SpanKind : std::uint8_t {
+  None,      // not a Span event
+  Query,     // one per-switch query exchange (initial attempt + retries)
+  Refresh,   // one monitor refresh over its whole query set
+  Decision,  // one host's scheduling-round evaluation pass
+  Move,      // an accepted move being applied (closes a chain)
 };
 
 // What a Fault event did to the network (TraceEvent::fault_action).
@@ -46,11 +58,12 @@ enum class FaultAction : std::uint8_t {
 // offline tooling (dardscope) can refuse input it would misread. Bump on
 // any field change; v1 was the PR-1 schema without cause ids, v2 added
 // them, v3 added periodic snapshot events, v4 added agent-level fault
-// actions (agent_crash/agent_restart/host_down/host_up). Readers accept
+// actions (agent_crash/agent_restart/host_down/host_up), v5 added
+// control-plane span events and the p99.9 profile column. Readers accept
 // anything in [kMinReadableTraceSchemaVersion, kTraceSchemaVersion]: a v2
-// trace is a valid v4 trace that happens to contain no snapshot or
-// agent-fault lines.
-inline constexpr int kTraceSchemaVersion = 4;
+// trace is a valid v5 trace that happens to contain no snapshot, agent-fault
+// or span lines.
+inline constexpr int kTraceSchemaVersion = 5;
 inline constexpr int kMinReadableTraceSchemaVersion = 2;
 
 // One profiled section's distribution summary, carried inside snapshots.
@@ -62,6 +75,7 @@ struct ProfileSummary {
   double p50_s = 0;
   double p95_s = 0;
   double p99_s = 0;
+  double p999_s = 0;  // long-tail pin for control-plane span latencies
   double max_s = 0;
 };
 
@@ -135,6 +149,23 @@ struct TraceEvent {
   // Fault events only: what the transition did.
   FaultAction fault_action = FaultAction::None;
 
+  // Span events only (schema v5). The span's own id is cause_id (drawn from
+  // the same per-run space as round ids); parent_id references the
+  // enclosing span — or, for Move spans, the dard_round that accepted the
+  // move — and 0 marks a root span. src_host is the daemon's host; dst_host
+  // is the queried switch (Query), the monitor's destination ToR (Refresh)
+  // or unset. attempts counts query exchanges (Decision spans reuse it for
+  // the number of path evaluations), timeouts/lost split failed exchanges
+  // into late-reply vs never-delivered, bytes is the modeled wire cost and
+  // accepted doubles as the span's ok/failed bit.
+  SpanKind span_kind = SpanKind::None;
+  std::uint64_t parent_id = 0;
+  std::uint32_t span_attempts = 0;
+  std::uint32_t span_timeouts = 0;
+  std::uint32_t span_lost = 0;
+  std::uint64_t span_bytes = 0;
+  Seconds span_duration = 0;
+
   // Snapshot events only; null for every other kind.
   std::shared_ptr<const SnapshotStats> snapshot;
 };
@@ -153,6 +184,7 @@ class SimObserver {
   virtual void on_dard_round(const TraceEvent& /*e*/) {}
   virtual void on_fault(const TraceEvent& /*e*/) {}
   virtual void on_snapshot(const TraceEvent& /*e*/) {}
+  virtual void on_span(const TraceEvent& /*e*/) {}
 };
 
 inline const char* to_string(TraceEventKind kind) {
@@ -171,6 +203,24 @@ inline const char* to_string(TraceEventKind kind) {
       return "fault";
     case TraceEventKind::Snapshot:
       return "snapshot";
+    case TraceEventKind::Span:
+      return "span";
+  }
+  return "?";
+}
+
+inline const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::None:
+      return "none";
+    case SpanKind::Query:
+      return "query";
+    case SpanKind::Refresh:
+      return "refresh";
+    case SpanKind::Decision:
+      return "decision";
+    case SpanKind::Move:
+      return "move";
   }
   return "?";
 }

@@ -1,0 +1,252 @@
+#include "obs/spans.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace dard::obs {
+
+SpanRecorder::SpanRecorder(SimObserver* observer,
+                           const topo::Topology* topology,
+                           std::uint64_t query_bytes,
+                           std::uint64_t reply_bytes)
+    : observer_(observer),
+      topo_(topology),
+      query_bytes_(query_bytes),
+      reply_bytes_(reply_bytes) {
+  DCN_CHECK(topo_ != nullptr);
+  link_bytes_.assign(topo_->link_count(), 0);
+}
+
+void SpanRecorder::emit(const TraceEvent& e) {
+  if (observer_ != nullptr) observer_->on_span(e);
+}
+
+const std::vector<LinkId>& SpanRecorder::route(NodeId host, NodeId sw,
+                                               bool reverse) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(host.value()) << 33) |
+                            (static_cast<std::uint64_t>(sw.value()) << 1) |
+                            (reverse ? 1u : 0u);
+  const auto cached = routes_.find(key);
+  if (cached != routes_.end()) return cached->second;
+
+  // BFS from the daemon's host, once, shared by both directions and every
+  // switch it ever queries. Control messages take shortest hop-count routes
+  // — the modeled OpenFlow channel, not subject to DARD's own path choice.
+  auto parents = bfs_parents_.find(host.value());
+  if (parents == bfs_parents_.end()) {
+    std::vector<NodeId> parent(topo_->node_count());
+    std::vector<bool> seen(topo_->node_count(), false);
+    std::deque<NodeId> frontier{host};
+    seen[host.value()] = true;
+    while (!frontier.empty()) {
+      const NodeId n = frontier.front();
+      frontier.pop_front();
+      for (const LinkId l : topo_->out_links(n)) {
+        const NodeId next = topo_->link(l).dst;
+        if (seen[next.value()]) continue;
+        seen[next.value()] = true;
+        parent[next.value()] = n;
+        frontier.push_back(next);
+      }
+    }
+    parents = bfs_parents_.emplace(host.value(), std::move(parent)).first;
+  }
+
+  // Walk sw back to host, then stitch the directed links of the requested
+  // direction. An unreachable switch yields an empty route (no bytes are
+  // attributed — the exchange never had a wire to ride).
+  std::vector<NodeId> nodes;
+  for (NodeId n = sw; n != host; n = parents->second[n.value()]) {
+    nodes.push_back(n);
+    if (nodes.size() > topo_->node_count()) {  // unreachable: parent loop
+      nodes.clear();
+      break;
+    }
+  }
+  std::vector<LinkId> links;
+  if (!nodes.empty()) {
+    nodes.push_back(host);
+    std::reverse(nodes.begin(), nodes.end());  // host ... sw
+    links.reserve(nodes.size() - 1);
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const LinkId l = reverse
+                           ? topo_->find_link(nodes[i + 1], nodes[i])
+                           : topo_->find_link(nodes[i], nodes[i + 1]);
+      if (l.valid()) links.push_back(l);
+    }
+    if (reverse) std::reverse(links.begin(), links.end());
+  }
+  return routes_.emplace(key, std::move(links)).first->second;
+}
+
+void SpanRecorder::record_refresh(Seconds now, NodeId host, NodeId dst_tor,
+                                  const std::vector<QueryExchange>& exchanges) {
+  DaemonSpans& d = daemons_[host.value()];
+  d.host = host;
+  ++d.refreshes;
+
+  // Aggregate before emitting: the Refresh span precedes its Query children
+  // in the stream so a streaming auditor never sees a dangling parent.
+  std::uint32_t attempts = 0;
+  std::uint32_t timeouts = 0;
+  std::uint32_t lost = 0;
+  Seconds longest = 0;
+  bool all_ok = true;
+  for (const QueryExchange& q : exchanges) {
+    attempts += q.attempts;
+    timeouts += q.timeouts;
+    lost += q.lost;
+    longest = std::max(longest, q.latency);
+    all_ok = all_ok && q.delivered;
+  }
+  const std::uint64_t bytes =
+      query_bytes_ * attempts +
+      reply_bytes_ * (attempts - std::min(attempts, lost));
+
+  const std::uint64_t refresh_id = next_id();
+  TraceEvent r;
+  r.kind = TraceEventKind::Span;
+  r.time = now;
+  r.span_kind = SpanKind::Refresh;
+  r.cause_id = refresh_id;
+  r.src_host = host;
+  r.dst_host = dst_tor;
+  r.span_attempts = attempts;
+  r.span_timeouts = timeouts;
+  r.span_lost = lost;
+  r.span_bytes = bytes;
+  r.span_duration = longest;
+  r.accepted = all_ok;
+  emit(r);
+
+  for (const QueryExchange& q : exchanges) {
+    const std::uint64_t delivered =
+        q.attempts - std::min(q.attempts, q.lost);
+    const std::uint64_t qbytes =
+        query_bytes_ * q.attempts + reply_bytes_ * delivered;
+
+    // Hop-by-hop attribution over the actual topology: each query attempt
+    // rides every host→switch hop; each delivered reply rides back.
+    for (const LinkId l : route(host, q.sw, /*reverse=*/false))
+      link_bytes_[l.value()] += query_bytes_ * q.attempts;
+    for (const LinkId l : route(host, q.sw, /*reverse=*/true))
+      link_bytes_[l.value()] += reply_bytes_ * delivered;
+
+    TraceEvent e;
+    e.kind = TraceEventKind::Span;
+    e.time = now;
+    e.span_kind = SpanKind::Query;
+    e.cause_id = next_id();
+    e.parent_id = refresh_id;
+    e.src_host = host;
+    e.dst_host = q.sw;
+    e.span_attempts = q.attempts;
+    e.span_timeouts = q.timeouts;
+    e.span_lost = q.lost;
+    e.span_bytes = qbytes;
+    e.span_duration = q.latency;
+    e.accepted = q.delivered;
+    emit(e);
+
+    ++totals_.query_spans;
+    ++totals_.spans;
+  }
+
+  ++totals_.refresh_spans;
+  ++totals_.spans;
+  totals_.attempts += attempts;
+  totals_.timeouts += timeouts;
+  totals_.lost += lost;
+  totals_.messages += 2ull * attempts - lost;
+  totals_.bytes += bytes;
+
+  d.attempts += attempts;
+  d.timeouts += timeouts;
+  d.lost += lost;
+  d.bytes += bytes;
+
+  heads_[(static_cast<std::uint64_t>(host.value()) << 32) | dst_tor.value()] =
+      RefreshHead{refresh_id, now};
+}
+
+void SpanRecorder::record_decision(Seconds now, NodeId host,
+                                   std::size_t evaluations, bool accepted,
+                                   NodeId winner_dst_tor) {
+  DaemonSpans& d = daemons_[host.value()];
+  d.host = host;
+  ++d.decisions;
+
+  // Parent to the refresh whose assembled state the decision consumed; the
+  // duration is that state's age. Decisions with no accepted move (or
+  // before any refresh) are roots.
+  std::uint64_t parent = 0;
+  Seconds age = 0;
+  if (accepted && winner_dst_tor.valid()) {
+    const auto head = heads_.find(
+        (static_cast<std::uint64_t>(host.value()) << 32) |
+        winner_dst_tor.value());
+    if (head != heads_.end()) {
+      parent = head->second.span_id;
+      age = now - head->second.start;
+    }
+  }
+
+  TraceEvent e;
+  e.kind = TraceEventKind::Span;
+  e.time = now;
+  e.span_kind = SpanKind::Decision;
+  e.cause_id = next_id();
+  e.parent_id = parent;
+  e.src_host = host;
+  if (accepted) e.dst_host = winner_dst_tor;
+  e.span_attempts = static_cast<std::uint32_t>(evaluations);
+  e.span_duration = age;
+  e.accepted = accepted;
+  emit(e);
+
+  ++totals_.decision_spans;
+  ++totals_.spans;
+}
+
+void SpanRecorder::record_move(Seconds now, NodeId host, FlowId flow,
+                               NodeId dst_tor, std::uint64_t round_id) {
+  DaemonSpans& d = daemons_[host.value()];
+  d.host = host;
+  ++d.moves;
+
+  Seconds chain = 0;
+  const auto head = heads_.find(
+      (static_cast<std::uint64_t>(host.value()) << 32) | dst_tor.value());
+  if (head != heads_.end()) chain = now - head->second.start;
+  d.chain_latency.record(chain);
+
+  TraceEvent e;
+  e.kind = TraceEventKind::Span;
+  e.time = now;
+  e.span_kind = SpanKind::Move;
+  e.cause_id = next_id();
+  e.parent_id = round_id;
+  e.src_host = host;
+  e.dst_host = dst_tor;
+  e.flow = flow;
+  e.span_duration = chain;
+  e.accepted = true;
+  emit(e);
+
+  ++totals_.move_spans;
+  ++totals_.spans;
+}
+
+void SpanRecorder::write_link_csv(std::ostream& os) const {
+  os << "link,src,dst,control_bytes\n";
+  for (std::size_t lv = 0; lv < link_bytes_.size(); ++lv) {
+    if (link_bytes_[lv] == 0) continue;
+    const topo::Link& l = topo_->link(LinkId{static_cast<LinkId::value_type>(lv)});
+    os << lv << ',' << topo_->node(l.src).name << ','
+       << topo_->node(l.dst).name << ',' << link_bytes_[lv] << '\n';
+  }
+}
+
+}  // namespace dard::obs

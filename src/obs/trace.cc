@@ -96,12 +96,28 @@ std::string to_json(const TraceEvent& e) {
         field_double(os, "p50_s", p.p50_s);
         field_double(os, "p95_s", p.p95_s);
         field_double(os, "p99_s", p.p99_s);
+        field_double(os, "p999_s", p.p999_s);
         field_double(os, "max_s", p.max_s);
         os << '}';
       }
       os << ']';
       break;
     }
+    case TraceEventKind::Span:
+      os << ",\"span\":\"" << to_string(e.span_kind) << '"';
+      os << ",\"id\":" << e.cause_id;
+      os << ",\"parent\":" << e.parent_id;
+      field_id(os, "host", e.src_host.value());
+      // Query: the queried switch; Refresh: the monitor's destination ToR.
+      if (e.dst_host.valid()) field_id(os, "peer", e.dst_host.value());
+      if (e.flow.valid()) field_id(os, "flow", e.flow.value());
+      os << ",\"attempts\":" << e.span_attempts;
+      os << ",\"timeouts\":" << e.span_timeouts;
+      os << ",\"lost\":" << e.span_lost;
+      os << ",\"bytes\":" << e.span_bytes;
+      field_double(os, "dur_s", e.span_duration);
+      os << ",\"ok\":" << (e.accepted ? "true" : "false");
+      break;
   }
   os << '}';
   return os.str();

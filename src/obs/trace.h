@@ -76,6 +76,7 @@ class TraceObserver : public SimObserver {
   void on_dard_round(const TraceEvent& e) override { sink_->write(e); }
   void on_fault(const TraceEvent& e) override { sink_->write(e); }
   void on_snapshot(const TraceEvent& e) override { sink_->write(e); }
+  void on_span(const TraceEvent& e) override { sink_->write(e); }
 
  private:
   TraceSink* sink_;

@@ -63,6 +63,7 @@ std::vector<FlowTimeline> build_timelines(const std::vector<TraceEvent>& trace) 
         break;
       case TraceEventKind::Fault:
       case TraceEventKind::Snapshot:
+      case TraceEventKind::Span:
         break;
     }
   }
@@ -193,6 +194,108 @@ ControlOverhead summarize_control(const RunData& run) {
   c.delta_rejections = run.metric_value("dard.delta_rejections");
   c.fallback_rounds = run.metric_value("dard.fallback_rounds");
   return c;
+}
+
+SpanAudit audit_spans(const std::vector<TraceEvent>& trace) {
+  SpanAudit a;
+  // Ids a parent may legally reference: earlier span ids plus earlier
+  // accepted round ids (Move spans cite the dard_round that won). One
+  // ordered pass reproduces the streaming audit exactly.
+  std::set<std::uint64_t> ids_seen;
+  for (const TraceEvent& e : trace) {
+    if (e.kind == TraceEventKind::DardRound) {
+      if (e.accepted && e.cause_id != 0) ids_seen.insert(e.cause_id);
+      continue;
+    }
+    if (e.kind != TraceEventKind::Span) continue;
+    ++a.spans;
+    switch (e.span_kind) {
+      case obs::SpanKind::Query: ++a.query_spans; break;
+      case obs::SpanKind::Refresh: ++a.refresh_spans; break;
+      case obs::SpanKind::Decision: ++a.decision_spans; break;
+      case obs::SpanKind::Move: ++a.move_spans; break;
+      case obs::SpanKind::None: break;
+    }
+    // Wire totals live on Query spans (attempts/timeouts/lost) and Refresh
+    // spans (the attributed bytes); summing both kinds would double-count.
+    if (e.span_kind == obs::SpanKind::Query) {
+      a.attempts += e.span_attempts;
+      a.timeouts += e.span_timeouts;
+      a.lost += e.span_lost;
+    }
+    if (e.span_kind == obs::SpanKind::Refresh) a.bytes += e.span_bytes;
+    if (e.parent_id != 0) {
+      ++a.parented;
+      if (ids_seen.count(e.parent_id) > 0)
+        ++a.resolved;
+      else
+        ++a.dangling;
+    }
+    if (e.cause_id != 0) ids_seen.insert(e.cause_id);
+  }
+  return a;
+}
+
+std::vector<DaemonSpanSummary> summarize_daemon_spans(
+    const std::vector<TraceEvent>& trace) {
+  std::map<std::uint32_t, DaemonSpanSummary> by_host;
+  for (const TraceEvent& e : trace) {
+    if (e.kind != TraceEventKind::Span) continue;
+    DaemonSpanSummary& d = by_host[e.src_host.value()];
+    d.host = e.src_host.value();
+    switch (e.span_kind) {
+      case obs::SpanKind::Query:
+        ++d.queries;
+        d.attempts += e.span_attempts;
+        d.timeouts += e.span_timeouts;
+        d.lost += e.span_lost;
+        break;
+      case obs::SpanKind::Refresh:
+        ++d.refreshes;
+        d.bytes += e.span_bytes;
+        break;
+      case obs::SpanKind::Decision:
+        ++d.decisions;
+        break;
+      case obs::SpanKind::Move:
+        ++d.moves;
+        d.max_chain_s = std::max(d.max_chain_s, e.span_duration);
+        d.total_chain_s += e.span_duration;
+        break;
+      case obs::SpanKind::None:
+        break;
+    }
+  }
+  std::vector<DaemonSpanSummary> out;
+  out.reserve(by_host.size());
+  for (auto& [host, d] : by_host) out.push_back(d);
+  return out;
+}
+
+std::vector<SpanChain> slowest_chains(const std::vector<TraceEvent>& trace,
+                                      std::size_t top_n) {
+  std::vector<SpanChain> chains;
+  for (const TraceEvent& e : trace) {
+    if (e.kind != TraceEventKind::Span ||
+        e.span_kind != obs::SpanKind::Move)
+      continue;
+    SpanChain c;
+    c.time = e.time;
+    c.host = e.src_host.value();
+    c.flow = e.flow.valid() ? e.flow.value() : 0;
+    c.round_id = e.parent_id;
+    c.duration_s = e.span_duration;
+    chains.push_back(c);
+  }
+  std::sort(chains.begin(), chains.end(),
+            [](const SpanChain& x, const SpanChain& y) {
+              if (x.duration_s != y.duration_s)
+                return x.duration_s > y.duration_s;
+              if (x.time != y.time) return x.time < y.time;
+              return x.host < y.host;
+            });
+  if (chains.size() > top_n) chains.resize(top_n);
+  return chains;
 }
 
 RunDiff diff_runs(const RunData& a, const RunData& b, std::size_t top_n) {

@@ -137,6 +137,61 @@ struct ControlOverhead {
 
 [[nodiscard]] ControlOverhead summarize_control(const RunData& run);
 
+// --- Control-plane span analyses (DESIGN.md §17; schema v5 traces). ---
+
+// Causal audit plus aggregates over every Span event in the trace. A span's
+// parent must reference a strictly earlier span id or accepted DardRound
+// round id — the recorder emits parents before children, so a dangling
+// parent means a corrupted or truncated-at-the-wrong-place trace.
+struct SpanAudit {
+  std::size_t spans = 0;
+  std::size_t query_spans = 0;
+  std::size_t refresh_spans = 0;
+  std::size_t decision_spans = 0;
+  std::size_t move_spans = 0;
+  std::size_t parented = 0;   // parent != 0
+  std::size_t resolved = 0;   // parent references an earlier span/round id
+  std::size_t dangling = 0;   // parented but unresolved
+  std::uint64_t attempts = 0; // query wire round-trips (Query spans)
+  std::uint64_t timeouts = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t bytes = 0;    // control bytes attributed by Refresh spans
+  [[nodiscard]] bool clean() const { return dangling == 0; }
+};
+
+[[nodiscard]] SpanAudit audit_spans(const std::vector<obs::TraceEvent>& trace);
+
+// Per-daemon span activity, ascending host id.
+struct DaemonSpanSummary {
+  std::uint32_t host = 0;
+  std::size_t refreshes = 0;
+  std::size_t queries = 0;
+  std::size_t decisions = 0;
+  std::size_t moves = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t bytes = 0;
+  double max_chain_s = 0;   // slowest refresh→move chain on this daemon
+  double total_chain_s = 0; // summed move-span durations
+};
+
+[[nodiscard]] std::vector<DaemonSpanSummary> summarize_daemon_spans(
+    const std::vector<obs::TraceEvent>& trace);
+
+// Complete refresh→decision→move chains (one per Move span), slowest
+// first; ties broken by time then host for determinism.
+struct SpanChain {
+  double time = 0;            // when the move applied
+  std::uint32_t host = 0;
+  std::uint32_t flow = 0;
+  std::uint64_t round_id = 0; // the winning dard_round (span parent)
+  double duration_s = 0;      // refresh start → move
+};
+
+[[nodiscard]] std::vector<SpanChain> slowest_chains(
+    const std::vector<obs::TraceEvent>& trace, std::size_t top_n = 10);
+
 // A/B comparison. Metric deltas come from manifest results and counters;
 // per-flow regressions match completed flows by id across the two runs
 // (meaningful when both runs used the same workload seed — the diff says so

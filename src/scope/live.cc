@@ -18,6 +18,16 @@ std::size_t LineTailer::poll(const std::function<void(const std::string&)>& fn,
                              bool flush) {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return 0;
+  // Detect truncation/rotation before seeking: a file shorter than the
+  // saved offset cannot contain the bytes the offset points past, so the
+  // buffered partial line is from a dead file and must not leak into the
+  // replacement's first line.
+  std::error_code size_ec;
+  const auto size = std::filesystem::file_size(path_, size_ec);
+  if (!size_ec && size < offset_) {
+    offset_ = 0;
+    partial_.clear();
+  }
   in.seekg(static_cast<std::streamoff>(offset_));
   if (!in) return 0;
 
@@ -128,6 +138,13 @@ void write_live_status(std::ostream& os, const StreamingAnalyzer& a,
        << fmt_count(control.moves_accepted) << " accepted / "
        << fmt_count(control.moves_rejected) << " rejected moves\n";
   }
+  if (const SpanAudit& spans = a.spans(); spans.spans > 0) {
+    os << "spans: " << spans.spans << " (" << spans.refresh_spans
+       << " refresh, " << spans.query_spans << " query, "
+       << spans.decision_spans << " decision, " << spans.move_spans
+       << " move), " << spans.bytes << " wire bytes, " << spans.dangling
+       << " dangling" << (spans.clean() ? "" : " (BROKEN TRACE)") << '\n';
+  }
   os.flush();
 }
 
@@ -150,6 +167,9 @@ std::string live_summary_json(const StreamingAnalyzer& a, bool finished) {
      << ",\"total_moves\":" << churn.total_moves
      << ",\"moves_per_elephant\":" << churn.moves_per_elephant()
      << ",\"dangling_causes\":" << a.causes().dangling
+     << ",\"spans\":" << a.spans().spans
+     << ",\"span_bytes\":" << a.spans().bytes
+     << ",\"dangling_spans\":" << a.spans().dangling
      << ",\"mean_utilization\":" << util.mean_utilization
      << ",\"peak_utilization\":" << util.peak_utilization
      << ",\"finished\":" << (finished ? "true" : "false") << '}';

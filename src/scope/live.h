@@ -25,6 +25,12 @@ namespace dard::scope {
 // final at end-of-stream when `flush` is set) to the callback; a trailing
 // partial line stays buffered until its newline arrives. Works whether or
 // not the file exists yet — a missing file is simply zero new lines.
+//
+// Truncation/rotation: when the file is smaller than the saved offset (the
+// writer truncated it, or rotated a new file into place), the tailer starts
+// over from byte 0 and drops any buffered partial line — the bytes it came
+// from no longer exist, so stitching it to new content would fabricate a
+// line no writer produced.
 class LineTailer {
  public:
   explicit LineTailer(std::string path) : path_(std::move(path)) {}

@@ -113,6 +113,10 @@ Report build_report(const RunData& run, std::size_t oscillation_window) {
   r.churn = summarize_churn(r.timelines);
   r.utilization = summarize_utilization(run.link_samples);
   r.control = summarize_control(run);
+  r.spans = audit_spans(run.trace);
+  r.goodput_bytes = run.manifest_path_number("results.goodput_bytes");
+  r.control_overhead_ratio =
+      run.manifest_path_number("results.control_overhead_ratio");
   r.setup_s = run.manifest_path_number("timings.setup_s");
   r.run_s = run.manifest_path_number("timings.run_s");
   r.collect_s = run.manifest_path_number("timings.collect_s");
@@ -210,6 +214,20 @@ void write_text(std::ostream& os, const Report& r) {
     os << "  not recorded (run without --metrics / --run-dir, or non-DARD "
           "scheduler)\n";
   }
+  if (r.spans.spans > 0) {
+    os << "  spans: " << r.spans.spans << " (" << r.spans.refresh_spans
+       << " refreshes, " << r.spans.query_spans << " queries, "
+       << r.spans.decision_spans << " decisions, " << r.spans.move_spans
+       << " moves), "
+       << r.spans.dangling
+       << (r.spans.clean() ? " dangling (clean)" : " dangling (BROKEN TRACE)")
+       << '\n';
+    os << "  span wire bytes: " << r.spans.bytes;
+    if (r.goodput_bytes > 0)
+      os << " (" << fmt(r.control_overhead_ratio * 100, 4) << "% of "
+         << fmt_count(r.goodput_bytes) << " goodput bytes)";
+    os << '\n';
+  }
 }
 
 void write_markdown(std::ostream& os, const Report& r) {
@@ -264,6 +282,14 @@ void write_markdown(std::ostream& os, const Report& r) {
        << fmt_count(r.control.moves_accepted) << " / "
        << fmt_count(r.control.moves_rejected) << " |\n";
   }
+  if (r.spans.spans > 0) {
+    os << "| control spans | " << r.spans.spans << " |\n";
+    os << "| span wire bytes | " << r.spans.bytes << " |\n";
+    if (r.goodput_bytes > 0)
+      os << "| control overhead | " << fmt(r.control_overhead_ratio * 100, 4)
+         << "% of goodput |\n";
+    os << "| dangling span ids | " << r.spans.dangling << " |\n";
+  }
   os << '\n';
 }
 
@@ -297,6 +323,152 @@ bool write_flow_text(std::ostream& os, const Report& r, std::uint32_t flow) {
   else
     os << "  (still active at end of trace)\n";
   return true;
+}
+
+SpansReport build_spans_report(const RunData& run, std::size_t top_n) {
+  SpansReport r;
+  r.source = run.source;
+  r.scheduler = run.manifest_string("scheduler");
+  r.substrate = run.manifest_string("substrate");
+  r.audit = audit_spans(run.trace);
+  r.daemons = summarize_daemon_spans(run.trace);
+  r.chains = slowest_chains(run.trace, top_n);
+  r.hotlinks = run.control_bytes;
+  for (const ControlByteRow& row : r.hotlinks)
+    r.hotlink_total_bytes += row.bytes;
+  std::sort(r.hotlinks.begin(), r.hotlinks.end(),
+            [](const ControlByteRow& a, const ControlByteRow& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.link < b.link;
+            });
+  if (r.hotlinks.size() > top_n) r.hotlinks.resize(top_n);
+  r.goodput_bytes = run.manifest_path_number("results.goodput_bytes");
+  r.control_overhead_ratio =
+      run.manifest_path_number("results.control_overhead_ratio");
+  return r;
+}
+
+void write_spans_text(std::ostream& os, const SpansReport& r) {
+  os << "run: " << r.source << '\n';
+  if (!r.scheduler.empty())
+    os << "scenario: " << r.scheduler << " (" << r.substrate
+       << " substrate)\n";
+  if (r.audit.spans == 0) {
+    os << "no span events in trace (run dardsim with --spans)\n";
+    return;
+  }
+  os << "\nspan audit\n";
+  os << "  spans: " << r.audit.spans << " (" << r.audit.refresh_spans
+     << " refreshes, " << r.audit.query_spans << " queries, "
+     << r.audit.decision_spans << " decisions, " << r.audit.move_spans
+     << " moves)\n";
+  os << "  parented: " << r.audit.parented << ", resolved: "
+     << r.audit.resolved << ", dangling: " << r.audit.dangling
+     << (r.audit.clean() ? " (clean)" : " (BROKEN TRACE)") << '\n';
+  os << "  query attempts: " << r.audit.attempts << " ("
+     << r.audit.timeouts << " timeouts, " << r.audit.lost
+     << " lost replies)\n";
+  os << "  attributed wire bytes: " << r.audit.bytes;
+  if (r.goodput_bytes > 0)
+    os << " (" << fmt(r.control_overhead_ratio * 100, 4) << "% of "
+       << fmt_count(r.goodput_bytes) << " goodput bytes)";
+  os << '\n';
+
+  os << "\nper-daemon spans\n";
+  os << "  host  refresh  query  decide  move  attempts  timeout  lost  "
+        "bytes      max-chain\n";
+  for (const DaemonSpanSummary& d : r.daemons) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-5u %-8zu %-6zu %-7zu %-5zu %-9llu %-8llu %-5llu "
+                  "%-10llu %.6f s",
+                  d.host, d.refreshes, d.queries, d.decisions, d.moves,
+                  static_cast<unsigned long long>(d.attempts),
+                  static_cast<unsigned long long>(d.timeouts),
+                  static_cast<unsigned long long>(d.lost),
+                  static_cast<unsigned long long>(d.bytes), d.max_chain_s);
+    os << buf << '\n';
+  }
+
+  os << "\nslowest refresh->move chains\n";
+  if (r.chains.empty()) {
+    os << "  none (no accepted moves with span coverage)\n";
+  } else {
+    for (const SpanChain& c : r.chains)
+      os << "  t=" << fmt(c.time) << "  host " << c.host << " moved flow "
+         << c.flow << " via round " << c.round_id << " in "
+         << fmt(c.duration_s, 6) << " s\n";
+  }
+
+  os << "\ncontrol-byte hotlinks\n";
+  if (r.hotlinks.empty()) {
+    os << "  not recorded (run without --run-dir, or no control traffic)\n";
+  } else {
+    for (const ControlByteRow& row : r.hotlinks) {
+      os << "  " << row.src << " -> " << row.dst << ": " << row.bytes
+         << " bytes";
+      if (r.hotlink_total_bytes > 0)
+        os << " ("
+           << fmt(100.0 * static_cast<double>(row.bytes) /
+                      static_cast<double>(r.hotlink_total_bytes),
+                  1)
+           << "%)";
+      os << '\n';
+    }
+  }
+}
+
+void write_spans_markdown(std::ostream& os, const SpansReport& r) {
+  os << "# dardscope spans\n\n";
+  os << "run: `" << r.source << "`\n\n";
+  if (r.audit.spans == 0) {
+    os << "No span events in trace (run dardsim with `--spans`).\n";
+    return;
+  }
+  os << "| metric | value |\n|---|---|\n";
+  os << "| spans | " << r.audit.spans << " |\n";
+  os << "| refresh / query / decision / move | " << r.audit.refresh_spans
+     << " / " << r.audit.query_spans << " / " << r.audit.decision_spans
+     << " / " << r.audit.move_spans << " |\n";
+  os << "| dangling span ids | " << r.audit.dangling << " |\n";
+  os << "| query attempts (timeouts, lost) | " << r.audit.attempts << " ("
+     << r.audit.timeouts << ", " << r.audit.lost << ") |\n";
+  os << "| attributed wire bytes | " << r.audit.bytes << " |\n";
+  if (r.goodput_bytes > 0)
+    os << "| control overhead | " << fmt(r.control_overhead_ratio * 100, 4)
+       << "% of goodput |\n";
+  os << "\n## Per-daemon spans\n\n";
+  os << "| host | refreshes | queries | decisions | moves | attempts | "
+        "timeouts | lost | bytes | max chain (s) |\n"
+        "|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const DaemonSpanSummary& d : r.daemons)
+    os << "| " << d.host << " | " << d.refreshes << " | " << d.queries
+       << " | " << d.decisions << " | " << d.moves << " | " << d.attempts
+       << " | " << d.timeouts << " | " << d.lost << " | " << d.bytes
+       << " | " << fmt(d.max_chain_s, 6) << " |\n";
+  if (!r.chains.empty()) {
+    os << "\n## Slowest refresh→move chains\n\n";
+    os << "| t (s) | host | flow | round | duration (s) |\n"
+          "|---|---|---|---|---|\n";
+    for (const SpanChain& c : r.chains)
+      os << "| " << fmt(c.time) << " | " << c.host << " | " << c.flow
+         << " | " << c.round_id << " | " << fmt(c.duration_s, 6) << " |\n";
+  }
+  if (!r.hotlinks.empty()) {
+    os << "\n## Control-byte hotlinks\n\n";
+    os << "| link | bytes | share |\n|---|---|---|\n";
+    for (const ControlByteRow& row : r.hotlinks) {
+      os << "| " << row.src << " → " << row.dst << " | " << row.bytes
+         << " | ";
+      if (r.hotlink_total_bytes > 0)
+        os << fmt(100.0 * static_cast<double>(row.bytes) /
+                      static_cast<double>(r.hotlink_total_bytes),
+                  1)
+           << "%";
+      os << " |\n";
+    }
+  }
+  os << '\n';
 }
 
 namespace {

@@ -50,6 +50,14 @@ struct Report {
   ChurnSummary churn;
   UtilizationSummary utilization;
   ControlOverhead control;
+  // Control-plane spans (DESIGN.md §17): present only for --spans runs;
+  // spans.spans == 0 means the trace carries no span events and the span
+  // lines are omitted from the rendered report.
+  SpanAudit spans;
+  // Overhead-vs-goodput summary from the manifest (zeros for a bare trace
+  // or a pre-§17 manifest).
+  double goodput_bytes = 0;
+  double control_overhead_ratio = 0;
   // Wall-clock phases from the manifest (all zero for a bare trace).
   double setup_s = 0;
   double run_s = 0;
@@ -65,6 +73,29 @@ void write_markdown(std::ostream& os, const Report& r);
 // One flow's timeline in detail (the `dardscope flow` subcommand). Returns
 // false when the flow does not appear in the report's trace.
 bool write_flow_text(std::ostream& os, const Report& r, std::uint32_t flow);
+
+// Control-plane span report (the `dardscope spans` subcommand, DESIGN.md
+// §17): audit + per-daemon activity + slowest refresh→move chains + the
+// hottest control-byte links. `top_n` caps the chain and hotlink tables.
+struct SpansReport {
+  std::string source;
+  std::string scheduler;
+  std::string substrate;
+  SpanAudit audit;
+  std::vector<DaemonSpanSummary> daemons;
+  std::vector<SpanChain> chains;              // slowest first, <= top_n
+  std::vector<ControlByteRow> hotlinks;       // hottest first, <= top_n
+  std::uint64_t hotlink_total_bytes = 0;      // over every link, not just top_n
+  // Manifest overhead summary (zeros for a bare trace / pre-§17 manifest).
+  double goodput_bytes = 0;
+  double control_overhead_ratio = 0;
+};
+
+[[nodiscard]] SpansReport build_spans_report(const RunData& run,
+                                             std::size_t top_n = 10);
+
+void write_spans_text(std::ostream& os, const SpansReport& r);
+void write_spans_markdown(std::ostream& os, const SpansReport& r);
 
 void write_diff_text(std::ostream& os, const RunData& a, const RunData& b,
                      const RunDiff& d);

@@ -136,6 +136,33 @@ bool load_agg_samples_csv(const std::string& path, std::vector<AggSample>* out,
   return true;
 }
 
+bool load_control_bytes_csv(const std::string& path,
+                            std::vector<ControlByteRow>* out,
+                            std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open control bytes file: " + path;
+    return false;
+  }
+  std::string line;
+  std::getline(in, line);  // header: link,src,dst,control_bytes
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    if (cells.size() < 4) {
+      *error = "malformed control bytes row in " + path + ": " + line;
+      return false;
+    }
+    ControlByteRow r;
+    r.link = static_cast<std::uint32_t>(to_number(cells[0]));
+    r.src = cells[1];
+    r.dst = cells[2];
+    r.bytes = static_cast<std::uint64_t>(to_number(cells[3]));
+    out->push_back(std::move(r));
+  }
+  return true;
+}
+
 // Artifact file name from the manifest's "files" object, else the canonical
 // name; empty when the manifest explicitly recorded no such artifact.
 std::string artifact_name(const json::Value* manifest, const char* key,
@@ -252,6 +279,9 @@ bool load_run(const std::string& path, RunData* out, std::string* error) {
   if (const auto p = resolve("agg_samples", harness::kAggSamplesFile);
       !p.empty())
     if (!load_agg_samples_csv(p, &out->agg_samples, error)) return false;
+  if (const auto p = resolve("control_bytes", harness::kControlBytesFile);
+      !p.empty())
+    if (!load_control_bytes_csv(p, &out->control_bytes, error)) return false;
   return true;
 }
 

@@ -40,6 +40,16 @@ struct LinkSample {
   double utilization = 0;
 };
 
+// One control_bytes.csv row (obs::SpanRecorder::write_link_csv): wire bytes
+// the control plane spent on one link over the whole run. Only written for
+// --spans runs; zero-byte links are omitted at write time.
+struct ControlByteRow {
+  std::uint32_t link = 0;
+  std::string src;
+  std::string dst;
+  std::uint64_t bytes = 0;
+};
+
 // One agg_samples.csv row.
 struct AggSample {
   double time = 0;
@@ -60,6 +70,7 @@ struct RunData {
   std::map<std::string, MetricRow> metrics;       // empty = not recorded
   std::vector<LinkSample> link_samples;           // empty = not recorded
   std::vector<AggSample> agg_samples;             // empty = not recorded
+  std::vector<ControlByteRow> control_bytes;      // empty = not recorded
 
   // Manifest lookups; fall back when the manifest (or the field) is absent.
   [[nodiscard]] std::string manifest_string(const std::string& key,

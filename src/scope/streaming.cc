@@ -113,6 +113,38 @@ void StreamingAnalyzer::on_event(const TraceEvent& e) {
       ++totals_.snapshot_events;
       if (e.snapshot != nullptr) last_snapshot_ = e.snapshot;
       break;
+    case TraceEventKind::Span:
+      ++totals_.span_events;
+      ++spans_.spans;
+      switch (e.span_kind) {
+        case obs::SpanKind::Query:
+          ++spans_.query_spans;
+          spans_.attempts += e.span_attempts;
+          spans_.timeouts += e.span_timeouts;
+          spans_.lost += e.span_lost;
+          break;
+        case obs::SpanKind::Refresh:
+          ++spans_.refresh_spans;
+          spans_.bytes += e.span_bytes;
+          break;
+        case obs::SpanKind::Decision:
+          ++spans_.decision_spans;
+          break;
+        case obs::SpanKind::Move:
+          ++spans_.move_spans;
+          break;
+        case obs::SpanKind::None:
+          break;
+      }
+      if (e.parent_id != 0) {
+        ++spans_.parented;
+        if (round_ids_.count(e.parent_id) > 0)
+          ++spans_.resolved;
+        else
+          ++spans_.dangling;
+      }
+      if (e.cause_id != 0) note_accepted_round(e.cause_id);
+      break;
   }
 }
 

@@ -58,6 +58,7 @@ class StreamingAnalyzer {
     std::size_t trace_events = 0;
     std::size_t fault_events = 0;
     std::size_t snapshot_events = 0;
+    std::size_t span_events = 0;
     std::size_t flows_seen = 0;  // distinct flow ids
     std::size_t live_flows = 0;  // seen but not yet completed
     std::size_t completed_flows = 0;
@@ -75,6 +76,9 @@ class StreamingAnalyzer {
   // the still-live flows, so they are valid mid-stream and final once the
   // trace is exhausted.
   [[nodiscard]] const CauseAudit& causes() const { return causes_; }
+  // Span aggregates + online parent audit; equals audit_spans() on the same
+  // trace (span ids share the bounded ring caveat of the move audit).
+  [[nodiscard]] const SpanAudit& spans() const { return spans_; }
   [[nodiscard]] Convergence convergence() const;
   [[nodiscard]] ChurnSummary churn() const;
   [[nodiscard]] UtilizationSummary utilization() const;
@@ -119,9 +123,12 @@ class StreamingAnalyzer {
   std::size_t oscillations_ = 0;
   std::set<std::uint32_t> oscillating_;
 
-  // Causal audit: bounded ring of recently-accepted round ids.
+  // Causal audit: bounded ring of recently-accepted round ids. Span ids
+  // join the same ring — spans, rounds and moves share one id space, and a
+  // parent may cite either an earlier span or an earlier accepted round.
   std::unordered_set<std::uint64_t> round_ids_;
   std::deque<std::uint64_t> round_order_;
+  SpanAudit spans_;
 
   // Utilization aggregates.
   std::size_t util_samples_ = 0;

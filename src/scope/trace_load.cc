@@ -57,6 +57,17 @@ bool kind_from_string(const std::string& s, TraceEventKind* out) {
   else if (s == "dard_round") *out = TraceEventKind::DardRound;
   else if (s == "fault") *out = TraceEventKind::Fault;
   else if (s == "snapshot") *out = TraceEventKind::Snapshot;
+  else if (s == "span") *out = TraceEventKind::Span;
+  else return false;
+  return true;
+}
+
+bool span_kind_from_string(const std::string& s, obs::SpanKind* out) {
+  if (s == "none") *out = obs::SpanKind::None;
+  else if (s == "query") *out = obs::SpanKind::Query;
+  else if (s == "refresh") *out = obs::SpanKind::Refresh;
+  else if (s == "decision") *out = obs::SpanKind::Decision;
+  else if (s == "move") *out = obs::SpanKind::Move;
   else return false;
   return true;
 }
@@ -215,6 +226,8 @@ bool parse_trace_line(const std::string& line, obs::TraceEvent* out,
               !read_double(*entry, "p50_s", &p.p50_s, error) ||
               !read_double(*entry, "p95_s", &p.p95_s, error) ||
               !read_double(*entry, "p99_s", &p.p99_s, error) ||
+              // v4 snapshots predate the p99.9 column; absent keeps 0.
+              !read_double(*entry, "p999_s", &p.p999_s, error) ||
               !read_double(*entry, "max_s", &p.max_s, error))
             return false;
           stats->profile.push_back(std::move(p));
@@ -222,6 +235,27 @@ bool parse_trace_line(const std::string& line, obs::TraceEvent* out,
       }
       if (!section_ok) return false;
       e.snapshot = std::move(stats);
+      break;
+    }
+    case TraceEventKind::Span: {
+      std::string span_name;
+      if (!json::get_string(*root, "span", &span_name, error)) return false;
+      if (!span_kind_from_string(span_name, &e.span_kind) ||
+          e.span_kind == obs::SpanKind::None) {
+        *error = "unknown span kind: " + span_name;
+        return false;
+      }
+      ok = read_u64(*root, "id", &e.cause_id, error) &&
+           read_u64(*root, "parent", &e.parent_id, error) &&
+           read_strong_id(*root, "host", &e.src_host, error) &&
+           read_strong_id(*root, "peer", &e.dst_host, error) &&
+           read_strong_id(*root, "flow", &e.flow, error) &&
+           read_id(*root, "attempts", &e.span_attempts, error) &&
+           read_id(*root, "timeouts", &e.span_timeouts, error) &&
+           read_id(*root, "lost", &e.span_lost, error) &&
+           read_u64(*root, "bytes", &e.span_bytes, error) &&
+           read_double(*root, "dur_s", &e.span_duration, error) &&
+           json::get_bool(*root, "ok", false, &e.accepted, error);
       break;
     }
   }

@@ -20,6 +20,8 @@ namespace dard::scope {
                                     obs::TraceEventKind* out);
 [[nodiscard]] bool fault_action_from_string(const std::string& s,
                                             obs::FaultAction* out);
+[[nodiscard]] bool span_kind_from_string(const std::string& s,
+                                         obs::SpanKind* out);
 
 // Parses one JSONL line into a TraceEvent. On failure fills *error and
 // returns false; *out is unspecified. Unknown extra fields are ignored

@@ -289,7 +289,8 @@ TEST(Trace, JsonRoundTripsEveryKind) {
   for (const TraceEvent& e : one_event_per_kind()) {
     const std::string line = to_json(e);
     SCOPED_TRACE(line);
-    EXPECT_NE(line.find("\"v\":4"), std::string::npos);
+    EXPECT_NE(line.find("\"v\":" + std::to_string(kTraceSchemaVersion)),
+              std::string::npos);
 
     TraceEvent back;
     std::string error;

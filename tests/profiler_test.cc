@@ -149,9 +149,10 @@ TEST(Profiler, WriteCsvHeaderAndRows) {
   std::ostringstream os;
   p.write_csv(os);
   const std::string csv = os.str();
-  EXPECT_EQ(csv.rfind("section,count,total_s,mean_s,p50_s,p95_s,p99_s,max_s\n",
-                      0),
-            0u);
+  EXPECT_EQ(
+      csv.rfind("section,count,total_s,mean_s,p50_s,p95_s,p99_s,p999_s,max_s\n",
+                0),
+      0u);
   EXPECT_NE(csv.find("maxmin_realloc,1,"), std::string::npos);
   EXPECT_NE(csv.find("gauge,event_queue_depth,7"), std::string::npos);
   // Untouched sections and gauges stay out of the file.

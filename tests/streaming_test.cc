@@ -220,6 +220,46 @@ TEST(LineTailer, BuffersPartialLinesAcrossPolls) {
   std::remove(path.string().c_str());
 }
 
+TEST(LineTailer, RestartsFromZeroAfterTruncationOrRotation) {
+  const fs::path path =
+      fs::temp_directory_path() / "dard_tailer_truncate_test.jsonl";
+  std::remove(path.string().c_str());
+
+  LineTailer tail(path.string());
+  std::vector<std::string> got;
+  const auto sink = [&](const std::string& line) { got.push_back(line); };
+
+  {
+    std::ofstream out(path);
+    out << "alpha\nbravo\npart";  // buffered partial line at the cut
+  }
+  EXPECT_EQ(tail.poll(sink), 2u);
+  EXPECT_GT(tail.offset(), 0u);
+
+  // Truncate-and-rewrite (what a writer rotating the file in place looks
+  // like): the new file is shorter than the saved offset. The tailer must
+  // start over from byte 0 and must NOT stitch the dead "part" fragment
+  // onto the replacement's first line.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "fresh\n";
+  }
+  EXPECT_EQ(tail.poll(sink), 1u);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[2], "fresh");
+
+  // Growth after the reset tails normally.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "more\n";
+  }
+  EXPECT_EQ(tail.poll(sink), 1u);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[3], "more");
+
+  std::remove(path.string().c_str());
+}
+
 // -------------------------------------------------------- live driver
 
 TEST(Live, OncePassOverAFinishedRunDirMatchesTheOfflineReport) {
